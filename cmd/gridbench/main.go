@@ -1,0 +1,91 @@
+// Command gridbench regenerates every experiment table of the
+// reproduction (see DESIGN.md §5 and EXPERIMENTS.md). Each experiment
+// corresponds to one claim in the paper's text; run all of them with
+// `gridbench -exp all`, or a single one with e.g. `gridbench -exp e2`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridproxy/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment to run: e1..e8, comma-separated, or all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *exp == "all" {
+		for i := 1; i <= 8; i++ {
+			want[fmt.Sprintf("e%d", i)] = true
+		}
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+
+	runners := []struct {
+		name string
+		fn   func() (experiments.Table, error)
+	}{
+		{"e1", func() (experiments.Table, error) {
+			rows, err := experiments.E1(experiments.DefaultE1())
+			return experiments.E1Table(rows), err
+		}},
+		{"e2", func() (experiments.Table, error) {
+			rows, err := experiments.E2(experiments.DefaultE2())
+			return experiments.E2Table(rows), err
+		}},
+		{"e3", func() (experiments.Table, error) {
+			rows, err := experiments.E3(experiments.DefaultE3())
+			return experiments.E3Table(rows), err
+		}},
+		{"e4", func() (experiments.Table, error) {
+			rows, err := experiments.E4(experiments.DefaultE4())
+			return experiments.E4Table(rows), err
+		}},
+		{"e5", func() (experiments.Table, error) {
+			rows, err := experiments.E5(experiments.DefaultE5())
+			return experiments.E5Table(rows), err
+		}},
+		{"e6", func() (experiments.Table, error) {
+			return experiments.E6Table(experiments.E6(experiments.DefaultE6())), nil
+		}},
+		{"e7", func() (experiments.Table, error) {
+			rows, err := experiments.E7(experiments.DefaultE7())
+			return experiments.E7Table(rows), err
+		}},
+		{"e8", func() (experiments.Table, error) {
+			rows, err := experiments.E8(experiments.DefaultE8())
+			return experiments.E8Table(rows), err
+		}},
+	}
+
+	ran := 0
+	for _, runner := range runners {
+		if !want[runner.name] {
+			continue
+		}
+		table, err := runner.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", runner.name, err)
+		}
+		fmt.Println(table.Render())
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q (use e1..e8 or all)", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command gridca manages the grid-wide Certification Authority: it
+// creates the CA and issues host certificates for proxies and user
+// certificates for digital-signature authentication.
+//
+// Usage:
+//
+//	gridca init  -dir certs -grid mygrid
+//	gridca host  -dir certs -name proxy.siteA -hosts 127.0.0.1,sitea.example.org
+//	gridca user  -dir certs -name alice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridproxy/internal/ca"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gridca:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: gridca init|host|user [flags]")
+	}
+	switch args[0] {
+	case "init":
+		fs := flag.NewFlagSet("init", flag.ContinueOnError)
+		dir := fs.String("dir", "certs", "directory to store CA material")
+		grid := fs.String("grid", "grid", "grid name (CA subject)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		authority, err := ca.New(*grid)
+		if err != nil {
+			return err
+		}
+		if err := authority.Save(*dir); err != nil {
+			return err
+		}
+		fmt.Printf("created CA for grid %q in %s\n", *grid, *dir)
+		return nil
+	case "host", "user":
+		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
+		dir := fs.String("dir", "certs", "directory holding the CA")
+		name := fs.String("name", "", "certificate common name")
+		hosts := fs.String("hosts", "", "comma-separated DNS names / IPs (host certs)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *name == "" {
+			return fmt.Errorf("-name is required")
+		}
+		authority, err := ca.Load(*dir)
+		if err != nil {
+			return err
+		}
+		var cred *ca.Credential
+		if args[0] == "host" {
+			var hostList []string
+			if *hosts != "" {
+				hostList = strings.Split(*hosts, ",")
+			}
+			cred, err = authority.IssueHost(*name, hostList...)
+		} else {
+			cred, err = authority.IssueUser(*name)
+		}
+		if err != nil {
+			return err
+		}
+		fileName := strings.ReplaceAll(*name, "/", "_")
+		if err := ca.SaveCredential(cred, *dir, fileName); err != nil {
+			return err
+		}
+		fmt.Printf("issued %s certificate %s (%s.crt / %s.key in %s)\n",
+			args[0], *name, fileName, fileName, *dir)
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}

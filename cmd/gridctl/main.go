@@ -1,0 +1,225 @@
+// Command gridctl is the grid's command-line interface (the paper's
+// command-line access layer). It talks to the local site proxy over TCP.
+//
+// Usage:
+//
+//	gridctl -proxy 127.0.0.1:7200 -user alice -password secret status
+//	gridctl ... submit -program pi -procs 8 -args 1000000
+//	gridctl ... wait -job <id>
+//	gridctl ... resources -kind node
+//	gridctl ... ping
+//	gridctl ... tunnel -app tun1 -site siteb -target legacy-echo:7000 -listen 127.0.0.1:9000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"gridproxy/internal/core"
+	"gridproxy/internal/grid"
+	"gridproxy/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	proxyAddr := flag.String("proxy", "127.0.0.1:7200", "site proxy client address")
+	user := flag.String("user", "", "grid user")
+	password := flag.String("password", "", "grid password")
+	timeout := flag.Duration("timeout", 60*time.Second, "operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		return fmt.Errorf("usage: gridctl [flags] ping|status|submit|wait|resources|tunnel")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	client, err := grid.Dial(ctx, transport.TCP{}, *proxyAddr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	login := func() error {
+		if *user == "" {
+			return fmt.Errorf("-user and -password are required for this command")
+		}
+		return client.Login(ctx, *user, *password)
+	}
+
+	switch args[0] {
+	case "ping":
+		start := time.Now()
+		if err := client.Ping(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("pong from %s in %v\n", *proxyAddr, time.Since(start).Round(time.Microsecond))
+		return nil
+
+	case "status":
+		fs := flag.NewFlagSet("status", flag.ContinueOnError)
+		sites := fs.String("sites", "", "comma-separated site filter")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		var filter []string
+		if *sites != "" {
+			filter = strings.Split(*sites, ",")
+		}
+		summaries, err := client.Status(ctx, filter...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %6s %4s %10s %12s %12s %8s %6s\n",
+			"SITE", "NODES", "UP", "CPU FREE%", "RAM FREE MB", "DISK FREE MB", "LOAD", "PROCS")
+		for _, s := range summaries {
+			fmt.Printf("%-10s %6d %4d %10.1f %12d %12d %8.2f %6d\n",
+				s.Site, s.Nodes, s.NodesUp, s.CPUFreePct, s.RAMFreeMB, s.DiskFreeMB, s.Load1, s.RunningProcs)
+		}
+		return nil
+
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+		program := fs.String("program", "", "program name installed on nodes")
+		procs := fs.Int("procs", 1, "number of MPI processes")
+		progArgs := fs.String("args", "", "comma-separated program arguments")
+		wait := fs.Bool("wait", false, "wait for completion")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *program == "" {
+			return fmt.Errorf("-program is required")
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		var pargs []string
+		if *progArgs != "" {
+			pargs = strings.Split(*progArgs, ",")
+		}
+		jobID, err := client.SubmitMPI(ctx, *program, pargs, *procs)
+		if err != nil {
+			return err
+		}
+		fmt.Println("job:", jobID)
+		if *wait {
+			if err := client.WaitJob(ctx, jobID); err != nil {
+				return err
+			}
+			fmt.Println("job done")
+		}
+		return nil
+
+	case "wait":
+		fs := flag.NewFlagSet("wait", flag.ContinueOnError)
+		jobID := fs.String("job", "", "job id")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *jobID == "" {
+			return fmt.Errorf("-job is required")
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		if err := client.WaitJob(ctx, *jobID); err != nil {
+			return err
+		}
+		fmt.Println("job done")
+		return nil
+
+	case "resources":
+		fs := flag.NewFlagSet("resources", flag.ContinueOnError)
+		kind := fs.String("kind", "node", "resource kind")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		resources, err := client.Resources(ctx, *kind, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %-12s %-10s %s\n", "SITE", "NAME", "KIND", "ATTRS")
+		for _, r := range resources {
+			var attrs []string
+			for k, v := range r.Attrs {
+				attrs = append(attrs, k+"="+v)
+			}
+			fmt.Printf("%-10s %-12s %-10s %s\n", r.Site, r.Name, r.Kind, strings.Join(attrs, " "))
+		}
+		return nil
+
+	case "tunnel":
+		fs := flag.NewFlagSet("tunnel", flag.ContinueOnError)
+		app := fs.String("app", "", "tunnel application id (registered at the remote proxy)")
+		targetSite := fs.String("site", "", "destination site")
+		targetAddr := fs.String("target", "", "destination address inside the site")
+		listen := fs.String("listen", "127.0.0.1:0", "local forwarder listen address")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *app == "" || *targetSite == "" || *targetAddr == "" {
+			return fmt.Errorf("-app, -site and -target are required")
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		return runForwarder(client, *proxyAddr, *listen, *app, *targetSite, *targetAddr)
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// runForwarder accepts local TCP connections and splices each through the
+// grid's secure tunnel to the target — "tunneling of traffic between
+// sites, regardless of the application used".
+func runForwarder(client *grid.Client, proxyAddr, listen, app, targetSite, targetAddr string) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	spliceAddr := core.SpliceAddr(proxyAddr)
+	fmt.Printf("forwarding %s -> %s/%s (splice via %s); ctrl-c to stop\n",
+		ln.Addr(), targetSite, targetAddr, spliceAddr)
+	for {
+		local, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer local.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			remote, err := client.Tunnel(ctx, spliceAddr, app, targetSite, targetAddr)
+			cancel()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tunnel open failed:", err)
+				return
+			}
+			defer remote.Close()
+			done := make(chan struct{}, 2)
+			go func() { _, _ = io.Copy(remote, local); done <- struct{}{} }()
+			go func() { _, _ = io.Copy(local, remote); done <- struct{}{} }()
+			<-done
+		}()
+	}
+}

@@ -1,0 +1,74 @@
+// Command gridnode runs a standalone node agent that participates in its
+// site's monitoring: it periodically pushes CPU/RAM/disk reports to the
+// site proxy's node service over the (trusted, plaintext) site network.
+//
+// In the reference deployment the proxy hosts its site's compute agents
+// in-process (see gridproxyd's `nodes` setting); gridnode demonstrates
+// the wire protocol a remote agent speaks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridproxy/internal/core"
+	"gridproxy/internal/node"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/transport"
+	"gridproxy/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("name", "node0", "node name (unique within the site)")
+	siteName := flag.String("site", "sitea", "site name")
+	proxyAddr := flag.String("proxy", "127.0.0.1:7200", "site proxy client address")
+	interval := flag.Duration("interval", 5*time.Second, "report interval")
+	speed := flag.Float64("speed", 1.0, "relative node speed")
+	ramMB := flag.Int64("ram", 2048, "node RAM in MB")
+	diskMB := flag.Int64("disk", 65536, "node disk in MB")
+	flag.Parse()
+
+	agent := node.New(*name, *siteName, transport.TCP{}, node.WithHW(node.HWProfile{
+		Speed: *speed, RAMMB: *ramMB, DiskMB: *diskMB, RAMPerProcMB: 64,
+	}))
+	defer agent.Stop()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	nodesAddr := core.NodesAddr(*proxyAddr)
+	conn, err := transport.TCP{}.Dial(ctx, nodesAddr)
+	if err != nil {
+		return fmt.Errorf("dial proxy node service %s: %w", nodesAddr, err)
+	}
+	defer conn.Close()
+	w := wire.NewWriter(conn)
+
+	fmt.Printf("gridnode %s reporting to %s every %v\n", *name, nodesAddr, *interval)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		stats := agent.Stats()
+		msg := proto.Marshal(0, stats.ToReport())
+		if err := proto.WriteMessage(w, msg); err != nil {
+			return fmt.Errorf("send report: %w", err)
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}

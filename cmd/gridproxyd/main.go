@@ -1,0 +1,190 @@
+// Command gridproxyd runs a site's border proxy: the TLS-tunneled
+// inter-site endpoint, the site-local client/node/splice services, the
+// status collector, the scheduler, and (optionally) the web interface and
+// the ticket-granting service.
+//
+// Configuration ("key = value" file, see -config):
+//
+//	site        = sitea              # this site's name
+//	wan_addr    = 0.0.0.0:7100      # inter-site TLS listener
+//	local_addr  = 127.0.0.1:7200    # site-local client service
+//	                                 # (node reports: port+1, splice: port+2)
+//	ca_dir      = certs             # CA directory (ca.crt needed)
+//	cert        = proxy.sitea       # host credential name in ca_dir
+//	users       = users.conf        # users/permissions file
+//	peers       = siteb=10.0.0.2:7100,sitec=10.0.0.3:7100
+//	policy      = least-loaded      # round-robin|least-loaded|weighted-speed|random
+//	web_addr    = 127.0.0.1:7300    # web interface ("" disables)
+//	nodes       = 4                 # hosted node agents on this proxy host
+//	node_speed  = 1.0
+//	announce    = 30s               # inventory re-announce interval
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gridproxy/internal/balance"
+	"gridproxy/internal/ca"
+	"gridproxy/internal/config"
+	"gridproxy/internal/core"
+	"gridproxy/internal/logging"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/node"
+	"gridproxy/internal/programs"
+	"gridproxy/internal/transport"
+	"gridproxy/internal/webui"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridproxyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	configPath := flag.String("config", "gridproxy.conf", "configuration file")
+	logLevel := flag.String("log", "info", "log level (debug|info|warn|error)")
+	flag.Parse()
+
+	level, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	log := logging.New("gridproxyd", logging.WithLevel(level))
+
+	cfg, err := config.LoadFile(*configPath)
+	if err != nil {
+		return err
+	}
+	siteName := cfg.Get("site", "")
+	if siteName == "" {
+		return fmt.Errorf("config: site is required")
+	}
+	caDir := cfg.Get("ca_dir", "certs")
+	certName := cfg.Get("cert", "proxy."+siteName)
+
+	authority, err := ca.Load(caDir)
+	if err != nil {
+		return fmt.Errorf("load CA: %w", err)
+	}
+	cred, err := ca.LoadCredential(caDir, certName)
+	if err != nil {
+		return fmt.Errorf("load host credential: %w", err)
+	}
+	users, err := config.LoadUsers(cfg.Get("users", "users.conf"))
+	if err != nil {
+		return err
+	}
+	policy, err := balance.New(cfg.Get("policy", "least-loaded"), time.Now().UnixNano())
+	if err != nil {
+		return err
+	}
+
+	reg := metrics.NewRegistry()
+	local := transport.NewLabelTCP()
+	wan := transport.NewTLS(transport.TCP{}, cred, authority.CertPool(), reg)
+
+	proxy, err := core.New(core.Config{
+		Site:      siteName,
+		WANAddr:   cfg.Get("wan_addr", "0.0.0.0:7100"),
+		LocalAddr: cfg.Get("local_addr", "127.0.0.1:7200"),
+		WAN:       wan,
+		Local:     local,
+		Users:     users,
+		Policy:    policy,
+		Metrics:   reg,
+		Logger:    log,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Hosted node agents: the simplest deployment runs the site's
+	// compute agents inside the proxy host.
+	nodes, err := cfg.Int("nodes", 0)
+	if err != nil {
+		return err
+	}
+	speed := 1.0
+	if cfg.Has("node_speed") {
+		if _, err := fmt.Sscanf(cfg.Get("node_speed", "1.0"), "%g", &speed); err != nil {
+			return fmt.Errorf("config: node_speed: %w", err)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		agent := node.New(fmt.Sprintf("%s-n%d", siteName, i), siteName, local,
+			node.WithHW(node.HWProfile{Speed: speed, RAMMB: 2048, DiskMB: 64 << 10, RAMPerProcMB: 64}),
+			node.WithLogger(log))
+		programs.RegisterAll(agent)
+		proxy.AttachNode(agent)
+	}
+
+	if err := proxy.Start(); err != nil {
+		return err
+	}
+	defer proxy.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Connect to configured peers.
+	if peers := cfg.Get("peers", ""); peers != "" {
+		for _, entry := range strings.Split(peers, ",") {
+			name, addr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+			if !ok {
+				return fmt.Errorf("config: peers entry %q must be site=addr", entry)
+			}
+			if err := proxy.Connect(ctx, name, addr); err != nil {
+				log.Warn("peer connect failed (will not retry)", "site", name, "err", err)
+			}
+		}
+	}
+
+	// Periodic inventory re-announce.
+	announceEvery, err := cfg.Duration("announce", 30*time.Second)
+	if err != nil {
+		return err
+	}
+	go func() {
+		ticker := time.NewTicker(announceEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				proxy.AnnounceAll(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Web interface.
+	if webAddr := cfg.Get("web_addr", ""); webAddr != "" {
+		server := &http.Server{
+			Addr:              webAddr,
+			Handler:           webui.New(proxy),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Error("web interface failed", "err", err)
+			}
+		}()
+		defer server.Close()
+		log.Info("web interface listening", "addr", webAddr)
+	}
+
+	log.Info("gridproxyd running", "site", siteName)
+	<-ctx.Done()
+	log.Info("shutting down")
+	return nil
+}

@@ -1,0 +1,104 @@
+// Quickstart: assemble a two-site grid in process, authenticate, inspect
+// compiled status, and run an MPI job that spans both sites through the
+// proxies' TLS tunnel.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"gridproxy/internal/grid"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/programs"
+	"gridproxy/internal/site"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// 1. Build a grid: two sites, four nodes each, joined by one proxy
+	//    per site over mutually-authenticated TLS. The testbed stands in
+	//    for two real LANs — every byte still crosses real listeners,
+	//    TLS records, and tunnel frames.
+	reg := metrics.NewRegistry()
+	tb, err := site.NewTestbed(site.TestbedConfig{
+		GridName: "quickstart",
+		Sites: []site.SiteSpec{
+			{Name: "ufscar", Nodes: site.UniformNodes(4, 1.0)},
+			{Name: "partner", Nodes: site.UniformNodes(4, 2.0)},
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	if err := tb.ConnectAll(ctx); err != nil {
+		return err
+	}
+	fmt.Println("grid up: sites", tb.Sites[0].Name, "and", tb.Sites[1].Name)
+
+	// 2. Install the demo programs on every node (the "installed
+	//    software base" of the paper).
+	for _, s := range tb.Sites {
+		for _, agent := range s.Nodes {
+			programs.RegisterAll(agent)
+		}
+	}
+
+	// 3. A user inside the first site connects to their proxy and
+	//    authenticates. The default testbed user is admin/admin.
+	client, err := grid.Dial(ctx, tb.Sites[0].Local, tb.Sites[0].LocalAddr())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if err := client.Login(ctx, "admin", "admin"); err != nil {
+		return err
+	}
+	fmt.Println("authenticated as", client.User())
+
+	// 4. Compiled grid status: one control round trip per site, not per
+	//    node.
+	summaries, err := client.Status(ctx)
+	if err != nil {
+		return err
+	}
+	for _, s := range summaries {
+		fmt.Printf("site %-8s nodes=%d up=%d ram_free=%dMB\n",
+			s.Site, s.Nodes, s.NodesUp, s.RAMFreeMB)
+	}
+
+	// 5. Run an 8-process MPI job. The scheduler spreads ranks over both
+	//    sites; inter-site rank traffic is multiplexed through the
+	//    proxies transparently.
+	jobID, err := client.SubmitMPI(ctx, "pi", []string{"200000"}, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Println("submitted MPI job", jobID)
+	if err := client.WaitJob(ctx, jobID); err != nil {
+		return err
+	}
+	fmt.Println("job completed: π estimated and verified by rank 0")
+
+	// 6. The proof that the architecture did its job: MPI bytes crossed
+	//    the encrypted inter-site tunnel, while intra-site traffic
+	//    stayed in the clear.
+	fmt.Printf("bytes through encrypted tunnel: %d\n",
+		reg.Counter(metrics.BytesTunneled).Value())
+	fmt.Printf("TLS handshakes performed (site borders only): %d\n",
+		reg.Counter(metrics.TLSHandshakes).Value())
+	return nil
+}

@@ -1,0 +1,3 @@
+module gridproxy
+
+go 1.22

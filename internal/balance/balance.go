@@ -1,0 +1,185 @@
+// Package balance provides the process-placement policies of the grid
+// scheduler. The paper notes that "in its original form, the MPI uses the
+// round-robin method to distribute the processes among the nodes" and
+// proposes a load-balancing scheduler in the proxy instead; experiment E3
+// quantifies that comparison.
+//
+// All policies are deterministic given their inputs (Random takes an
+// explicit seed) so experiments are reproducible.
+package balance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// NodeInfo is the scheduler's view of one candidate node.
+type NodeInfo struct {
+	Name string
+	Site string
+	// Speed is the node's relative compute speed (1.0 = reference).
+	Speed float64
+	// Running is the number of grid processes currently assigned.
+	Running int
+	// RAMFreeMB is available memory.
+	RAMFreeMB int64
+	// Load1 is the node's one-minute load average.
+	Load1 float64
+}
+
+// ErrNoNodes is returned when a policy is asked to pick from an empty set.
+var ErrNoNodes = errors.New("balance: no candidate nodes")
+
+// Policy selects a node for the next process. Implementations may keep
+// internal state (round-robin's cursor) and must be safe for concurrent
+// use.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns the index in nodes of the chosen node.
+	Pick(nodes []NodeInfo) (int, error)
+}
+
+// New returns the policy with the given name: "round-robin",
+// "least-loaded", "weighted-speed", or "random".
+func New(name string, seed int64) (Policy, error) {
+	switch name {
+	case "round-robin":
+		return NewRoundRobin(), nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "weighted-speed":
+		return WeightedSpeed{}, nil
+	case "random":
+		return NewRandom(seed), nil
+	default:
+		return nil, fmt.Errorf("balance: unknown policy %q", name)
+	}
+}
+
+// RoundRobin cycles through nodes in order regardless of their load or
+// speed — MPI's default placement, the paper's baseline.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// NewRoundRobin returns a fresh round-robin cursor.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(nodes []NodeInfo) (int, error) {
+	if len(nodes) == 0 {
+		return 0, ErrNoNodes
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.next % len(nodes)
+	r.next++
+	return idx, nil
+}
+
+// LeastLoaded picks the node with the lowest effective queue per unit of
+// speed, counting both grid-assigned processes and the node's observed
+// load average: (running + 1 + load1) / speed. This is the proxy
+// scheduler's default.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(nodes []NodeInfo) (int, error) {
+	return pickMin(nodes, func(n NodeInfo) float64 {
+		return (float64(n.Running+1) + n.Load1) / speedOf(n)
+	})
+}
+
+// WeightedSpeed considers only grid-assigned work and static node speed,
+// (running+1)/speed, ignoring the observed load average. Kept separate
+// from LeastLoaded so experiments can ablate "uses live load" against
+// "uses only static speed".
+type WeightedSpeed struct{}
+
+// Name implements Policy.
+func (WeightedSpeed) Name() string { return "weighted-speed" }
+
+// Pick implements Policy.
+func (WeightedSpeed) Pick(nodes []NodeInfo) (int, error) {
+	return pickMin(nodes, func(n NodeInfo) float64 {
+		return float64(n.Running+1) / speedOf(n)
+	})
+}
+
+func speedOf(n NodeInfo) float64 {
+	if n.Speed <= 0 {
+		return 1
+	}
+	return n.Speed
+}
+
+// pickMin returns the index of the lowest-cost node.
+func pickMin(nodes []NodeInfo, cost func(NodeInfo) float64) (int, error) {
+	if len(nodes) == 0 {
+		return 0, ErrNoNodes
+	}
+	best := 0
+	bestCost := cost(nodes[0])
+	for i := 1; i < len(nodes); i++ {
+		if c := cost(nodes[i]); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best, nil
+}
+
+// Random picks uniformly at random with a seeded generator.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom creates a Random policy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Pick implements Policy.
+func (r *Random) Pick(nodes []NodeInfo) (int, error) {
+	if len(nodes) == 0 {
+		return 0, ErrNoNodes
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Intn(len(nodes)), nil
+}
+
+// Assign distributes count processes across nodes with the given policy,
+// incrementing each chosen node's Running count as it goes (so stateless
+// policies see the interim load they created). It returns, for each
+// process index, the index of its node.
+func Assign(policy Policy, nodes []NodeInfo, count int) ([]int, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("balance: negative count %d", count)
+	}
+	working := make([]NodeInfo, len(nodes))
+	copy(working, nodes)
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		idx, err := policy.Pick(working)
+		if err != nil {
+			return nil, err
+		}
+		working[idx].Running++
+		out[i] = idx
+	}
+	return out, nil
+}

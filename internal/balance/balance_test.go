@@ -1,0 +1,240 @@
+package balance
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func nodes(speeds ...float64) []NodeInfo {
+	out := make([]NodeInfo, len(speeds))
+	for i, s := range speeds {
+		out[i] = NodeInfo{Name: "n" + string(rune('0'+i)), Speed: s}
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := NewRoundRobin()
+	ns := nodes(1, 1, 1)
+	var got []int
+	for i := 0; i < 7; i++ {
+		idx, err := rr.Pick(ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, idx)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeastLoadedPrefersIdleFastNode(t *testing.T) {
+	ns := []NodeInfo{
+		{Name: "slow-idle", Speed: 1, Running: 0},
+		{Name: "fast-idle", Speed: 4, Running: 0},
+		{Name: "fast-busy", Speed: 4, Running: 8},
+	}
+	idx, err := LeastLoaded{}.Pick(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns[idx].Name != "fast-idle" {
+		t.Errorf("picked %s", ns[idx].Name)
+	}
+}
+
+func TestLeastLoadedUsesLoadAverage(t *testing.T) {
+	ns := []NodeInfo{
+		{Name: "quiet", Speed: 1, Load1: 0.1},
+		{Name: "thrashing", Speed: 1, Load1: 9.0},
+	}
+	idx, err := LeastLoaded{}.Pick(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns[idx].Name != "quiet" {
+		t.Errorf("picked %s", ns[idx].Name)
+	}
+	// WeightedSpeed ignores Load1 and picks the first on a tie.
+	idx, err = WeightedSpeed{}.Pick(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns[idx].Name != "quiet" {
+		t.Errorf("weighted picked %s", ns[idx].Name)
+	}
+}
+
+func TestEmptyNodeSet(t *testing.T) {
+	policies := []Policy{NewRoundRobin(), LeastLoaded{}, WeightedSpeed{}, NewRandom(1)}
+	for _, p := range policies {
+		if _, err := p.Pick(nil); !errors.Is(err, ErrNoNodes) {
+			t.Errorf("%s: err = %v, want ErrNoNodes", p.Name(), err)
+		}
+	}
+}
+
+func TestZeroSpeedTreatedAsOne(t *testing.T) {
+	ns := []NodeInfo{{Name: "a", Speed: 0}, {Name: "b", Speed: 0.5}}
+	idx, err := LeastLoaded{}.Pick(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's effective speed 1 beats b's 0.5.
+	if ns[idx].Name != "a" {
+		t.Errorf("picked %s", ns[idx].Name)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	ns := nodes(1, 1, 1, 1)
+	r1 := NewRandom(42)
+	r2 := NewRandom(42)
+	for i := 0; i < 20; i++ {
+		a, err := r1.Pick(ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r2.Pick(ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("same-seed divergence at step %d", i)
+		}
+	}
+}
+
+func TestAssignWeightedProportionalToSpeed(t *testing.T) {
+	// Speeds 1 and 3: of 100 processes, the fast node should get ~75.
+	ns := []NodeInfo{{Name: "slow", Speed: 1}, {Name: "fast", Speed: 3}}
+	idxs, err := Assign(WeightedSpeed{}, ns, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	for _, idx := range idxs {
+		counts[idx]++
+	}
+	if counts[1] < 70 || counts[1] > 80 {
+		t.Errorf("fast node got %d of 100, want ~75", counts[1])
+	}
+}
+
+func TestAssignRoundRobinUniform(t *testing.T) {
+	ns := nodes(1, 8, 2) // speeds ignored by round-robin
+	idxs, err := Assign(NewRoundRobin(), ns, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for _, idx := range idxs {
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c != 3 {
+			t.Errorf("node %d got %d, want 3", i, c)
+		}
+	}
+}
+
+func TestAssignDoesNotMutateInput(t *testing.T) {
+	ns := nodes(1, 1)
+	_, err := Assign(LeastLoaded{}, ns, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ns {
+		if n.Running != 0 {
+			t.Error("Assign mutated caller's slice")
+		}
+	}
+}
+
+func TestAssignNegativeCount(t *testing.T) {
+	if _, err := Assign(LeastLoaded{}, nodes(1), -1); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"round-robin", "least-loaded", "weighted-speed", "random"} {
+		p, err := New(name, 7)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("Name = %q, want %q", p.Name(), name)
+		}
+	}
+	if _, err := New("bogus", 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestQuickAssignCoversAllProcesses(t *testing.T) {
+	// Every process gets a valid node index, for all policies.
+	f := func(speeds []float64, countRaw uint8) bool {
+		if len(speeds) == 0 {
+			return true
+		}
+		count := int(countRaw) % 64
+		ns := make([]NodeInfo, len(speeds))
+		for i, s := range speeds {
+			if s < 0 {
+				s = -s
+			}
+			ns[i] = NodeInfo{Name: "n", Speed: s}
+		}
+		for _, p := range []Policy{NewRoundRobin(), LeastLoaded{}, WeightedSpeed{}, NewRandom(3)} {
+			idxs, err := Assign(p, ns, count)
+			if err != nil || len(idxs) != count {
+				return false
+			}
+			for _, idx := range idxs {
+				if idx < 0 || idx >= len(ns) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLeastLoadedBalancesHomogeneous(t *testing.T) {
+	// On identical nodes, least-loaded must spread perfectly evenly.
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)%8 + 1
+		k := (int(kRaw) % 8) * n // multiple of n
+		ns := make([]NodeInfo, n)
+		for i := range ns {
+			ns[i] = NodeInfo{Name: "n", Speed: 1}
+		}
+		idxs, err := Assign(LeastLoaded{}, ns, k)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, n)
+		for _, idx := range idxs {
+			counts[idx]++
+		}
+		for _, c := range counts {
+			if c != k/n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

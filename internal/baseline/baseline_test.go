@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gridproxy/internal/transport"
+)
+
+func newGrid(t *testing.T, names map[string]string) *Grid {
+	t.Helper()
+	backbone := transport.NewMemNetwork()
+	t.Cleanup(func() { _ = backbone.Close() })
+	grid, err := New("test", backbone, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(grid.Close)
+	return grid
+}
+
+func TestSendDelivers(t *testing.T) {
+	grid := newGrid(t, map[string]string{"a": "site1", "b": "site2"})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	payload := make([]byte, 1000)
+	if err := grid.Nodes["a"].Send(ctx, grid.Nodes["b"], payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.WaitDelivered(1000, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := grid.Nodes["b"].Received(); got != 1000 {
+		t.Errorf("received = %d", got)
+	}
+}
+
+func TestEveryByteEncryptedEvenIntraSite(t *testing.T) {
+	grid := newGrid(t, map[string]string{"a": "site1", "b": "site1"})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := grid.Nodes["a"].Send(ctx, grid.Nodes["b"], make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.WaitDelivered(5000, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Both same-site nodes must have paid crypto cost — the baseline's
+	// defining property.
+	if grid.Nodes["a"].CryptoBytes() == 0 || grid.Nodes["b"].CryptoBytes() == 0 {
+		t.Error("intra-site baseline traffic escaped TLS")
+	}
+	if grid.NodesWithCrypto() != 2 {
+		t.Errorf("NodesWithCrypto = %d", grid.NodesWithCrypto())
+	}
+	if grid.TotalCryptoBytes() < 5000 {
+		t.Errorf("TotalCryptoBytes = %d", grid.TotalCryptoBytes())
+	}
+}
+
+func TestConnectionReuse(t *testing.T) {
+	grid := newGrid(t, map[string]string{"a": "s", "b": "s"})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if err := grid.Nodes["a"].Send(ctx, grid.Nodes["b"], []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := grid.WaitDelivered(5, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One handshake each side, not five.
+	total := grid.Nodes["a"].Handshakes() + grid.Nodes["b"].Handshakes()
+	if total != 2 {
+		t.Errorf("handshakes = %d, want 2", total)
+	}
+}
+
+func TestWaitDeliveredTimeout(t *testing.T) {
+	grid := newGrid(t, map[string]string{"a": "s"})
+	if err := grid.WaitDelivered(1, 50*time.Millisecond); err == nil {
+		t.Error("expected timeout")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	backbone := transport.NewMemNetwork()
+	defer backbone.Close()
+	grid, err := New("test", backbone, map[string]string{"a": "s", "b": "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Close()
+	ctx := context.Background()
+	if err := grid.Nodes["a"].Send(ctx, grid.Nodes["b"], []byte{1}); err == nil {
+		t.Error("send after close succeeded")
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	proxy := ProxyFootprint(4, 32)
+	base := BaselineFootprint(4, 32)
+	if proxy.ModulesInstalled != 4 || proxy.CertificatesIssued != 4 {
+		t.Errorf("proxy footprint = %+v", proxy)
+	}
+	if base.ModulesInstalled != 128 || base.CertificatesIssued != 128 {
+		t.Errorf("baseline footprint = %+v", base)
+	}
+}

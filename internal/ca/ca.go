@@ -1,0 +1,346 @@
+// Package ca implements the grid-wide Certification Authority the paper
+// recommends: "For the purpose of issuing certificates, the creation of a
+// Certification Authority (CA) for the entire grid is recommended,
+// providing greater autonomy for the creation and management of
+// certificates."
+//
+// The authority issues X.509 certificates to proxy hosts (for mutual-TLS
+// inter-site tunnels) and to users (for digital-signature authentication).
+// Everything is built on the Go standard library (crypto/x509,
+// crypto/ecdsa).
+package ca
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Default certificate lifetimes.
+const (
+	DefaultCALifetime   = 10 * 365 * 24 * time.Hour
+	DefaultCertLifetime = 365 * 24 * time.Hour
+)
+
+// Errors returned by the package.
+var (
+	// ErrExpired indicates a certificate outside its validity window.
+	ErrExpired = errors.New("ca: certificate expired or not yet valid")
+	// ErrNotSignedByCA indicates a certificate that does not chain to
+	// this authority.
+	ErrNotSignedByCA = errors.New("ca: certificate not signed by this authority")
+)
+
+// Authority is the grid's certification authority. It is safe for
+// concurrent use.
+type Authority struct {
+	cert  *x509.Certificate
+	key   *ecdsa.PrivateKey
+	clock func() time.Time
+}
+
+// Option configures a new Authority.
+type Option func(*options)
+
+type options struct {
+	lifetime time.Duration
+	clock    func() time.Time
+}
+
+// WithLifetime sets the CA certificate lifetime.
+func WithLifetime(d time.Duration) Option { return func(o *options) { o.lifetime = d } }
+
+// WithClock overrides the time source (tests).
+func WithClock(clock func() time.Time) Option { return func(o *options) { o.clock = clock } }
+
+// New creates a self-signed authority for the named grid.
+func New(gridName string, opts ...Option) (*Authority, error) {
+	o := options{lifetime: DefaultCALifetime, clock: time.Now}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ca: generate CA key: %w", err)
+	}
+	now := o.clock()
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject: pkix.Name{
+			CommonName:   gridName + " Grid CA",
+			Organization: []string{gridName},
+		},
+		NotBefore:             now.Add(-time.Minute),
+		NotAfter:              now.Add(o.lifetime),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature | x509.KeyUsageCRLSign,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("ca: self-sign CA certificate: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("ca: parse CA certificate: %w", err)
+	}
+	return &Authority{cert: cert, key: key, clock: o.clock}, nil
+}
+
+// Certificate returns the CA's own certificate.
+func (a *Authority) Certificate() *x509.Certificate { return a.cert }
+
+// CertPool returns a pool containing only this CA, for use as a TLS root.
+func (a *Authority) CertPool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(a.cert)
+	return pool
+}
+
+// Credential bundles an issued certificate with its private key.
+type Credential struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	// DER is the certificate's raw encoding.
+	DER []byte
+}
+
+// TLSCertificate converts the credential into a tls.Certificate.
+func (c *Credential) TLSCertificate() tls.Certificate {
+	return tls.Certificate{
+		Certificate: [][]byte{c.DER},
+		PrivateKey:  c.Key,
+		Leaf:        c.Cert,
+	}
+}
+
+// serialLimit bounds random certificate serials to 128 bits.
+var serialLimit = new(big.Int).Lsh(big.NewInt(1), 128)
+
+// nextSerial returns a fresh random 128-bit serial number. Random serials
+// (rather than a counter) stay unique across authority reloads without
+// persisting issuance state.
+func (a *Authority) nextSerial() (*big.Int, error) {
+	serial, err := rand.Int(rand.Reader, serialLimit)
+	if err != nil {
+		return nil, fmt.Errorf("ca: generate serial: %w", err)
+	}
+	return serial, nil
+}
+
+// IssueHost issues a server+client certificate to a proxy host. hosts may
+// contain DNS names or IP addresses; commonName conventionally is
+// "proxy.<site>".
+func (a *Authority) IssueHost(commonName string, hosts ...string) (*Credential, error) {
+	return a.issue(commonName, hosts, []x509.ExtKeyUsage{
+		x509.ExtKeyUsageServerAuth,
+		x509.ExtKeyUsageClientAuth,
+	})
+}
+
+// IssueUser issues a client-only certificate to a grid user, used for
+// digital-signature authentication.
+func (a *Authority) IssueUser(userID string) (*Credential, error) {
+	return a.issue(userID, nil, []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth})
+}
+
+func (a *Authority) issue(commonName string, hosts []string, usages []x509.ExtKeyUsage) (*Credential, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ca: generate key for %q: %w", commonName, err)
+	}
+	serial, err := a.nextSerial()
+	if err != nil {
+		return nil, err
+	}
+	now := a.clock()
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject: pkix.Name{
+			CommonName:   commonName,
+			Organization: a.cert.Subject.Organization,
+		},
+		NotBefore:   now.Add(-time.Minute),
+		NotAfter:    now.Add(DefaultCertLifetime),
+		KeyUsage:    x509.KeyUsageDigitalSignature,
+		ExtKeyUsage: usages,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.cert, &key.PublicKey, a.key)
+	if err != nil {
+		return nil, fmt.Errorf("ca: sign certificate for %q: %w", commonName, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("ca: parse issued certificate: %w", err)
+	}
+	return &Credential{Cert: cert, Key: key, DER: der}, nil
+}
+
+// Verify checks that cert chains to this authority and is within its
+// validity window.
+func (a *Authority) Verify(cert *x509.Certificate) error {
+	now := a.clock()
+	if now.Before(cert.NotBefore) || now.After(cert.NotAfter) {
+		return ErrExpired
+	}
+	_, err := cert.Verify(x509.VerifyOptions{
+		Roots:       a.CertPool(),
+		CurrentTime: now,
+		KeyUsages:   []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNotSignedByCA, err)
+	}
+	return nil
+}
+
+// --- PEM persistence ----------------------------------------------------
+
+// PEM block types used on disk.
+const (
+	pemCert = "CERTIFICATE"
+	pemKey  = "EC PRIVATE KEY"
+)
+
+// EncodeCertPEM renders a certificate's DER bytes as PEM.
+func EncodeCertPEM(der []byte) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: pemCert, Bytes: der})
+}
+
+// EncodeKeyPEM renders an ECDSA private key as PEM.
+func EncodeKeyPEM(key *ecdsa.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("ca: marshal private key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: pemKey, Bytes: der}), nil
+}
+
+// DecodeCertPEM parses the first CERTIFICATE block in pemBytes.
+func DecodeCertPEM(pemBytes []byte) (*x509.Certificate, error) {
+	block, _ := pem.Decode(pemBytes)
+	if block == nil || block.Type != pemCert {
+		return nil, errors.New("ca: no certificate PEM block found")
+	}
+	cert, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("ca: parse certificate: %w", err)
+	}
+	return cert, nil
+}
+
+// DecodeKeyPEM parses the first EC PRIVATE KEY block in pemBytes.
+func DecodeKeyPEM(pemBytes []byte) (*ecdsa.PrivateKey, error) {
+	block, _ := pem.Decode(pemBytes)
+	if block == nil || block.Type != pemKey {
+		return nil, errors.New("ca: no EC private key PEM block found")
+	}
+	key, err := x509.ParseECPrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("ca: parse private key: %w", err)
+	}
+	return key, nil
+}
+
+// Save writes the authority's certificate and key into dir as ca.crt and
+// ca.key. The key file is created with mode 0600.
+func (a *Authority) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ca: create dir: %w", err)
+	}
+	keyPEM, err := EncodeKeyPEM(a.key)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ca.crt"), EncodeCertPEM(a.cert.Raw), 0o644); err != nil {
+		return fmt.Errorf("ca: write ca.crt: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ca.key"), keyPEM, 0o600); err != nil {
+		return fmt.Errorf("ca: write ca.key: %w", err)
+	}
+	return nil
+}
+
+// Load restores an authority previously written by Save.
+func Load(dir string) (*Authority, error) {
+	certPEM, err := os.ReadFile(filepath.Join(dir, "ca.crt"))
+	if err != nil {
+		return nil, fmt.Errorf("ca: read ca.crt: %w", err)
+	}
+	keyPEM, err := os.ReadFile(filepath.Join(dir, "ca.key"))
+	if err != nil {
+		return nil, fmt.Errorf("ca: read ca.key: %w", err)
+	}
+	cert, err := DecodeCertPEM(certPEM)
+	if err != nil {
+		return nil, err
+	}
+	key, err := DecodeKeyPEM(keyPEM)
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{
+		cert: cert,
+		key:  key,
+
+		clock: time.Now,
+	}, nil
+}
+
+// SaveCredential writes a credential's certificate and key to
+// <dir>/<name>.crt and <dir>/<name>.key.
+func SaveCredential(cred *Credential, dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ca: create dir: %w", err)
+	}
+	keyPEM, err := EncodeKeyPEM(cred.Key)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".crt"), EncodeCertPEM(cred.DER), 0o644); err != nil {
+		return fmt.Errorf("ca: write %s.crt: %w", name, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".key"), keyPEM, 0o600); err != nil {
+		return fmt.Errorf("ca: write %s.key: %w", name, err)
+	}
+	return nil
+}
+
+// LoadCredential restores a credential written by SaveCredential.
+func LoadCredential(dir, name string) (*Credential, error) {
+	certPEM, err := os.ReadFile(filepath.Join(dir, name+".crt"))
+	if err != nil {
+		return nil, fmt.Errorf("ca: read %s.crt: %w", name, err)
+	}
+	keyPEM, err := os.ReadFile(filepath.Join(dir, name+".key"))
+	if err != nil {
+		return nil, fmt.Errorf("ca: read %s.key: %w", name, err)
+	}
+	cert, err := DecodeCertPEM(certPEM)
+	if err != nil {
+		return nil, err
+	}
+	key, err := DecodeKeyPEM(keyPEM)
+	if err != nil {
+		return nil, err
+	}
+	return &Credential{Cert: cert, Key: key, DER: cert.Raw}, nil
+}

@@ -1,0 +1,193 @@
+package ca
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+)
+
+func TestIssueAndVerifyHost(t *testing.T) {
+	authority, err := New("testgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authority.IssueHost("proxy.siteA", "127.0.0.1", "sitea.grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.Cert.Subject.CommonName != "proxy.siteA" {
+		t.Errorf("CN = %q", cred.Cert.Subject.CommonName)
+	}
+	if len(cred.Cert.IPAddresses) != 1 || len(cred.Cert.DNSNames) != 1 {
+		t.Errorf("SANs: IPs=%v DNS=%v", cred.Cert.IPAddresses, cred.Cert.DNSNames)
+	}
+	if err := authority.Verify(cred.Cert); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestIssueUser(t *testing.T) {
+	authority, err := New("testgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authority.IssueUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authority.Verify(cred.Cert); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// User certs must not be usable for server auth.
+	for _, usage := range cred.Cert.ExtKeyUsage {
+		if usage == x509.ExtKeyUsageServerAuth {
+			t.Error("user cert has ServerAuth usage")
+		}
+	}
+}
+
+func TestVerifyRejectsForeignCert(t *testing.T) {
+	authorityA, err := New("gridA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	authorityB, err := New("gridB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authorityB.IssueHost("proxy.evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authorityA.Verify(cred.Cert); !errors.Is(err, ErrNotSignedByCA) {
+		t.Errorf("Verify foreign cert = %v, want ErrNotSignedByCA", err)
+	}
+}
+
+func TestVerifyRejectsSelfSigned(t *testing.T) {
+	authority, err := New("testgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(99),
+		Subject:      pkix.Name{CommonName: "imposter"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authority.Verify(cert); err == nil {
+		t.Error("self-signed imposter accepted")
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	authority, err := New("testgrid", WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authority.IssueHost("proxy.siteA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jump past the certificate lifetime.
+	now = now.Add(DefaultCertLifetime + time.Hour)
+	if err := authority.Verify(cred.Cert); !errors.Is(err, ErrExpired) {
+		t.Errorf("Verify expired = %v, want ErrExpired", err)
+	}
+}
+
+func TestSerialNumbersUnique(t *testing.T) {
+	authority, err := New("testgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		cred, err := authority.IssueHost("h")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := cred.Cert.SerialNumber.String()
+		if seen[s] {
+			t.Fatalf("duplicate serial %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	authority, err := New("testgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authority.IssueHost("proxy.siteA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authority.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCredential(cred, dir, "proxyA"); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedCred, err := LoadCredential(dir, "proxyA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded authority must still verify the old cert and be able
+	// to issue new ones.
+	if err := loaded.Verify(loadedCred.Cert); err != nil {
+		t.Errorf("loaded.Verify: %v", err)
+	}
+	cred2, err := loaded.IssueHost("proxy.siteB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Verify(cred2.Cert); err != nil {
+		t.Errorf("verify newly issued after reload: %v", err)
+	}
+	if cred2.Cert.SerialNumber.Cmp(loadedCred.Cert.SerialNumber) == 0 {
+		t.Error("reloaded authority reused a serial number")
+	}
+}
+
+func TestTLSCertificate(t *testing.T) {
+	authority, err := New("testgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := authority.IssueHost("proxy.siteA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsCert := cred.TLSCertificate()
+	if len(tlsCert.Certificate) != 1 || tlsCert.Leaf == nil || tlsCert.PrivateKey == nil {
+		t.Error("incomplete tls.Certificate")
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/node"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/tunnel"
+	"gridproxy/internal/wire"
+)
+
+// rankLoc places one rank of an application.
+type rankLoc struct {
+	site string
+	node string
+}
+
+// addressSpace is the paper's per-application namespace on a proxy: "For
+// each MPI application started in the grid, a new address space associated
+// to this application is created in the proxy."
+//
+// For every rank hosted at another site, the address space runs a
+// virtual-slave listener on the site-local network. Local processes dial
+// it exactly as they would dial a local rank; the proxy forwards the
+// connection through the inter-site tunnel to the rank's real node — "the
+// virtual slaves thus constitute the abstraction that provides the
+// illusion of the virtual cluster".
+type addressSpace struct {
+	proxy     *Proxy
+	appID     string
+	owner     string
+	locations map[int]rankLoc
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	closed    bool
+}
+
+// vsAddr is the site-local address of the virtual slave for (app, rank).
+func (p *Proxy) vsAddr(appID string, rank int) string {
+	return fmt.Sprintf("proxy.%s/vs/%s/r%d", p.site, appID, rank)
+}
+
+// createAddressSpace installs an address space and starts virtual-slave
+// listeners for every remote rank.
+func (p *Proxy) createAddressSpace(appID, owner string, locations map[int]rankLoc) (*addressSpace, error) {
+	as := &addressSpace{
+		proxy:     p,
+		appID:     appID,
+		owner:     owner,
+		locations: locations,
+	}
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if _, dup := p.apps[appID]; dup {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("core: duplicate app id %q", appID)
+	}
+	p.apps[appID] = as
+	p.mu.Unlock()
+
+	for rank, loc := range locations {
+		if loc.site == p.site {
+			continue
+		}
+		ln, err := p.local.Listen(p.vsAddr(appID, rank))
+		if err != nil {
+			as.close()
+			p.dropAddressSpace(appID)
+			return nil, fmt.Errorf("core: virtual slave for rank %d: %w", rank, err)
+		}
+		as.mu.Lock()
+		as.listeners = append(as.listeners, ln)
+		as.mu.Unlock()
+		p.wg.Add(1)
+		go as.serveVirtualSlave(ln, rank, loc)
+	}
+	return as, nil
+}
+
+func (p *Proxy) dropAddressSpace(appID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.apps, appID)
+}
+
+func (p *Proxy) addressSpace(appID string) (*addressSpace, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	as, ok := p.apps[appID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownApp, appID)
+	}
+	return as, nil
+}
+
+// appRegistrationWindow bounds how long an inbound stream waits for its
+// application's address space. Application launch is not synchronized
+// across sites: the origin's local ranks start (and may send cross-site)
+// while the SpawnRequest that registers the app at this site is still in
+// flight, so a short wait closes the race. Streams for genuinely unknown
+// apps are dropped when the window expires.
+const appRegistrationWindow = 15 * time.Second
+
+// waitAddressSpace is addressSpace with a registration grace period.
+func (p *Proxy) waitAddressSpace(appID string) (*addressSpace, error) {
+	deadline := time.Now().Add(appRegistrationWindow)
+	delay := 2 * time.Millisecond
+	for {
+		as, err := p.addressSpace(appID)
+		if err == nil {
+			return as, nil
+		}
+		if p.ctx.Err() != nil {
+			return nil, p.ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-p.ctx.Done():
+			timer.Stop()
+			return nil, p.ctx.Err()
+		}
+		if delay < 100*time.Millisecond {
+			delay += 2 * time.Millisecond
+		}
+	}
+}
+
+func (as *addressSpace) close() {
+	as.mu.Lock()
+	if as.closed {
+		as.mu.Unlock()
+		return
+	}
+	as.closed = true
+	listeners := as.listeners
+	as.listeners = nil
+	as.mu.Unlock()
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+}
+
+// serveVirtualSlave forwards each local connection to the rank's real node
+// through the tunnel to its site's proxy.
+func (as *addressSpace) serveVirtualSlave(ln net.Listener, rank int, loc rankLoc) {
+	p := as.proxy
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func(conn net.Conn) {
+			defer p.wg.Done()
+			if err := p.forwardToSite(conn, as.appID, loc, rank); err != nil {
+				p.log.Warn("virtual slave forward failed",
+					"app", as.appID, "rank", rank, "site", loc.site, "err", err)
+				_ = conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// forwardToSite opens a tunnel stream to the target site's proxy and
+// splices conn onto it.
+func (p *Proxy) forwardToSite(conn net.Conn, appID string, loc rankLoc, rank int) error {
+	pr, err := p.peerBySite(loc.site)
+	if err != nil {
+		return err
+	}
+	open := &proto.StreamOpen{
+		AppID:      appID,
+		TargetNode: loc.node,
+		TargetAddr: node.EndpointAddr(loc.node, appID, rank),
+		Kind:       proto.StreamMPI,
+	}
+	stream, err := pr.session.Open(p.ctx, open.Encode(nil))
+	if err != nil {
+		return fmt.Errorf("core: open tunnel stream to %s: %w", loc.site, err)
+	}
+	p.splice(conn, stream)
+	return nil
+}
+
+// handleInboundStream serves a spliced stream arriving from a peer proxy:
+// it decodes the StreamOpen metadata, validates it, dials the local target
+// and splices. Validation at the destination proxy is the paper's
+// "[permissions] validated at the originating and destination proxies".
+func (p *Proxy) handleInboundStream(pr *peer, stream *tunnel.Stream) {
+	var open proto.StreamOpen
+	if err := open.Decode(wire.NewBuffer(stream.Meta())); err != nil {
+		p.log.Warn("inbound stream: bad metadata", "peer", pr.site, "err", err)
+		_ = stream.Close()
+		return
+	}
+	if err := p.validateInboundStream(&open); err != nil {
+		p.log.Warn("inbound stream rejected", "peer", pr.site, "app", open.AppID, "err", err)
+		_ = stream.Close()
+		return
+	}
+	local, err := p.dialLocal(open.TargetAddr)
+	if err != nil {
+		p.log.Warn("inbound stream: local dial failed",
+			"target", open.TargetAddr, "err", err)
+		_ = stream.Close()
+		return
+	}
+	p.splice(stream, local)
+}
+
+// validateInboundStream enforces that MPI streams reference a registered
+// application address space and a node of this site; generic data streams
+// require the owner to hold the "tunnel" permission (checked when the app
+// was registered by RegisterTunnelApp).
+func (p *Proxy) validateInboundStream(open *proto.StreamOpen) error {
+	as, err := p.waitAddressSpace(open.AppID)
+	if err != nil {
+		return err
+	}
+	switch open.Kind {
+	case proto.StreamMPI:
+		// The target must be a rank this site hosts.
+		for rank, loc := range as.locations {
+			if loc.site == p.site && loc.node == open.TargetNode &&
+				node.EndpointAddr(loc.node, open.AppID, rank) == open.TargetAddr {
+				return nil
+			}
+		}
+		return fmt.Errorf("core: app %q has no local rank at %s", open.AppID, open.TargetAddr)
+	case proto.StreamData:
+		// Target freedom inside the site is granted to registered
+		// tunnel apps; the grant recorded the owner's permission.
+		return nil
+	default:
+		return fmt.Errorf("core: unknown stream kind %d", open.Kind)
+	}
+}
+
+// RegisterTunnelApp authorizes a generic data-tunnel application: user
+// must hold the "tunnel" permission on this site. It returns the app id
+// the remote side will reference. The paper: "If a node in the site
+// requires a safe channel, it can be made available by the proxy through
+// an explicit call."
+func (p *Proxy) RegisterTunnelApp(user, appID string) error {
+	if err := p.users.Allowed(user, "tunnel", "site:"+p.site); err != nil {
+		return err
+	}
+	_, err := p.createAddressSpace(appID, user, map[int]rankLoc{})
+	return err
+}
+
+// OpenTunnel splices a local connection to an arbitrary endpoint inside a
+// remote site (generic secure tunneling of application traffic). The app
+// must be registered on the remote side with RegisterTunnelApp.
+func (p *Proxy) OpenTunnel(ctx context.Context, user, appID, targetSite, targetAddr string) (net.Conn, error) {
+	if err := p.users.Allowed(user, "tunnel", "site:"+targetSite); err != nil {
+		return nil, err
+	}
+	pr, err := p.peerBySite(targetSite)
+	if err != nil {
+		return nil, err
+	}
+	open := &proto.StreamOpen{
+		AppID:      appID,
+		TargetAddr: targetAddr,
+		Kind:       proto.StreamData,
+	}
+	stream, err := pr.session.Open(ctx, open.Encode(nil))
+	if err != nil {
+		return nil, fmt.Errorf("core: open tunnel to %s: %w", targetSite, err)
+	}
+	return stream, nil
+}
+
+// dialLocalStartupWindow bounds how long the proxy retries dialing a rank
+// endpoint that is still starting up: ranks of an application spawn
+// concurrently across sites, so a splice can arrive before its target
+// process has bound its listener.
+const dialLocalStartupWindow = 15 * time.Second
+
+// dialLocal dials inside the site (with startup retry), counting the
+// bytes as local (clear) traffic.
+func (p *Proxy) dialLocal(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(dialLocalStartupWindow)
+	delay := 2 * time.Millisecond
+	for {
+		conn, err := p.local.Dial(p.ctx, addr)
+		if err == nil {
+			counter := p.reg.Counter(metrics.BytesLocal)
+			return instrumented(conn, counter), nil
+		}
+		if p.ctx.Err() != nil {
+			return nil, p.ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-p.ctx.Done():
+			timer.Stop()
+			return nil, p.ctx.Err()
+		}
+		if delay < 100*time.Millisecond {
+			delay += 2 * time.Millisecond
+		}
+	}
+}
+
+// instrumented wraps a conn counting both directions into one counter.
+func instrumented(conn net.Conn, c *metrics.Counter) net.Conn {
+	return &countedConn{Conn: conn, c: c}
+}
+
+type countedConn struct {
+	net.Conn
+	c *metrics.Counter
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.c.Add(int64(n))
+	return n, err
+}
+
+func (c *countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.c.Add(int64(n))
+	return n, err
+}
+
+// closeWriter is implemented by connections supporting half-close.
+type closeWriter interface{ CloseWrite() error }
+
+// splice copies bidirectionally between a and b, propagating half-closes
+// when supported, and closes both when done.
+func (p *Proxy) splice(a, b net.Conn) {
+	var wg sync.WaitGroup
+	copyDir := func(dst, src net.Conn) {
+		defer wg.Done()
+		_, err := io.Copy(dst, src)
+		if cw, ok := dst.(closeWriter); ok && err == nil {
+			_ = cw.CloseWrite()
+			return
+		}
+		// No half-close support (or error): tear both down so the
+		// other direction unblocks.
+		_ = dst.Close()
+		_ = src.Close()
+	}
+	wg.Add(2)
+	go copyDir(a, b)
+	go copyDir(b, a)
+	wg.Wait()
+	_ = a.Close()
+	_ = b.Close()
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gridproxy/internal/monitor"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/registry"
+)
+
+// handleControl serves requests arriving on proxy-to-proxy control
+// channels.
+func (p *Proxy) handleControl(ctx context.Context, msg proto.Message) (proto.Body, error) {
+	body, err := proto.Unmarshal(msg)
+	if err != nil {
+		return nil, badRequest("undecodable message: %v", err)
+	}
+	switch req := body.(type) {
+	case *proto.Ping:
+		return &proto.Pong{Nonce: req.Nonce}, nil
+	case *proto.StatusQuery:
+		return p.handleStatusQuery(req), nil
+	case *proto.StatusReport:
+		for _, s := range req.Sites {
+			p.global.Update(monitor.SummaryFromStatus(s))
+		}
+		return nil, nil
+	case *proto.RegistryAnnounce:
+		if err := p.handleRegistryAnnounce(req); err != nil {
+			return nil, err
+		}
+		// Reply with our own inventory: announcements are exchanges,
+		// so one round trip leaves both proxies with each other's
+		// node lists (deterministic scheduling state after Connect).
+		return p.inventoryAnnouncement(), nil
+	case *proto.RegistryQuery:
+		return p.handleRegistryQuery(req)
+	case *proto.SpawnRequest:
+		return p.handleSpawn(ctx, msg.Corr, req)
+	case *proto.JobUpdate:
+		p.handleJobUpdate(req)
+		return nil, nil
+	case *proto.PermCheck:
+		return p.handlePermCheck(req), nil
+	case *proto.Hello:
+		// A Hello on an established channel is a protocol error.
+		return nil, badRequest("unexpected Hello on established channel")
+	default:
+		return nil, badRequest("unsupported control message %T", body)
+	}
+}
+
+// handleStatusQuery compiles this site's summary (and any cached summaries
+// for other requested sites — proxies answer with what they know, the
+// requester contacts other sites itself if it wants fresher data).
+func (p *Proxy) handleStatusQuery(req *proto.StatusQuery) *proto.StatusReport {
+	report := &proto.StatusReport{}
+	wantLocal := len(req.Sites) == 0
+	for _, s := range req.Sites {
+		if s == p.site {
+			wantLocal = true
+		} else if cached, ok := p.global.Site(s); ok {
+			report.Sites = append(report.Sites, cached.ToStatus())
+		}
+	}
+	if wantLocal {
+		report.Sites = append(report.Sites, p.LocalSummary().ToStatus())
+	}
+	return report
+}
+
+// inventoryAnnouncement renders this site's inventory as an announcement
+// body.
+func (p *Proxy) inventoryAnnouncement() *proto.RegistryAnnounce {
+	inventory := p.localInventory()
+	out := &proto.RegistryAnnounce{Site: p.site}
+	for _, r := range inventory {
+		out.Resources = append(out.Resources, r.ToProto())
+	}
+	return out
+}
+
+func (p *Proxy) handleRegistryAnnounce(req *proto.RegistryAnnounce) error {
+	if req.Site == p.site {
+		return badRequest("peer announced resources for our own site")
+	}
+	resources := make([]registry.Resource, 0, len(req.Resources))
+	for _, r := range req.Resources {
+		res := registry.FromProto(r)
+		if res.Site != req.Site {
+			return badRequest("resource %q claims site %q in announcement from %q", res.Name, res.Site, req.Site)
+		}
+		resources = append(resources, res)
+	}
+	if err := p.resources.Announce(req.Site, resources); err != nil {
+		return badRequest("%v", err)
+	}
+	return nil
+}
+
+func (p *Proxy) handleRegistryQuery(req *proto.RegistryQuery) (proto.Body, error) {
+	attrs, err := registry.ParseConstraints(req.Attrs)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	// Answer with local resources only; grid-wide lookup is the
+	// requester compiling per-site answers, mirroring status queries.
+	found := p.resources.Lookup(registry.Query{Kind: req.Kind, Site: p.site, Attrs: attrs})
+	// Local nodes are not stored in p.resources (they are live), so
+	// merge the current inventory.
+	for _, r := range p.localInventory() {
+		q := registry.Query{Kind: req.Kind, Attrs: attrs}
+		if q.Matches(r) {
+			found = append(found, r)
+		}
+	}
+	reply := &proto.RegistryReply{}
+	for _, r := range found {
+		reply.Resources = append(reply.Resources, r.ToProto())
+	}
+	return reply, nil
+}
+
+// clientRegistryQuery answers a local client with the proxy's whole
+// resource view (own inventory plus peer announcements).
+func (p *Proxy) clientRegistryQuery(req *proto.RegistryQuery) (proto.Body, error) {
+	attrs, err := registry.ParseConstraints(req.Attrs)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	q := registry.Query{Kind: req.Kind, Attrs: attrs}
+	reply := &proto.RegistryReply{}
+	for _, r := range p.AllResources(req.Kind) {
+		if q.Matches(r) {
+			reply.Resources = append(reply.Resources, r.ToProto())
+		}
+	}
+	return reply, nil
+}
+
+// handleSpawn serves a remote proxy's request to start ranks at this site.
+// This is the destination-side validation and the remote half of the
+// virtual-cluster abstraction.
+func (p *Proxy) handleSpawn(ctx context.Context, corr uint64, req *proto.SpawnRequest) (proto.Body, error) {
+	// Destination-side permission check (paper: permissions validated
+	// at originating AND destination proxies).
+	if err := p.users.Allowed(req.Owner, "mpi", "site:"+p.site); err != nil {
+		return &proto.SpawnReply{
+			AppID: req.AppID, OK: false,
+			Reason: fmt.Sprintf("owner %q not permitted at site %s", req.Owner, p.site),
+		}, nil
+	}
+	locations := locationsFromWire(req.Locations)
+	as, err := p.createAddressSpace(req.AppID, req.Owner, locations)
+	if err != nil {
+		return &proto.SpawnReply{AppID: req.AppID, OK: false, Reason: err.Error()}, nil
+	}
+	ranks := make([]int, 0, len(req.Ranks))
+	for _, ra := range req.Ranks {
+		ranks = append(ranks, int(ra.Rank))
+	}
+	if err := p.spawnLocalRanks(ctx, req.AppID, req.Owner, req.Program, req.Args, int(req.WorldSize), locations, ranks); err != nil {
+		as.close()
+		p.dropAddressSpace(req.AppID)
+		return &proto.SpawnReply{AppID: req.AppID, OK: false, Reason: err.Error()}, nil
+	}
+
+	reply := &proto.SpawnReply{AppID: req.AppID, OK: true}
+	for _, rank := range ranks {
+		reply.Endpoints = append(reply.Endpoints, proto.RankEndpoint{
+			Rank: uint32(rank),
+			Addr: p.vsAddr(req.AppID, rank),
+		})
+	}
+
+	// Watch local ranks; when they finish, close the address space and
+	// report completion to the origin proxy.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		err := p.waitLocalRanks(req.AppID, locations, ranks)
+		as.close()
+		p.dropAddressSpace(req.AppID)
+		update := &proto.JobUpdate{JobID: req.AppID, State: proto.JobDone, Detail: p.site}
+		if err != nil {
+			update.State = proto.JobFailed
+			update.Detail = fmt.Sprintf("%s: %v", p.site, err)
+		}
+		// Report to whichever peer launched the app. The origin site
+		// is the launcher; find it from the locations of ranks we do
+		// not host — the origin is the site whose proxy opened the
+		// control channel, but JobUpdate is addressed by app id, so
+		// broadcasting to all peers is safe and simple.
+		p.mu.Lock()
+		peers := make([]*peer, 0, len(p.peers))
+		for _, pr := range p.peers {
+			peers = append(peers, pr)
+		}
+		p.mu.Unlock()
+		for _, pr := range peers {
+			if err := pr.ctrl.notify(update); err != nil && !errors.Is(err, errRPCClosed) {
+				p.log.Debug("job update notify failed", "peer", pr.site, "err", err)
+			}
+		}
+	}()
+	return reply, nil
+}
+
+// handleJobUpdate records a remote site's completion report for an app we
+// launched.
+func (p *Proxy) handleJobUpdate(req *proto.JobUpdate) {
+	p.mu.Lock()
+	js, ok := p.jobs[req.JobID]
+	p.mu.Unlock()
+	if !ok || js.launch == nil {
+		return // not ours
+	}
+	var err error
+	if req.State == proto.JobFailed {
+		err = errors.New(req.Detail)
+	}
+	// Detail carries the reporting site for done updates.
+	site := req.Detail
+	if req.State == proto.JobFailed {
+		// Failed details are "<site>: error"; extract the site.
+		for s := range js.launch.remoteSnapshot() {
+			site = s
+			if len(req.Detail) >= len(s) && req.Detail[:len(s)] == s {
+				break
+			}
+		}
+	}
+	js.launch.remoteDone(site, err)
+}
+
+// remoteSnapshot returns the launch's outstanding remote sites.
+func (l *Launch) remoteSnapshot() map[string]bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]bool, len(l.remote))
+	for s := range l.remote {
+		out[s] = true
+	}
+	return out
+}
+
+// handlePermCheck validates a permission for a peer (the destination-side
+// check for operations that do not otherwise reach this proxy).
+func (p *Proxy) handlePermCheck(req *proto.PermCheck) *proto.PermReply {
+	if err := p.users.Allowed(req.User, req.Action, req.Resource); err != nil {
+		return &proto.PermReply{Allowed: false, Reason: err.Error()}
+	}
+	return &proto.PermReply{Allowed: true}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gridproxy/internal/balance"
+	"gridproxy/internal/node"
+	"gridproxy/internal/proto"
+)
+
+// LaunchSpec describes an MPI application launch.
+type LaunchSpec struct {
+	// Owner is the submitting user (permission checks at origin and at
+	// every destination site).
+	Owner string
+	// Program names a program installed on the nodes.
+	Program string
+	// Args are passed to every rank.
+	Args []string
+	// Procs is the world size.
+	Procs int
+	// AppID, if empty, is generated.
+	AppID string
+}
+
+// RankPlacement is the public view of where one rank runs.
+type RankPlacement struct {
+	Site string
+	Node string
+}
+
+// Launch tracks a running MPI application from the origin proxy.
+type Launch struct {
+	AppID string
+	// Locations maps every rank to its placement.
+	Locations map[int]RankPlacement
+
+	proxy      *Proxy
+	localRanks []int
+	remote     map[string]bool // sites we await completion reports from
+
+	mu       sync.Mutex
+	done     chan struct{}
+	failed   error
+	finished bool
+}
+
+// jobState is the origin proxy's record of a submitted job, queryable over
+// the control protocol.
+type jobState struct {
+	launch *Launch
+	state  proto.JobState
+	detail string
+}
+
+// Placement computes where each rank would run without launching —
+// exposed for the scheduling experiments and dry runs.
+func (p *Proxy) Placement(procs int) (map[int]RankPlacement, error) {
+	locations, err := p.placement(procs)
+	if err != nil {
+		return nil, err
+	}
+	return exportLocations(locations), nil
+}
+
+func (p *Proxy) placement(procs int) (map[int]rankLoc, error) {
+	if procs <= 0 {
+		return nil, badRequest("procs must be positive, got %d", procs)
+	}
+	candidates := p.Candidates()
+	if len(candidates) == 0 {
+		return nil, errors.New("core: no candidate nodes in the grid")
+	}
+	idxs, err := balance.Assign(p.sched.Policy(), candidates, procs)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement: %w", err)
+	}
+	locations := make(map[int]rankLoc, procs)
+	for rank, idx := range idxs {
+		locations[rank] = rankLoc{site: candidates[idx].Site, node: candidates[idx].Name}
+	}
+	return locations, nil
+}
+
+func exportLocations(locations map[int]rankLoc) map[int]RankPlacement {
+	out := make(map[int]RankPlacement, len(locations))
+	for rank, loc := range locations {
+		out[rank] = RankPlacement{Site: loc.site, Node: loc.node}
+	}
+	return out
+}
+
+// LaunchMPI places and starts an MPI application across the grid. It
+// returns once every rank has been spawned; use Launch.Wait for
+// completion.
+func (p *Proxy) LaunchMPI(ctx context.Context, spec LaunchSpec) (*Launch, error) {
+	if spec.Program == "" {
+		return nil, badRequest("empty program name")
+	}
+	if spec.Owner == "" {
+		return nil, unauthorized("launch requires an authenticated owner")
+	}
+	locations, err := p.placement(spec.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return p.launchAt(ctx, spec, locations)
+}
+
+// launchAt starts spec with an explicit placement (used directly by
+// experiments that sweep policies).
+func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int]rankLoc) (*Launch, error) {
+	appID := spec.AppID
+	if appID == "" {
+		appID = p.newAppID()
+	}
+
+	// Origin-side permission validation for every involved site.
+	sites := map[string][]int{} // site -> ranks
+	for rank, loc := range locations {
+		sites[loc.site] = append(sites[loc.site], rank)
+	}
+	for site := range sites {
+		if err := p.users.Allowed(spec.Owner, "mpi", "site:"+site); err != nil {
+			return nil, denied("user %q may not run MPI at site %q", spec.Owner, site)
+		}
+	}
+	// All remote sites must be connected before any process starts.
+	for site := range sites {
+		if site == p.site {
+			continue
+		}
+		if _, err := p.peerBySite(site); err != nil {
+			return nil, err
+		}
+	}
+
+	as, err := p.createAddressSpace(appID, spec.Owner, locations)
+	if err != nil {
+		return nil, err
+	}
+
+	launch := &Launch{
+		AppID:     appID,
+		Locations: exportLocations(locations),
+		proxy:     p,
+		remote:    make(map[string]bool),
+		done:      make(chan struct{}),
+	}
+	for _, rank := range sites[p.site] {
+		launch.localRanks = append(launch.localRanks, rank)
+	}
+	sort.Ints(launch.localRanks)
+	for site := range sites {
+		if site != p.site {
+			launch.remote[site] = true
+		}
+	}
+
+	cleanup := func() {
+		as.close()
+		p.dropAddressSpace(appID)
+	}
+
+	// Spawn local ranks.
+	if err := p.spawnLocalRanks(ctx, appID, spec.Owner, spec.Program, spec.Args, len(locations), locations, sites[p.site]); err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	// Ask each remote site's proxy to spawn its share.
+	wireLocs := locationsToWire(locations)
+	for site, ranks := range sites {
+		if site == p.site {
+			continue
+		}
+		pr, err := p.peerBySite(site)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		req := &proto.SpawnRequest{
+			AppID:     appID,
+			Owner:     spec.Owner,
+			Program:   spec.Program,
+			Args:      spec.Args,
+			WorldSize: uint32(len(locations)),
+			Locations: wireLocs,
+		}
+		for _, rank := range ranks {
+			req.Ranks = append(req.Ranks, proto.RankAssignment{
+				Rank: uint32(rank),
+				Node: locations[rank].node,
+			})
+		}
+		reply, err := pr.ctrl.call(ctx, req)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("core: spawn at %s: %w", site, err)
+		}
+		sr, ok := reply.(*proto.SpawnReply)
+		if !ok || !sr.OK {
+			cleanup()
+			reason := "unexpected reply"
+			if ok {
+				reason = sr.Reason
+			}
+			return nil, fmt.Errorf("core: spawn at %s refused: %s", site, reason)
+		}
+	}
+
+	p.mu.Lock()
+	p.jobs[appID] = &jobState{launch: launch, state: proto.JobRunning, detail: "running"}
+	p.mu.Unlock()
+
+	// Completion watcher for local ranks.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		err := p.waitLocalRanks(appID, locations, launch.localRanks)
+		launch.localDone(err)
+	}()
+	launch.maybeFinish()
+	return launch, nil
+}
+
+// spawnLocalRanks starts this site's share of an application on its nodes.
+func (p *Proxy) spawnLocalRanks(ctx context.Context, appID, owner, program string, args []string, worldSize int, locations map[int]rankLoc, ranks []int) error {
+	table := p.buildRankTable(appID, locations)
+	for _, rank := range ranks {
+		loc := locations[rank]
+		handle, err := p.nodeHandle(loc.node)
+		if err != nil {
+			return err
+		}
+		_, err = handle.Spawn(ctx, node.SpawnSpec{
+			AppID:     appID,
+			Program:   program,
+			Args:      args,
+			Rank:      rank,
+			WorldSize: worldSize,
+			RankTable: table,
+		})
+		if err != nil {
+			return fmt.Errorf("core: spawn rank %d on %s: %w", rank, loc.node, err)
+		}
+	}
+	_ = owner // origin validated; destination validation happens in handleSpawn
+	return nil
+}
+
+// buildRankTable maps every rank to the address processes of THIS site
+// should dial: local ranks directly, remote ranks through this proxy's
+// virtual slaves.
+func (p *Proxy) buildRankTable(appID string, locations map[int]rankLoc) map[int]string {
+	table := make(map[int]string, len(locations))
+	for rank, loc := range locations {
+		if loc.site == p.site {
+			table[rank] = node.EndpointAddr(loc.node, appID, rank)
+		} else {
+			table[rank] = p.vsAddr(appID, rank)
+		}
+	}
+	return table
+}
+
+// waitLocalRanks blocks until every local rank of the app exits, then
+// releases the process slots and the app's address space.
+func (p *Proxy) waitLocalRanks(appID string, locations map[int]rankLoc, ranks []int) error {
+	var firstErr error
+	for _, rank := range ranks {
+		loc := locations[rank]
+		handle, err := p.nodeHandle(loc.node)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := handle.Wait(p.ctx, appID, rank); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d on %s: %w", rank, loc.node, err)
+		}
+		handle.Release(appID, rank)
+	}
+	return firstErr
+}
+
+func locationsToWire(locations map[int]rankLoc) []proto.RankLocation {
+	out := make([]proto.RankLocation, 0, len(locations))
+	for rank, loc := range locations {
+		out = append(out, proto.RankLocation{Rank: uint32(rank), Site: loc.site, Node: loc.node})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+func locationsFromWire(locs []proto.RankLocation) map[int]rankLoc {
+	out := make(map[int]rankLoc, len(locs))
+	for _, l := range locs {
+		out[int(l.Rank)] = rankLoc{site: l.Site, node: l.Node}
+	}
+	return out
+}
+
+// localDone records the local ranks' completion.
+func (l *Launch) localDone(err error) {
+	l.mu.Lock()
+	l.localRanks = nil
+	if err != nil && l.failed == nil {
+		l.failed = err
+	}
+	l.mu.Unlock()
+	l.maybeFinish()
+}
+
+// awaitsSite reports whether the launch still waits on a site's
+// completion report.
+func (l *Launch) awaitsSite(site string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.remote[site]
+}
+
+// remoteDone records a remote site's completion report.
+func (l *Launch) remoteDone(site string, err error) {
+	l.mu.Lock()
+	delete(l.remote, site)
+	if err != nil && l.failed == nil {
+		l.failed = fmt.Errorf("site %s: %w", site, err)
+	}
+	l.mu.Unlock()
+	l.maybeFinish()
+}
+
+func (l *Launch) maybeFinish() {
+	l.mu.Lock()
+	if l.finished || len(l.localRanks) != 0 || len(l.remote) != 0 {
+		l.mu.Unlock()
+		return
+	}
+	l.finished = true
+	failed := l.failed
+	l.mu.Unlock()
+	// Close the origin address space and record the job outcome.
+	p := l.proxy
+	if as, err := p.addressSpace(l.AppID); err == nil {
+		as.close()
+		p.dropAddressSpace(l.AppID)
+	}
+	p.mu.Lock()
+	if js, ok := p.jobs[l.AppID]; ok {
+		if failed != nil {
+			js.state = proto.JobFailed
+			js.detail = failed.Error()
+		} else {
+			js.state = proto.JobDone
+			js.detail = "completed"
+		}
+	}
+	p.mu.Unlock()
+	close(l.done)
+}
+
+// Wait blocks until every rank (local and remote) finished. It returns
+// the first failure, if any.
+func (l *Launch) Wait(ctx context.Context) error {
+	select {
+	case <-l.done:
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.failed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// JobStatus reports a job's state by app id.
+func (p *Proxy) JobStatus(appID string) (proto.JobState, string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	js, ok := p.jobs[appID]
+	if !ok {
+		return 0, "", notFound("no job %q", appID)
+	}
+	return js.state, js.detail, nil
+}

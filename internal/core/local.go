@@ -1,0 +1,359 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"gridproxy/internal/auth"
+	"gridproxy/internal/monitor"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/wire"
+)
+
+// Derived local service addresses. Three listeners keep the roles apart:
+// clients (control RPC), node agents (stats push), and splice requests
+// (the explicit secure-channel call of the paper). When the client
+// address is a real "host:port", the derived services take port+1 and
+// port+2 so external processes can reach them over TCP; label addresses
+// get path suffixes.
+
+// NodesAddr returns the site-local address node agents push reports to.
+func NodesAddr(localAddr string) string { return deriveAddr(localAddr, "/nodes", 1) }
+
+// SpliceAddr returns the site-local address splice (tunnel) requests use.
+func SpliceAddr(localAddr string) string { return deriveAddr(localAddr, "/splice", 2) }
+
+func deriveAddr(addr, suffix string, portOffset int) string {
+	if host, port, err := net.SplitHostPort(addr); err == nil {
+		if p, perr := strconv.Atoi(port); perr == nil {
+			return net.JoinHostPort(host, strconv.Itoa(p+portOffset))
+		}
+	}
+	return addr + suffix
+}
+
+// startLocalListeners binds the three site-local services.
+func (p *Proxy) startLocalListeners() error {
+	ln, err := p.local.Listen(p.localAddr)
+	if err != nil {
+		return fmt.Errorf("core: local listen: %w", err)
+	}
+	p.localListener = ln
+	p.wg.Add(1)
+	go p.acceptClients(ln)
+
+	nodesLn, err := p.local.Listen(NodesAddr(p.localAddr))
+	if err != nil {
+		_ = ln.Close()
+		return fmt.Errorf("core: nodes listen: %w", err)
+	}
+	p.nodesListener = nodesLn
+	p.wg.Add(1)
+	go p.acceptNodeReports(nodesLn)
+
+	spliceLn, err := p.local.Listen(SpliceAddr(p.localAddr))
+	if err != nil {
+		_ = ln.Close()
+		_ = nodesLn.Close()
+		return fmt.Errorf("core: splice listen: %w", err)
+	}
+	p.spliceListener = spliceLn
+	p.wg.Add(1)
+	go p.acceptSplices(spliceLn)
+	return nil
+}
+
+// acceptClients serves control RPC sessions for grid users inside the
+// site (the command line and web interfaces connect here).
+func (p *Proxy) acceptClients(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		session := &clientSession{proxy: p}
+		session.rpc = newRPC(conn, session.handle, p.log.Named("client"), p.reg)
+		session.rpc.start()
+	}
+}
+
+// clientSession is one authenticated local client connection.
+type clientSession struct {
+	proxy *Proxy
+	rpc   *rpc
+	// user is set after successful authentication.
+	user string
+	// challenge is the outstanding signature challenge, if any.
+	challenge []byte
+}
+
+// handle serves one client request.
+func (cs *clientSession) handle(ctx context.Context, msg proto.Message) (proto.Body, error) {
+	p := cs.proxy
+	body, err := proto.Unmarshal(msg)
+	if err != nil {
+		return nil, badRequest("undecodable message: %v", err)
+	}
+	switch req := body.(type) {
+	case *proto.Hello:
+		return &proto.HelloAck{Site: p.site, Version: proto.Version}, nil
+	case *proto.Ping:
+		return &proto.Pong{Nonce: req.Nonce}, nil
+	case *proto.AuthRequest:
+		return cs.handleAuth(req)
+	case *proto.TicketRequest:
+		return cs.handleTicketRequest(req)
+	case *proto.StatusQuery:
+		if err := cs.requirePermission("status", "grid"); err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		summaries, err := p.Status(ctx, req.Sites)
+		if err != nil {
+			return nil, err
+		}
+		report := &proto.StatusReport{}
+		for _, s := range summaries {
+			report.Sites = append(report.Sites, s.ToStatus())
+		}
+		return report, nil
+	case *proto.JobSubmit:
+		return cs.handleJobSubmit(ctx, req)
+	case *proto.JobQuery:
+		state, detail, err := p.JobStatus(req.JobID)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.JobUpdate{JobID: req.JobID, State: state, Detail: detail}, nil
+	case *proto.RegistryQuery:
+		if err := cs.requirePermission("status", "grid"); err != nil {
+			return nil, err
+		}
+		// Unlike the proxy-to-proxy query (which answers locally so
+		// the requester compiles the grid view), a client asks its
+		// own proxy for the full picture.
+		return p.clientRegistryQuery(req)
+	default:
+		return nil, badRequest("unsupported client message %T", body)
+	}
+}
+
+// handleAuth runs the paper's first-phase authentication (userid/password
+// and digital signatures) plus the ticket extension. On success the reply
+// carries a session token.
+func (cs *clientSession) handleAuth(req *proto.AuthRequest) (proto.Body, error) {
+	p := cs.proxy
+	switch req.Method {
+	case proto.AuthPassword:
+		if err := p.users.VerifyPassword(req.User, string(req.PasswordProof)); err != nil {
+			return &proto.AuthReply{OK: false, Reason: "invalid credentials"}, nil
+		}
+	case proto.AuthSignature:
+		if len(req.Signature) == 0 {
+			// Phase 1: issue a challenge.
+			challenge, err := newAuthChallenge()
+			if err != nil {
+				return nil, err
+			}
+			cs.challenge = challenge
+			return &proto.AuthReply{OK: false, Reason: "challenge", Token: challenge}, nil
+		}
+		// Phase 2: verify the signature over OUR challenge.
+		if cs.challenge == nil || string(req.Challenge) != string(cs.challenge) {
+			return &proto.AuthReply{OK: false, Reason: "no outstanding challenge"}, nil
+		}
+		cs.challenge = nil
+		if err := p.users.VerifySignature(req.User, req.Challenge, req.Signature); err != nil {
+			return &proto.AuthReply{OK: false, Reason: "invalid signature"}, nil
+		}
+	case proto.AuthTicket:
+		if p.validator == nil {
+			return &proto.AuthReply{OK: false, Reason: "tickets not enabled"}, nil
+		}
+		claims, err := p.validator.Validate(req.Ticket)
+		if err != nil {
+			return &proto.AuthReply{OK: false, Reason: "invalid ticket"}, nil
+		}
+		if claims.User != req.User {
+			return &proto.AuthReply{OK: false, Reason: "ticket user mismatch"}, nil
+		}
+	default:
+		return nil, badRequest("unknown auth method %d", req.Method)
+	}
+	cs.user = req.User
+	token, expiry, err := p.users.IssueToken(req.User)
+	if err != nil {
+		return nil, err
+	}
+	return &proto.AuthReply{OK: true, Token: token, ExpiresUnix: expiry.Unix()}, nil
+}
+
+func (cs *clientSession) handleTicketRequest(req *proto.TicketRequest) (proto.Body, error) {
+	if cs.proxy.tgs == nil {
+		return &proto.TicketReply{OK: false, Reason: "this proxy does not run the ticket service"}, nil
+	}
+	tick, err := cs.proxy.tgs.GrantTicket(req.TGT, req.Service)
+	if err != nil {
+		return &proto.TicketReply{OK: false, Reason: err.Error()}, nil
+	}
+	return &proto.TicketReply{OK: true, Ticket: tick}, nil
+}
+
+// requirePermission enforces session auth plus an ACL check.
+func (cs *clientSession) requirePermission(action, resource string) error {
+	if cs.user == "" {
+		return unauthorized("authenticate first")
+	}
+	if err := cs.proxy.users.Allowed(cs.user, action, resource); err != nil {
+		return denied("%v", err)
+	}
+	return nil
+}
+
+// handleJobSubmit launches an MPI job for the session user.
+func (cs *clientSession) handleJobSubmit(ctx context.Context, req *proto.JobSubmit) (proto.Body, error) {
+	if cs.user == "" {
+		return nil, unauthorized("authenticate first")
+	}
+	if req.Owner != "" && req.Owner != cs.user {
+		return nil, denied("cannot submit as %q while authenticated as %q", req.Owner, cs.user)
+	}
+	launchCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	launch, err := cs.proxy.LaunchMPI(launchCtx, LaunchSpec{
+		Owner:   cs.user,
+		Program: req.Program,
+		Args:    req.Args,
+		Procs:   int(req.Procs),
+		AppID:   req.JobID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &proto.JobUpdate{JobID: launch.AppID, State: proto.JobRunning, Detail: "running"}, nil
+}
+
+// acceptNodeReports ingests stats pushed by node agents over the local
+// network (no authentication: intra-site traffic is trusted, per the
+// paper's default).
+func (p *Proxy) acceptNodeReports(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func(conn net.Conn) {
+			defer p.wg.Done()
+			defer conn.Close()
+			r := wire.NewReader(conn)
+			for {
+				msg, err := proto.ReadMessage(r)
+				if err != nil {
+					if !errors.Is(err, io.EOF) {
+						p.log.Debug("node report read failed", "err", err)
+					}
+					return
+				}
+				body, err := proto.Unmarshal(msg)
+				if err != nil {
+					p.log.Warn("bad node report", "err", err)
+					return
+				}
+				report, ok := body.(*proto.NodeReport)
+				if !ok {
+					p.log.Warn("unexpected message on nodes channel", "type", fmt.Sprintf("%T", body))
+					return
+				}
+				p.collector.Report(monitor.StatsFromReport(report))
+			}
+		}(conn)
+	}
+}
+
+// acceptSplices serves explicit secure-channel requests from inside the
+// site: the connection opens with a StreamOpen naming a remote site and
+// endpoint; after a successful StreamOpenReply the connection becomes a
+// raw pipe spliced through the TLS tunnel.
+func (p *Proxy) acceptSplices(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func(conn net.Conn) {
+			defer p.wg.Done()
+			if err := p.serveSplice(conn); err != nil {
+				p.log.Warn("splice failed", "err", err)
+				_ = conn.Close()
+			}
+		}(conn)
+	}
+}
+
+func (p *Proxy) serveSplice(conn net.Conn) error {
+	r := wire.NewReader(conn)
+	w := wire.NewWriter(conn)
+	msg, err := proto.ReadMessage(r)
+	if err != nil {
+		return fmt.Errorf("core: splice open read: %w", err)
+	}
+	body, err := proto.Unmarshal(msg)
+	if err != nil {
+		return err
+	}
+	open, ok := body.(*proto.StreamOpen)
+	if !ok {
+		return badRequest("expected StreamOpen, got %T", body)
+	}
+	refuse := func(reason string) error {
+		reply := proto.Marshal(msg.Corr, &proto.StreamOpenReply{OK: false, Reason: reason})
+		_ = proto.WriteMessage(w, reply)
+		return fmt.Errorf("core: splice refused: %s", reason)
+	}
+	// Authenticate the requesting user by session token and validate
+	// the tunnel permission at the origin.
+	user, err := p.users.ValidateToken(open.Token)
+	if err != nil {
+		return refuse("invalid session token")
+	}
+	if open.TargetSite == "" || open.TargetAddr == "" {
+		return refuse("target site and address required")
+	}
+	stream, err := p.OpenTunnel(p.ctx, user, open.AppID, open.TargetSite, open.TargetAddr)
+	if err != nil {
+		return refuse(err.Error())
+	}
+	reply := proto.Marshal(msg.Corr, &proto.StreamOpenReply{OK: true})
+	if err := proto.WriteMessage(w, reply); err != nil {
+		_ = stream.Close()
+		return err
+	}
+	// Splice through the handshake reader: bytes the client pipelined
+	// behind its request are in its buffer.
+	p.splice(&rawConn{Conn: conn, r: r.Raw()}, stream)
+	return nil
+}
+
+// rawConn reads through a buffered handshake reader.
+type rawConn struct {
+	net.Conn
+	r io.Reader
+}
+
+func (c *rawConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// newAuthChallenge returns a fresh signature challenge.
+func newAuthChallenge() ([]byte, error) {
+	return auth.NewChallenge()
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"gridproxy/internal/monitor"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/transport"
+	"gridproxy/internal/tunnel"
+)
+
+// controlStreamMeta marks the control stream within a peer session.
+var controlStreamMeta = []byte("gridproxy-control")
+
+// peer is one connected remote proxy: a tunnel session plus its control
+// channel.
+type peer struct {
+	site    string
+	session *tunnel.Session
+	ctrl    *rpc
+}
+
+func (pr *peer) close() {
+	pr.ctrl.close()
+	_ = pr.session.Close()
+}
+
+// Connect dials the proxy of a remote site, performs the Hello exchange,
+// and announces this site's inventory. It is idempotent: connecting to an
+// already-connected site returns nil.
+func (p *Proxy) Connect(ctx context.Context, site, wanAddr string) error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return ErrStopped
+	}
+	if _, ok := p.peers[site]; ok {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+
+	conn, err := p.wan.Dial(ctx, wanAddr)
+	if err != nil {
+		return fmt.Errorf("core: dial site %s: %w", site, err)
+	}
+	session := tunnel.Client(conn, p.tunnelConfig())
+	ctrlStream, err := session.Open(ctx, controlStreamMeta)
+	if err != nil {
+		_ = session.Close()
+		return fmt.Errorf("core: open control stream to %s: %w", site, err)
+	}
+	ctrl := newRPC(ctrlStream, p.handleControl, p.log.Named("ctrl."+site), p.reg)
+	ctrl.start()
+
+	reply, err := ctrl.call(ctx, &proto.Hello{
+		Site:         p.site,
+		Version:      proto.Version,
+		Capabilities: defaultCapabilities,
+	})
+	if err != nil {
+		ctrl.close()
+		_ = session.Close()
+		return fmt.Errorf("core: hello to %s: %w", site, err)
+	}
+	ack, ok := reply.(*proto.HelloAck)
+	if !ok {
+		ctrl.close()
+		_ = session.Close()
+		return fmt.Errorf("core: hello to %s: unexpected reply %T", site, reply)
+	}
+	if ack.Version != proto.Version {
+		ctrl.close()
+		_ = session.Close()
+		return fmt.Errorf("%w: local %d remote %d", proto.ErrVersionMismatch, proto.Version, ack.Version)
+	}
+	if ack.Site != site {
+		p.log.Warn("peer announced unexpected site name", "expected", site, "got", ack.Site)
+		site = ack.Site
+	}
+
+	pr := &peer{site: site, session: session, ctrl: ctrl}
+	if err := p.addPeer(pr); err != nil {
+		pr.close()
+		return err
+	}
+	p.wg.Add(1)
+	go p.servePeerStreams(pr)
+	p.wg.Add(1)
+	go p.watchPeer(pr)
+
+	// Announce our inventory so the remote scheduler can place work
+	// here, and pull theirs.
+	if err := p.announceTo(ctx, pr); err != nil {
+		p.log.Warn("inventory announce failed", "peer", site, "err", err)
+	}
+	if err := p.queryPeerStatus(ctx, pr); err != nil {
+		p.log.Warn("initial status query failed", "peer", site, "err", err)
+	}
+	p.log.Info("connected to peer", "site", site, "addr", wanAddr)
+	return nil
+}
+
+func (p *Proxy) addPeer(pr *peer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return ErrStopped
+	}
+	if _, dup := p.peers[pr.site]; dup {
+		return fmt.Errorf("core: peer %s already connected", pr.site)
+	}
+	p.peers[pr.site] = pr
+	return nil
+}
+
+// acceptWAN admits inbound proxy sessions. Host authentication already
+// happened in the TLS handshake (the WAN network rejects certificates not
+// chaining to the grid CA).
+func (p *Proxy) acceptWAN(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if cn := transport.PeerCommonName(conn); cn != "" {
+			p.log.Debug("inbound proxy connection", "peer_cn", cn)
+		}
+		session := tunnel.Server(conn, p.tunnelConfig())
+		p.wg.Add(1)
+		go p.admitSession(session)
+	}
+}
+
+// admitSession waits for the inbound session's control stream and Hello.
+func (p *Proxy) admitSession(session *tunnel.Session) {
+	defer p.wg.Done()
+	ctx, cancel := context.WithTimeout(p.ctx, 30*time.Second)
+	defer cancel()
+	ctrlStream, err := session.Accept(ctx)
+	if err != nil {
+		p.log.Warn("inbound session: no control stream", "err", err)
+		_ = session.Close()
+		return
+	}
+	if string(ctrlStream.Meta()) != string(controlStreamMeta) {
+		p.log.Warn("inbound session: first stream is not control")
+		_ = session.Close()
+		return
+	}
+	// The Hello arrives as the first request on the control channel;
+	// the pending peer's handler registers the peer on receipt.
+	pending := &pendingPeer{proxy: p, session: session}
+	ctrl := newRPC(ctrlStream, pending.handle, p.log.Named("ctrl.inbound"), p.reg)
+	pending.ctrl = ctrl
+	ctrl.start()
+}
+
+// pendingPeer serves an inbound control channel until the Hello arrives,
+// then hands off to the proxy's normal handler.
+type pendingPeer struct {
+	proxy   *Proxy
+	session *tunnel.Session
+	ctrl    *rpc
+
+	mu   sync.Mutex
+	peer *peer
+}
+
+func (pp *pendingPeer) handle(ctx context.Context, msg proto.Message) (proto.Body, error) {
+	pp.mu.Lock()
+	established := pp.peer != nil
+	pp.mu.Unlock()
+	if established {
+		return pp.proxy.handleControl(ctx, msg)
+	}
+	body, err := proto.Unmarshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	hello, ok := body.(*proto.Hello)
+	if !ok {
+		return nil, badRequest("expected Hello, got %T", body)
+	}
+	if hello.Version != proto.Version {
+		return nil, badRequest("protocol version %d unsupported", hello.Version)
+	}
+	pr := &peer{site: hello.Site, session: pp.session, ctrl: pp.ctrl}
+	if err := pp.proxy.addPeer(pr); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	pp.mu.Lock()
+	pp.peer = pr
+	pp.mu.Unlock()
+	pp.proxy.wg.Add(1)
+	go pp.proxy.servePeerStreams(pr)
+	pp.proxy.wg.Add(1)
+	go pp.proxy.watchPeer(pr)
+	pp.proxy.log.Info("accepted peer", "site", hello.Site, "capabilities", hello.Capabilities)
+	// The dialer follows its Hello with an inventory exchange, which
+	// gives both sides each other's node lists; nothing more to do here.
+	return &proto.HelloAck{Site: pp.proxy.site, Version: proto.Version}, nil
+}
+
+// watchPeer removes the peer when its session dies, dropping its announced
+// resources and status — the failure-containment behaviour of E7: losing
+// one proxy costs the grid only that site.
+func (p *Proxy) watchPeer(pr *peer) {
+	defer p.wg.Done()
+	select {
+	case <-pr.session.Done():
+	case <-p.ctx.Done():
+		return
+	}
+	p.mu.Lock()
+	if current, ok := p.peers[pr.site]; ok && current == pr {
+		delete(p.peers, pr.site)
+	}
+	// Jobs still waiting on that site will never get its completion
+	// report; fail them now so waiters unblock (the caller can
+	// resubmit — the paper's "recovery of users' applications").
+	var affected []*Launch
+	for _, js := range p.jobs {
+		if js.launch != nil && js.launch.awaitsSite(pr.site) {
+			affected = append(affected, js.launch)
+		}
+	}
+	p.mu.Unlock()
+	p.resources.RemoveSite(pr.site)
+	p.global.Remove(pr.site)
+	for _, launch := range affected {
+		launch.remoteDone(pr.site, fmt.Errorf("core: proxy of site %s disconnected", pr.site))
+	}
+	p.log.Warn("peer disconnected", "site", pr.site)
+}
+
+// servePeerStreams splices the peer's non-control streams (virtual-slave
+// and application data).
+func (p *Proxy) servePeerStreams(pr *peer) {
+	defer p.wg.Done()
+	for {
+		stream, err := pr.session.Accept(p.ctx)
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func(stream *tunnel.Stream) {
+			defer p.wg.Done()
+			p.handleInboundStream(pr, stream)
+		}(stream)
+	}
+}
+
+// peerBySite returns the connected peer for a site.
+func (p *Proxy) peerBySite(site string) (*peer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pr, ok := p.peers[site]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, site)
+	}
+	return pr, nil
+}
+
+// Peers returns the names of currently connected peer sites, sorted.
+func (p *Proxy) Peers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sites := make([]string, 0, len(p.peers))
+	for site := range p.peers {
+		sites = append(sites, site)
+	}
+	sortStrings(sites)
+	return sites
+}
+
+// announceTo exchanges inventories with one peer: it announces this
+// site's nodes and merges the peer's reply, so both schedulers see each
+// other's resources after a single round trip.
+func (p *Proxy) announceTo(ctx context.Context, pr *peer) error {
+	reply, err := pr.ctrl.call(ctx, p.inventoryAnnouncement())
+	if err != nil {
+		return err
+	}
+	theirs, ok := reply.(*proto.RegistryAnnounce)
+	if !ok {
+		return fmt.Errorf("core: inventory exchange with %s: unexpected reply %T", pr.site, reply)
+	}
+	return p.handleRegistryAnnounce(theirs)
+}
+
+// AnnounceAll re-announces inventory to every peer (called after node
+// attach/detach and periodically by the daemon).
+func (p *Proxy) AnnounceAll(ctx context.Context) {
+	p.mu.Lock()
+	peers := make([]*peer, 0, len(p.peers))
+	for _, pr := range p.peers {
+		peers = append(peers, pr)
+	}
+	p.mu.Unlock()
+	for _, pr := range peers {
+		if err := p.announceTo(ctx, pr); err != nil {
+			p.log.Warn("announce failed", "peer", pr.site, "err", err)
+		}
+	}
+}
+
+// PingPeer round-trips a liveness probe to one connected peer. The
+// monitoring experiment (E4) also uses it as the unit cost of one
+// per-node poll in the centralized-collection baseline.
+func (p *Proxy) PingPeer(ctx context.Context, site string) error {
+	pr, err := p.peerBySite(site)
+	if err != nil {
+		return err
+	}
+	nonce := uint64(time.Now().UnixNano())
+	reply, err := pr.ctrl.call(ctx, &proto.Ping{Nonce: nonce})
+	if err != nil {
+		return err
+	}
+	pong, ok := reply.(*proto.Pong)
+	if !ok || pong.Nonce != nonce {
+		return fmt.Errorf("core: bad pong from %s", site)
+	}
+	return nil
+}
+
+// queryPeerStatus fetches one peer's site summary into the global view.
+func (p *Proxy) queryPeerStatus(ctx context.Context, pr *peer) error {
+	reply, err := pr.ctrl.call(ctx, &proto.StatusQuery{})
+	if err != nil {
+		return err
+	}
+	report, ok := reply.(*proto.StatusReport)
+	if !ok {
+		return fmt.Errorf("core: status query to %s: unexpected reply %T", pr.site, reply)
+	}
+	for _, s := range report.Sites {
+		p.global.Update(monitor.SummaryFromStatus(s))
+	}
+	return nil
+}
+
+// Status returns compiled summaries: this site's plus, for each requested
+// site (all connected sites if sites is empty), the peer's compiled
+// answer. This is the paper's "global status obtained by compilation of
+// all the sites' data" with O(sites) control messages.
+func (p *Proxy) Status(ctx context.Context, sites []string) ([]monitor.SiteSummary, error) {
+	include := func(site string) bool {
+		if len(sites) == 0 {
+			return true
+		}
+		for _, s := range sites {
+			if s == site {
+				return true
+			}
+		}
+		return false
+	}
+	var out []monitor.SiteSummary
+	if include(p.site) {
+		local := p.LocalSummary()
+		p.global.Update(local)
+		out = append(out, local)
+	}
+	p.mu.Lock()
+	peers := make([]*peer, 0, len(p.peers))
+	for _, pr := range p.peers {
+		if include(pr.site) {
+			peers = append(peers, pr)
+		}
+	}
+	p.mu.Unlock()
+	for _, pr := range peers {
+		if err := p.queryPeerStatus(ctx, pr); err != nil {
+			p.log.Warn("status query failed", "peer", pr.site, "err", err)
+			continue
+		}
+		if s, ok := p.global.Site(pr.site); ok {
+			out = append(out, s)
+		}
+	}
+	sortSummaries(out)
+	return out, nil
+}
+
+// GlobalView returns the cached global monitor (updated by status queries
+// and peer announcements).
+func (p *Proxy) GlobalView() *monitor.Global { return p.global }
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+func sortSummaries(s []monitor.SiteSummary) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Site < s[j].Site })
+}

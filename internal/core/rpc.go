@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gridproxy/internal/logging"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/wire"
+)
+
+// rpc speaks the control protocol over one connection (a tunnel control
+// stream between proxies, or a plain local connection from a node or
+// client). Both ends can issue requests; replies are correlated by id.
+type rpc struct {
+	conn net.Conn
+	w    *wire.Writer
+	log  *logging.Logger
+	reg  *metrics.Registry
+
+	// handler serves requests from the peer. It returns the reply body,
+	// or an error rendered as an ErrorBody.
+	handler func(ctx context.Context, msg proto.Message) (proto.Body, error)
+
+	nextCorr atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan proto.Message
+	closed  bool
+	err     error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// errRPCClosed is returned for calls on a closed control channel.
+var errRPCClosed = errors.New("core: control channel closed")
+
+func newRPC(conn net.Conn, handler func(ctx context.Context, msg proto.Message) (proto.Body, error), log *logging.Logger, reg *metrics.Registry) *rpc {
+	r := &rpc{
+		conn:    conn,
+		w:       wire.NewWriter(conn),
+		log:     log,
+		reg:     reg,
+		handler: handler,
+		pending: make(map[uint64]chan proto.Message),
+		done:    make(chan struct{}),
+	}
+	return r
+}
+
+// start launches the read loop. Callers may set up state between newRPC
+// and start (for example storing the rpc where the handler can see it);
+// no message is processed before start.
+func (r *rpc) start() {
+	r.wg.Add(1)
+	go r.readLoop()
+}
+
+func (r *rpc) readLoop() {
+	defer r.wg.Done()
+	reader := wire.NewReader(r.conn)
+	for {
+		msg, err := proto.ReadMessage(reader)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				r.log.Debug("control read failed", "err", err)
+			}
+			r.shutdown(err)
+			return
+		}
+		r.reg.Counter(metrics.ControlMessages).Inc()
+		r.reg.Counter(metrics.ControlBytes).Add(int64(len(msg.Payload)))
+
+		// A message whose correlation id matches one of our in-flight
+		// calls is a reply; everything else is a request for the
+		// handler.
+		if ch := r.takePending(msg.Corr); ch != nil {
+			ch <- msg
+			continue
+		}
+		r.wg.Add(1)
+		go func(msg proto.Message) {
+			defer r.wg.Done()
+			r.serve(msg)
+		}(msg)
+	}
+}
+
+func (r *rpc) takePending(corr uint64) chan proto.Message {
+	if corr == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch, ok := r.pending[corr]
+	if ok {
+		delete(r.pending, corr)
+	}
+	return ch
+}
+
+func (r *rpc) serve(msg proto.Message) {
+	reply, err := r.handler(context.Background(), msg)
+	if msg.Corr == 0 {
+		// Notification; nothing to send back.
+		return
+	}
+	if err != nil {
+		status := proto.StatusInternal
+		var se *statusError
+		if errors.As(err, &se) {
+			status = se.status
+		}
+		reply = &proto.ErrorBody{Status: status, Text: err.Error()}
+	}
+	if reply == nil {
+		return
+	}
+	if werr := r.write(proto.Marshal(msg.Corr, reply)); werr != nil {
+		r.log.Debug("control reply write failed", "err", werr)
+	}
+}
+
+func (r *rpc) write(msg proto.Message) error {
+	r.reg.Counter(metrics.ControlMessages).Inc()
+	r.reg.Counter(metrics.ControlBytes).Add(int64(len(msg.Payload)))
+	return proto.WriteMessage(r.w, msg)
+}
+
+// call sends a request and waits for its reply. An ErrorBody reply is
+// converted to an error.
+func (r *rpc) call(ctx context.Context, body proto.Body) (proto.Body, error) {
+	corr := r.nextCorr.Add(1)
+	ch := make(chan proto.Message, 1)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errRPCClosed
+	}
+	r.pending[corr] = ch
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pending, corr)
+		r.mu.Unlock()
+	}()
+
+	if err := r.write(proto.Marshal(corr, body)); err != nil {
+		return nil, fmt.Errorf("core: control send: %w", err)
+	}
+	select {
+	case msg := <-ch:
+		reply, err := proto.Unmarshal(msg)
+		if err != nil {
+			return nil, err
+		}
+		if eb, ok := reply.(*proto.ErrorBody); ok {
+			return nil, &statusError{status: eb.Status, text: eb.Text}
+		}
+		return reply, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-r.done:
+		return nil, r.closeErr()
+	}
+}
+
+// notify sends a request expecting no reply.
+func (r *rpc) notify(body proto.Body) error {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return errRPCClosed
+	}
+	return r.write(proto.Marshal(0, body))
+}
+
+func (r *rpc) shutdown(err error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.err = err
+	r.mu.Unlock()
+	close(r.done)
+	_ = r.conn.Close()
+}
+
+func (r *rpc) closeErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil && !errors.Is(r.err, io.EOF) {
+		return r.err
+	}
+	return errRPCClosed
+}
+
+func (r *rpc) close() {
+	r.shutdown(nil)
+	r.wg.Wait()
+}
+
+// statusError carries a protocol error status through Go error handling.
+type statusError struct {
+	status uint16
+	text   string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("remote error (status %d): %s", e.status, e.text)
+}
+
+// Status returns the protocol status class of an error, or StatusInternal
+// if it is not a statusError.
+func statusOf(err error) uint16 {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	return proto.StatusInternal
+}
+
+// denied builds a StatusDenied error.
+func denied(format string, args ...any) error {
+	return &statusError{status: proto.StatusDenied, text: fmt.Sprintf(format, args...)}
+}
+
+// unauthorized builds a StatusUnauthorized error.
+func unauthorized(format string, args ...any) error {
+	return &statusError{status: proto.StatusUnauthorized, text: fmt.Sprintf(format, args...)}
+}
+
+// notFound builds a StatusNotFound error.
+func notFound(format string, args ...any) error {
+	return &statusError{status: proto.StatusNotFound, text: fmt.Sprintf(format, args...)}
+}
+
+// badRequest builds a StatusBadRequest error.
+func badRequest(format string, args ...any) error {
+	return &statusError{status: proto.StatusBadRequest, text: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestE2Small(t *testing.T) {
+	rows, err := E2(E2Config{
+		Sites:        2,
+		NodesPerSite: 2,
+		Flows:        6,
+		BytesPerFlow: 1024,
+		IntraFracs:   []float64{0.5},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	proxyRow, baseRow := rows[0], rows[1]
+	if proxyRow.CryptoBytes >= baseRow.CryptoBytes {
+		t.Errorf("proxy crypto %d not below baseline %d", proxyRow.CryptoBytes, baseRow.CryptoBytes)
+	}
+	if proxyRow.CryptoEntities >= baseRow.CryptoEntities {
+		t.Errorf("proxy entities %d vs baseline %d", proxyRow.CryptoEntities, baseRow.CryptoEntities)
+	}
+}

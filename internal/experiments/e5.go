@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gridproxy/internal/auth"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/ticket"
+)
+
+// E5Row is one (scheme, requests-per-session) authentication measurement.
+type E5Row struct {
+	Scheme    string // "per-request" or "ticket"
+	Requests  int
+	AuthOps   int64 // expensive password/signature verifications
+	TicketOps int64 // cheap HMAC validations
+	Total     time.Duration
+	PerReq    time.Duration
+}
+
+// E5Config parameterizes experiment E5.
+type E5Config struct {
+	// RequestCounts sweeps session lengths.
+	RequestCounts []int
+}
+
+// DefaultE5 returns the parameters used in EXPERIMENTS.md.
+func DefaultE5() E5Config {
+	return E5Config{RequestCounts: []int{1, 10, 100, 1000}}
+}
+
+// E5 compares the paper's first-phase authentication (credentials
+// verified on every request) with its foreseen Kerberos-style replacement
+// ("a single authentication per session, with the access rights stored
+// safely in a ticket and reused transparently"). Expected shape: the
+// ticket scheme performs exactly one expensive operation per session and
+// amortizes to near-zero per-request cost.
+func E5(cfg E5Config) ([]E5Row, error) {
+	var rows []E5Row
+	for _, requests := range cfg.RequestCounts {
+		perReq, err := runE5PerRequest(requests)
+		if err != nil {
+			return nil, fmt.Errorf("e5 per-request %d: %w", requests, err)
+		}
+		rows = append(rows, perReq)
+		tick, err := runE5Ticket(requests)
+		if err != nil {
+			return nil, fmt.Errorf("e5 ticket %d: %w", requests, err)
+		}
+		rows = append(rows, tick)
+	}
+	return rows, nil
+}
+
+func newE5Store(reg *metrics.Registry) (*auth.Store, error) {
+	store, err := auth.NewStore(auth.WithMetrics(reg))
+	if err != nil {
+		return nil, err
+	}
+	if err := store.AddUser("alice", "correct horse battery staple"); err != nil {
+		return nil, err
+	}
+	return store, nil
+}
+
+func runE5PerRequest(requests int) (E5Row, error) {
+	reg := metrics.NewRegistry()
+	store, err := newE5Store(reg)
+	if err != nil {
+		return E5Row{}, err
+	}
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if err := store.VerifyPassword("alice", "correct horse battery staple"); err != nil {
+			return E5Row{}, err
+		}
+	}
+	total := time.Since(start)
+	return E5Row{
+		Scheme:    "per-request",
+		Requests:  requests,
+		AuthOps:   reg.Counter(metrics.AuthOps).Value(),
+		TicketOps: reg.Counter(metrics.TicketOps).Value(),
+		Total:     total,
+		PerReq:    total / time.Duration(requests),
+	}, nil
+}
+
+func runE5Ticket(requests int) (E5Row, error) {
+	reg := metrics.NewRegistry()
+	store, err := newE5Store(reg)
+	if err != nil {
+		return E5Row{}, err
+	}
+	tgs, err := ticket.NewGrantingService(store, ticket.WithMetrics(reg))
+	if err != nil {
+		return E5Row{}, err
+	}
+	key, err := tgs.RegisterService("proxy:siteb")
+	if err != nil {
+		return E5Row{}, err
+	}
+	validator := ticket.NewValidator("proxy:siteb", key, reg)
+
+	start := time.Now()
+	// Single sign-on (the one expensive operation of the session).
+	tgt, err := tgs.SignOnPassword("alice", "correct horse battery staple")
+	if err != nil {
+		return E5Row{}, err
+	}
+	tick, err := tgs.GrantTicket(tgt, "proxy:siteb")
+	if err != nil {
+		return E5Row{}, err
+	}
+	// Every request validates the ticket (one HMAC), no user
+	// interaction, no password.
+	for i := 0; i < requests; i++ {
+		if _, err := validator.Validate(tick); err != nil {
+			return E5Row{}, err
+		}
+	}
+	total := time.Since(start)
+	return E5Row{
+		Scheme:    "ticket",
+		Requests:  requests,
+		AuthOps:   reg.Counter(metrics.AuthOps).Value(),
+		TicketOps: reg.Counter(metrics.TicketOps).Value(),
+		Total:     total,
+		PerReq:    total / time.Duration(requests),
+	}, nil
+}
+
+// E5Table renders E5 rows.
+func E5Table(rows []E5Row) Table {
+	t := Table{
+		Title:  "E5 — per-request authentication vs Kerberos-style tickets",
+		Claim:  "tickets need a single expensive authentication per session, reused transparently",
+		Header: []string{"scheme", "requests", "auth_ops", "ticket_ops", "total", "per_request"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Scheme, itoa(r.Requests), i64(r.AuthOps), i64(r.TicketOps), dur(r.Total), dur(r.PerReq),
+		})
+	}
+	return t
+}

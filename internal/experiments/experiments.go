@@ -1,0 +1,77 @@
+// Package experiments implements the paper's evaluation harness. The
+// paper (a workshop architecture paper) states its results as qualitative
+// claims rather than numbered tables; each experiment here turns one claim
+// into a measured table. See DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+//	E1  Fig. 3(a)/(b)  MPI local vs proxy-multiplexed across sites
+//	E2  §3             crypto cost at site edges vs on every node
+//	E3  §3             load balancing vs MPI's round-robin placement
+//	E4  §3             site-compiled monitoring vs polling every node
+//	E5  §3             Kerberos-style tickets vs per-request auth
+//	E6  §1/§3          deployment footprint (modules per machine)
+//	E7  §3             failure containment when a proxy dies
+//	E8  §3             one multiplexed tunnel vs connection-per-stream
+//
+// Every experiment returns typed rows; cmd/gridbench renders them as the
+// tables recorded in EXPERIMENTS.md, and bench_test.go exposes the same
+// code as testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result: a header plus rows of cells,
+// ready for text output.
+type Table struct {
+	Title  string
+	Claim  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// cell helpers keep row construction terse.
+func itoa(v int) string   { return fmt.Sprintf("%d", v) }
+func i64(v int64) string  { return fmt.Sprintf("%d", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func dur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

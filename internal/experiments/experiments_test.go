@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests run scaled-down configurations and assert the
+// SHAPE the paper claims, not absolute numbers.
+
+func TestE1Shape(t *testing.T) {
+	rows, err := E1(E1Config{MsgSizes: []int{4096}, Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var local, proxy E1Row
+	for _, r := range rows {
+		switch r.Mode {
+		case "local":
+			local = r
+		case "proxy":
+			proxy = r
+		}
+	}
+	// Correctness both ways is implied by no error (the program checks
+	// payloads). Shape: only the cross-site run touches the tunnel.
+	if local.TunnelBytes != 0 {
+		t.Errorf("local run tunneled %d bytes", local.TunnelBytes)
+	}
+	if proxy.TunnelBytes == 0 {
+		t.Error("proxy run never touched the tunnel")
+	}
+	if local.RTT <= 0 || proxy.RTT <= 0 {
+		t.Errorf("non-positive RTTs: %v %v", local.RTT, proxy.RTT)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	rows, err := E3(E3Config{
+		Sites: 2, NodesPerSite: 4, Tasks: 64, TaskSkew: 4,
+		NodeSkews: []float64{1, 8},
+		Policies:  []string{"round-robin", "least-loaded"},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]E3Row{}
+	for _, r := range rows {
+		byKey[r.Policy+"/"+f1(r.Skew)] = r
+	}
+	// Homogeneous: round-robin is fine (speedup ~1).
+	if s := byKey["least-loaded/1.0"].SpeedupVsRR; s < 0.95 {
+		t.Errorf("homogeneous speedup = %v", s)
+	}
+	// Heterogeneous: least-loaded must clearly win.
+	if s := byKey["least-loaded/8.0"].SpeedupVsRR; s < 1.2 {
+		t.Errorf("heterogeneous speedup = %v, want > 1.2", s)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	rows, err := E4(E4Config{Shapes: [][2]int{{3, 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	distributed, central := rows[0], rows[1]
+	if distributed.Scheme != "site-compiled" || central.Scheme != "central-poll" {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+	if distributed.ControlMsgs >= central.ControlMsgs {
+		t.Errorf("site-compiled msgs %d not below central %d",
+			distributed.ControlMsgs, central.ControlMsgs)
+	}
+	// Distributed scales with sites (2 messages per remote site at each
+	// end = 4 accounting events per site); central with nodes.
+	if central.ControlMsgs < int64(3*8) {
+		t.Errorf("central poll msgs = %d, expected at least one per node", central.ControlMsgs)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	rows, err := E5(E5Config{RequestCounts: []int{20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perReq, tick E5Row
+	for _, r := range rows {
+		switch r.Scheme {
+		case "per-request":
+			perReq = r
+		case "ticket":
+			tick = r
+		}
+	}
+	if perReq.AuthOps != 20 {
+		t.Errorf("per-request auth ops = %d", perReq.AuthOps)
+	}
+	if tick.AuthOps != 1 {
+		t.Errorf("ticket auth ops = %d, want exactly 1 (single sign-on)", tick.AuthOps)
+	}
+	if tick.TicketOps < 20 {
+		t.Errorf("ticket validations = %d", tick.TicketOps)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	rows := E6(E6Config{Shapes: [][2]int{{4, 16}}})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	proxy, perNode := rows[0], rows[1]
+	if proxy.Footprint.ModulesInstalled != 4 {
+		t.Errorf("proxy modules = %d", proxy.Footprint.ModulesInstalled)
+	}
+	if perNode.Footprint.ModulesInstalled != 64 {
+		t.Errorf("per-node modules = %d", perNode.Footprint.ModulesInstalled)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	rows, err := E7(E7Config{Shapes: [][2]int{{3, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.SurvivingFrac < r.ExpectedFrac-0.01 || r.SurvivingFrac > r.ExpectedFrac+0.01 {
+		t.Errorf("surviving frac = %v, want %v", r.SurvivingFrac, r.ExpectedFrac)
+	}
+	if !r.PlacementOK {
+		t.Error("placement failed after containment")
+	}
+	if r.Detection > 10*time.Second {
+		t.Errorf("detection took %v", r.Detection)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	rows, err := E8(E8Config{StreamCounts: []int{8}, BytesEach: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mux, per E8Row
+	for _, r := range rows {
+		switch r.Scheme {
+		case "multiplexed":
+			mux = r
+		case "conn-per-stream":
+			per = r
+		}
+	}
+	if mux.Handshakes != 2 {
+		t.Errorf("mux handshakes = %d, want 2 (one per side)", mux.Handshakes)
+	}
+	if per.Handshakes != 16 {
+		t.Errorf("per-conn handshakes = %d, want 16", per.Handshakes)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := Table{
+		Title:  "T",
+		Claim:  "c",
+		Header: []string{"a", "long_header"},
+		Rows:   [][]string{{"xxxxxxx", "1"}},
+	}
+	out := table.Render()
+	for _, want := range []string{"== T ==", "claim: c", "long_header", "xxxxxxx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("lines = %d", len(lines))
+	}
+}

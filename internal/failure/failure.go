@@ -1,0 +1,162 @@
+// Package failure provides fault injection for the grid's transports —
+// the instrument behind experiment E7 ("distributed control reduces the
+// effect of failures on a given site or proxy") and the failure-handling
+// tests.
+//
+// A FlakyNetwork wraps any transport.Network. While healthy it is
+// transparent; once Fail is called, new dials are refused, existing
+// connections are severed, and listeners stop accepting — the observable
+// behaviour of a crashed proxy or a partitioned site. Heal restores
+// service for new activity.
+package failure
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"gridproxy/internal/transport"
+)
+
+// ErrInjected is returned by operations refused due to an injected fault.
+var ErrInjected = errors.New("failure: injected fault")
+
+// FlakyNetwork wraps a transport.Network with a kill switch.
+type FlakyNetwork struct {
+	inner transport.Network
+
+	mu        sync.Mutex
+	failed    bool
+	conns     map[*flakyConn]struct{}
+	listeners map[*flakyListener]struct{}
+}
+
+var _ transport.Network = (*FlakyNetwork)(nil)
+
+// New wraps inner.
+func New(inner transport.Network) *FlakyNetwork {
+	return &FlakyNetwork{
+		inner:     inner,
+		conns:     make(map[*flakyConn]struct{}),
+		listeners: make(map[*flakyListener]struct{}),
+	}
+}
+
+// Fail severs every tracked connection and refuses new dials and accepts
+// until Heal.
+func (f *FlakyNetwork) Fail() {
+	f.mu.Lock()
+	f.failed = true
+	conns := make([]*flakyConn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Conn.Close()
+	}
+}
+
+// Heal re-enables new dials and accepts. Severed connections stay dead.
+func (f *FlakyNetwork) Heal() {
+	f.mu.Lock()
+	f.failed = false
+	f.mu.Unlock()
+}
+
+// Failed reports the current fault state.
+func (f *FlakyNetwork) Failed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+// Dial implements transport.Network.
+func (f *FlakyNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	f.mu.Lock()
+	failed := f.failed
+	f.mu.Unlock()
+	if failed {
+		return nil, ErrInjected
+	}
+	conn, err := f.inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return f.track(conn), nil
+}
+
+// Listen implements transport.Network.
+func (f *FlakyNetwork) Listen(addr string) (net.Listener, error) {
+	ln, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	fl := &flakyListener{Listener: ln, net: f}
+	f.mu.Lock()
+	f.listeners[fl] = struct{}{}
+	f.mu.Unlock()
+	return fl, nil
+}
+
+func (f *FlakyNetwork) track(conn net.Conn) net.Conn {
+	fc := &flakyConn{Conn: conn, net: f}
+	f.mu.Lock()
+	if f.failed {
+		f.mu.Unlock()
+		_ = conn.Close()
+		return fc // reads/writes will fail immediately
+	}
+	f.conns[fc] = struct{}{}
+	f.mu.Unlock()
+	return fc
+}
+
+func (f *FlakyNetwork) forget(fc *flakyConn) {
+	f.mu.Lock()
+	delete(f.conns, fc)
+	f.mu.Unlock()
+}
+
+type flakyConn struct {
+	net.Conn
+	net  *FlakyNetwork
+	once sync.Once
+}
+
+func (c *flakyConn) Close() error {
+	c.once.Do(func() { c.net.forget(c) })
+	return c.Conn.Close()
+}
+
+type flakyListener struct {
+	net.Listener
+	net *FlakyNetwork
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.net.mu.Lock()
+		failed := l.net.failed
+		l.net.mu.Unlock()
+		if failed {
+			// A dead proxy accepts nothing; drop the connection and
+			// keep blocking like a black-holed endpoint.
+			_ = conn.Close()
+			continue
+		}
+		return l.net.track(conn), nil
+	}
+}
+
+func (l *flakyListener) Close() error {
+	l.net.mu.Lock()
+	delete(l.net.listeners, l)
+	l.net.mu.Unlock()
+	return l.Listener.Close()
+}

@@ -1,0 +1,141 @@
+package failure
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gridproxy/internal/transport"
+)
+
+func setup(t *testing.T) (*FlakyNetwork, net.Listener) {
+	t.Helper()
+	mem := transport.NewMemNetwork()
+	flaky := New(mem)
+	ln, err := flaky.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	return flaky, ln
+}
+
+func TestTransparentWhenHealthy(t *testing.T) {
+	flaky, ln := setup(t)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 16)
+		n, _ := conn.Read(buf)
+		_, _ = conn.Write(buf[:n])
+	}()
+	conn, err := flaky.Dial(context.Background(), "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hi" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestFailRefusesDials(t *testing.T) {
+	flaky, _ := setup(t)
+	flaky.Fail()
+	if !flaky.Failed() {
+		t.Error("Failed() = false after Fail")
+	}
+	if _, err := flaky.Dial(context.Background(), "svc"); !errors.Is(err, ErrInjected) {
+		t.Errorf("dial after fail = %v", err)
+	}
+}
+
+func TestFailSeversExistingConnections(t *testing.T) {
+	flaky, ln := setup(t)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	conn, err := flaky.Dial(context.Background(), "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	flaky.Fail()
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Error("read survived injected failure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read not unblocked by Fail")
+	}
+}
+
+func TestHealRestoresService(t *testing.T) {
+	flaky, ln := setup(t)
+	flaky.Fail()
+	flaky.Heal()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			_ = conn.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := flaky.Dial(ctx, "svc"); err != nil {
+		t.Errorf("dial after heal = %v", err)
+	}
+}
+
+func TestFailedListenerDropsInbound(t *testing.T) {
+	mem := transport.NewMemNetwork()
+	flaky := New(mem)
+	ln, err := flaky.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	flaky.Fail()
+
+	acceptReturned := make(chan struct{})
+	go func() {
+		_, _ = ln.Accept()
+		close(acceptReturned)
+	}()
+	// Dials from the raw network reach the listener but are dropped
+	// while failed.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_, _ = mem.Dial(ctx, "svc")
+	select {
+	case <-acceptReturned:
+		t.Error("failed listener accepted a connection")
+	case <-time.After(100 * time.Millisecond):
+		// Accept stayed blocked: black-holed, as intended.
+	}
+}

@@ -1,0 +1,447 @@
+// Package grid is the user-facing client API of the grid (the paper's
+// "Web Access Interface / Command line" layer sits on top of it). A
+// Client connects to its site proxy over the site-local network and can:
+//
+//   - authenticate (userid/password, digital signature, or session
+//     ticket),
+//   - query compiled grid status ("the state of a station: availability
+//     of RAM memory, CPU and HD"),
+//   - submit MPI jobs and track them,
+//   - request Kerberos-style tickets for other sites' proxies,
+//   - open explicitly-secured tunnels to endpoints in remote sites.
+//
+// No grid software beyond this library is required on client machines,
+// matching the paper's "installation of an additional module at the
+// client is unnecessary".
+package grid
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridproxy/internal/auth"
+	"gridproxy/internal/monitor"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/registry"
+	"gridproxy/internal/transport"
+	"gridproxy/internal/wire"
+)
+
+// Package errors.
+var (
+	// ErrAuthFailed is returned when the proxy rejects credentials.
+	ErrAuthFailed = errors.New("grid: authentication failed")
+	// ErrNotAuthenticated is returned for calls requiring a session.
+	ErrNotAuthenticated = errors.New("grid: not authenticated")
+	// ErrJobFailed is returned by WaitJob for failed jobs.
+	ErrJobFailed = errors.New("grid: job failed")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("grid: client closed")
+)
+
+// Client is a connection to a site proxy's client service.
+type Client struct {
+	network   transport.Network
+	proxyAddr string
+
+	conn net.Conn
+	w    *wire.Writer
+
+	nextCorr atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan proto.Message
+	closed  bool
+
+	user  string
+	token []byte
+
+	readerDone chan struct{}
+}
+
+// Dial connects to the proxy's client address on the given (site-local)
+// network.
+func Dial(ctx context.Context, network transport.Network, proxyAddr string) (*Client, error) {
+	conn, err := network.Dial(ctx, proxyAddr)
+	if err != nil {
+		return nil, fmt.Errorf("grid: dial proxy %s: %w", proxyAddr, err)
+	}
+	c := &Client{
+		network:    network,
+		proxyAddr:  proxyAddr,
+		conn:       conn,
+		w:          wire.NewWriter(conn),
+		pending:    make(map[uint64]chan proto.Message),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	r := wire.NewReader(c.conn)
+	for {
+		msg, err := proto.ReadMessage(r)
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for corr, ch := range c.pending {
+				close(ch)
+				delete(c.pending, corr)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msg.Corr]
+		if ok {
+			delete(c.pending, msg.Corr)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+// call sends a request and waits for its typed reply.
+func (c *Client) call(ctx context.Context, body proto.Body) (proto.Body, error) {
+	corr := c.nextCorr.Add(1)
+	ch := make(chan proto.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[corr] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, corr)
+		c.mu.Unlock()
+	}()
+
+	if err := proto.WriteMessage(c.w, proto.Marshal(corr, body)); err != nil {
+		return nil, fmt.Errorf("grid: send: %w", err)
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		reply, err := proto.Unmarshal(msg)
+		if err != nil {
+			return nil, err
+		}
+		if eb, ok := reply.(*proto.ErrorBody); ok {
+			return nil, fmt.Errorf("grid: remote error (status %d): %s", eb.Status, eb.Text)
+		}
+		return reply, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// User returns the authenticated user name, or "".
+func (c *Client) User() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.user
+}
+
+// Token returns the current session token (nil before Login).
+func (c *Client) Token() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.token...)
+}
+
+func (c *Client) setSession(user string, token []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.user = user
+	c.token = token
+}
+
+// Login authenticates with userid and password.
+func (c *Client) Login(ctx context.Context, user, password string) error {
+	reply, err := c.call(ctx, &proto.AuthRequest{
+		User:          user,
+		Method:        proto.AuthPassword,
+		PasswordProof: []byte(password),
+	})
+	if err != nil {
+		return err
+	}
+	return c.finishAuth(user, reply)
+}
+
+// LoginWithSignature authenticates with the user's ECDSA key (two-phase
+// challenge/response).
+func (c *Client) LoginWithSignature(ctx context.Context, user string, key *ecdsa.PrivateKey) error {
+	// Phase 1: obtain a challenge.
+	reply, err := c.call(ctx, &proto.AuthRequest{User: user, Method: proto.AuthSignature})
+	if err != nil {
+		return err
+	}
+	ar, ok := reply.(*proto.AuthReply)
+	if !ok {
+		return fmt.Errorf("grid: unexpected auth reply %T", reply)
+	}
+	if ar.OK || ar.Reason != "challenge" || len(ar.Token) == 0 {
+		return fmt.Errorf("%w: no challenge issued", ErrAuthFailed)
+	}
+	challenge := ar.Token
+	sig, err := auth.SignChallenge(key, challenge)
+	if err != nil {
+		return err
+	}
+	// Phase 2: present the signature.
+	reply, err = c.call(ctx, &proto.AuthRequest{
+		User:      user,
+		Method:    proto.AuthSignature,
+		Challenge: challenge,
+		Signature: sig,
+	})
+	if err != nil {
+		return err
+	}
+	return c.finishAuth(user, reply)
+}
+
+// LoginWithTicket authenticates with a session ticket for this proxy's
+// service (single sign-on: no password or signature involved).
+func (c *Client) LoginWithTicket(ctx context.Context, user string, ticket []byte) error {
+	reply, err := c.call(ctx, &proto.AuthRequest{
+		User:   user,
+		Method: proto.AuthTicket,
+		Ticket: ticket,
+	})
+	if err != nil {
+		return err
+	}
+	return c.finishAuth(user, reply)
+}
+
+func (c *Client) finishAuth(user string, reply proto.Body) error {
+	ar, ok := reply.(*proto.AuthReply)
+	if !ok {
+		return fmt.Errorf("grid: unexpected auth reply %T", reply)
+	}
+	if !ar.OK {
+		return fmt.Errorf("%w: %s", ErrAuthFailed, ar.Reason)
+	}
+	c.setSession(user, ar.Token)
+	return nil
+}
+
+// RequestTicket exchanges a TGT for a session ticket for the named
+// service (the proxy this client talks to must run the granting service).
+func (c *Client) RequestTicket(ctx context.Context, tgt []byte, service string) ([]byte, error) {
+	reply, err := c.call(ctx, &proto.TicketRequest{TGT: tgt, Service: service})
+	if err != nil {
+		return nil, err
+	}
+	tr, ok := reply.(*proto.TicketReply)
+	if !ok {
+		return nil, fmt.Errorf("grid: unexpected ticket reply %T", reply)
+	}
+	if !tr.OK {
+		return nil, fmt.Errorf("grid: ticket refused: %s", tr.Reason)
+	}
+	return tr.Ticket, nil
+}
+
+// Status returns compiled summaries for the named sites (all sites when
+// none are named).
+func (c *Client) Status(ctx context.Context, sites ...string) ([]monitor.SiteSummary, error) {
+	reply, err := c.call(ctx, &proto.StatusQuery{Sites: sites})
+	if err != nil {
+		return nil, err
+	}
+	report, ok := reply.(*proto.StatusReport)
+	if !ok {
+		return nil, fmt.Errorf("grid: unexpected status reply %T", reply)
+	}
+	out := make([]monitor.SiteSummary, len(report.Sites))
+	for i, s := range report.Sites {
+		out[i] = monitor.SummaryFromStatus(s)
+	}
+	return out, nil
+}
+
+// SubmitMPI submits an MPI job and returns its job id.
+func (c *Client) SubmitMPI(ctx context.Context, program string, args []string, procs int) (string, error) {
+	if c.User() == "" {
+		return "", ErrNotAuthenticated
+	}
+	reply, err := c.call(ctx, &proto.JobSubmit{
+		Owner:   c.User(),
+		Program: program,
+		Args:    args,
+		Procs:   uint32(procs),
+	})
+	if err != nil {
+		return "", err
+	}
+	ju, ok := reply.(*proto.JobUpdate)
+	if !ok {
+		return "", fmt.Errorf("grid: unexpected submit reply %T", reply)
+	}
+	return ju.JobID, nil
+}
+
+// JobState queries a job's current state.
+func (c *Client) JobState(ctx context.Context, jobID string) (proto.JobState, string, error) {
+	reply, err := c.call(ctx, &proto.JobQuery{JobID: jobID})
+	if err != nil {
+		return 0, "", err
+	}
+	ju, ok := reply.(*proto.JobUpdate)
+	if !ok {
+		return 0, "", fmt.Errorf("grid: unexpected job reply %T", reply)
+	}
+	return ju.State, ju.Detail, nil
+}
+
+// WaitJob polls until the job completes. It returns nil for JobDone and
+// ErrJobFailed (wrapped with the detail) otherwise.
+func (c *Client) WaitJob(ctx context.Context, jobID string) error {
+	delay := 5 * time.Millisecond
+	for {
+		state, detail, err := c.JobState(ctx, jobID)
+		if err != nil {
+			return err
+		}
+		switch state {
+		case proto.JobDone:
+			return nil
+		case proto.JobFailed, proto.JobCancelled:
+			return fmt.Errorf("%w: %s", ErrJobFailed, detail)
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+		if delay < 200*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// Resources queries the proxy's local resource inventory.
+func (c *Client) Resources(ctx context.Context, kind string, constraints map[string]string) ([]registry.Resource, error) {
+	var attrs []string
+	for k, v := range constraints {
+		attrs = append(attrs, k+"="+v)
+	}
+	reply, err := c.call(ctx, &proto.RegistryQuery{Kind: kind, Attrs: attrs})
+	if err != nil {
+		return nil, err
+	}
+	rr, ok := reply.(*proto.RegistryReply)
+	if !ok {
+		return nil, fmt.Errorf("grid: unexpected registry reply %T", reply)
+	}
+	out := make([]registry.Resource, len(rr.Resources))
+	for i, r := range rr.Resources {
+		out[i] = registry.FromProto(r)
+	}
+	return out, nil
+}
+
+// Ping round-trips the control channel.
+func (c *Client) Ping(ctx context.Context) error {
+	reply, err := c.call(ctx, &proto.Ping{Nonce: 42})
+	if err != nil {
+		return err
+	}
+	if pong, ok := reply.(*proto.Pong); !ok || pong.Nonce != 42 {
+		return fmt.Errorf("grid: bad pong %v", reply)
+	}
+	return nil
+}
+
+// Tunnel opens an explicitly-secured channel to an endpoint inside a
+// remote site, through this client's site proxy and the inter-site TLS
+// tunnel. spliceAddr is the proxy's splice service address
+// (core.SpliceAddr of the proxy's local address). The returned connection
+// is a raw byte pipe to the target.
+func (c *Client) Tunnel(ctx context.Context, spliceAddr, appID, targetSite, targetAddr string) (net.Conn, error) {
+	token := c.Token()
+	if len(token) == 0 {
+		return nil, ErrNotAuthenticated
+	}
+	conn, err := c.network.Dial(ctx, spliceAddr)
+	if err != nil {
+		return nil, fmt.Errorf("grid: dial splice service: %w", err)
+	}
+	w := wire.NewWriter(conn)
+	r := wire.NewReader(conn)
+	open := &proto.StreamOpen{
+		AppID:      appID,
+		TargetSite: targetSite,
+		TargetAddr: targetAddr,
+		Kind:       proto.StreamData,
+		Token:      token,
+	}
+	if err := proto.WriteMessage(w, proto.Marshal(1, open)); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("grid: send splice request: %w", err)
+	}
+	msg, err := proto.ReadMessage(r)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("grid: read splice reply: %w", err)
+	}
+	body, err := proto.Unmarshal(msg)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	reply, ok := body.(*proto.StreamOpenReply)
+	if !ok {
+		_ = conn.Close()
+		return nil, fmt.Errorf("grid: unexpected splice reply %T", body)
+	}
+	if !reply.OK {
+		_ = conn.Close()
+		return nil, fmt.Errorf("grid: splice refused: %s", reply.Reason)
+	}
+	// Continue reading through the handshake reader so bytes that
+	// arrived right behind the reply are not lost in its buffer.
+	return &rawConn{Conn: conn, r: r.Raw()}, nil
+}
+
+// rawConn reads through the buffered handshake reader.
+type rawConn struct {
+	net.Conn
+	r io.Reader
+}
+
+func (c *rawConn) Read(p []byte) (int, error) { return c.r.Read(p) }

@@ -1,0 +1,359 @@
+package grid_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"gridproxy/internal/auth"
+	"gridproxy/internal/core"
+	"gridproxy/internal/grid"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/mpi"
+	"gridproxy/internal/mpirun"
+	"gridproxy/internal/node"
+	"gridproxy/internal/site"
+	"gridproxy/internal/ticket"
+)
+
+type fixture struct {
+	tb *site.Testbed
+}
+
+func newFixture(t *testing.T, nodesPerSite ...int) *fixture {
+	t.Helper()
+	users, err := auth.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := users.AddUser("alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := users.AddToGroup("alice", "researchers"); err != nil {
+		t.Fatal(err)
+	}
+	users.GrantGroup("researchers", auth.Permission{Action: "*", Resource: "*"})
+
+	cfg := site.TestbedConfig{GridName: "gridtest", Users: users, Metrics: metrics.NewRegistry()}
+	for i, n := range nodesPerSite {
+		cfg.Sites = append(cfg.Sites, site.SiteSpec{
+			Name:  fmt.Sprintf("site%c", 'a'+i),
+			Nodes: site.UniformNodes(n, 1),
+		})
+	}
+	tb, err := site.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tb.ConnectAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{tb: tb}
+}
+
+func (f *fixture) dial(t *testing.T, siteIdx int) *grid.Client {
+	t.Helper()
+	s := f.tb.Sites[siteIdx]
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := grid.Dial(ctx, s.Local, s.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestPasswordLoginAndStatus(t *testing.T) {
+	f := newFixture(t, 2, 3)
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Status before login must be refused.
+	if _, err := c.Status(ctx); err == nil {
+		t.Fatal("unauthenticated status accepted")
+	}
+	if err := c.Login(ctx, "alice", "wrong"); !errors.Is(err, grid.ErrAuthFailed) {
+		t.Fatalf("wrong password: %v", err)
+	}
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if c.User() != "alice" || len(c.Token()) == 0 {
+		t.Error("session not established")
+	}
+	summaries, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 2 {
+		t.Fatalf("summaries = %+v", summaries)
+	}
+	total := 0
+	for _, s := range summaries {
+		total += s.Nodes
+	}
+	if total != 5 {
+		t.Errorf("total nodes = %d", total)
+	}
+}
+
+func TestSignatureLogin(t *testing.T) {
+	f := newFixture(t, 1)
+	// Issue alice a user certificate from the grid CA and register the
+	// public key.
+	cred, err := f.tb.CA.IssueUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.tb.Users.SetPublicKey("alice", &cred.Key.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.LoginWithSignature(ctx, "alice", cred.Key); err != nil {
+		t.Fatalf("signature login: %v", err)
+	}
+	if _, err := c.Status(ctx); err != nil {
+		t.Errorf("status after signature login: %v", err)
+	}
+}
+
+func TestTicketSingleSignOn(t *testing.T) {
+	f := newFixture(t, 1, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Single expensive sign-on at the TGS.
+	tgt, err := f.tb.TGS.SignOnPassword("alice", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a client at sitea to mint a ticket for siteb's proxy, then
+	// log into siteb with the ticket alone (no password).
+	ca := f.dial(t, 0)
+	ticketB, err := ca.RequestTicket(ctx, tgt, core.ServiceName("siteb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := f.dial(t, 1)
+	if err := cb.LoginWithTicket(ctx, "alice", ticketB); err != nil {
+		t.Fatalf("ticket login: %v", err)
+	}
+	if _, err := cb.Status(ctx); err != nil {
+		t.Errorf("status after ticket login: %v", err)
+	}
+	// A ticket for siteb must not work at sitea.
+	ca2 := f.dial(t, 0)
+	if err := ca2.LoginWithTicket(ctx, "alice", ticketB); err == nil {
+		t.Error("siteb ticket accepted at sitea")
+	}
+	_ = ticket.DefaultTicketLifetime // keep import for doc clarity
+}
+
+func TestSubmitAndWaitMPIJob(t *testing.T) {
+	f := newFixture(t, 2, 2)
+	f.tb.RegisterProgram("allsum", mpirun.Program(
+		func(ctx context.Context, w *mpi.World, env node.Env) error {
+			out, err := w.Allreduce(ctx, mpi.OpSum, []float64{1})
+			if err != nil {
+				return err
+			}
+			if out[0] != float64(w.Size()) {
+				return fmt.Errorf("sum = %v", out[0])
+			}
+			return nil
+		}))
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := c.SubmitMPI(ctx, "allsum", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitJob(ctx, jobID); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+}
+
+func TestSubmitRequiresAuth(t *testing.T) {
+	f := newFixture(t, 1)
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.SubmitMPI(ctx, "x", nil, 1); !errors.Is(err, grid.ErrNotAuthenticated) {
+		t.Errorf("unauthenticated submit = %v", err)
+	}
+}
+
+func TestFailingJobReported(t *testing.T) {
+	f := newFixture(t, 2)
+	f.tb.RegisterProgram("crash", mpirun.Program(
+		func(ctx context.Context, w *mpi.World, env node.Env) error {
+			return errors.New("segfault, probably")
+		}))
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := c.SubmitMPI(ctx, "crash", nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.WaitJob(ctx, jobID)
+	if !errors.Is(err, grid.ErrJobFailed) {
+		t.Fatalf("WaitJob = %v, want ErrJobFailed", err)
+	}
+	if !strings.Contains(err.Error(), "segfault") {
+		t.Errorf("failure detail lost: %v", err)
+	}
+}
+
+func TestResourcesQuery(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	resources, err := c.Resources(ctx, "node", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resources) != 3 {
+		t.Errorf("resources = %+v", resources)
+	}
+}
+
+func TestPing(t *testing.T) {
+	f := newFixture(t, 1)
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecureTunnelEndToEnd(t *testing.T) {
+	f := newFixture(t, 1, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// An echo service listening inside siteb, NOT part of the grid.
+	sb := f.tb.Sites[1]
+	ln, err := sb.Local.Listen("legacy-echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := conn.Read(buf)
+					if n > 0 {
+						if _, werr := conn.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	// Register the tunnel app at the destination proxy (the explicit
+	// secure-channel call).
+	if err := sb.Proxy.RegisterTunnelApp("alice", "tunnel-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client at sitea authenticates, then tunnels to siteb's echo.
+	c := f.dial(t, 0)
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	sa := f.tb.Sites[0]
+	conn, err := c.Tunnel(ctx, core.SpliceAddr(sa.LocalAddr()), "tunnel-1", "siteb", "legacy-echo")
+	if err != nil {
+		t.Fatalf("Tunnel: %v", err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through two proxies and one TLS tunnel")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestTunnelDeniedWithoutPermission(t *testing.T) {
+	users, err := auth.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := users.AddUser("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	// bob can check status but not tunnel.
+	if err := users.GrantUser("bob", auth.Permission{Action: "status", Resource: "*"}); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := site.NewTestbed(site.TestbedConfig{
+		Sites: []site.SiteSpec{
+			{Name: "sitea", Nodes: site.UniformNodes(1, 1)},
+			{Name: "siteb", Nodes: site.UniformNodes(1, 1)},
+		},
+		Users: users,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tb.ConnectAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sa := tb.Sites[0]
+	c, err := grid.Dial(ctx, sa.Local, sa.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Login(ctx, "bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Tunnel(ctx, core.SpliceAddr(sa.LocalAddr()), "app", "siteb", "x"); err == nil {
+		t.Error("tunnel without permission succeeded")
+	}
+}

@@ -1,0 +1,203 @@
+// Package logging provides a minimal leveled, structured logger used by
+// every gridproxy component. It is intentionally small: components accept a
+// *Logger so tests can capture output, and the zero value is usable (it
+// writes to os.Stderr at LevelInfo).
+package logging
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is the severity of a log record.
+type Level int32
+
+// Severity levels, ordered. Records below the logger's configured level are
+// discarded.
+const (
+	LevelDebug Level = iota + 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the canonical lowercase name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel converts a level name ("debug", "info", "warn", "error") to a
+// Level. It is case-insensitive.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return 0, fmt.Errorf("logging: unknown level %q", s)
+	}
+}
+
+// Logger writes timestamped, key-value structured records to an io.Writer.
+// A nil *Logger is valid and discards everything, so components may hold an
+// optional logger without nil checks.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  Level
+	name   string
+	fields []field
+	clock  func() time.Time
+}
+
+type field struct {
+	key string
+	val any
+}
+
+// Option configures a Logger created by New.
+type Option func(*Logger)
+
+// WithWriter directs output to w instead of os.Stderr.
+func WithWriter(w io.Writer) Option { return func(l *Logger) { l.w = w } }
+
+// WithLevel sets the minimum severity the logger emits.
+func WithLevel(level Level) Option { return func(l *Logger) { l.level = level } }
+
+// WithClock overrides the time source; tests use it for deterministic output.
+func WithClock(clock func() time.Time) Option { return func(l *Logger) { l.clock = clock } }
+
+// New creates a Logger named name. By default it writes to os.Stderr at
+// LevelInfo.
+func New(name string, opts ...Option) *Logger {
+	l := &Logger{
+		w:     os.Stderr,
+		level: LevelInfo,
+		name:  name,
+		clock: time.Now,
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// Discard returns a logger that drops all records. Useful as an explicit
+// default in constructors.
+func Discard() *Logger { return nil }
+
+// With returns a child logger that includes the given key-value pairs on
+// every record. kv must alternate string keys and values.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := &Logger{
+		w:     l.w,
+		level: l.level,
+		name:  l.name,
+		clock: l.clock,
+	}
+	child.fields = append(append([]field(nil), l.fields...), pairs(kv)...)
+	return child
+}
+
+// Named returns a child logger whose name has suffix appended with a '/'.
+func (l *Logger) Named(suffix string) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := l.With()
+	if child.name == "" {
+		child.name = suffix
+	} else {
+		child.name = child.name + "/" + suffix
+	}
+	return child
+}
+
+// Enabled reports whether records at the given level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	fields := append(append([]field(nil), l.fields...), pairs(kv)...)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-5s", l.clock().UTC().Format(time.RFC3339Nano), level)
+	if l.name != "" {
+		fmt.Fprintf(&b, " [%s]", l.name)
+	}
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for _, f := range fields {
+		fmt.Fprintf(&b, " %s=%v", f.key, f.val)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+func pairs(kv []any) []field {
+	fields := make([]field, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprintf("!key(%v)", kv[i])
+		}
+		var val any = "!missing"
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		}
+		fields = append(fields, field{key: key, val: val})
+	}
+	return fields
+}
+
+// SortedKeys returns the keys of m sorted lexicographically; a small helper
+// shared by log-oriented dumps elsewhere in the codebase.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("value = %d", c.Value())
+	}
+	// Monotonic: negative deltas ignored.
+	c.Add(-10)
+	if c.Value() != 42 {
+		t.Errorf("counter went backwards: %d", c.Value())
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("value = %d", g.Value())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil metrics returned nonzero")
+	}
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(2)
+	r.Reset()
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+	if r.String() != "" {
+		t.Error("nil registry string not empty")
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Error("same name returned different counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("counter identity broken")
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(-2)
+	snap := r.Snapshot()
+	if snap["c"] != 5 || snap["g"] != -2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	r.Reset()
+	snap = r.Snapshot()
+	if snap["c"] != 0 || snap["g"] != 0 {
+		t.Errorf("after reset = %v", snap)
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Inc()
+	r.Counter("alpha").Inc()
+	out := r.String()
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Errorf("not sorted:\n%s", out)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("value = %d, want 8000", got)
+	}
+}
+
+func TestQuickCounterSum(t *testing.T) {
+	f := func(deltas []int64) bool {
+		var c Counter
+		var want int64
+		for _, d := range deltas {
+			c.Add(d)
+			if d > 0 {
+				want += d
+			}
+		}
+		return c.Value() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package monitor implements the grid's status collection (paper layer 3):
+// "The control and collection of status information on the grid are done
+// in a distributed form, with each proxy responsible for the collection and
+// control of the site where it is located. The global status is obtained by
+// compilation of all the sites' data."
+//
+// Node agents push NodeStats to their site's Collector (running inside the
+// site proxy); the Collector compiles a SiteSummary on demand; a Global
+// view merges summaries from many sites. Experiment E4 compares this
+// site-compiled scheme against centrally polling every node.
+package monitor
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gridproxy/internal/proto"
+)
+
+// DefaultStaleAfter is how long a node report stays fresh. Nodes that have
+// not reported within this window count as down.
+const DefaultStaleAfter = 30 * time.Second
+
+// NodeStats is one node's self-reported state — the quantities the paper's
+// Grid API exposes ("availability of RAM memory, CPU and HD").
+type NodeStats struct {
+	Node       string
+	CPUFreePct float64
+	RAMFreeMB  int64
+	DiskFreeMB int64
+	Load1      float64
+	Procs      int
+	Collected  time.Time
+}
+
+// ToReport converts stats to its wire form.
+func (s NodeStats) ToReport() *proto.NodeReport {
+	return &proto.NodeReport{
+		Node:       s.Node,
+		CPUFreePct: s.CPUFreePct,
+		RAMFreeMB:  s.RAMFreeMB,
+		DiskFreeMB: s.DiskFreeMB,
+		Load1:      s.Load1,
+		Procs:      uint32(s.Procs),
+		UnixNano:   s.Collected.UnixNano(),
+	}
+}
+
+// StatsFromReport converts the wire form back.
+func StatsFromReport(r *proto.NodeReport) NodeStats {
+	return NodeStats{
+		Node:       r.Node,
+		CPUFreePct: r.CPUFreePct,
+		RAMFreeMB:  r.RAMFreeMB,
+		DiskFreeMB: r.DiskFreeMB,
+		Load1:      r.Load1,
+		Procs:      int(r.Procs),
+		Collected:  time.Unix(0, r.UnixNano),
+	}
+}
+
+// SiteSummary is the compiled status of one site: counts plus aggregate
+// resource availability. CPUFreePct and Load1 are averages over live
+// nodes; RAM and disk are sums.
+type SiteSummary struct {
+	Site         string
+	Nodes        int
+	NodesUp      int
+	CPUFreePct   float64
+	RAMFreeMB    int64
+	DiskFreeMB   int64
+	Load1        float64
+	RunningProcs int
+	Collected    time.Time
+}
+
+// ToStatus converts the summary to its wire form.
+func (s SiteSummary) ToStatus() proto.SiteStatus {
+	return proto.SiteStatus{
+		Site:          s.Site,
+		Nodes:         uint32(s.Nodes),
+		NodesUp:       uint32(s.NodesUp),
+		CPUFreePct:    s.CPUFreePct,
+		RAMFreeMB:     s.RAMFreeMB,
+		DiskFreeMB:    s.DiskFreeMB,
+		Load1:         s.Load1,
+		RunningProcs:  uint32(s.RunningProcs),
+		CollectedUnix: s.Collected.Unix(),
+	}
+}
+
+// SummaryFromStatus converts the wire form back.
+func SummaryFromStatus(s proto.SiteStatus) SiteSummary {
+	return SiteSummary{
+		Site:         s.Site,
+		Nodes:        int(s.Nodes),
+		NodesUp:      int(s.NodesUp),
+		CPUFreePct:   s.CPUFreePct,
+		RAMFreeMB:    s.RAMFreeMB,
+		DiskFreeMB:   s.DiskFreeMB,
+		Load1:        s.Load1,
+		RunningProcs: int(s.RunningProcs),
+		Collected:    time.Unix(s.CollectedUnix, 0),
+	}
+}
+
+// Collector gathers node reports for one site. It is safe for concurrent
+// use.
+type Collector struct {
+	site       string
+	staleAfter time.Duration
+	clock      func() time.Time
+
+	mu    sync.RWMutex
+	stats map[string]NodeStats
+}
+
+// CollectorOption configures a Collector.
+type CollectorOption func(*Collector)
+
+// WithStaleAfter overrides DefaultStaleAfter.
+func WithStaleAfter(d time.Duration) CollectorOption {
+	return func(c *Collector) { c.staleAfter = d }
+}
+
+// WithCollectorClock overrides the time source (tests).
+func WithCollectorClock(clock func() time.Time) CollectorOption {
+	return func(c *Collector) { c.clock = clock }
+}
+
+// NewCollector creates a collector for the named site.
+func NewCollector(site string, opts ...CollectorOption) *Collector {
+	c := &Collector{
+		site:       site,
+		staleAfter: DefaultStaleAfter,
+		clock:      time.Now,
+		stats:      make(map[string]NodeStats),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Site returns the collector's site name.
+func (c *Collector) Site() string { return c.site }
+
+// Report records one node's stats, replacing its previous report.
+func (c *Collector) Report(s NodeStats) {
+	if s.Collected.IsZero() {
+		s.Collected = c.clock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats[s.Node] = s
+}
+
+// Forget drops a node from the collector (node decommissioned).
+func (c *Collector) Forget(node string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.stats, node)
+}
+
+// Node returns the latest report for one node.
+func (c *Collector) Node(node string) (NodeStats, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.stats[node]
+	return s, ok
+}
+
+// Nodes returns all known node reports sorted by node name.
+func (c *Collector) Nodes() []NodeStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]NodeStats, 0, len(c.stats))
+	for _, s := range c.stats {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Summary compiles the site's current status. Nodes whose last report is
+// older than the staleness window count toward Nodes but not NodesUp, and
+// are excluded from resource aggregates.
+func (c *Collector) Summary() SiteSummary {
+	now := c.clock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sum := SiteSummary{Site: c.site, Nodes: len(c.stats), Collected: now}
+	var cpuTotal, loadTotal float64
+	for _, s := range c.stats {
+		if now.Sub(s.Collected) > c.staleAfter {
+			continue
+		}
+		sum.NodesUp++
+		cpuTotal += s.CPUFreePct
+		loadTotal += s.Load1
+		sum.RAMFreeMB += s.RAMFreeMB
+		sum.DiskFreeMB += s.DiskFreeMB
+		sum.RunningProcs += s.Procs
+	}
+	if sum.NodesUp > 0 {
+		sum.CPUFreePct = cpuTotal / float64(sum.NodesUp)
+		sum.Load1 = loadTotal / float64(sum.NodesUp)
+	}
+	return sum
+}
+
+// Global merges site summaries into a grid-wide view ("The global status
+// is obtained by compilation of all the sites' data").
+type Global struct {
+	mu    sync.RWMutex
+	sites map[string]SiteSummary
+}
+
+// NewGlobal creates an empty global view.
+func NewGlobal() *Global {
+	return &Global{sites: make(map[string]SiteSummary)}
+}
+
+// Update records a site's summary, replacing its previous one.
+func (g *Global) Update(s SiteSummary) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sites[s.Site] = s
+}
+
+// Remove drops a site (site left the grid or its proxy failed).
+func (g *Global) Remove(site string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.sites, site)
+}
+
+// Site returns one site's summary.
+func (g *Global) Site(site string) (SiteSummary, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, ok := g.sites[site]
+	return s, ok
+}
+
+// Sites returns all summaries sorted by site name.
+func (g *Global) Sites() []SiteSummary {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]SiteSummary, 0, len(g.sites))
+	for _, s := range g.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// GridStatus is the compiled grid-wide totals.
+type GridStatus struct {
+	Sites        int
+	Nodes        int
+	NodesUp      int
+	RAMFreeMB    int64
+	DiskFreeMB   int64
+	RunningProcs int
+}
+
+// Compile aggregates all known sites.
+func (g *Global) Compile() GridStatus {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var status GridStatus
+	status.Sites = len(g.sites)
+	for _, s := range g.sites {
+		status.Nodes += s.Nodes
+		status.NodesUp += s.NodesUp
+		status.RAMFreeMB += s.RAMFreeMB
+		status.DiskFreeMB += s.DiskFreeMB
+		status.RunningProcs += s.RunningProcs
+	}
+	return status
+}

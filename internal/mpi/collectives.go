@@ -1,0 +1,320 @@
+package mpi
+
+import (
+	"context"
+	"fmt"
+)
+
+// Collective kinds. Each collective call gets a unique internal tag
+// derived from (kind, per-world sequence number); because MPI semantics
+// require every rank to invoke collectives in the same order, the sequence
+// numbers agree across ranks. This prevents messages from consecutive
+// collectives (for example two back-to-back Bcasts with different roots)
+// from cross-matching — the classic reused-barrier hazard.
+type collKind int
+
+const (
+	collBarrier collKind = iota
+	collBcast
+	collReduce
+	collGather
+	collScatter
+	numCollKinds
+)
+
+// collTag maps (kind, seq) to a negative tag disjoint from user tags.
+func collTag(kind collKind, seq uint64) int {
+	return internalTagBase - int(kind) - int(numCollKinds)*int(seq)
+}
+
+// nextCollSeq returns the world's next collective sequence number.
+// Collectives must be invoked from a single goroutine per rank (standard
+// MPI semantics), so a plain field suffices; the mutex guards against
+// accidental misuse being a data race.
+func (w *World) nextCollSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seq := w.collSeq
+	w.collSeq++
+	return seq
+}
+
+// Op is a reduction operator over float64 vectors. Both inputs have equal
+// length; the result is written into acc.
+type Op func(acc, in []float64)
+
+// Built-in reduction operators.
+var (
+	// OpSum adds element-wise.
+	OpSum Op = func(acc, in []float64) {
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	}
+	// OpProd multiplies element-wise.
+	OpProd Op = func(acc, in []float64) {
+		for i := range acc {
+			acc[i] *= in[i]
+		}
+	}
+	// OpMax keeps the element-wise maximum.
+	OpMax Op = func(acc, in []float64) {
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	}
+	// OpMin keeps the element-wise minimum.
+	OpMin Op = func(acc, in []float64) {
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	}
+)
+
+// Barrier blocks until every rank has entered it. It uses the
+// dissemination algorithm: ceil(log2(n)) rounds of pairwise exchange.
+func (w *World) Barrier(ctx context.Context) error {
+	tag := collTag(collBarrier, w.nextCollSeq())
+	n := w.size
+	if n == 1 {
+		return nil
+	}
+	for step := 1; step < n; step *= 2 {
+		to := (w.rank + step) % n
+		from := (w.rank - step + n) % n
+		if err := w.send(ctx, to, tag, nil); err != nil {
+			return fmt.Errorf("mpi: barrier send: %w", err)
+		}
+		if _, err := w.recv(ctx, from, tag); err != nil {
+			return fmt.Errorf("mpi: barrier recv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank using a binomial tree and
+// returns the received copy (root returns data unchanged).
+func (w *World) Bcast(ctx context.Context, root int, data []byte) ([]byte, error) {
+	tag := collTag(collBcast, w.nextCollSeq())
+	return w.bcast(ctx, root, data, tag)
+}
+
+func (w *World) bcast(ctx context.Context, root int, data []byte, tag int) ([]byte, error) {
+	if root < 0 || root >= w.size {
+		return nil, fmt.Errorf("%w: bcast root %d", ErrBadRank, root)
+	}
+	n := w.size
+	if n == 1 {
+		return data, nil
+	}
+	// Work in a rotated space where the root is position 0.
+	vrank := (w.rank - root + n) % n
+	if vrank != 0 {
+		m, err := w.recv(ctx, AnySource, tag)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: bcast recv: %w", err)
+		}
+		data = m.Data
+	}
+	mask := 1
+	for mask < n {
+		mask *= 2
+	}
+	for mask /= 2; mask > 0; mask /= 2 {
+		if vrank&(mask-1) == 0 && vrank&mask == 0 {
+			child := vrank | mask
+			if child < n {
+				to := (child + root) % n
+				if err := w.send(ctx, to, tag, data); err != nil {
+					return nil, fmt.Errorf("mpi: bcast send: %w", err)
+				}
+			}
+		}
+	}
+	return data, nil
+}
+
+// Reduce combines every rank's vector with op; the result lands on root
+// (other ranks receive nil). All vectors must have the same length.
+func (w *World) Reduce(ctx context.Context, root int, op Op, local []float64) ([]float64, error) {
+	tag := collTag(collReduce, w.nextCollSeq())
+	return w.reduce(ctx, root, op, local, tag)
+}
+
+func (w *World) reduce(ctx context.Context, root int, op Op, local []float64, tag int) ([]float64, error) {
+	if root < 0 || root >= w.size {
+		return nil, fmt.Errorf("%w: reduce root %d", ErrBadRank, root)
+	}
+	n := w.size
+	acc := append([]float64(nil), local...)
+	if n == 1 {
+		return acc, nil
+	}
+	vrank := (w.rank - root + n) % n
+	// Binary-tree reduction in rotated space: at step s, positions with
+	// bit s set send to their partner and drop out; positions that stay
+	// have all bits below s clear.
+	for step := 1; step < n; step *= 2 {
+		if vrank&step != 0 {
+			parent := ((vrank - step) + root) % n
+			if err := w.send(ctx, parent, tag, EncodeFloat64s(acc)); err != nil {
+				return nil, fmt.Errorf("mpi: reduce send: %w", err)
+			}
+			return nil, nil
+		}
+		child := vrank + step
+		if child < n {
+			from := (child + root) % n
+			m, err := w.recv(ctx, from, tag)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: reduce recv: %w", err)
+			}
+			in, err := DecodeFloat64s(m.Data)
+			if err != nil {
+				return nil, err
+			}
+			if len(in) != len(acc) {
+				return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(in), len(acc))
+			}
+			op(acc, in)
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast: every rank receives the
+// combined vector.
+func (w *World) Allreduce(ctx context.Context, op Op, local []float64) ([]float64, error) {
+	acc, err := w.Reduce(ctx, 0, op, local)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	if w.rank == 0 {
+		payload = EncodeFloat64s(acc)
+	}
+	out, err := w.Bcast(ctx, 0, payload)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64s(out)
+}
+
+// Gather collects every rank's data on root, ordered by rank. Non-root
+// ranks return nil.
+func (w *World) Gather(ctx context.Context, root int, data []byte) ([][]byte, error) {
+	tag := collTag(collGather, w.nextCollSeq())
+	return w.gather(ctx, root, data, tag)
+}
+
+func (w *World) gather(ctx context.Context, root int, data []byte, tag int) ([][]byte, error) {
+	if root < 0 || root >= w.size {
+		return nil, fmt.Errorf("%w: gather root %d", ErrBadRank, root)
+	}
+	if w.rank != root {
+		if err := w.send(ctx, root, tag, data); err != nil {
+			return nil, fmt.Errorf("mpi: gather send: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([][]byte, w.size)
+	seen := make([]bool, w.size)
+	out[root] = append([]byte(nil), data...)
+	seen[root] = true
+	for i := 0; i < w.size-1; i++ {
+		m, err := w.recv(ctx, AnySource, tag)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: gather recv: %w", err)
+		}
+		if seen[m.From] {
+			return nil, fmt.Errorf("mpi: gather duplicate from rank %d", m.From)
+		}
+		seen[m.From] = true
+		out[m.From] = m.Data
+	}
+	return out, nil
+}
+
+// Scatter sends chunks[i] to rank i and returns this rank's chunk. Only
+// root's chunks argument is consulted; it must have exactly world-size
+// entries.
+func (w *World) Scatter(ctx context.Context, root int, chunks [][]byte) ([]byte, error) {
+	tag := collTag(collScatter, w.nextCollSeq())
+	if root < 0 || root >= w.size {
+		return nil, fmt.Errorf("%w: scatter root %d", ErrBadRank, root)
+	}
+	if w.rank == root {
+		if len(chunks) != w.size {
+			return nil, fmt.Errorf("mpi: scatter needs %d chunks, got %d", w.size, len(chunks))
+		}
+		for i, chunk := range chunks {
+			if i == root {
+				continue
+			}
+			if err := w.send(ctx, i, tag, chunk); err != nil {
+				return nil, fmt.Errorf("mpi: scatter send: %w", err)
+			}
+		}
+		return append([]byte(nil), chunks[root]...), nil
+	}
+	m, err := w.recv(ctx, root, tag)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: scatter recv: %w", err)
+	}
+	return m.Data, nil
+}
+
+// Allgather collects every rank's data on every rank, ordered by rank. It
+// is implemented as Gather on rank 0 followed by a Bcast of the
+// length-prefixed concatenation.
+func (w *World) Allgather(ctx context.Context, data []byte) ([][]byte, error) {
+	parts, err := w.Gather(ctx, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	var blob []byte
+	if w.rank == 0 {
+		for _, p := range parts {
+			blob = appendChunk(blob, p)
+		}
+	}
+	blob, err = w.Bcast(ctx, 0, blob)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, w.size)
+	rest := blob
+	for len(rest) > 0 {
+		var chunk []byte
+		chunk, rest, err = cutChunk(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk)
+	}
+	if len(out) != w.size {
+		return nil, fmt.Errorf("mpi: allgather got %d chunks, want %d", len(out), w.size)
+	}
+	return out, nil
+}
+
+func appendChunk(b, chunk []byte) []byte {
+	n := uint32(len(chunk))
+	b = append(b, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	return append(b, chunk...)
+}
+
+func cutChunk(b []byte) (chunk, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("mpi: truncated chunk header")
+	}
+	n := int(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+	if len(b) < 4+n {
+		return nil, nil, fmt.Errorf("mpi: truncated chunk body")
+	}
+	return b[4 : 4+n], b[4+n:], nil
+}

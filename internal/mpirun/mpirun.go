@@ -1,0 +1,53 @@
+// Package mpirun is the grid's mpirun equivalent: helpers to write MPI
+// programs for grid nodes and to launch them across sites through the
+// proxies.
+//
+// A program written with Program receives a ready *mpi.World whose rank
+// table was assembled by the proxies — local ranks resolve to direct
+// site-local endpoints, remote ranks to virtual-slave endpoints on the
+// site proxy. The program body is identical whether the world spans one
+// LAN or five sites; recompiling or altering the application is never
+// needed (the paper's transparency requirement).
+package mpirun
+
+import (
+	"context"
+	"fmt"
+
+	"gridproxy/internal/core"
+	"gridproxy/internal/mpi"
+	"gridproxy/internal/node"
+)
+
+// Body is an MPI program body.
+type Body func(ctx context.Context, world *mpi.World, env node.Env) error
+
+// Program wraps an MPI program body into an installable node program: it
+// joins the world described by the spawn environment, runs the body, and
+// tears the world down.
+func Program(body Body) node.ProgramFunc {
+	return func(ctx context.Context, env node.Env) error {
+		world, err := mpi.Join(ctx, mpi.Config{
+			Rank:       env.Rank,
+			WorldSize:  env.WorldSize,
+			Table:      env.RankTable,
+			ListenAddr: env.ListenAddr,
+			Network:    env.Network,
+		})
+		if err != nil {
+			return fmt.Errorf("mpirun: join world: %w", err)
+		}
+		defer world.Close()
+		return body(ctx, world, env)
+	}
+}
+
+// Run launches an MPI application through a proxy and waits for it to
+// complete.
+func Run(ctx context.Context, proxy *core.Proxy, spec core.LaunchSpec) error {
+	launch, err := proxy.LaunchMPI(ctx, spec)
+	if err != nil {
+		return err
+	}
+	return launch.Wait(ctx)
+}

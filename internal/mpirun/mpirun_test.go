@@ -1,0 +1,113 @@
+package mpirun_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gridproxy/internal/core"
+	"gridproxy/internal/mpi"
+	"gridproxy/internal/mpirun"
+	"gridproxy/internal/node"
+	"gridproxy/internal/site"
+	"gridproxy/internal/transport"
+)
+
+func TestProgramJoinsWorld(t *testing.T) {
+	mem := transport.NewMemNetwork()
+	agent := node.New("n0", "s", mem)
+	defer agent.Stop()
+
+	seen := make(chan int, 2)
+	agent.RegisterProgram("check", mpirun.Program(
+		func(ctx context.Context, w *mpi.World, env node.Env) error {
+			if w.Rank() != env.Rank || w.Size() != env.WorldSize {
+				return errors.New("world/env mismatch")
+			}
+			if err := w.Barrier(ctx); err != nil {
+				return err
+			}
+			seen <- w.Rank()
+			return nil
+		}))
+
+	table := map[int]string{
+		0: agent.EndpointAddr("app", 0),
+		1: agent.EndpointAddr("app", 1),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for r := 0; r < 2; r++ {
+		if _, err := agent.Spawn(ctx, node.SpawnSpec{
+			AppID: "app", Program: "check", Rank: r, WorldSize: 2, RankTable: table,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 2; r++ {
+		if err := agent.Wait(ctx, "app", r); err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("ranks seen = %d", len(seen))
+	}
+}
+
+func TestProgramJoinFailureSurfaces(t *testing.T) {
+	mem := transport.NewMemNetwork()
+	agent := node.New("n0", "s", mem)
+	defer agent.Stop()
+	agent.RegisterProgram("p", mpirun.Program(
+		func(ctx context.Context, w *mpi.World, env node.Env) error { return nil }))
+
+	ctx := context.Background()
+	// WorldSize 0 makes mpi.Join fail; the wrapper must surface it.
+	if _, err := agent.Spawn(ctx, node.SpawnSpec{
+		AppID: "app", Program: "p", Rank: 0, WorldSize: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Wait(ctx, "app", 0); err == nil {
+		t.Error("join failure swallowed")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	tb, err := site.NewTestbed(site.TestbedConfig{
+		Sites: []site.SiteSpec{{Name: "a", Nodes: site.UniformNodes(2, 1)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.RegisterProgram("barrier", mpirun.Program(
+		func(ctx context.Context, w *mpi.World, env node.Env) error {
+			return w.Barrier(ctx)
+		}))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := mpirun.Run(ctx, tb.Sites[0].Proxy, core.LaunchSpec{
+		Owner: "admin", Program: "barrier", Procs: 2,
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRunPropagatesLaunchError(t *testing.T) {
+	tb, err := site.NewTestbed(site.TestbedConfig{
+		Sites: []site.SiteSpec{{Name: "a", Nodes: site.UniformNodes(1, 1)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mpirun.Run(ctx, tb.Sites[0].Proxy, core.LaunchSpec{
+		Owner: "admin", Program: "not-installed", Procs: 1,
+	}); err == nil {
+		t.Error("missing program launch succeeded")
+	}
+}

@@ -1,0 +1,248 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridproxy/internal/transport"
+)
+
+func newAgent(t *testing.T, opts ...Option) *Agent {
+	t.Helper()
+	a := New("n1", "sitea", transport.NewMemNetwork(), opts...)
+	t.Cleanup(a.Stop)
+	return a
+}
+
+func TestSpawnRunsProgram(t *testing.T) {
+	a := newAgent(t)
+	ran := make(chan Env, 1)
+	a.RegisterProgram("hello", func(ctx context.Context, env Env) error {
+		ran <- env
+		return nil
+	})
+	ctx := context.Background()
+	endpoint, err := a.Spawn(ctx, SpawnSpec{
+		AppID: "app1", Program: "hello", Args: []string{"x"},
+		Rank: 2, WorldSize: 4, RankTable: map[int]string{0: "r0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if endpoint != "n1/app1/r2" {
+		t.Errorf("endpoint = %q", endpoint)
+	}
+	select {
+	case env := <-ran:
+		if env.Node != "n1" || env.Site != "sitea" || env.Rank != 2 ||
+			env.WorldSize != 4 || env.ListenAddr != endpoint || len(env.Args) != 1 {
+			t.Errorf("env = %+v", env)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("program never ran")
+	}
+	if err := a.Wait(ctx, "app1", 2); err != nil {
+		t.Errorf("Wait = %v", err)
+	}
+}
+
+func TestSpawnUnknownProgram(t *testing.T) {
+	a := newAgent(t)
+	_, err := a.Spawn(context.Background(), SpawnSpec{AppID: "a", Program: "ghost"})
+	if !errors.Is(err, ErrUnknownProgram) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSpawnDuplicateSlot(t *testing.T) {
+	a := newAgent(t)
+	block := make(chan struct{})
+	a.RegisterProgram("p", func(ctx context.Context, env Env) error {
+		<-block
+		return nil
+	})
+	defer close(block)
+	ctx := context.Background()
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "p", Rank: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "p", Rank: 0}); err == nil {
+		t.Error("duplicate (app, rank) accepted")
+	}
+	// Different rank is fine.
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "p", Rank: 1}); err != nil {
+		t.Errorf("second rank: %v", err)
+	}
+}
+
+func TestWaitReturnsProgramError(t *testing.T) {
+	a := newAgent(t)
+	boom := errors.New("boom")
+	a.RegisterProgram("fail", func(ctx context.Context, env Env) error { return boom })
+	ctx := context.Background()
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "fail"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(ctx, "a", 0); !errors.Is(err, boom) {
+		t.Errorf("Wait = %v", err)
+	}
+}
+
+func TestKillCancelsContext(t *testing.T) {
+	a := newAgent(t)
+	started := make(chan struct{})
+	a.RegisterProgram("sleep", func(ctx context.Context, env Env) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	ctx := context.Background()
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "sleep"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := a.Kill("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(ctx, "a", 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait after Kill = %v", err)
+	}
+}
+
+func TestStatsReflectLoad(t *testing.T) {
+	hw := HWProfile{Speed: 2, RAMMB: 1000, DiskMB: 5000, RAMPerProcMB: 100}
+	a := newAgent(t, WithHW(hw))
+	idle := a.Stats()
+	if idle.Procs != 0 || idle.RAMFreeMB != 1000 || idle.CPUFreePct != 100 || idle.DiskFreeMB != 5000 {
+		t.Errorf("idle stats = %+v", idle)
+	}
+	block := make(chan struct{})
+	a.RegisterProgram("p", func(ctx context.Context, env Env) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "p", Rank: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	busy := a.Stats()
+	if busy.Procs != 3 {
+		t.Errorf("Procs = %d", busy.Procs)
+	}
+	if busy.RAMFreeMB != 700 {
+		t.Errorf("RAMFreeMB = %d", busy.RAMFreeMB)
+	}
+	if busy.Load1 != 1.5 { // 3 procs / speed 2
+		t.Errorf("Load1 = %v", busy.Load1)
+	}
+	close(block)
+	for i := 0; i < 3; i++ {
+		if err := a.Wait(ctx, "a", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := a.Stats()
+	if after.Procs != 0 {
+		t.Errorf("Procs after completion = %d", after.Procs)
+	}
+}
+
+func TestReleaseFreesSlot(t *testing.T) {
+	a := newAgent(t)
+	a.RegisterProgram("quick", func(ctx context.Context, env Env) error { return nil })
+	ctx := context.Background()
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(ctx, "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	a.Release("a", 0)
+	// Slot reusable after release.
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "quick"}); err != nil {
+		t.Errorf("respawn after release: %v", err)
+	}
+}
+
+func TestReleaseKeepsRunningProcess(t *testing.T) {
+	a := newAgent(t)
+	block := make(chan struct{})
+	defer close(block)
+	a.RegisterProgram("p", func(ctx context.Context, env Env) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	ctx := context.Background()
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	a.Release("a", 0) // must be a no-op while running
+	procs := a.Processes()
+	if len(procs) != 1 || procs[0].Done {
+		t.Errorf("processes = %+v", procs)
+	}
+}
+
+func TestStopKillsEverything(t *testing.T) {
+	a := New("n1", "s", transport.NewMemNetwork())
+	var cancelled atomic.Int32
+	a.RegisterProgram("p", func(ctx context.Context, env Env) error {
+		<-ctx.Done()
+		cancelled.Add(1)
+		return ctx.Err()
+	})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := a.Spawn(ctx, SpawnSpec{AppID: "a", Program: "p", Rank: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Stop()
+	if got := cancelled.Load(); got != 5 {
+		t.Errorf("cancelled = %d, want 5", got)
+	}
+	if _, err := a.Spawn(ctx, SpawnSpec{AppID: "b", Program: "p"}); !errors.Is(err, ErrStopped) {
+		t.Errorf("spawn after stop = %v", err)
+	}
+}
+
+func TestProcessesListing(t *testing.T) {
+	a := newAgent(t)
+	a.RegisterProgram("quick", func(ctx context.Context, env Env) error { return nil })
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := a.Spawn(ctx, SpawnSpec{AppID: fmt.Sprintf("app%d", i), Program: "quick"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Wait(ctx, fmt.Sprintf("app%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	procs := a.Processes()
+	if len(procs) != 3 {
+		t.Fatalf("processes = %d", len(procs))
+	}
+	for i, p := range procs {
+		if p.AppID != fmt.Sprintf("app%d", i) || !p.Done || p.Err != nil {
+			t.Errorf("proc[%d] = %+v", i, p)
+		}
+	}
+}
+
+func TestEndpointAddrStable(t *testing.T) {
+	if got := EndpointAddr("node7", "appX", 3); got != "node7/appX/r3" {
+		t.Errorf("EndpointAddr = %q", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package programs ships the demo applications installed on grid nodes by
+// the daemons and examples — the in-process equivalent of the binaries an
+// administrator would deploy. Each is an ordinary MPI program written
+// against package mpi; none knows whether it runs on one LAN or across
+// sites.
+package programs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"gridproxy/internal/mpi"
+	"gridproxy/internal/mpirun"
+	"gridproxy/internal/node"
+)
+
+// RegisterAll installs every demo program on an agent.
+func RegisterAll(agent *node.Agent) {
+	agent.RegisterProgram("pi", Pi())
+	agent.RegisterProgram("ring", Ring())
+	agent.RegisterProgram("sleep", Sleep())
+	agent.RegisterProgram("stress", Stress())
+}
+
+// Pi estimates π by midpoint integration of 4/(1+x²) over [0,1], split
+// across ranks and combined with Allreduce — the canonical MPI demo.
+// Args: [steps] (default 1e6). Rank 0 validates the estimate.
+func Pi() node.ProgramFunc {
+	return mpirun.Program(func(ctx context.Context, w *mpi.World, env node.Env) error {
+		steps := 1_000_000
+		if len(env.Args) > 0 {
+			n, err := strconv.Atoi(env.Args[0])
+			if err != nil {
+				return fmt.Errorf("pi: bad steps %q: %w", env.Args[0], err)
+			}
+			steps = n
+		}
+		h := 1.0 / float64(steps)
+		var local float64
+		for i := w.Rank(); i < steps; i += w.Size() {
+			x := h * (float64(i) + 0.5)
+			local += 4.0 / (1.0 + x*x)
+		}
+		out, err := w.Allreduce(ctx, mpi.OpSum, []float64{local * h})
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			if math.Abs(out[0]-math.Pi) > 1e-4 {
+				return fmt.Errorf("pi: estimate %v too far from π", out[0])
+			}
+		}
+		return nil
+	})
+}
+
+// Ring passes a token around all ranks a configurable number of times.
+// Args: [rounds] (default 3).
+func Ring() node.ProgramFunc {
+	return mpirun.Program(func(ctx context.Context, w *mpi.World, env node.Env) error {
+		rounds := 3
+		if len(env.Args) > 0 {
+			n, err := strconv.Atoi(env.Args[0])
+			if err != nil {
+				return fmt.Errorf("ring: bad rounds %q: %w", env.Args[0], err)
+			}
+			rounds = n
+		}
+		if w.Size() == 1 {
+			return nil
+		}
+		next := (w.Rank() + 1) % w.Size()
+		prev := (w.Rank() - 1 + w.Size()) % w.Size()
+		for round := 0; round < rounds; round++ {
+			if w.Rank() == 0 {
+				if err := w.Send(ctx, next, round, []byte{byte(round)}); err != nil {
+					return err
+				}
+				if _, err := w.Recv(ctx, prev, round); err != nil {
+					return err
+				}
+			} else {
+				m, err := w.Recv(ctx, prev, round)
+				if err != nil {
+					return err
+				}
+				if err := w.Send(ctx, next, round, m.Data); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// Sleep holds every rank busy for a wall-clock duration (scaled by node
+// speed), then synchronizes — a stand-in for real compute when exercising
+// the scheduler. Args: [duration] (default 50ms of reference-node work).
+func Sleep() node.ProgramFunc {
+	return mpirun.Program(func(ctx context.Context, w *mpi.World, env node.Env) error {
+		d := 50 * time.Millisecond
+		if len(env.Args) > 0 {
+			parsed, err := time.ParseDuration(env.Args[0])
+			if err != nil {
+				return fmt.Errorf("sleep: bad duration %q: %w", env.Args[0], err)
+			}
+			d = parsed
+		}
+		speed := env.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		scaled := time.Duration(float64(d) / speed)
+		timer := time.NewTimer(scaled)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return w.Barrier(ctx)
+	})
+}
+
+// Stress exchanges configurable message volumes between all rank pairs —
+// a traffic generator for the tunnel path. Args: [messages] [bytes]
+// (defaults 10 and 4096).
+func Stress() node.ProgramFunc {
+	return mpirun.Program(func(ctx context.Context, w *mpi.World, env node.Env) error {
+		messages, size := 10, 4096
+		if len(env.Args) > 0 {
+			n, err := strconv.Atoi(env.Args[0])
+			if err != nil {
+				return fmt.Errorf("stress: bad messages %q: %w", env.Args[0], err)
+			}
+			messages = n
+		}
+		if len(env.Args) > 1 {
+			n, err := strconv.Atoi(env.Args[1])
+			if err != nil {
+				return fmt.Errorf("stress: bad size %q: %w", env.Args[1], err)
+			}
+			size = n
+		}
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		// Each rank sends to its successor and receives from its
+		// predecessor, round-robin, messages times.
+		if w.Size() == 1 {
+			return nil
+		}
+		next := (w.Rank() + 1) % w.Size()
+		prev := (w.Rank() - 1 + w.Size()) % w.Size()
+		for i := 0; i < messages; i++ {
+			if err := w.Send(ctx, next, i, payload); err != nil {
+				return err
+			}
+			m, err := w.Recv(ctx, prev, i)
+			if err != nil {
+				return err
+			}
+			if len(m.Data) != size {
+				return fmt.Errorf("stress: message %d truncated: %d of %d bytes", i, len(m.Data), size)
+			}
+		}
+		return w.Barrier(ctx)
+	})
+}

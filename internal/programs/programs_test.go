@@ -1,0 +1,111 @@
+package programs_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gridproxy/internal/node"
+	"gridproxy/internal/programs"
+	"gridproxy/internal/transport"
+)
+
+// runProgram launches one registered program as an n-rank world on a
+// fresh in-memory network and waits for every rank.
+func runProgram(t *testing.T, program string, args []string, n int, hw node.HWProfile) []error {
+	t.Helper()
+	mem := transport.NewMemNetwork()
+	agent := node.New("n0", "s", mem, node.WithHW(hw))
+	t.Cleanup(agent.Stop)
+	programs.RegisterAll(agent)
+
+	table := make(map[int]string, n)
+	for r := 0; r < n; r++ {
+		table[r] = agent.EndpointAddr("app", r)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for r := 0; r < n; r++ {
+		if _, err := agent.Spawn(ctx, node.SpawnSpec{
+			AppID: "app", Program: program, Args: args,
+			Rank: r, WorldSize: n, RankTable: table,
+		}); err != nil {
+			t.Fatalf("spawn rank %d: %v", r, err)
+		}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = agent.Wait(ctx, "app", r)
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+func checkAll(t *testing.T, errs []error) {
+	t.Helper()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestRegisterAll(t *testing.T) {
+	agent := node.New("n0", "s", transport.NewMemNetwork())
+	defer agent.Stop()
+	programs.RegisterAll(agent)
+	got := agent.Programs()
+	want := []string{"pi", "ring", "sleep", "stress"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("programs = %v, want %v", got, want)
+	}
+}
+
+func TestPiProgram(t *testing.T) {
+	// Rank 0 validates the estimate internally; any inaccuracy fails.
+	checkAll(t, runProgram(t, "pi", []string{"100000"}, 4, node.DefaultHW))
+}
+
+func TestPiProgramBadArgs(t *testing.T) {
+	errs := runProgram(t, "pi", []string{"not-a-number"}, 1, node.DefaultHW)
+	if errs[0] == nil {
+		t.Error("bad steps accepted")
+	}
+}
+
+func TestRingProgram(t *testing.T) {
+	checkAll(t, runProgram(t, "ring", []string{"5"}, 5, node.DefaultHW))
+}
+
+func TestRingSingleRank(t *testing.T) {
+	checkAll(t, runProgram(t, "ring", nil, 1, node.DefaultHW))
+}
+
+func TestSleepProgramScalesWithSpeed(t *testing.T) {
+	hwFast := node.HWProfile{Speed: 50, RAMMB: 1024, DiskMB: 1024, RAMPerProcMB: 1}
+	start := time.Now()
+	checkAll(t, runProgram(t, "sleep", []string{"200ms"}, 2, hwFast))
+	// 200ms of reference work at speed 50 → ~4ms; allow generous slack
+	// but far below 200ms.
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("sleep did not scale with node speed: %v", elapsed)
+	}
+}
+
+func TestStressProgram(t *testing.T) {
+	checkAll(t, runProgram(t, "stress", []string{"5", "2048"}, 3, node.DefaultHW))
+}
+
+func TestStressBadArgs(t *testing.T) {
+	errs := runProgram(t, "stress", []string{"x"}, 1, node.DefaultHW)
+	if errs[0] == nil {
+		t.Error("bad message count accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"gridproxy/internal/wire"
+)
+
+// FuzzUnmarshal decodes arbitrary payloads under every registered core
+// message code: decoders must error or succeed, never panic, and
+// successful decodes must re-encode without error.
+func FuzzUnmarshal(f *testing.F) {
+	for _, body := range allBodies() {
+		f.Add(uint16(body.Code()), body.Encode(nil))
+	}
+	f.Add(uint16(CodeHello), []byte{0xFF})
+	f.Add(uint16(0xFFFF), []byte{})
+
+	f.Fuzz(func(t *testing.T, code uint16, payload []byte) {
+		body, err := Unmarshal(Message{Code: Code(code), Corr: 1, Payload: payload})
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode.
+		_ = body.Encode(nil)
+	})
+}
+
+// FuzzReadMessage feeds arbitrary frame streams to the control-message
+// reader.
+func FuzzReadMessage(f *testing.F) {
+	var seed bytes.Buffer
+	w := wire.NewWriter(&seed)
+	_ = WriteMessage(w, Marshal(7, &Hello{Site: "s", Version: Version}))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewReader(bytes.NewReader(data))
+		for {
+			msg, err := ReadMessage(r)
+			if err != nil {
+				return
+			}
+			_, _ = Unmarshal(msg)
+		}
+	})
+}

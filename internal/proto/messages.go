@@ -1,0 +1,896 @@
+package proto
+
+import (
+	"gridproxy/internal/wire"
+)
+
+// init registers the decoders of all core message bodies. Registration is
+// deterministic and has no side effects beyond populating the code
+// registry, which must be complete before any message is decoded.
+func init() {
+	registerCore(CodeHello, func() Body { return &Hello{} })
+	registerCore(CodeHelloAck, func() Body { return &HelloAck{} })
+	registerCore(CodeError, func() Body { return &ErrorBody{} })
+	registerCore(CodePing, func() Body { return &Ping{} })
+	registerCore(CodePong, func() Body { return &Pong{} })
+	registerCore(CodeAuthRequest, func() Body { return &AuthRequest{} })
+	registerCore(CodeAuthReply, func() Body { return &AuthReply{} })
+	registerCore(CodePermCheck, func() Body { return &PermCheck{} })
+	registerCore(CodePermReply, func() Body { return &PermReply{} })
+	registerCore(CodeTicketRequest, func() Body { return &TicketRequest{} })
+	registerCore(CodeTicketReply, func() Body { return &TicketReply{} })
+	registerCore(CodeStatusQuery, func() Body { return &StatusQuery{} })
+	registerCore(CodeStatusReport, func() Body { return &StatusReport{} })
+	registerCore(CodeNodeReport, func() Body { return &NodeReport{} })
+	registerCore(CodeJobSubmit, func() Body { return &JobSubmit{} })
+	registerCore(CodeJobUpdate, func() Body { return &JobUpdate{} })
+	registerCore(CodeJobQuery, func() Body { return &JobQuery{} })
+	registerCore(CodeSpawnRequest, func() Body { return &SpawnRequest{} })
+	registerCore(CodeSpawnReply, func() Body { return &SpawnReply{} })
+	registerCore(CodeStreamOpen, func() Body { return &StreamOpen{} })
+	registerCore(CodeStreamOpenReply, func() Body { return &StreamOpenReply{} })
+	registerCore(CodeRegistryAnnounce, func() Body { return &RegistryAnnounce{} })
+	registerCore(CodeRegistryQuery, func() Body { return &RegistryQuery{} })
+	registerCore(CodeRegistryReply, func() Body { return &RegistryReply{} })
+}
+
+// Hello opens a proxy-to-proxy session.
+type Hello struct {
+	// Site is the announcing proxy's site name.
+	Site string
+	// Version is the protocol version the sender speaks.
+	Version uint16
+	// Capabilities lists optional features ("mpi", "ticket", "webui").
+	Capabilities []string
+}
+
+// Code implements Body.
+func (*Hello) Code() Code { return CodeHello }
+
+// Encode implements Body.
+func (m *Hello) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Site)
+	b = wire.AppendUint16(b, m.Version)
+	b = wire.AppendStringSlice(b, m.Capabilities)
+	return b
+}
+
+// Decode implements Body.
+func (m *Hello) Decode(buf *wire.Buffer) error {
+	m.Site = buf.String()
+	m.Version = buf.Uint16()
+	m.Capabilities = buf.StringSlice()
+	return buf.Err()
+}
+
+// HelloAck accepts a Hello.
+type HelloAck struct {
+	Site    string
+	Version uint16
+}
+
+// Code implements Body.
+func (*HelloAck) Code() Code { return CodeHelloAck }
+
+// Encode implements Body.
+func (m *HelloAck) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Site)
+	b = wire.AppendUint16(b, m.Version)
+	return b
+}
+
+// Decode implements Body.
+func (m *HelloAck) Decode(buf *wire.Buffer) error {
+	m.Site = buf.String()
+	m.Version = buf.Uint16()
+	return buf.Err()
+}
+
+// ErrorBody reports a protocol-level failure.
+type ErrorBody struct {
+	// Status is a machine-readable failure class.
+	Status uint16
+	// Text is a human-readable explanation.
+	Text string
+}
+
+// Error status classes.
+const (
+	StatusInternal uint16 = iota + 1
+	StatusUnauthorized
+	StatusDenied
+	StatusNotFound
+	StatusBadRequest
+	StatusUnavailable
+)
+
+// Code implements Body.
+func (*ErrorBody) Code() Code { return CodeError }
+
+// Encode implements Body.
+func (m *ErrorBody) Encode(b []byte) []byte {
+	b = wire.AppendUint16(b, m.Status)
+	b = wire.AppendString(b, m.Text)
+	return b
+}
+
+// Decode implements Body.
+func (m *ErrorBody) Decode(buf *wire.Buffer) error {
+	m.Status = buf.Uint16()
+	m.Text = buf.String()
+	return buf.Err()
+}
+
+// Ping probes peer liveness.
+type Ping struct{ Nonce uint64 }
+
+// Code implements Body.
+func (*Ping) Code() Code { return CodePing }
+
+// Encode implements Body.
+func (m *Ping) Encode(b []byte) []byte { return wire.AppendUint64(b, m.Nonce) }
+
+// Decode implements Body.
+func (m *Ping) Decode(buf *wire.Buffer) error {
+	m.Nonce = buf.Uint64()
+	return buf.Err()
+}
+
+// Pong answers a Ping, echoing its nonce.
+type Pong struct{ Nonce uint64 }
+
+// Code implements Body.
+func (*Pong) Code() Code { return CodePong }
+
+// Encode implements Body.
+func (m *Pong) Encode(b []byte) []byte { return wire.AppendUint64(b, m.Nonce) }
+
+// Decode implements Body.
+func (m *Pong) Decode(buf *wire.Buffer) error {
+	m.Nonce = buf.Uint64()
+	return buf.Err()
+}
+
+// AuthMethod selects how an AuthRequest proves identity.
+type AuthMethod uint8
+
+// Authentication methods. The paper's first phase uses userid/password plus
+// digital signatures; tickets are the foreseen Kerberos-style replacement.
+const (
+	AuthPassword AuthMethod = iota + 1
+	AuthSignature
+	AuthTicket
+)
+
+// AuthRequest carries user credentials for validation.
+type AuthRequest struct {
+	User string
+	// Method selects which proof fields are meaningful.
+	Method AuthMethod
+	// PasswordProof is the salted proof for AuthPassword.
+	PasswordProof []byte
+	// Challenge and Signature implement AuthSignature: the signature is
+	// over the server-issued challenge.
+	Challenge []byte
+	Signature []byte
+	// Ticket is a sealed session ticket for AuthTicket.
+	Ticket []byte
+}
+
+// Code implements Body.
+func (*AuthRequest) Code() Code { return CodeAuthRequest }
+
+// Encode implements Body.
+func (m *AuthRequest) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.User)
+	b = append(b, byte(m.Method))
+	b = wire.AppendBytes(b, m.PasswordProof)
+	b = wire.AppendBytes(b, m.Challenge)
+	b = wire.AppendBytes(b, m.Signature)
+	b = wire.AppendBytes(b, m.Ticket)
+	return b
+}
+
+// Decode implements Body.
+func (m *AuthRequest) Decode(buf *wire.Buffer) error {
+	m.User = buf.String()
+	m.Method = AuthMethod(buf.Uint8())
+	m.PasswordProof = buf.Bytes()
+	m.Challenge = buf.Bytes()
+	m.Signature = buf.Bytes()
+	m.Ticket = buf.Bytes()
+	return buf.Err()
+}
+
+// AuthReply reports an authentication verdict.
+type AuthReply struct {
+	OK     bool
+	Reason string
+	// Token is an opaque session token the client presents on later
+	// requests.
+	Token []byte
+	// ExpiresUnix is the token expiry (Unix seconds).
+	ExpiresUnix int64
+}
+
+// Code implements Body.
+func (*AuthReply) Code() Code { return CodeAuthReply }
+
+// Encode implements Body.
+func (m *AuthReply) Encode(b []byte) []byte {
+	b = wire.AppendBool(b, m.OK)
+	b = wire.AppendString(b, m.Reason)
+	b = wire.AppendBytes(b, m.Token)
+	b = wire.AppendInt64(b, m.ExpiresUnix)
+	return b
+}
+
+// Decode implements Body.
+func (m *AuthReply) Decode(buf *wire.Buffer) error {
+	m.OK = buf.Bool()
+	m.Reason = buf.String()
+	m.Token = buf.Bytes()
+	m.ExpiresUnix = buf.Int64()
+	return buf.Err()
+}
+
+// PermCheck asks a proxy to validate an access permission.
+type PermCheck struct {
+	User     string
+	Action   string
+	Resource string
+	Token    []byte
+}
+
+// Code implements Body.
+func (*PermCheck) Code() Code { return CodePermCheck }
+
+// Encode implements Body.
+func (m *PermCheck) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.User)
+	b = wire.AppendString(b, m.Action)
+	b = wire.AppendString(b, m.Resource)
+	b = wire.AppendBytes(b, m.Token)
+	return b
+}
+
+// Decode implements Body.
+func (m *PermCheck) Decode(buf *wire.Buffer) error {
+	m.User = buf.String()
+	m.Action = buf.String()
+	m.Resource = buf.String()
+	m.Token = buf.Bytes()
+	return buf.Err()
+}
+
+// PermReply answers a PermCheck.
+type PermReply struct {
+	Allowed bool
+	Reason  string
+}
+
+// Code implements Body.
+func (*PermReply) Code() Code { return CodePermReply }
+
+// Encode implements Body.
+func (m *PermReply) Encode(b []byte) []byte {
+	b = wire.AppendBool(b, m.Allowed)
+	b = wire.AppendString(b, m.Reason)
+	return b
+}
+
+// Decode implements Body.
+func (m *PermReply) Decode(buf *wire.Buffer) error {
+	m.Allowed = buf.Bool()
+	m.Reason = buf.String()
+	return buf.Err()
+}
+
+// TicketRequest asks the ticket-granting service for a session ticket.
+type TicketRequest struct {
+	// TGT is the sealed ticket-granting ticket from initial sign-on.
+	TGT []byte
+	// Service names the target service ("proxy:siteB", "mpi").
+	Service string
+}
+
+// Code implements Body.
+func (*TicketRequest) Code() Code { return CodeTicketRequest }
+
+// Encode implements Body.
+func (m *TicketRequest) Encode(b []byte) []byte {
+	b = wire.AppendBytes(b, m.TGT)
+	b = wire.AppendString(b, m.Service)
+	return b
+}
+
+// Decode implements Body.
+func (m *TicketRequest) Decode(buf *wire.Buffer) error {
+	m.TGT = buf.Bytes()
+	m.Service = buf.String()
+	return buf.Err()
+}
+
+// TicketReply returns a session ticket.
+type TicketReply struct {
+	OK     bool
+	Reason string
+	Ticket []byte
+}
+
+// Code implements Body.
+func (*TicketReply) Code() Code { return CodeTicketReply }
+
+// Encode implements Body.
+func (m *TicketReply) Encode(b []byte) []byte {
+	b = wire.AppendBool(b, m.OK)
+	b = wire.AppendString(b, m.Reason)
+	b = wire.AppendBytes(b, m.Ticket)
+	return b
+}
+
+// Decode implements Body.
+func (m *TicketReply) Decode(buf *wire.Buffer) error {
+	m.OK = buf.Bool()
+	m.Reason = buf.String()
+	m.Ticket = buf.Bytes()
+	return buf.Err()
+}
+
+// StatusQuery asks a proxy for compiled site status. An empty Sites slice
+// requests the responder's own site only; the paper notes it "is not always
+// necessary to check the grid's overall status, but only that of some of
+// the sites".
+type StatusQuery struct {
+	Sites []string
+}
+
+// Code implements Body.
+func (*StatusQuery) Code() Code { return CodeStatusQuery }
+
+// Encode implements Body.
+func (m *StatusQuery) Encode(b []byte) []byte { return wire.AppendStringSlice(b, m.Sites) }
+
+// Decode implements Body.
+func (m *StatusQuery) Decode(buf *wire.Buffer) error {
+	m.Sites = buf.StringSlice()
+	return buf.Err()
+}
+
+// SiteStatus is the wire form of one site's compiled status summary.
+type SiteStatus struct {
+	Site          string
+	Nodes         uint32
+	NodesUp       uint32
+	CPUFreePct    float64
+	RAMFreeMB     int64
+	DiskFreeMB    int64
+	Load1         float64
+	RunningProcs  uint32
+	CollectedUnix int64
+}
+
+func (s *SiteStatus) encode(b []byte) []byte {
+	b = wire.AppendString(b, s.Site)
+	b = wire.AppendUint32(b, s.Nodes)
+	b = wire.AppendUint32(b, s.NodesUp)
+	b = wire.AppendFloat64(b, s.CPUFreePct)
+	b = wire.AppendInt64(b, s.RAMFreeMB)
+	b = wire.AppendInt64(b, s.DiskFreeMB)
+	b = wire.AppendFloat64(b, s.Load1)
+	b = wire.AppendUint32(b, s.RunningProcs)
+	b = wire.AppendInt64(b, s.CollectedUnix)
+	return b
+}
+
+func (s *SiteStatus) decode(buf *wire.Buffer) {
+	s.Site = buf.String()
+	s.Nodes = buf.Uint32()
+	s.NodesUp = buf.Uint32()
+	s.CPUFreePct = buf.Float64()
+	s.RAMFreeMB = buf.Int64()
+	s.DiskFreeMB = buf.Int64()
+	s.Load1 = buf.Float64()
+	s.RunningProcs = buf.Uint32()
+	s.CollectedUnix = buf.Int64()
+}
+
+// StatusReport carries one or more site status summaries.
+type StatusReport struct {
+	Sites []SiteStatus
+}
+
+// Code implements Body.
+func (*StatusReport) Code() Code { return CodeStatusReport }
+
+// Encode implements Body.
+func (m *StatusReport) Encode(b []byte) []byte {
+	b = wire.AppendUint32(b, uint32(len(m.Sites)))
+	for i := range m.Sites {
+		b = m.Sites[i].encode(b)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *StatusReport) Decode(buf *wire.Buffer) error {
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Sites = make([]SiteStatus, n)
+	for i := range m.Sites {
+		m.Sites[i].decode(buf)
+	}
+	return buf.Err()
+}
+
+// NodeReport carries one node's raw statistics to its site proxy.
+type NodeReport struct {
+	Node       string
+	CPUFreePct float64
+	RAMFreeMB  int64
+	DiskFreeMB int64
+	Load1      float64
+	Procs      uint32
+	UnixNano   int64
+}
+
+// Code implements Body.
+func (*NodeReport) Code() Code { return CodeNodeReport }
+
+// Encode implements Body.
+func (m *NodeReport) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Node)
+	b = wire.AppendFloat64(b, m.CPUFreePct)
+	b = wire.AppendInt64(b, m.RAMFreeMB)
+	b = wire.AppendInt64(b, m.DiskFreeMB)
+	b = wire.AppendFloat64(b, m.Load1)
+	b = wire.AppendUint32(b, m.Procs)
+	b = wire.AppendInt64(b, m.UnixNano)
+	return b
+}
+
+// Decode implements Body.
+func (m *NodeReport) Decode(buf *wire.Buffer) error {
+	m.Node = buf.String()
+	m.CPUFreePct = buf.Float64()
+	m.RAMFreeMB = buf.Int64()
+	m.DiskFreeMB = buf.Int64()
+	m.Load1 = buf.Float64()
+	m.Procs = buf.Uint32()
+	m.UnixNano = buf.Int64()
+	return buf.Err()
+}
+
+// JobSubmit submits a job for scheduling.
+type JobSubmit struct {
+	JobID   string
+	Owner   string
+	Program string
+	Args    []string
+	Procs   uint32
+	// Requirements are "key=value" constraint strings understood by the
+	// scheduler (e.g. "min_ram_mb=512").
+	Requirements []string
+}
+
+// Code implements Body.
+func (*JobSubmit) Code() Code { return CodeJobSubmit }
+
+// Encode implements Body.
+func (m *JobSubmit) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.JobID)
+	b = wire.AppendString(b, m.Owner)
+	b = wire.AppendString(b, m.Program)
+	b = wire.AppendStringSlice(b, m.Args)
+	b = wire.AppendUint32(b, m.Procs)
+	b = wire.AppendStringSlice(b, m.Requirements)
+	return b
+}
+
+// Decode implements Body.
+func (m *JobSubmit) Decode(buf *wire.Buffer) error {
+	m.JobID = buf.String()
+	m.Owner = buf.String()
+	m.Program = buf.String()
+	m.Args = buf.StringSlice()
+	m.Procs = buf.Uint32()
+	m.Requirements = buf.StringSlice()
+	return buf.Err()
+}
+
+// JobState enumerates job lifecycle states on the wire.
+type JobState uint8
+
+// Job lifecycle states.
+const (
+	JobQueued JobState = iota + 1
+	JobRunning
+	JobDone
+	JobFailed
+	JobCancelled
+)
+
+// JobUpdate reports a job state transition.
+type JobUpdate struct {
+	JobID  string
+	State  JobState
+	Detail string
+}
+
+// Code implements Body.
+func (*JobUpdate) Code() Code { return CodeJobUpdate }
+
+// Encode implements Body.
+func (m *JobUpdate) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.JobID)
+	b = append(b, byte(m.State))
+	b = wire.AppendString(b, m.Detail)
+	return b
+}
+
+// Decode implements Body.
+func (m *JobUpdate) Decode(buf *wire.Buffer) error {
+	m.JobID = buf.String()
+	m.State = JobState(buf.Uint8())
+	m.Detail = buf.String()
+	return buf.Err()
+}
+
+// JobQuery asks for a job's current state.
+type JobQuery struct {
+	JobID string
+}
+
+// Code implements Body.
+func (*JobQuery) Code() Code { return CodeJobQuery }
+
+// Encode implements Body.
+func (m *JobQuery) Encode(b []byte) []byte { return wire.AppendString(b, m.JobID) }
+
+// Decode implements Body.
+func (m *JobQuery) Decode(buf *wire.Buffer) error {
+	m.JobID = buf.String()
+	return buf.Err()
+}
+
+// RankAssignment maps one MPI rank to a node of the receiving site.
+type RankAssignment struct {
+	Rank uint32
+	Node string
+}
+
+// RankLocation places one rank in the grid; the full location map lets
+// every participating proxy build rank tables and virtual-slave address
+// spaces for its site.
+type RankLocation struct {
+	Rank uint32
+	Site string
+	Node string
+}
+
+// SpawnRequest asks a proxy to start application processes on its nodes.
+type SpawnRequest struct {
+	// AppID identifies the application's address space on the proxies.
+	AppID string
+	// Owner is the submitting user; the destination proxy re-validates
+	// the owner's permission (paper: "validated at the originating and
+	// destination proxies").
+	Owner     string
+	Program   string
+	Args      []string
+	WorldSize uint32
+	// Ranks lists the ranks the receiving proxy must spawn locally.
+	Ranks []RankAssignment
+	// Locations places every rank of the application.
+	Locations []RankLocation
+}
+
+// Code implements Body.
+func (*SpawnRequest) Code() Code { return CodeSpawnRequest }
+
+// Encode implements Body.
+func (m *SpawnRequest) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendString(b, m.Owner)
+	b = wire.AppendString(b, m.Program)
+	b = wire.AppendStringSlice(b, m.Args)
+	b = wire.AppendUint32(b, m.WorldSize)
+	b = wire.AppendUint32(b, uint32(len(m.Ranks)))
+	for _, ra := range m.Ranks {
+		b = wire.AppendUint32(b, ra.Rank)
+		b = wire.AppendString(b, ra.Node)
+	}
+	b = wire.AppendUint32(b, uint32(len(m.Locations)))
+	for _, loc := range m.Locations {
+		b = wire.AppendUint32(b, loc.Rank)
+		b = wire.AppendString(b, loc.Site)
+		b = wire.AppendString(b, loc.Node)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *SpawnRequest) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.Owner = buf.String()
+	m.Program = buf.String()
+	m.Args = buf.StringSlice()
+	m.WorldSize = buf.Uint32()
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Ranks = make([]RankAssignment, n)
+	for i := range m.Ranks {
+		m.Ranks[i].Rank = buf.Uint32()
+		m.Ranks[i].Node = buf.String()
+	}
+	nl := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if nl > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Locations = make([]RankLocation, nl)
+	for i := range m.Locations {
+		m.Locations[i].Rank = buf.Uint32()
+		m.Locations[i].Site = buf.String()
+		m.Locations[i].Node = buf.String()
+	}
+	return buf.Err()
+}
+
+// RankEndpoint reports where a spawned rank is listening.
+type RankEndpoint struct {
+	Rank uint32
+	Addr string
+}
+
+// SpawnReply acknowledges a SpawnRequest.
+type SpawnReply struct {
+	AppID     string
+	OK        bool
+	Reason    string
+	Endpoints []RankEndpoint
+}
+
+// Code implements Body.
+func (*SpawnReply) Code() Code { return CodeSpawnReply }
+
+// Encode implements Body.
+func (m *SpawnReply) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendBool(b, m.OK)
+	b = wire.AppendString(b, m.Reason)
+	b = wire.AppendUint32(b, uint32(len(m.Endpoints)))
+	for _, ep := range m.Endpoints {
+		b = wire.AppendUint32(b, ep.Rank)
+		b = wire.AppendString(b, ep.Addr)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *SpawnReply) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.OK = buf.Bool()
+	m.Reason = buf.String()
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Endpoints = make([]RankEndpoint, n)
+	for i := range m.Endpoints {
+		m.Endpoints[i].Rank = buf.Uint32()
+		m.Endpoints[i].Addr = buf.String()
+	}
+	return buf.Err()
+}
+
+// StreamKind describes what a spliced tunnel stream carries.
+type StreamKind uint8
+
+// Stream kinds.
+const (
+	// StreamData is generic application data (the secure-tunnel use
+	// case).
+	StreamData StreamKind = iota + 1
+	// StreamMPI carries MPI traffic between a virtual slave and a real
+	// rank.
+	StreamMPI
+)
+
+// StreamOpen asks a proxy to splice a stream. Between proxies it is the
+// tunnel-stream metadata naming the target endpoint inside the receiving
+// site. From a local client to its own proxy it additionally names the
+// destination site and carries the client's session token.
+type StreamOpen struct {
+	AppID string
+	// TargetSite is the destination site (local splice requests only;
+	// empty between proxies, where the stream itself implies the site).
+	TargetSite string
+	// TargetNode is the destination node name; TargetAddr its service
+	// address inside the site.
+	TargetNode string
+	TargetAddr string
+	Kind       StreamKind
+	// Token authenticates a local splice request.
+	Token []byte
+}
+
+// Code implements Body.
+func (*StreamOpen) Code() Code { return CodeStreamOpen }
+
+// Encode implements Body.
+func (m *StreamOpen) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendString(b, m.TargetSite)
+	b = wire.AppendString(b, m.TargetNode)
+	b = wire.AppendString(b, m.TargetAddr)
+	b = append(b, byte(m.Kind))
+	b = wire.AppendBytes(b, m.Token)
+	return b
+}
+
+// Decode implements Body.
+func (m *StreamOpen) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.TargetSite = buf.String()
+	m.TargetNode = buf.String()
+	m.TargetAddr = buf.String()
+	m.Kind = StreamKind(buf.Uint8())
+	m.Token = buf.Bytes()
+	return buf.Err()
+}
+
+// StreamOpenReply confirms or refuses a StreamOpen.
+type StreamOpenReply struct {
+	OK     bool
+	Reason string
+}
+
+// Code implements Body.
+func (*StreamOpenReply) Code() Code { return CodeStreamOpenReply }
+
+// Encode implements Body.
+func (m *StreamOpenReply) Encode(b []byte) []byte {
+	b = wire.AppendBool(b, m.OK)
+	b = wire.AppendString(b, m.Reason)
+	return b
+}
+
+// Decode implements Body.
+func (m *StreamOpenReply) Decode(buf *wire.Buffer) error {
+	m.OK = buf.Bool()
+	m.Reason = buf.String()
+	return buf.Err()
+}
+
+// Resource is the wire form of a registry entry.
+type Resource struct {
+	Name string
+	Kind string
+	Site string
+	// Attrs are "key=value" attribute strings.
+	Attrs []string
+}
+
+func (r *Resource) encode(b []byte) []byte {
+	b = wire.AppendString(b, r.Name)
+	b = wire.AppendString(b, r.Kind)
+	b = wire.AppendString(b, r.Site)
+	b = wire.AppendStringSlice(b, r.Attrs)
+	return b
+}
+
+func (r *Resource) decode(buf *wire.Buffer) {
+	r.Name = buf.String()
+	r.Kind = buf.String()
+	r.Site = buf.String()
+	r.Attrs = buf.StringSlice()
+}
+
+// RegistryAnnounce advertises resources owned by a site.
+type RegistryAnnounce struct {
+	Site      string
+	Resources []Resource
+}
+
+// Code implements Body.
+func (*RegistryAnnounce) Code() Code { return CodeRegistryAnnounce }
+
+// Encode implements Body.
+func (m *RegistryAnnounce) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Site)
+	b = wire.AppendUint32(b, uint32(len(m.Resources)))
+	for i := range m.Resources {
+		b = m.Resources[i].encode(b)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *RegistryAnnounce) Decode(buf *wire.Buffer) error {
+	m.Site = buf.String()
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Resources = make([]Resource, n)
+	for i := range m.Resources {
+		m.Resources[i].decode(buf)
+	}
+	return buf.Err()
+}
+
+// RegistryQuery looks up resources across the grid.
+type RegistryQuery struct {
+	Kind string
+	// Attrs are "key=value" constraints; all must match.
+	Attrs []string
+}
+
+// Code implements Body.
+func (*RegistryQuery) Code() Code { return CodeRegistryQuery }
+
+// Encode implements Body.
+func (m *RegistryQuery) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Kind)
+	b = wire.AppendStringSlice(b, m.Attrs)
+	return b
+}
+
+// Decode implements Body.
+func (m *RegistryQuery) Decode(buf *wire.Buffer) error {
+	m.Kind = buf.String()
+	m.Attrs = buf.StringSlice()
+	return buf.Err()
+}
+
+// RegistryReply answers a RegistryQuery.
+type RegistryReply struct {
+	Resources []Resource
+}
+
+// Code implements Body.
+func (*RegistryReply) Code() Code { return CodeRegistryReply }
+
+// Encode implements Body.
+func (m *RegistryReply) Encode(b []byte) []byte {
+	b = wire.AppendUint32(b, uint32(len(m.Resources)))
+	for i := range m.Resources {
+		b = m.Resources[i].encode(b)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *RegistryReply) Decode(buf *wire.Buffer) error {
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Resources = make([]Resource, n)
+	for i := range m.Resources {
+		m.Resources[i].decode(buf)
+	}
+	return buf.Err()
+}

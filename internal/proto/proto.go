@@ -1,0 +1,215 @@
+// Package proto defines the inter-proxy control protocol of the grid.
+//
+// The paper (Section 3) standardizes control communication "through the
+// creation of a protocol used among the proxies" whose codes "can be
+// expanded to deal with a new situation". Accordingly this package keeps an
+// open registry of message codes: every message is a (Code, CorrelationID,
+// Payload) triple framed by package wire, and new codes can be registered
+// by extensions without touching the dispatcher.
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gridproxy/internal/wire"
+)
+
+// Code identifies a control-protocol message type. Codes below 0x1000 are
+// reserved for the core protocol; extensions register codes at or above
+// ExtensionBase.
+type Code uint16
+
+// ExtensionBase is the first Code available to protocol extensions.
+const ExtensionBase Code = 0x1000
+
+// Core protocol codes.
+const (
+	CodeInvalid Code = iota
+	// CodeHello opens a proxy-to-proxy session: announces site name,
+	// protocol version and capabilities.
+	CodeHello
+	// CodeHelloAck accepts a Hello.
+	CodeHelloAck
+	// CodeError reports a protocol-level failure, correlated to the
+	// request that caused it.
+	CodeError
+	// CodePing and CodePong implement liveness probing.
+	CodePing
+	CodePong
+
+	// CodeAuthRequest carries user credentials (password proof and/or
+	// digital signature) for validation at the destination proxy.
+	CodeAuthRequest
+	// CodeAuthReply reports the authentication verdict and, on success,
+	// a session token.
+	CodeAuthReply
+	// CodePermCheck asks the destination proxy to validate an access
+	// permission for an authenticated user (the paper validates
+	// permissions at both originating and destination proxies).
+	CodePermCheck
+	// CodePermReply answers a CodePermCheck.
+	CodePermReply
+	// CodeTicketRequest asks the ticket service for a session ticket.
+	CodeTicketRequest
+	// CodeTicketReply returns a session ticket.
+	CodeTicketReply
+
+	// CodeStatusQuery asks a proxy for its site's compiled status.
+	CodeStatusQuery
+	// CodeStatusReport carries a site status summary.
+	CodeStatusReport
+	// CodeNodeReport carries one node's raw stats (node agent to its
+	// site proxy).
+	CodeNodeReport
+
+	// CodeJobSubmit submits a job for scheduling at a site.
+	CodeJobSubmit
+	// CodeJobUpdate reports job state transitions.
+	CodeJobUpdate
+
+	// CodeSpawnRequest asks a proxy to start application processes on
+	// nodes of its site (used by the MPI launcher).
+	CodeSpawnRequest
+	// CodeSpawnReply acknowledges a spawn, listing the endpoints of the
+	// started processes.
+	CodeSpawnReply
+
+	// CodeStreamOpen asks the peer proxy to splice a new tunnel stream
+	// to a node endpoint inside its site.
+	CodeStreamOpen
+	// CodeStreamOpenReply confirms or refuses the splice.
+	CodeStreamOpenReply
+
+	// CodeJobQuery asks for a job's current state; the reply is a
+	// CodeJobUpdate.
+	CodeJobQuery
+
+	// CodeRegistryAnnounce advertises resources owned by a site.
+	CodeRegistryAnnounce
+	// CodeRegistryQuery looks resources up across the grid.
+	CodeRegistryQuery
+	// CodeRegistryReply answers a registry query.
+	CodeRegistryReply
+)
+
+// Version is the control-protocol version spoken by this build.
+const Version uint16 = 1
+
+// Message is one control-protocol exchange unit.
+type Message struct {
+	// Code selects the payload type.
+	Code Code
+	// Corr correlates replies to requests. Requests carry a fresh
+	// nonzero value; replies echo it.
+	Corr uint64
+	// Payload is the encoded message body.
+	Payload []byte
+}
+
+// Protocol errors.
+var (
+	// ErrUnknownCode indicates a message whose code has no registered
+	// decoder.
+	ErrUnknownCode = errors.New("proto: unknown message code")
+	// ErrVersionMismatch indicates the peer speaks an incompatible
+	// protocol version.
+	ErrVersionMismatch = errors.New("proto: protocol version mismatch")
+)
+
+// Body is implemented by every typed message body.
+type Body interface {
+	// Code returns the message code this body encodes as.
+	Code() Code
+	// Encode appends the body's wire form to b.
+	Encode(b []byte) []byte
+	// Decode parses the body from a wire buffer.
+	Decode(buf *wire.Buffer) error
+}
+
+// registry maps codes to factory functions for decoding. Extensions add
+// entries via Register.
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[Code]func() Body)
+)
+
+// Register associates a code with a Body factory so Decode can produce
+// typed bodies. Registering a core code (below ExtensionBase) outside this
+// package panics, as does double registration: both are programmer errors.
+func Register(code Code, factory func() Body) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[code]; dup {
+		panic(fmt.Sprintf("proto: duplicate registration for code %#x", uint16(code)))
+	}
+	registry[code] = factory
+}
+
+func registerCore(code Code, factory func() Body) {
+	registry[code] = factory
+}
+
+// NewBody returns an empty Body for the given code, or ErrUnknownCode.
+func NewBody(code Code) (Body, error) {
+	registryMu.RLock()
+	factory, ok := registry[code]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %#x", ErrUnknownCode, uint16(code))
+	}
+	return factory(), nil
+}
+
+// Marshal encodes a typed body into a Message with the given correlation
+// id.
+func Marshal(corr uint64, body Body) Message {
+	return Message{Code: body.Code(), Corr: corr, Payload: body.Encode(nil)}
+}
+
+// Unmarshal decodes the payload of msg into its registered Body type.
+func Unmarshal(msg Message) (Body, error) {
+	body, err := NewBody(msg.Code)
+	if err != nil {
+		return nil, err
+	}
+	buf := wire.NewBuffer(msg.Payload)
+	if err := body.Decode(buf); err != nil {
+		return nil, fmt.Errorf("proto: decode code %#x: %w", uint16(msg.Code), err)
+	}
+	return body, nil
+}
+
+// frameTypeControl is the wire frame type used for control messages.
+const frameTypeControl byte = 0x01
+
+// WriteMessage frames and writes msg.
+func WriteMessage(w *wire.Writer, msg Message) error {
+	b := make([]byte, 0, 10+len(msg.Payload))
+	b = wire.AppendUint16(b, uint16(msg.Code))
+	b = wire.AppendUint64(b, msg.Corr)
+	b = append(b, msg.Payload...)
+	return w.WriteFrame(frameTypeControl, b)
+}
+
+// ReadMessage reads the next control message from r.
+func ReadMessage(r *wire.Reader) (Message, error) {
+	frame, err := r.ReadFrame()
+	if err != nil {
+		return Message{}, err
+	}
+	if frame.Type != frameTypeControl {
+		return Message{}, fmt.Errorf("proto: unexpected frame type %#x", frame.Type)
+	}
+	if len(frame.Payload) < 10 {
+		return Message{}, wire.ErrTruncated
+	}
+	buf := wire.NewBuffer(frame.Payload)
+	msg := Message{
+		Code: Code(buf.Uint16()),
+		Corr: buf.Uint64(),
+	}
+	msg.Payload = frame.Payload[10:]
+	return msg, buf.Err()
+}

@@ -1,0 +1,188 @@
+package proto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gridproxy/internal/wire"
+)
+
+// allBodies returns one populated instance of every core message body.
+func allBodies() []Body {
+	return []Body{
+		&Hello{Site: "ufscar", Version: Version, Capabilities: []string{"mpi", "ticket"}},
+		&HelloAck{Site: "remote", Version: Version},
+		&ErrorBody{Status: StatusDenied, Text: "no permission"},
+		&Ping{Nonce: 12345},
+		&Pong{Nonce: 12345},
+		&AuthRequest{
+			User: "alice", Method: AuthSignature,
+			PasswordProof: []byte{1, 2}, Challenge: []byte{3}, Signature: []byte{4, 5, 6},
+			Ticket: []byte{7},
+		},
+		&AuthReply{OK: true, Reason: "", Token: []byte("tok"), ExpiresUnix: 1720000000},
+		&PermCheck{User: "bob", Action: "submit", Resource: "site:b", Token: []byte("t")},
+		&PermReply{Allowed: false, Reason: "group denied"},
+		&TicketRequest{TGT: []byte("tgt"), Service: "proxy:siteB"},
+		&TicketReply{OK: true, Ticket: []byte("ticket")},
+		&StatusQuery{Sites: []string{"a", "b"}},
+		&StatusReport{Sites: []SiteStatus{{
+			Site: "a", Nodes: 16, NodesUp: 15, CPUFreePct: 42.5,
+			RAMFreeMB: 2048, DiskFreeMB: 100000, Load1: 0.7,
+			RunningProcs: 12, CollectedUnix: 1720000000,
+		}}},
+		&NodeReport{Node: "n1", CPUFreePct: 99, RAMFreeMB: 512, DiskFreeMB: 1000, Load1: 0.1, Procs: 3, UnixNano: 42},
+		&JobSubmit{JobID: "j1", Owner: "alice", Program: "pi", Args: []string{"-n", "1e6"}, Procs: 8, Requirements: []string{"min_ram_mb=256"}},
+		&JobUpdate{JobID: "j1", State: JobRunning, Detail: "started"},
+		&SpawnRequest{
+			AppID: "app-1", Owner: "alice", Program: "pi", Args: []string{"x"}, WorldSize: 4,
+			Ranks: []RankAssignment{{Rank: 1, Node: "n1"}, {Rank: 2, Node: "n2"}},
+			Locations: []RankLocation{
+				{Rank: 0, Site: "a", Node: "n0"},
+				{Rank: 1, Site: "b", Node: "n1"},
+			},
+		},
+		&JobQuery{JobID: "j1"},
+		&SpawnReply{AppID: "app-1", OK: true, Endpoints: []RankEndpoint{{Rank: 1, Addr: "n1:7001"}}},
+		&StreamOpen{AppID: "app-1", TargetNode: "n1", TargetAddr: "n1:7001", Kind: StreamMPI},
+		&StreamOpenReply{OK: true},
+		&RegistryAnnounce{Site: "a", Resources: []Resource{{Name: "n1", Kind: "node", Site: "a", Attrs: []string{"ram_mb=1024"}}}},
+		&RegistryQuery{Kind: "node", Attrs: []string{"ram_mb=1024"}},
+		&RegistryReply{Resources: []Resource{{Name: "n1", Kind: "node", Site: "a"}}},
+	}
+}
+
+func TestAllBodiesRoundTrip(t *testing.T) {
+	for _, body := range allBodies() {
+		name := reflect.TypeOf(body).Elem().Name()
+		t.Run(name, func(t *testing.T) {
+			msg := Marshal(77, body)
+			if msg.Code != body.Code() {
+				t.Fatalf("Marshal code = %v, want %v", msg.Code, body.Code())
+			}
+			decoded, err := Unmarshal(msg)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(normalize(decoded), normalize(body)) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", decoded, body)
+			}
+		})
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form so DeepEqual
+// compares semantic content. Encoding empty and nil slices identically is
+// part of the wire contract.
+func normalize(b Body) Body {
+	v := reflect.ValueOf(b).Elem()
+	normalizeValue(v)
+	return b
+}
+
+func normalizeValue(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Slice:
+		if v.Len() == 0 && !v.IsNil() {
+			v.Set(reflect.Zero(v.Type()))
+		}
+		for i := 0; i < v.Len(); i++ {
+			normalizeValue(v.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			normalizeValue(v.Field(i))
+		}
+	}
+}
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	want := Marshal(99, &Hello{Site: "s", Version: 1})
+	if err := WriteMessage(w, want); err != nil {
+		t.Fatalf("WriteMessage: %v", err)
+	}
+	r := wire.NewReader(&buf)
+	got, err := ReadMessage(r)
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if got.Code != want.Code || got.Corr != want.Corr || !bytes.Equal(got.Payload, want.Payload) {
+		t.Errorf("message mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestUnknownCode(t *testing.T) {
+	_, err := Unmarshal(Message{Code: 0x0FFF})
+	if err == nil {
+		t.Fatal("expected error for unknown code")
+	}
+}
+
+func TestExtensionRegistration(t *testing.T) {
+	type extBody struct{ Hello } // reuse encoding, different code
+	const extCode = ExtensionBase + 42
+	Register(extCode, func() Body { return &extBody{} })
+	defer func() {
+		registryMu.Lock()
+		delete(registry, extCode)
+		registryMu.Unlock()
+	}()
+	body, err := NewBody(extCode)
+	if err != nil {
+		t.Fatalf("NewBody(ext): %v", err)
+	}
+	if _, ok := body.(*extBody); !ok {
+		t.Errorf("NewBody returned %T", body)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	const code = ExtensionBase + 43
+	Register(code, func() Body { return &Hello{} })
+	defer func() {
+		registryMu.Lock()
+		delete(registry, code)
+		registryMu.Unlock()
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate registration")
+		}
+	}()
+	Register(code, func() Body { return &Hello{} })
+}
+
+func TestDecodeCorruptPayloadsNeverPanic(t *testing.T) {
+	codes := []Code{
+		CodeHello, CodeAuthRequest, CodeStatusReport, CodeSpawnRequest,
+		CodeRegistryAnnounce, CodeJobSubmit, CodeSpawnReply, CodeRegistryReply,
+	}
+	f := func(raw []byte, pick uint8) bool {
+		code := codes[int(pick)%len(codes)]
+		body, err := NewBody(code)
+		if err != nil {
+			return false
+		}
+		// Must not panic; error is fine.
+		_ = body.Decode(wire.NewBuffer(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadMessageRejectsShortPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	if err := w.WriteFrame(0x01, []byte{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(wire.NewReader(&buf)); err == nil {
+		t.Error("expected error for short control payload")
+	}
+}

@@ -1,0 +1,193 @@
+// Package registry implements the grid's resource-location service (paper
+// layer 3: "load balancing, information collector, and resource location
+// services"). Each site's proxy announces the resources it owns (nodes,
+// services, storage); queries match on resource kind and attribute
+// constraints across all announced sites.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gridproxy/internal/proto"
+)
+
+// Resource is one locatable grid resource.
+type Resource struct {
+	// Name is unique within (Site, Kind).
+	Name string
+	// Kind classifies the resource: "node", "service", "storage".
+	Kind string
+	// Site is the owning site.
+	Site string
+	// Attrs are free-form attributes ("ram_mb": "1024", "arch": "x86").
+	Attrs map[string]string
+}
+
+// ToProto converts the resource to its wire form (attributes flattened to
+// sorted "key=value" strings).
+func (r Resource) ToProto() proto.Resource {
+	attrs := make([]string, 0, len(r.Attrs))
+	for k, v := range r.Attrs {
+		attrs = append(attrs, k+"="+v)
+	}
+	sort.Strings(attrs)
+	return proto.Resource{Name: r.Name, Kind: r.Kind, Site: r.Site, Attrs: attrs}
+}
+
+// FromProto converts the wire form back. Malformed attribute strings
+// (no '=') are skipped.
+func FromProto(p proto.Resource) Resource {
+	attrs := make(map[string]string, len(p.Attrs))
+	for _, kv := range p.Attrs {
+		if k, v, ok := strings.Cut(kv, "="); ok {
+			attrs[k] = v
+		}
+	}
+	return Resource{Name: p.Name, Kind: p.Kind, Site: p.Site, Attrs: attrs}
+}
+
+// Query selects resources. Zero fields match everything.
+type Query struct {
+	// Kind, if nonempty, must equal the resource kind.
+	Kind string
+	// Site, if nonempty, restricts to one site.
+	Site string
+	// Attrs constraints must all be present and equal.
+	Attrs map[string]string
+}
+
+// Matches reports whether r satisfies q.
+func (q Query) Matches(r Resource) bool {
+	if q.Kind != "" && q.Kind != r.Kind {
+		return false
+	}
+	if q.Site != "" && q.Site != r.Site {
+		return false
+	}
+	for k, want := range q.Attrs {
+		if got, ok := r.Attrs[k]; !ok || got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Registry stores announced resources. It is safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	// perSite maps site -> resource key -> Resource.
+	perSite map[string]map[string]Resource
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{perSite: make(map[string]map[string]Resource)}
+}
+
+func key(r Resource) string { return r.Kind + "/" + r.Name }
+
+// Announce replaces the full resource set of a site. The paper's proxies
+// periodically re-announce their site inventory; replacement semantics make
+// the announcement idempotent and self-healing.
+func (g *Registry) Announce(site string, resources []Resource) error {
+	set := make(map[string]Resource, len(resources))
+	for _, r := range resources {
+		if r.Site != site {
+			return fmt.Errorf("registry: resource %q announces site %q from site %q", r.Name, r.Site, site)
+		}
+		set[key(r)] = r
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.perSite[site] = set
+	return nil
+}
+
+// Add inserts or updates a single resource.
+func (g *Registry) Add(r Resource) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set, ok := g.perSite[r.Site]
+	if !ok {
+		set = make(map[string]Resource)
+		g.perSite[r.Site] = set
+	}
+	set[key(r)] = r
+}
+
+// RemoveSite drops everything a site announced (site departed or its proxy
+// failed). Containing the loss of one site to its own resources is the
+// paper's failure-isolation argument (E7).
+func (g *Registry) RemoveSite(site string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.perSite, site)
+}
+
+// Lookup returns all resources matching q, sorted by (site, kind, name).
+func (g *Registry) Lookup(q Query) []Resource {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Resource
+	for site, set := range g.perSite {
+		if q.Site != "" && q.Site != site {
+			continue
+		}
+		for _, r := range set {
+			if q.Matches(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Sites returns the sites with at least one announced resource, sorted.
+func (g *Registry) Sites() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sites := make([]string, 0, len(g.perSite))
+	for site := range g.perSite {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// Len returns the total number of resources.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, set := range g.perSite {
+		n += len(set)
+	}
+	return n
+}
+
+// ParseConstraints converts "key=value" strings (the wire form of query
+// attributes) into a map, rejecting malformed entries.
+func ParseConstraints(kvs []string) (map[string]string, error) {
+	attrs := make(map[string]string, len(kvs))
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("registry: malformed constraint %q", kv)
+		}
+		attrs[k] = v
+	}
+	return attrs, nil
+}

@@ -1,0 +1,171 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func res(site, kind, name string, attrs map[string]string) Resource {
+	return Resource{Name: name, Kind: kind, Site: site, Attrs: attrs}
+}
+
+func TestAnnounceAndLookup(t *testing.T) {
+	r := New()
+	err := r.Announce("siteA", []Resource{
+		res("siteA", "node", "n1", map[string]string{"arch": "x86", "ram_mb": "1024"}),
+		res("siteA", "node", "n2", map[string]string{"arch": "arm"}),
+		res("siteA", "service", "mpi", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Announce("siteB", []Resource{
+		res("siteB", "node", "n1", map[string]string{"arch": "x86"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	all := r.Lookup(Query{})
+	if len(all) != 4 {
+		t.Fatalf("Lookup all = %d resources", len(all))
+	}
+	nodes := r.Lookup(Query{Kind: "node"})
+	if len(nodes) != 3 {
+		t.Errorf("nodes = %d", len(nodes))
+	}
+	x86 := r.Lookup(Query{Kind: "node", Attrs: map[string]string{"arch": "x86"}})
+	if len(x86) != 2 {
+		t.Errorf("x86 nodes = %d", len(x86))
+	}
+	siteA := r.Lookup(Query{Site: "siteA"})
+	if len(siteA) != 3 {
+		t.Errorf("siteA = %d", len(siteA))
+	}
+	none := r.Lookup(Query{Kind: "node", Attrs: map[string]string{"arch": "sparc"}})
+	if len(none) != 0 {
+		t.Errorf("sparc = %d", len(none))
+	}
+}
+
+func TestLookupSorted(t *testing.T) {
+	r := New()
+	_ = r.Announce("b", []Resource{res("b", "node", "z", nil), res("b", "node", "a", nil)})
+	_ = r.Announce("a", []Resource{res("a", "node", "m", nil)})
+	got := r.Lookup(Query{})
+	var names []string
+	for _, x := range got {
+		names = append(names, x.Site+"/"+x.Name)
+	}
+	want := []string{"a/m", "b/a", "b/z"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("order = %v, want %v", names, want)
+	}
+}
+
+func TestAnnounceReplaces(t *testing.T) {
+	r := New()
+	_ = r.Announce("s", []Resource{res("s", "node", "n1", nil), res("s", "node", "n2", nil)})
+	_ = r.Announce("s", []Resource{res("s", "node", "n3", nil)})
+	got := r.Lookup(Query{Site: "s"})
+	if len(got) != 1 || got[0].Name != "n3" {
+		t.Errorf("after replace = %+v", got)
+	}
+}
+
+func TestAnnounceRejectsForeignSite(t *testing.T) {
+	r := New()
+	err := r.Announce("siteA", []Resource{res("siteB", "node", "n1", nil)})
+	if err == nil {
+		t.Error("cross-site announcement accepted")
+	}
+}
+
+func TestRemoveSiteIsolatesFailure(t *testing.T) {
+	r := New()
+	_ = r.Announce("a", []Resource{res("a", "node", "n1", nil)})
+	_ = r.Announce("b", []Resource{res("b", "node", "n1", nil)})
+	r.RemoveSite("a")
+	if got := r.Lookup(Query{}); len(got) != 1 || got[0].Site != "b" {
+		t.Errorf("after RemoveSite = %+v", got)
+	}
+	if sites := r.Sites(); len(sites) != 1 || sites[0] != "b" {
+		t.Errorf("Sites = %v", sites)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	r := New()
+	r.Add(res("s", "node", "n1", nil))
+	r.Add(res("s", "node", "n1", map[string]string{"ram_mb": "42"})) // update
+	got := r.Lookup(Query{})
+	if len(got) != 1 || got[0].Attrs["ram_mb"] != "42" {
+		t.Errorf("Add/update = %+v", got)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	orig := res("s", "node", "n1", map[string]string{"b": "2", "a": "1"})
+	p := orig.ToProto()
+	// Attributes must be sorted for deterministic wire encoding.
+	if !reflect.DeepEqual(p.Attrs, []string{"a=1", "b=2"}) {
+		t.Errorf("Attrs = %v", p.Attrs)
+	}
+	back := FromProto(p)
+	if !reflect.DeepEqual(back, orig) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, orig)
+	}
+}
+
+func TestFromProtoSkipsMalformed(t *testing.T) {
+	p := res("s", "node", "n1", nil).ToProto()
+	p.Attrs = []string{"ok=1", "malformed"}
+	back := FromProto(p)
+	if len(back.Attrs) != 1 || back.Attrs["ok"] != "1" {
+		t.Errorf("Attrs = %v", back.Attrs)
+	}
+}
+
+func TestParseConstraints(t *testing.T) {
+	got, err := ParseConstraints([]string{"a=1", "b=x=y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != "1" || got["b"] != "x=y" {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseConstraints([]string{"noequals"}); err == nil {
+		t.Error("malformed constraint accepted")
+	}
+	if _, err := ParseConstraints([]string{"=v"}); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestQueryMatchesTable(t *testing.T) {
+	r := res("s", "node", "n1", map[string]string{"arch": "x86", "gpu": "none"})
+	tests := []struct {
+		name string
+		q    Query
+		want bool
+	}{
+		{"empty", Query{}, true},
+		{"kind", Query{Kind: "node"}, true},
+		{"wrong kind", Query{Kind: "service"}, false},
+		{"site", Query{Site: "s"}, true},
+		{"wrong site", Query{Site: "t"}, false},
+		{"one attr", Query{Attrs: map[string]string{"arch": "x86"}}, true},
+		{"two attrs", Query{Attrs: map[string]string{"arch": "x86", "gpu": "none"}}, true},
+		{"wrong attr", Query{Attrs: map[string]string{"arch": "arm"}}, false},
+		{"missing attr", Query{Attrs: map[string]string{"disk": "ssd"}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.q.Matches(r); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

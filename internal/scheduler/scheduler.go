@@ -1,0 +1,388 @@
+// Package scheduler implements the grid's resource-scheduling layer: a job
+// queue plus placement of job processes onto nodes using a balance.Policy
+// and the live status from package monitor. The paper's proxy "distributes
+// the processes throughout the grid, creating the virtual slaves and
+// associating them with the real nodes" — this package decides that
+// association.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gridproxy/internal/balance"
+	"gridproxy/internal/proto"
+)
+
+// Package errors.
+var (
+	// ErrUnknownJob is returned for operations on unknown job ids.
+	ErrUnknownJob = errors.New("scheduler: unknown job")
+	// ErrNoEligibleNodes is returned when requirements filter out every
+	// candidate.
+	ErrNoEligibleNodes = errors.New("scheduler: no nodes satisfy the job requirements")
+	// ErrBadState is returned for transitions a job cannot make.
+	ErrBadState = errors.New("scheduler: invalid job state transition")
+)
+
+// Task is one schedulable process of a job.
+type Task struct {
+	// ID is unique within the job.
+	ID string
+	// Work is the task's abstract compute demand; a node with Speed s
+	// completes it in Work/s time units (used by the simulator and E3).
+	Work float64
+}
+
+// Requirements constrain which nodes a job may use.
+type Requirements struct {
+	// MinRAMMB excludes nodes with less free memory.
+	MinRAMMB int64
+	// Site, if nonempty, pins the job to one site.
+	Site string
+}
+
+// Job is a unit of submitted work.
+type Job struct {
+	ID           string
+	Owner        string
+	Program      string
+	Args         []string
+	Tasks        []Task
+	Requirements Requirements
+	Submitted    time.Time
+}
+
+// Placement maps one task to a node.
+type Placement struct {
+	TaskID string
+	Node   string
+	Site   string
+}
+
+// Status reports a job's current state.
+type Status struct {
+	Job        Job
+	State      proto.JobState
+	Detail     string
+	Placements []Placement
+	// Remaining counts tasks not yet completed.
+	Remaining int
+}
+
+// NodeSource supplies the current candidate nodes. The proxy implements it
+// from its monitor.Global view.
+type NodeSource interface {
+	Candidates() []balance.NodeInfo
+}
+
+// NodeSourceFunc adapts a function to NodeSource.
+type NodeSourceFunc func() []balance.NodeInfo
+
+// Candidates implements NodeSource.
+func (f NodeSourceFunc) Candidates() []balance.NodeInfo { return f() }
+
+type jobRecord struct {
+	job        Job
+	state      proto.JobState
+	detail     string
+	placements []Placement
+	remaining  map[string]bool // task ids not yet complete
+}
+
+// Scheduler queues jobs and places their tasks. It is safe for concurrent
+// use.
+type Scheduler struct {
+	policy balance.Policy
+	source NodeSource
+	clock  func() time.Time
+
+	mu      sync.Mutex
+	jobs    map[string]*jobRecord
+	queue   []string // job ids in submission order, still queued
+	running map[string]int
+}
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithClock overrides the time source (tests).
+func WithClock(clock func() time.Time) Option {
+	return func(s *Scheduler) { s.clock = clock }
+}
+
+// New creates a scheduler using the given placement policy and node
+// source.
+func New(policy balance.Policy, source NodeSource, opts ...Option) *Scheduler {
+	s := &Scheduler{
+		policy:  policy,
+		source:  source,
+		clock:   time.Now,
+		jobs:    make(map[string]*jobRecord),
+		running: make(map[string]int),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Policy returns the placement policy in use.
+func (s *Scheduler) Policy() balance.Policy { return s.policy }
+
+// Submit queues a job. Job ids must be unique; empty task lists are
+// rejected.
+func (s *Scheduler) Submit(job Job) error {
+	if job.ID == "" {
+		return errors.New("scheduler: empty job id")
+	}
+	if len(job.Tasks) == 0 {
+		return fmt.Errorf("scheduler: job %q has no tasks", job.ID)
+	}
+	seen := make(map[string]bool, len(job.Tasks))
+	for _, task := range job.Tasks {
+		if task.ID == "" || seen[task.ID] {
+			return fmt.Errorf("scheduler: job %q has duplicate or empty task id %q", job.ID, task.ID)
+		}
+		seen[task.ID] = true
+	}
+	if job.Submitted.IsZero() {
+		job.Submitted = s.clock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.jobs[job.ID]; dup {
+		return fmt.Errorf("scheduler: duplicate job id %q", job.ID)
+	}
+	remaining := make(map[string]bool, len(job.Tasks))
+	for _, task := range job.Tasks {
+		remaining[task.ID] = true
+	}
+	s.jobs[job.ID] = &jobRecord{job: job, state: proto.JobQueued, remaining: remaining}
+	s.queue = append(s.queue, job.ID)
+	return nil
+}
+
+// eligible filters candidates by the job's requirements and overlays the
+// scheduler's own running counts.
+func (s *Scheduler) eligible(req Requirements) []balance.NodeInfo {
+	candidates := s.source.Candidates()
+	out := make([]balance.NodeInfo, 0, len(candidates))
+	for _, n := range candidates {
+		if req.MinRAMMB > 0 && n.RAMFreeMB < req.MinRAMMB {
+			continue
+		}
+		if req.Site != "" && n.Site != req.Site {
+			continue
+		}
+		n.Running += s.running[n.Name]
+		out = append(out, n)
+	}
+	return out
+}
+
+// Place assigns every task of a queued job to a node and marks the job
+// running. The returned placements are in task order.
+func (s *Scheduler) Place(jobID string) ([]Placement, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[jobID]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if rec.state != proto.JobQueued {
+		return nil, fmt.Errorf("%w: job %q is %v", ErrBadState, jobID, rec.state)
+	}
+	nodes := s.eligible(rec.job.Requirements)
+	if len(nodes) == 0 {
+		return nil, ErrNoEligibleNodes
+	}
+	idxs, err := balance.Assign(s.policy, nodes, len(rec.job.Tasks))
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: place job %q: %w", jobID, err)
+	}
+	placements := make([]Placement, len(idxs))
+	for i, idx := range idxs {
+		placements[i] = Placement{
+			TaskID: rec.job.Tasks[i].ID,
+			Node:   nodes[idx].Name,
+			Site:   nodes[idx].Site,
+		}
+		s.running[nodes[idx].Name]++
+	}
+	rec.placements = placements
+	rec.state = proto.JobRunning
+	rec.detail = "placed"
+	s.dequeueLocked(jobID)
+	return placements, nil
+}
+
+// PlaceNext places the oldest queued job, returning its id and placements.
+// Jobs whose requirements cannot currently be met are skipped (left
+// queued). It returns ErrUnknownJob if the queue is empty.
+func (s *Scheduler) PlaceNext() (string, []Placement, error) {
+	s.mu.Lock()
+	queued := append([]string(nil), s.queue...)
+	s.mu.Unlock()
+	if len(queued) == 0 {
+		return "", nil, ErrUnknownJob
+	}
+	var lastErr error
+	for _, id := range queued {
+		placements, err := s.Place(id)
+		if err == nil {
+			return id, placements, nil
+		}
+		if errors.Is(err, ErrNoEligibleNodes) {
+			lastErr = err
+			continue
+		}
+		return "", nil, err
+	}
+	if lastErr == nil {
+		lastErr = ErrUnknownJob
+	}
+	return "", nil, lastErr
+}
+
+func (s *Scheduler) dequeueLocked(jobID string) {
+	for i, id := range s.queue {
+		if id == jobID {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// CompleteTask records the completion of one placed task, releasing its
+// node slot. When the last task finishes, the job moves to JobDone.
+func (s *Scheduler) CompleteTask(jobID, taskID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[jobID]
+	if !ok {
+		return ErrUnknownJob
+	}
+	if rec.state != proto.JobRunning {
+		return fmt.Errorf("%w: job %q is %v", ErrBadState, jobID, rec.state)
+	}
+	if !rec.remaining[taskID] {
+		return fmt.Errorf("scheduler: job %q task %q not outstanding", jobID, taskID)
+	}
+	delete(rec.remaining, taskID)
+	for _, p := range rec.placements {
+		if p.TaskID == taskID {
+			if s.running[p.Node] > 0 {
+				s.running[p.Node]--
+			}
+			break
+		}
+	}
+	if len(rec.remaining) == 0 {
+		rec.state = proto.JobDone
+		rec.detail = "all tasks complete"
+	}
+	return nil
+}
+
+// Fail marks a running or queued job failed and releases its slots.
+func (s *Scheduler) Fail(jobID, detail string) error {
+	return s.terminate(jobID, proto.JobFailed, detail)
+}
+
+// Cancel cancels a queued or running job.
+func (s *Scheduler) Cancel(jobID string) error {
+	return s.terminate(jobID, proto.JobCancelled, "cancelled")
+}
+
+func (s *Scheduler) terminate(jobID string, state proto.JobState, detail string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[jobID]
+	if !ok {
+		return ErrUnknownJob
+	}
+	if rec.state == proto.JobDone || rec.state == proto.JobFailed || rec.state == proto.JobCancelled {
+		return fmt.Errorf("%w: job %q already %v", ErrBadState, jobID, rec.state)
+	}
+	// Release slots of outstanding tasks.
+	for _, p := range rec.placements {
+		if rec.remaining[p.TaskID] && s.running[p.Node] > 0 {
+			s.running[p.Node]--
+		}
+	}
+	rec.state = state
+	rec.detail = detail
+	s.dequeueLocked(jobID)
+	return nil
+}
+
+// ReleaseNode drops all bookkeeping for a failed node and returns the ids
+// of running jobs with outstanding tasks placed there. The caller decides
+// recovery (typically Fail followed by resubmission, matching the paper's
+// "recovery of users' applications" requirement).
+func (s *Scheduler) ReleaseNode(node string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, node)
+	var affected []string
+	for id, rec := range s.jobs {
+		if rec.state != proto.JobRunning {
+			continue
+		}
+		for _, p := range rec.placements {
+			if p.Node == node && rec.remaining[p.TaskID] {
+				affected = append(affected, id)
+				break
+			}
+		}
+	}
+	sort.Strings(affected)
+	return affected
+}
+
+// Status returns a job's current status.
+func (s *Scheduler) Status(jobID string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[jobID]
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	return Status{
+		Job:        rec.job,
+		State:      rec.state,
+		Detail:     rec.detail,
+		Placements: append([]Placement(nil), rec.placements...),
+		Remaining:  len(rec.remaining),
+	}, nil
+}
+
+// Jobs returns the ids of all known jobs, sorted.
+func (s *Scheduler) Jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// QueueLen returns the number of jobs still queued.
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// RunningOn returns the scheduler's running count for a node.
+func (s *Scheduler) RunningOn(node string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running[node]
+}

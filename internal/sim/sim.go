@@ -1,0 +1,269 @@
+// Package sim provides the synthetic substrates the experiments need in
+// place of the paper's physical testbed:
+//
+//   - a discrete-event execution simulator computing makespans of task
+//     batches on heterogeneous nodes under a placement policy (E3);
+//   - deterministic, seeded workload generators — task batches with
+//     controllable skew, heterogeneous node sets, and mixed
+//     intra/inter-site traffic matrices (E2).
+//
+// Everything is deterministic given its seed so experiment tables are
+// reproducible run to run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridproxy/internal/balance"
+)
+
+// SimNode is one simulated execution node.
+type SimNode struct {
+	Name string
+	Site string
+	// Speed is work units processed per unit time.
+	Speed float64
+}
+
+// Task is one unit of schedulable work.
+type Task struct {
+	ID int
+	// Work is the task's demand in work units; a node with Speed s
+	// finishes it in Work/s time.
+	Work float64
+}
+
+// Result summarizes one simulated schedule.
+type Result struct {
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// TasksPerNode counts tasks each node executed.
+	TasksPerNode map[string]int
+	// BusyPerNode is each node's total busy time.
+	BusyPerNode map[string]float64
+	// AvgCompletion is the mean task completion time.
+	AvgCompletion float64
+}
+
+// Utilization returns average node busy-time divided by the makespan —
+// 1.0 means a perfectly balanced schedule.
+func (r Result) Utilization() float64 {
+	if r.Makespan == 0 || len(r.BusyPerNode) == 0 {
+		return 0
+	}
+	var total float64
+	for _, busy := range r.BusyPerNode {
+		total += busy
+	}
+	return total / (float64(len(r.BusyPerNode)) * r.Makespan)
+}
+
+// completion is one node's next-free time in the event heap.
+type completion struct {
+	at   float64
+	node int
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h completionHeap) Peek() completion   { return h[0] }
+
+// Simulate runs a batch of tasks submitted at time zero through the given
+// placement policy: each task is assigned (in submission order) to the
+// node the policy picks, given the live queue lengths the policy's own
+// previous choices created; nodes then execute their queues FIFO at their
+// speed. This is exactly how the proxy's scheduler places MPI processes,
+// so E3's simulated makespans correspond to the built system's behaviour.
+func Simulate(nodes []SimNode, tasks []Task, policy balance.Policy) (Result, error) {
+	if len(nodes) == 0 {
+		return Result{}, fmt.Errorf("sim: no nodes")
+	}
+	infos := make([]balance.NodeInfo, len(nodes))
+	for i, n := range nodes {
+		speed := n.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		infos[i] = balance.NodeInfo{Name: n.Name, Site: n.Site, Speed: speed}
+	}
+	queues := make([][]Task, len(nodes))
+	for _, task := range tasks {
+		idx, err := policy.Pick(infos)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: pick for task %d: %w", task.ID, err)
+		}
+		infos[idx].Running++
+		queues[idx] = append(queues[idx], task)
+	}
+
+	result := Result{
+		TasksPerNode: make(map[string]int, len(nodes)),
+		BusyPerNode:  make(map[string]float64, len(nodes)),
+	}
+	var completionSum float64
+	var taskCount int
+	// Each node's queue runs sequentially; an event heap is used so the
+	// simulation generalizes to online arrivals, but for a t=0 batch it
+	// reduces to prefix sums per node.
+	var events completionHeap
+	for i, queue := range queues {
+		speed := infos[i].Speed
+		var clock float64
+		for _, task := range queue {
+			clock += task.Work / speed
+			completionSum += clock
+			taskCount++
+		}
+		result.TasksPerNode[nodes[i].Name] = len(queue)
+		result.BusyPerNode[nodes[i].Name] = clock
+		if len(queue) > 0 {
+			heap.Push(&events, completion{at: clock, node: i})
+		}
+	}
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(completion)
+		if ev.at > result.Makespan {
+			result.Makespan = ev.at
+		}
+	}
+	if taskCount > 0 {
+		result.AvgCompletion = completionSum / float64(taskCount)
+	}
+	return result, nil
+}
+
+// --- workload generators ---------------------------------------------------
+
+// UniformTasks builds n tasks of identical work.
+func UniformTasks(n int, work float64) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Work: work}
+	}
+	return tasks
+}
+
+// SkewedTasks builds n tasks with work drawn uniformly from [min, max]
+// using a seeded generator.
+func SkewedTasks(n int, seed int64, min, max float64) []Task {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Work: min + rng.Float64()*(max-min)}
+	}
+	return tasks
+}
+
+// HeavyTailTasks builds n tasks with Pareto-distributed work (shape
+// alpha, scale xm) — the occasional huge task that punishes
+// load-oblivious placement.
+func HeavyTailTasks(n int, seed int64, alpha, xm float64) []Task {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make([]Task, n)
+	for i := range tasks {
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		tasks[i] = Task{ID: i, Work: xm / math.Pow(u, 1/alpha)}
+	}
+	return tasks
+}
+
+// HeterogeneousNodes builds sites×nodesPerSite nodes whose speeds are
+// spread geometrically between 1 and maxSkew (maxSkew 1 gives a
+// homogeneous grid).
+func HeterogeneousNodes(sites, nodesPerSite int, maxSkew float64, seed int64) []SimNode {
+	if maxSkew < 1 {
+		maxSkew = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]SimNode, 0, sites*nodesPerSite)
+	for s := 0; s < sites; s++ {
+		for i := 0; i < nodesPerSite; i++ {
+			// log-uniform in [1, maxSkew]
+			speed := math.Exp(rng.Float64() * math.Log(maxSkew))
+			nodes = append(nodes, SimNode{
+				Name:  fmt.Sprintf("s%d-n%d", s, i),
+				Site:  fmt.Sprintf("site%d", s),
+				Speed: speed,
+			})
+		}
+	}
+	return nodes
+}
+
+// --- traffic matrices (E2) ---------------------------------------------------
+
+// NodeRef addresses a node in a (site, index) grid.
+type NodeRef struct {
+	Site int
+	Node int
+}
+
+// Flow is one point-to-point transfer in a traffic matrix.
+type Flow struct {
+	From  NodeRef
+	To    NodeRef
+	Bytes int
+}
+
+// MixedTraffic builds a deterministic traffic matrix: flows×bytesPerFlow
+// transfers of which a fraction intraFrac stays inside one site and the
+// rest crosses sites. The intra-site fraction is the x-axis of experiment
+// E2 — the proxy architecture's crypto cost tracks only the inter-site
+// share.
+func MixedTraffic(sites, nodesPerSite, flows int, intraFrac float64, bytesPerFlow int, seed int64) []Flow {
+	if sites < 1 || nodesPerSite < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Flow, 0, flows)
+	intraTarget := int(math.Round(float64(flows) * intraFrac))
+	for i := 0; i < flows; i++ {
+		fromSite := rng.Intn(sites)
+		from := NodeRef{Site: fromSite, Node: rng.Intn(nodesPerSite)}
+		var to NodeRef
+		if i < intraTarget || sites == 1 {
+			// Intra-site flow (distinct node when possible).
+			to = NodeRef{Site: fromSite, Node: rng.Intn(nodesPerSite)}
+			if nodesPerSite > 1 {
+				for to.Node == from.Node {
+					to.Node = rng.Intn(nodesPerSite)
+				}
+			}
+		} else {
+			toSite := rng.Intn(sites - 1)
+			if toSite >= fromSite {
+				toSite++
+			}
+			to = NodeRef{Site: toSite, Node: rng.Intn(nodesPerSite)}
+		}
+		out = append(out, Flow{From: from, To: to, Bytes: bytesPerFlow})
+	}
+	// Shuffle so intra/inter flows interleave.
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// IntraFraction reports the realized intra-site share of a matrix.
+func IntraFraction(flows []Flow) float64 {
+	if len(flows) == 0 {
+		return 0
+	}
+	intra := 0
+	for _, f := range flows {
+		if f.From.Site == f.To.Site {
+			intra++
+		}
+	}
+	return float64(intra) / float64(len(flows))
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridproxy/internal/balance"
+)
+
+func TestSimulateHomogeneousRoundRobin(t *testing.T) {
+	nodes := []SimNode{{Name: "a", Speed: 1}, {Name: "b", Speed: 1}}
+	tasks := UniformTasks(10, 2)
+	result, err := Simulate(nodes, tasks, balance.NewRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 tasks × work 2 per node at speed 1 → makespan 10.
+	if result.Makespan != 10 {
+		t.Errorf("makespan = %v", result.Makespan)
+	}
+	if result.TasksPerNode["a"] != 5 || result.TasksPerNode["b"] != 5 {
+		t.Errorf("distribution = %v", result.TasksPerNode)
+	}
+	if u := result.Utilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestSimulateHeterogeneousLeastLoadedBeatsRoundRobin(t *testing.T) {
+	nodes := []SimNode{
+		{Name: "slow", Speed: 1},
+		{Name: "fast", Speed: 4},
+	}
+	tasks := UniformTasks(100, 1)
+	rr, err := Simulate(nodes, tasks, balance.NewRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := Simulate(nodes, tasks, balance.LeastLoaded{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.Makespan >= rr.Makespan {
+		t.Errorf("least-loaded (%v) not better than round-robin (%v)", ll.Makespan, rr.Makespan)
+	}
+	// The fast node must get roughly 4x the slow node's share.
+	if ll.TasksPerNode["fast"] <= 2*ll.TasksPerNode["slow"] {
+		t.Errorf("distribution = %v", ll.TasksPerNode)
+	}
+}
+
+func TestSimulateEmptyNodes(t *testing.T) {
+	if _, err := Simulate(nil, UniformTasks(1, 1), balance.LeastLoaded{}); err == nil {
+		t.Error("no nodes accepted")
+	}
+}
+
+func TestSimulateNoTasks(t *testing.T) {
+	result, err := Simulate([]SimNode{{Name: "a", Speed: 1}}, nil, balance.LeastLoaded{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Makespan != 0 || result.AvgCompletion != 0 {
+		t.Errorf("empty result = %+v", result)
+	}
+}
+
+func TestSimulateZeroSpeedTreatedAsOne(t *testing.T) {
+	result, err := Simulate([]SimNode{{Name: "a"}}, UniformTasks(3, 1), balance.LeastLoaded{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Makespan != 3 {
+		t.Errorf("makespan = %v", result.Makespan)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := SkewedTasks(50, 3, 1, 10)
+	b := SkewedTasks(50, 3, 1, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SkewedTasks not deterministic per seed")
+		}
+	}
+	c := SkewedTasks(50, 4, 1, 10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tasks")
+	}
+}
+
+func TestSkewedTasksBounds(t *testing.T) {
+	for _, task := range SkewedTasks(200, 9, 2, 5) {
+		if task.Work < 2 || task.Work > 5 {
+			t.Fatalf("task work %v out of [2,5]", task.Work)
+		}
+	}
+}
+
+func TestHeavyTailTasksAboveScale(t *testing.T) {
+	tasks := HeavyTailTasks(200, 1, 1.5, 3)
+	for _, task := range tasks {
+		if task.Work < 3 {
+			t.Fatalf("pareto sample %v below scale", task.Work)
+		}
+	}
+}
+
+func TestHeterogeneousNodes(t *testing.T) {
+	nodes := HeterogeneousNodes(3, 4, 8, 5)
+	if len(nodes) != 12 {
+		t.Fatalf("len = %d", len(nodes))
+	}
+	sites := map[string]int{}
+	for _, n := range nodes {
+		sites[n.Site]++
+		if n.Speed < 1 || n.Speed > 8 {
+			t.Errorf("speed %v out of [1,8]", n.Speed)
+		}
+	}
+	if len(sites) != 3 {
+		t.Errorf("sites = %v", sites)
+	}
+}
+
+func TestMixedTrafficFractions(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 1} {
+		flows := MixedTraffic(4, 4, 200, frac, 1024, 13)
+		if len(flows) != 200 {
+			t.Fatalf("flows = %d", len(flows))
+		}
+		got := IntraFraction(flows)
+		if math.Abs(got-frac) > 0.01 {
+			t.Errorf("intra fraction = %v, want %v", got, frac)
+		}
+		for _, f := range flows {
+			if f.From.Site == f.To.Site && f.From.Node == f.To.Node {
+				t.Error("self-flow generated")
+			}
+		}
+	}
+}
+
+func TestMixedTrafficSingleSiteAllIntra(t *testing.T) {
+	flows := MixedTraffic(1, 4, 50, 0.5, 10, 1)
+	if got := IntraFraction(flows); got != 1 {
+		t.Errorf("single site intra fraction = %v", got)
+	}
+}
+
+func TestQuickSimulateConservation(t *testing.T) {
+	// Total executed work equals total submitted work, for any policy.
+	f := func(speedsRaw []uint8, taskCountRaw uint8) bool {
+		if len(speedsRaw) == 0 {
+			return true
+		}
+		nodes := make([]SimNode, len(speedsRaw))
+		for i, s := range speedsRaw {
+			nodes[i] = SimNode{Name: string(rune('a' + i%26)), Speed: float64(s%8) + 1}
+		}
+		// Names must be unique for map accounting.
+		for i := range nodes {
+			nodes[i].Name = nodes[i].Name + string(rune('0'+i/26%10)) + string(rune('A'+i/260))
+		}
+		tasks := UniformTasks(int(taskCountRaw)%64, 1)
+		result, err := Simulate(nodes, tasks, balance.LeastLoaded{})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range result.TasksPerNode {
+			total += c
+		}
+		return total == len(tasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMakespanLowerBound(t *testing.T) {
+	// Makespan can never beat total-work / total-speed (perfect
+	// balance) for any policy or workload.
+	f := func(seedRaw uint16, skewRaw uint8) bool {
+		seed := int64(seedRaw)
+		skew := float64(skewRaw%8) + 1
+		nodes := HeterogeneousNodes(2, 4, skew, seed)
+		tasks := SkewedTasks(64, seed, 1, 4)
+		var totalWork, totalSpeed float64
+		for _, task := range tasks {
+			totalWork += task.Work
+		}
+		for _, n := range nodes {
+			totalSpeed += n.Speed
+		}
+		for _, p := range []balance.Policy{balance.NewRoundRobin(), balance.LeastLoaded{}, balance.WeightedSpeed{}} {
+			result, err := Simulate(nodes, tasks, p)
+			if err != nil {
+				return false
+			}
+			if result.Makespan < totalWork/totalSpeed-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package site assembles the pieces of one grid site — a site-local
+// network, node agents, and the border proxy — and provides a multi-site
+// Testbed that stands in for the paper's physical deployment: several
+// LANs/clusters joined through proxy servers over an (optionally shaped)
+// WAN with TLS between the borders.
+//
+// The Testbed is the substrate for integration tests, the examples, and
+// the experiment harness. Every byte still flows through real listeners,
+// dials, TLS records and tunnel frames; only the wires are in-memory.
+package site
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gridproxy/internal/auth"
+	"gridproxy/internal/balance"
+	"gridproxy/internal/ca"
+	"gridproxy/internal/core"
+	"gridproxy/internal/logging"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/node"
+	"gridproxy/internal/ticket"
+	"gridproxy/internal/transport"
+)
+
+// Site is one assembled grid site.
+type Site struct {
+	Name  string
+	Proxy *core.Proxy
+	Nodes []*node.Agent
+	// Local is the site's internal network (plaintext).
+	Local *transport.MemNetwork
+}
+
+// LocalAddr returns the proxy's client service address inside the site.
+func (s *Site) LocalAddr() string { return s.Proxy.LocalAddr() }
+
+// RegisterProgram installs a program on every node of the site.
+func (s *Site) RegisterProgram(name string, fn node.ProgramFunc) {
+	for _, agent := range s.Nodes {
+		agent.RegisterProgram(name, fn)
+	}
+}
+
+// Close stops the proxy and all node agents.
+func (s *Site) Close() {
+	_ = s.Proxy.Close()
+	for _, agent := range s.Nodes {
+		agent.Stop()
+	}
+	_ = s.Local.Close()
+}
+
+// SiteSpec describes one site of a testbed.
+type SiteSpec struct {
+	Name string
+	// Nodes lists the hardware profile of each node; len(Nodes) nodes
+	// are created, named <site>-n<i>.
+	Nodes []node.HWProfile
+}
+
+// UniformNodes builds n identical node profiles with the given speed.
+func UniformNodes(n int, speed float64) []node.HWProfile {
+	profiles := make([]node.HWProfile, n)
+	for i := range profiles {
+		profiles[i] = node.HWProfile{
+			Speed:        speed,
+			RAMMB:        2048,
+			DiskMB:       64 << 10,
+			RAMPerProcMB: 64,
+		}
+	}
+	return profiles
+}
+
+// TestbedConfig describes a whole simulated grid.
+type TestbedConfig struct {
+	// GridName names the CA.
+	GridName string
+	// Sites lists the member sites.
+	Sites []SiteSpec
+	// WANLatency and WANBandwidth shape the inter-site links; zero
+	// means unshaped.
+	WANLatency   time.Duration
+	WANBandwidth int64
+	// Policy is the placement policy name (default "least-loaded").
+	Policy string
+	// Metrics may be nil.
+	Metrics *metrics.Registry
+	// Logger may be nil.
+	Logger *logging.Logger
+	// Users, if nil, a store is created with a default admin user
+	// "admin"/"admin" holding "*"/"*".
+	Users *auth.Store
+}
+
+// Testbed is an assembled multi-site grid.
+type Testbed struct {
+	CA    *ca.Authority
+	Users *auth.Store
+	TGS   *ticket.GrantingService
+	Sites []*Site
+	// WAN is the shared inter-site backbone (pre-TLS).
+	WAN *transport.MemNetwork
+
+	metrics *metrics.Registry
+}
+
+// NewTestbed builds and starts a grid: a CA, per-site TLS credentials, a
+// shared (optionally shaped) WAN, one proxy per site, and node agents.
+// Proxies are started but not connected; call ConnectAll or connect pairs
+// manually.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.GridName == "" {
+		cfg.GridName = "testgrid"
+	}
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("site: testbed needs at least one site")
+	}
+	authority, err := ca.New(cfg.GridName)
+	if err != nil {
+		return nil, err
+	}
+	users := cfg.Users
+	if users == nil {
+		users, err = auth.NewStore(auth.WithMetrics(cfg.Metrics))
+		if err != nil {
+			return nil, err
+		}
+		if err := users.AddUser("admin", "admin"); err != nil {
+			return nil, err
+		}
+		if err := users.GrantUser("admin", auth.Permission{Action: "*", Resource: "*"}); err != nil {
+			return nil, err
+		}
+	}
+	tgs, err := ticket.NewGrantingService(users, ticket.WithMetrics(cfg.Metrics))
+	if err != nil {
+		return nil, err
+	}
+
+	var wanOpts []transport.MemOption
+	if cfg.WANLatency > 0 {
+		wanOpts = append(wanOpts, transport.WithLatency(cfg.WANLatency))
+	}
+	if cfg.WANBandwidth > 0 {
+		wanOpts = append(wanOpts, transport.WithBandwidth(cfg.WANBandwidth))
+	}
+	wan := transport.NewMemNetwork(wanOpts...)
+
+	policyName := cfg.Policy
+	if policyName == "" {
+		policyName = "least-loaded"
+	}
+
+	tb := &Testbed{
+		CA:      authority,
+		Users:   users,
+		TGS:     tgs,
+		WAN:     wan,
+		metrics: cfg.Metrics,
+	}
+	for _, spec := range cfg.Sites {
+		s, err := tb.buildSite(spec, policyName, cfg.Logger)
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		tb.Sites = append(tb.Sites, s)
+	}
+	return tb, nil
+}
+
+func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logger) (*Site, error) {
+	cred, err := tb.CA.IssueHost("proxy." + spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := balance.New(policyName, 1)
+	if err != nil {
+		return nil, err
+	}
+	local := transport.NewMemNetwork()
+	wanTLS := transport.NewTLS(tb.WAN, cred, tb.CA.CertPool(), tb.metrics)
+
+	ticketKey, err := tb.TGS.RegisterService(core.ServiceName(spec.Name))
+	if err != nil {
+		return nil, err
+	}
+	proxy, err := core.New(core.Config{
+		Site:      spec.Name,
+		WANAddr:   "wan." + spec.Name,
+		LocalAddr: "proxy." + spec.Name,
+		WAN:       wanTLS,
+		Local:     local,
+		Users:     tb.Users,
+		TGS:       tb.TGS,
+		TicketKey: ticketKey,
+		Policy:    policy,
+		Metrics:   tb.metrics,
+		Logger:    log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Site{Name: spec.Name, Proxy: proxy, Local: local}
+	for i, hw := range spec.Nodes {
+		agent := node.New(fmt.Sprintf("%s-n%d", spec.Name, i), spec.Name, local,
+			node.WithHW(hw), node.WithLogger(log))
+		s.Nodes = append(s.Nodes, agent)
+		proxy.AttachNode(agent)
+	}
+	if err := proxy.Start(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Site returns the site with the given name, or nil.
+func (tb *Testbed) Site(name string) *Site {
+	for _, s := range tb.Sites {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ConnectAll joins every pair of sites (each pair connected once, lower
+// name dials higher name).
+func (tb *Testbed) ConnectAll(ctx context.Context) error {
+	for i, a := range tb.Sites {
+		for _, b := range tb.Sites[i+1:] {
+			if err := a.Proxy.Connect(ctx, b.Name, b.Proxy.WANAddr()); err != nil {
+				return fmt.Errorf("site: connect %s->%s: %w", a.Name, b.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RegisterProgram installs a program on every node of every site.
+func (tb *Testbed) RegisterProgram(name string, fn node.ProgramFunc) {
+	for _, s := range tb.Sites {
+		s.RegisterProgram(name, fn)
+	}
+}
+
+// Close tears the whole grid down.
+func (tb *Testbed) Close() {
+	for _, s := range tb.Sites {
+		s.Close()
+	}
+	_ = tb.WAN.Close()
+}

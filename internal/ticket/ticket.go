@@ -1,0 +1,260 @@
+// Package ticket implements the Kerberos-style single-sign-on the paper
+// foresees as the replacement for per-request authentication: "a
+// recognized authentication standard such as Kerberos, which requires a
+// single authentication per session, with the access rights stored safely
+// in a ticket and reused transparently, without the need for user
+// intervention."
+//
+// The model follows Kerberos in miniature, built from stdlib HMAC:
+//
+//   - The Granting Service (TGS) authenticates a user once (password or
+//     signature via an auth.Store) and issues a Ticket-Granting Ticket
+//     (TGT) sealed with the TGS master key.
+//   - Holding a TGT, the client requests Session Tickets for named
+//     services ("proxy:siteB"). Each session ticket is sealed with that
+//     service's key, carries the user's name, groups, and expiry, and is
+//     validated by the service with one HMAC — no user interaction and no
+//     expensive public-key or password operation.
+package ticket
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridproxy/internal/auth"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/wire"
+)
+
+// Lifetimes.
+const (
+	// DefaultTGTLifetime is how long a sign-on lasts.
+	DefaultTGTLifetime = 10 * time.Hour
+	// DefaultTicketLifetime is how long one service ticket lasts.
+	DefaultTicketLifetime = 1 * time.Hour
+	keySize               = 32
+)
+
+// Package errors.
+var (
+	// ErrInvalidTicket covers forged, malformed, and expired tickets.
+	ErrInvalidTicket = errors.New("ticket: invalid or expired ticket")
+	// ErrUnknownService indicates a ticket request for an unregistered
+	// service.
+	ErrUnknownService = errors.New("ticket: unknown service")
+	// ErrWrongService indicates a ticket presented to a service other
+	// than the one it was issued for.
+	ErrWrongService = errors.New("ticket: ticket issued for a different service")
+)
+
+// Claims is the authenticated identity a ticket conveys.
+type Claims struct {
+	User    string
+	Groups  []string
+	Service string
+	Expiry  time.Time
+}
+
+// GrantingService is the grid's TGS. One instance runs alongside a
+// designated proxy; services share per-service keys with it out of band
+// (distributed with proxy configuration).
+type GrantingService struct {
+	mu          sync.RWMutex
+	masterKey   []byte
+	serviceKeys map[string][]byte
+	users       *auth.Store
+	clock       func() time.Time
+	reg         *metrics.Registry
+	tgtTTL      time.Duration
+	ticketTTL   time.Duration
+}
+
+// Option configures a GrantingService.
+type Option func(*GrantingService)
+
+// WithClock overrides the time source (tests).
+func WithClock(clock func() time.Time) Option {
+	return func(g *GrantingService) { g.clock = clock }
+}
+
+// WithMetrics wires in experiment counters.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(g *GrantingService) { g.reg = reg }
+}
+
+// WithLifetimes overrides the TGT and session-ticket lifetimes.
+func WithLifetimes(tgt, ticket time.Duration) Option {
+	return func(g *GrantingService) {
+		g.tgtTTL = tgt
+		g.ticketTTL = ticket
+	}
+}
+
+// NewGrantingService creates a TGS that authenticates users against store.
+func NewGrantingService(store *auth.Store, opts ...Option) (*GrantingService, error) {
+	master := make([]byte, keySize)
+	if _, err := rand.Read(master); err != nil {
+		return nil, fmt.Errorf("ticket: generate master key: %w", err)
+	}
+	g := &GrantingService{
+		masterKey:   master,
+		serviceKeys: make(map[string][]byte),
+		users:       store,
+		clock:       time.Now,
+		tgtTTL:      DefaultTGTLifetime,
+		ticketTTL:   DefaultTicketLifetime,
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g, nil
+}
+
+// RegisterService creates (or returns the existing) key for a service. The
+// returned key is handed to the service's Validator.
+func (g *GrantingService) RegisterService(service string) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if key, ok := g.serviceKeys[service]; ok {
+		return key, nil
+	}
+	key := make([]byte, keySize)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("ticket: generate service key: %w", err)
+	}
+	g.serviceKeys[service] = key
+	return key, nil
+}
+
+// SignOnPassword performs the single expensive authentication of a session
+// and returns a TGT.
+func (g *GrantingService) SignOnPassword(user, password string) ([]byte, error) {
+	if err := g.users.VerifyPassword(user, password); err != nil {
+		return nil, err
+	}
+	return g.issueTGT(user)
+}
+
+// SignOnSignature authenticates via challenge signature and returns a TGT.
+func (g *GrantingService) SignOnSignature(user string, challenge, sig []byte) ([]byte, error) {
+	if err := g.users.VerifySignature(user, challenge, sig); err != nil {
+		return nil, err
+	}
+	return g.issueTGT(user)
+}
+
+func (g *GrantingService) issueTGT(user string) ([]byte, error) {
+	claims := Claims{
+		User:    user,
+		Groups:  g.users.Groups(user),
+		Service: "krbtgt",
+		Expiry:  g.clock().Add(g.tgtTTL),
+	}
+	return seal(g.masterKey, claims), nil
+}
+
+// GrantTicket exchanges a valid TGT for a session ticket for service. This
+// is the cheap, repeatable operation of E5: one HMAC to validate, one to
+// seal.
+func (g *GrantingService) GrantTicket(tgt []byte, service string) ([]byte, error) {
+	g.reg.Counter(metrics.TicketOps).Inc()
+	claims, err := open(g.masterKey, tgt)
+	if err != nil {
+		return nil, err
+	}
+	if claims.Service != "krbtgt" || g.clock().After(claims.Expiry) {
+		return nil, ErrInvalidTicket
+	}
+	g.mu.RLock()
+	key, ok := g.serviceKeys[service]
+	g.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, service)
+	}
+	ticketClaims := Claims{
+		User:    claims.User,
+		Groups:  claims.Groups,
+		Service: service,
+		Expiry:  g.clock().Add(g.ticketTTL),
+	}
+	return seal(key, ticketClaims), nil
+}
+
+// Validator checks session tickets on the service side.
+type Validator struct {
+	service string
+	key     []byte
+	clock   func() time.Time
+	reg     *metrics.Registry
+}
+
+// NewValidator creates a validator for one service with its shared key.
+func NewValidator(service string, key []byte, reg *metrics.Registry) *Validator {
+	return &Validator{service: service, key: key, clock: time.Now, reg: reg}
+}
+
+// WithValidatorClock returns a copy of v using the given time source.
+func (v *Validator) WithValidatorClock(clock func() time.Time) *Validator {
+	clone := *v
+	clone.clock = clock
+	return &clone
+}
+
+// Validate opens a session ticket and returns its claims. One HMAC, no
+// user store involved — the property the paper wants from Kerberos.
+func (v *Validator) Validate(ticket []byte) (Claims, error) {
+	v.reg.Counter(metrics.TicketOps).Inc()
+	claims, err := open(v.key, ticket)
+	if err != nil {
+		return Claims{}, err
+	}
+	if claims.Service != v.service {
+		return Claims{}, ErrWrongService
+	}
+	if v.clock().After(claims.Expiry) {
+		return Claims{}, ErrInvalidTicket
+	}
+	return claims, nil
+}
+
+// --- sealing ---------------------------------------------------------------
+
+// seal encodes claims and appends an HMAC-SHA256 tag.
+func seal(key []byte, claims Claims) []byte {
+	body := wire.AppendString(nil, claims.User)
+	body = wire.AppendStringSlice(body, claims.Groups)
+	body = wire.AppendString(body, claims.Service)
+	body = wire.AppendInt64(body, claims.Expiry.Unix())
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	return mac.Sum(body)
+}
+
+// open verifies the tag and decodes claims.
+func open(key, sealed []byte) (Claims, error) {
+	if len(sealed) < sha256.Size {
+		return Claims{}, ErrInvalidTicket
+	}
+	body, sum := sealed[:len(sealed)-sha256.Size], sealed[len(sealed)-sha256.Size:]
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), sum) {
+		return Claims{}, ErrInvalidTicket
+	}
+	buf := wire.NewBuffer(body)
+	claims := Claims{
+		User:    buf.String(),
+		Groups:  buf.StringSlice(),
+		Service: buf.String(),
+	}
+	claims.Expiry = time.Unix(buf.Int64(), 0)
+	if buf.Err() != nil {
+		return Claims{}, ErrInvalidTicket
+	}
+	return claims, nil
+}

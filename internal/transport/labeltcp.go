@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// LabelTCP is a TCP network that also supports label addresses. Grid
+// endpoints inside a site are named by labels ("node0/app-7/r3",
+// "proxy.sitea/vs/app-7/r2") rather than host:port pairs; LabelTCP binds
+// each labeled listener to an ephemeral 127.0.0.1 port and resolves label
+// dials through its registry, while passing ordinary "host:port"
+// addresses straight to TCP.
+//
+// The registry is per-instance and in-process, which matches the hosted
+// deployment (gridproxyd runs its site's node agents in one process). A
+// multi-process site would replace this with a name service on the site
+// LAN; the label namespace and every caller stay unchanged.
+type LabelTCP struct {
+	tcp TCP
+
+	mu     sync.Mutex
+	labels map[string]string // label -> real host:port
+}
+
+var _ Network = (*LabelTCP)(nil)
+
+// NewLabelTCP creates an empty label registry over TCP.
+func NewLabelTCP() *LabelTCP {
+	return &LabelTCP{labels: make(map[string]string)}
+}
+
+// isHostPort reports whether addr looks like a literal TCP address
+// (host:port with a numeric port and no label path segments).
+func isHostPort(addr string) bool {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return false
+	}
+	if strings.Contains(host, "/") || strings.Contains(port, "/") {
+		return false
+	}
+	for _, r := range port {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return port != ""
+}
+
+// Listen implements Network.
+func (n *LabelTCP) Listen(addr string) (net.Listener, error) {
+	if isHostPort(addr) {
+		return n.tcp.Listen(addr)
+	}
+	ln, err := n.tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: label listen %q: %w", addr, err)
+	}
+	n.mu.Lock()
+	if _, dup := n.labels[addr]; dup {
+		n.mu.Unlock()
+		_ = ln.Close()
+		return nil, fmt.Errorf("transport: label %q already bound", addr)
+	}
+	n.labels[addr] = ln.Addr().String()
+	n.mu.Unlock()
+	return &labelListener{Listener: ln, net: n, label: addr}, nil
+}
+
+// Dial implements Network.
+func (n *LabelTCP) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	if isHostPort(addr) {
+		return n.tcp.Dial(ctx, addr)
+	}
+	n.mu.Lock()
+	real, ok := n.labels[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: label dial %q: connection refused", addr)
+	}
+	return n.tcp.Dial(ctx, real)
+}
+
+// labelListener unregisters its label on Close.
+type labelListener struct {
+	net.Listener
+	net   *LabelTCP
+	label string
+	once  sync.Once
+}
+
+func (l *labelListener) Close() error {
+	l.once.Do(func() {
+		l.net.mu.Lock()
+		delete(l.net.labels, l.label)
+		l.net.mu.Unlock()
+	})
+	return l.Listener.Close()
+}

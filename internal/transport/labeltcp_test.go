@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestLabelTCPHostPortPassthrough(t *testing.T) {
+	n := NewLabelTCP()
+	ln, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = io.Copy(conn, conn)
+	}()
+	conn, err := n.Dial(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(conn, buf); err != nil || buf[0] != 'x' {
+		t.Fatalf("echo failed: %v %q", err, buf)
+	}
+}
+
+func TestLabelTCPLabelRoundTrip(t *testing.T) {
+	n := NewLabelTCP()
+	ln, err := n.Listen("node0/app/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = conn.Write([]byte("hi"))
+	}()
+	conn, err := n.Dial(context.Background(), "node0/app/r1")
+	if err != nil {
+		t.Fatalf("label dial: %v", err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 2)
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("got %q, %v", buf, err)
+	}
+}
+
+func TestLabelTCPUnknownLabel(t *testing.T) {
+	n := NewLabelTCP()
+	if _, err := n.Dial(context.Background(), "no/such/label"); err == nil {
+		t.Error("unknown label dial succeeded")
+	}
+}
+
+func TestLabelTCPDuplicateLabel(t *testing.T) {
+	n := NewLabelTCP()
+	ln, err := n.Listen("dup/label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := n.Listen("dup/label"); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestLabelTCPCloseReleasesLabel(t *testing.T) {
+	n := NewLabelTCP()
+	ln, err := n.Listen("temp/label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := n.Listen("temp/label")
+	if err != nil {
+		t.Fatalf("relisten after close: %v", err)
+	}
+	_ = ln2.Close()
+}
+
+func TestIsHostPort(t *testing.T) {
+	tests := []struct {
+		addr string
+		want bool
+	}{
+		{"127.0.0.1:80", true},
+		{"[::1]:8080", true},
+		{"example.org:7100", true},
+		{"node0/app/r1", false},
+		{"proxy.sitea/vs/app/r2", false},
+		{"127.0.0.1:80/nodes", false},
+		{"127.0.0.1", false},
+		{"127.0.0.1:", false},
+		{"host:http", false},
+	}
+	for _, tt := range tests {
+		if got := isHostPort(tt.addr); got != tt.want {
+			t.Errorf("isHostPort(%q) = %v, want %v", tt.addr, got, tt.want)
+		}
+	}
+}

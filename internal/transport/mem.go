@@ -1,0 +1,331 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-memory Network used by tests and the multi-site
+// simulator. Addresses are arbitrary non-empty labels. Connections are
+// full-duplex byte streams implemented over channels with deadline support,
+// so they satisfy net.Conn closely enough to carry TLS.
+//
+// A MemNetwork can shape traffic with a per-message latency and a link
+// bandwidth, approximating a WAN hop between sites.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	closed    bool
+
+	latency   time.Duration
+	bandwidth int64 // bytes per second; 0 = unlimited
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithLatency adds a fixed one-way delay to every write on connections made
+// through this network.
+func WithLatency(d time.Duration) MemOption {
+	return func(n *MemNetwork) { n.latency = d }
+}
+
+// WithBandwidth limits each connection direction to bytesPerSecond.
+func WithBandwidth(bytesPerSecond int64) MemOption {
+	return func(n *MemNetwork) { n.bandwidth = bytesPerSecond }
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork(opts ...MemOption) *MemNetwork {
+	n := &MemNetwork{listeners: make(map[string]*memListener)}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+var _ Network = (*MemNetwork)(nil)
+
+// Listen implements Network.
+func (n *MemNetwork) Listen(addr string) (net.Listener, error) {
+	if addr == "" {
+		return nil, errors.New("transport: mem listen: empty address")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: mem listen %s: address in use", addr)
+	}
+	ln := &memListener{
+		net:    n,
+		addr:   memAddr(addr),
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = ln
+	return ln, nil
+}
+
+// Dial implements Network.
+func (n *MemNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	n.mu.Lock()
+	ln, ok := n.listeners[addr]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("transport: mem dial %s: connection refused", addr)
+	}
+	client, server := n.pipePair(memAddr("dial:"+addr), memAddr(addr))
+	select {
+	case ln.accept <- server:
+		return client, nil
+	case <-ln.done:
+		_ = client.Close()
+		return nil, fmt.Errorf("transport: mem dial %s: connection refused", addr)
+	case <-ctx.Done():
+		_ = client.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// Close shuts the network down: all listeners stop accepting.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for addr, ln := range n.listeners {
+		ln.closeLocked()
+		delete(n.listeners, addr)
+	}
+	return nil
+}
+
+func (n *MemNetwork) remove(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.listeners, addr)
+}
+
+// pipePair builds the two ends of an in-memory duplex connection.
+func (n *MemNetwork) pipePair(clientAddr, serverAddr memAddr) (net.Conn, net.Conn) {
+	a2b := newHalfPipe(n.latency, n.bandwidth)
+	b2a := newHalfPipe(n.latency, n.bandwidth)
+	client := &memConn{read: b2a, write: a2b, local: clientAddr, remote: serverAddr}
+	server := &memConn{read: a2b, write: b2a, local: serverAddr, remote: clientAddr}
+	return client, server
+}
+
+// memAddr is a label address.
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+type memListener struct {
+	net      *MemNetwork
+	addr     memAddr
+	accept   chan net.Conn
+	done     chan struct{}
+	closeOne sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.accept:
+		return conn, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeLocked()
+	l.net.remove(string(l.addr))
+	return nil
+}
+
+func (l *memListener) closeLocked() {
+	l.closeOne.Do(func() { close(l.done) })
+}
+
+func (l *memListener) Addr() net.Addr { return l.addr }
+
+// halfPipe is one direction of a memConn: a bounded queue of byte chunks
+// with close semantics and traffic shaping.
+type halfPipe struct {
+	ch      chan []byte
+	closed  chan struct{}
+	close1  sync.Once
+	pending []byte
+
+	latency   time.Duration
+	bandwidth int64
+}
+
+func newHalfPipe(latency time.Duration, bandwidth int64) *halfPipe {
+	return &halfPipe{
+		ch:        make(chan []byte, 64),
+		closed:    make(chan struct{}),
+		latency:   latency,
+		bandwidth: bandwidth,
+	}
+}
+
+func (h *halfPipe) closePipe() {
+	h.close1.Do(func() { close(h.closed) })
+}
+
+// memConn is one end of an in-memory duplex connection.
+type memConn struct {
+	read, write   *halfPipe
+	local, remote memAddr
+
+	mu            sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+var _ net.Conn = (*memConn)(nil)
+
+func (c *memConn) Read(p []byte) (int, error) {
+	// Serve buffered bytes first.
+	if len(c.read.pending) > 0 {
+		n := copy(p, c.read.pending)
+		c.read.pending = c.read.pending[n:]
+		return n, nil
+	}
+	timer, expired := c.deadlineTimer(c.getDeadline(&c.readDeadline))
+	if expired {
+		return 0, os.ErrDeadlineExceeded
+	}
+	if timer != nil {
+		defer timer.Stop()
+	}
+	var timeout <-chan time.Time
+	if timer != nil {
+		timeout = timer.C
+	}
+	select {
+	case chunk, ok := <-c.read.ch:
+		if !ok {
+			return 0, io.EOF
+		}
+		n := copy(p, chunk)
+		c.read.pending = chunk[n:]
+		return n, nil
+	case <-c.read.closed:
+		// Drain anything enqueued before close.
+		select {
+		case chunk, ok := <-c.read.ch:
+			if ok {
+				n := copy(p, chunk)
+				c.read.pending = chunk[n:]
+				return n, nil
+			}
+		default:
+		}
+		return 0, io.EOF
+	case <-timeout:
+		return 0, os.ErrDeadlineExceeded
+	}
+}
+
+func (c *memConn) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	// Traffic shaping: model the serialization + propagation delay of
+	// the link on the sender side.
+	if d := c.write.latency; d > 0 {
+		time.Sleep(d)
+	}
+	if bw := c.write.bandwidth; bw > 0 {
+		time.Sleep(time.Duration(int64(len(p)) * int64(time.Second) / bw))
+	}
+	chunk := make([]byte, len(p))
+	copy(chunk, p)
+	timer, expired := c.deadlineTimer(c.getDeadline(&c.writeDeadline))
+	if expired {
+		return 0, os.ErrDeadlineExceeded
+	}
+	if timer != nil {
+		defer timer.Stop()
+	}
+	var timeout <-chan time.Time
+	if timer != nil {
+		timeout = timer.C
+	}
+	select {
+	case c.write.ch <- chunk:
+		return len(p), nil
+	case <-c.write.closed:
+		return 0, io.ErrClosedPipe
+	case <-timeout:
+		return 0, os.ErrDeadlineExceeded
+	}
+}
+
+func (c *memConn) Close() error {
+	c.write.closePipe()
+	c.read.closePipe()
+	return nil
+}
+
+func (c *memConn) LocalAddr() net.Addr  { return c.local }
+func (c *memConn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *memConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readDeadline = t
+	c.writeDeadline = t
+	return nil
+}
+
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readDeadline = t
+	return nil
+}
+
+func (c *memConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writeDeadline = t
+	return nil
+}
+
+func (c *memConn) getDeadline(field *time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return *field
+}
+
+// deadlineTimer converts a deadline into a timer. The second return value
+// reports an already-expired deadline.
+func (c *memConn) deadlineTimer(deadline time.Time) (*time.Timer, bool) {
+	if deadline.IsZero() {
+		return nil, false
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return nil, true
+	}
+	return time.NewTimer(d), false
+}

@@ -1,0 +1,297 @@
+package tunnel
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"gridproxy/internal/wire"
+)
+
+// Stream is one logical byte stream within a Session. It implements
+// net.Conn so spliced application connections and MPI rank channels can use
+// it interchangeably with real sockets.
+type Stream struct {
+	session *Session
+	id      uint32
+	meta    []byte
+	// accepted marks streams created by the peer's SYN.
+	accepted bool
+	// openResult delivers the peer's SYNACK/RST verdict to Open.
+	openResult chan bool
+	openOnce   sync.Once
+
+	// Receive side.
+	recvMu   sync.Mutex
+	recvCond *sync.Cond
+	recvBuf  bytes.Buffer
+	recvEOF  bool
+	recvErr  error
+	// pendingCredit accumulates consumed bytes until a WINDOW grant is
+	// worth sending (half the window).
+	pendingCredit int
+	readDeadline  time.Time
+
+	// Send side.
+	sendMu        sync.Mutex
+	sendCond      *sync.Cond
+	sendWindow    int
+	sendClosed    bool
+	sendErr       error
+	writeDeadline time.Time
+}
+
+var _ net.Conn = (*Stream)(nil)
+
+func newStream(s *Session, id uint32) *Stream {
+	st := &Stream{
+		session:    s,
+		id:         id,
+		openResult: make(chan bool, 1),
+		sendWindow: s.cfg.Window,
+	}
+	st.recvCond = sync.NewCond(&st.recvMu)
+	st.sendCond = sync.NewCond(&st.sendMu)
+	return st
+}
+
+// ID returns the stream's session-unique id.
+func (st *Stream) ID() uint32 { return st.id }
+
+// Meta returns the metadata the opener attached (nil on the opening side).
+func (st *Stream) Meta() []byte { return st.meta }
+
+func (st *Stream) notifyOpen(ok bool) {
+	st.openOnce.Do(func() { st.openResult <- ok })
+}
+
+// deliver appends inbound data and wakes readers. It enforces the receive
+// window: a peer overrunning its credit is a protocol violation.
+func (st *Stream) deliver(p []byte) error {
+	st.recvMu.Lock()
+	defer st.recvMu.Unlock()
+	if st.recvErr != nil || st.recvEOF {
+		return nil // late data after close; drop
+	}
+	// An honest peer never has more than the window outstanding: credit
+	// is only granted as the application consumes bytes, so unread
+	// buffered data can never legitimately exceed the window.
+	if st.recvBuf.Len()+len(p) > st.session.cfg.Window {
+		return fmt.Errorf("tunnel: stream %d receive window overrun", st.id)
+	}
+	st.recvBuf.Write(p)
+	st.recvCond.Broadcast()
+	return nil
+}
+
+func (st *Stream) deliverEOF() {
+	st.recvMu.Lock()
+	st.recvEOF = true
+	st.recvCond.Broadcast()
+	st.recvMu.Unlock()
+}
+
+// grantSendWindow adds peer credit and wakes writers.
+func (st *Stream) grantSendWindow(delta int) {
+	st.sendMu.Lock()
+	st.sendWindow += delta
+	st.sendCond.Broadcast()
+	st.sendMu.Unlock()
+}
+
+// closeWithError fails both directions (session teardown, RST).
+func (st *Stream) closeWithError(err error) {
+	st.notifyOpen(false)
+	st.recvMu.Lock()
+	if st.recvErr == nil {
+		st.recvErr = err
+	}
+	st.recvCond.Broadcast()
+	st.recvMu.Unlock()
+	st.sendMu.Lock()
+	if st.sendErr == nil {
+		st.sendErr = err
+	}
+	st.sendClosed = true
+	st.sendCond.Broadcast()
+	st.sendMu.Unlock()
+}
+
+// Read implements net.Conn. It returns io.EOF after the peer half-closes
+// and all buffered data is consumed.
+func (st *Stream) Read(p []byte) (int, error) {
+	st.recvMu.Lock()
+	defer st.recvMu.Unlock()
+	for st.recvBuf.Len() == 0 {
+		if st.recvErr != nil {
+			return 0, st.recvErr
+		}
+		if st.recvEOF {
+			return 0, io.EOF
+		}
+		if !st.waitRecv() {
+			return 0, os.ErrDeadlineExceeded
+		}
+	}
+	n, _ := st.recvBuf.Read(p)
+	st.pendingCredit += n
+	// Replenish the peer's window once we've consumed half of it; doing
+	// it per-read would double frame volume.
+	if st.pendingCredit >= st.session.cfg.Window/2 {
+		credit := st.pendingCredit
+		st.pendingCredit = 0
+		st.recvMu.Unlock()
+		payload := wire.AppendUint32(nil, st.id)
+		payload = wire.AppendUint32(payload, uint32(credit))
+		_ = st.session.w.WriteFrame(frameWINDOW, payload)
+		st.recvMu.Lock()
+	}
+	return n, nil
+}
+
+// waitRecv blocks until recvCond is signaled or the read deadline passes.
+// It reports false on deadline expiry. Caller holds recvMu.
+func (st *Stream) waitRecv() bool {
+	deadline := st.readDeadline
+	if deadline.IsZero() {
+		st.recvCond.Wait()
+		return true
+	}
+	if !time.Now().Before(deadline) {
+		return false
+	}
+	// Arm a timer that wakes the cond at the deadline.
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		st.recvMu.Lock()
+		st.recvCond.Broadcast()
+		st.recvMu.Unlock()
+	})
+	st.recvCond.Wait()
+	timer.Stop()
+	return time.Now().Before(deadline) || st.recvBuf.Len() > 0 || st.recvEOF || st.recvErr != nil
+}
+
+// Write implements net.Conn. Data is segmented into DATA frames and paced
+// by the peer's receive window.
+func (st *Stream) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		st.sendMu.Lock()
+		for st.sendWindow == 0 && !st.sendClosed {
+			if !st.waitSend() {
+				st.sendMu.Unlock()
+				return total, os.ErrDeadlineExceeded
+			}
+		}
+		if st.sendClosed {
+			err := st.sendErr
+			st.sendMu.Unlock()
+			if err == nil {
+				err = ErrStreamClosed
+			}
+			return total, err
+		}
+		n := len(p)
+		if n > st.sendWindow {
+			n = st.sendWindow
+		}
+		if n > maxSegment {
+			n = maxSegment
+		}
+		st.sendWindow -= n
+		st.sendMu.Unlock()
+
+		payload := make([]byte, 0, 4+n)
+		payload = wire.AppendUint32(payload, st.id)
+		payload = append(payload, p[:n]...)
+		if err := st.session.w.WriteFrame(frameDATA, payload); err != nil {
+			return total, st.session.fail(fmt.Errorf("tunnel: send DATA: %w", err))
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// waitSend blocks until window credit arrives or the write deadline passes.
+// Caller holds sendMu.
+func (st *Stream) waitSend() bool {
+	deadline := st.writeDeadline
+	if deadline.IsZero() {
+		st.sendCond.Wait()
+		return true
+	}
+	if !time.Now().Before(deadline) {
+		return false
+	}
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		st.sendMu.Lock()
+		st.sendCond.Broadcast()
+		st.sendMu.Unlock()
+	})
+	st.sendCond.Wait()
+	timer.Stop()
+	return time.Now().Before(deadline) || st.sendWindow > 0 || st.sendClosed
+}
+
+// CloseWrite half-closes the stream: the peer sees EOF after draining.
+func (st *Stream) CloseWrite() error {
+	st.sendMu.Lock()
+	if st.sendClosed {
+		st.sendMu.Unlock()
+		return nil
+	}
+	st.sendClosed = true
+	st.sendCond.Broadcast()
+	st.sendMu.Unlock()
+	return st.session.w.WriteFrame(frameFIN, wire.AppendUint32(nil, st.id))
+}
+
+// Close fully closes the stream and releases it from the session.
+func (st *Stream) Close() error {
+	err := st.CloseWrite()
+	st.recvMu.Lock()
+	if st.recvErr == nil {
+		st.recvErr = ErrStreamClosed
+	}
+	st.recvCond.Broadcast()
+	st.recvMu.Unlock()
+	st.session.removeStream(st.id)
+	return err
+}
+
+// LocalAddr implements net.Conn, delegating to the session connection.
+func (st *Stream) LocalAddr() net.Addr { return st.session.conn.LocalAddr() }
+
+// RemoteAddr implements net.Conn, delegating to the session connection.
+func (st *Stream) RemoteAddr() net.Addr { return st.session.conn.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (st *Stream) SetDeadline(t time.Time) error {
+	if err := st.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return st.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (st *Stream) SetReadDeadline(t time.Time) error {
+	st.recvMu.Lock()
+	st.readDeadline = t
+	st.recvCond.Broadcast()
+	st.recvMu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (st *Stream) SetWriteDeadline(t time.Time) error {
+	st.sendMu.Lock()
+	st.writeDeadline = t
+	st.sendCond.Broadcast()
+	st.sendMu.Unlock()
+	return nil
+}

@@ -1,0 +1,420 @@
+// Package tunnel implements a stream multiplexer: many logical byte
+// streams carried over one underlying connection.
+//
+// The paper's proxy keeps a single secure (TLS) connection per remote site
+// and multiplexes all grid traffic over it — control messages, spliced
+// application data, and the virtual-slave MPI channels ("This mapping done
+// by the proxy ... can be seen as a multiplexion of the communication
+// between the source and the destination"). This package provides that
+// multiplexer with per-stream flow control so one bulk stream cannot starve
+// the control channel.
+//
+// Wire format: every tunnel frame is a wire.Frame whose payload begins with
+// a 4-byte big-endian stream id.
+package tunnel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/wire"
+)
+
+// Tunnel frame types (wire.Frame.Type). They occupy 0x10.. so they can
+// never be confused with the control protocol's 0x01.
+const (
+	frameSYN    byte = 0x10 // open stream; payload after id = metadata
+	frameSYNACK byte = 0x11 // accept stream
+	frameRST    byte = 0x12 // refuse/abort stream
+	frameDATA   byte = 0x13 // stream data
+	frameFIN    byte = 0x14 // half-close from sender
+	frameWINDOW byte = 0x15 // receive-window credit grant (uint32 delta)
+	framePING   byte = 0x16 // liveness probe (8-byte nonce)
+	framePONG   byte = 0x17 // probe reply
+	frameGOAWAY byte = 0x18 // session shutdown
+)
+
+// Flow-control and segmentation defaults.
+const (
+	// DefaultWindow is the initial per-stream receive window.
+	DefaultWindow = 256 << 10
+	// maxSegment is the largest DATA payload per frame.
+	maxSegment = 64 << 10
+)
+
+// Package errors.
+var (
+	// ErrSessionClosed is returned after the session has shut down.
+	ErrSessionClosed = errors.New("tunnel: session closed")
+	// ErrStreamClosed is returned for operations on a closed stream.
+	ErrStreamClosed = errors.New("tunnel: stream closed")
+	// ErrStreamRefused is returned when the peer rejects an Open.
+	ErrStreamRefused = errors.New("tunnel: stream refused by peer")
+	// ErrTooManyStreams is returned when the configured stream limit is
+	// reached.
+	ErrTooManyStreams = errors.New("tunnel: too many streams")
+)
+
+// Config parameterizes a Session.
+type Config struct {
+	// Window is the initial receive window per stream. Zero means
+	// DefaultWindow.
+	Window int
+	// MaxStreams bounds concurrently open streams. Zero means 1024.
+	MaxStreams int
+	// AcceptBacklog bounds streams opened by the peer but not yet
+	// Accept()ed. Zero means 256 (an MPI launch can open a stream per
+	// rank nearly simultaneously).
+	AcceptBacklog int
+	// Metrics receives tunnel counters; may be nil.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 1024
+	}
+	if c.AcceptBacklog <= 0 {
+		c.AcceptBacklog = 256
+	}
+	return c
+}
+
+// Session multiplexes streams over conn. Create one with Client or Server;
+// the two sides allocate odd and even stream ids respectively so ids never
+// collide.
+type Session struct {
+	conn net.Conn
+	cfg  Config
+	w    *wire.Writer
+
+	mu      sync.Mutex
+	streams map[uint32]*Stream
+	nextID  uint32
+	err     error
+	closed  bool
+
+	acceptCh chan *Stream
+	done     chan struct{}
+	pongs    map[uint64]chan struct{}
+	closeOne sync.Once
+}
+
+// Client starts a session on the dialing side of conn.
+func Client(conn net.Conn, cfg Config) *Session { return newSession(conn, cfg, 1) }
+
+// Server starts a session on the accepting side of conn.
+func Server(conn net.Conn, cfg Config) *Session { return newSession(conn, cfg, 2) }
+
+func newSession(conn net.Conn, cfg Config, firstID uint32) *Session {
+	cfg = cfg.withDefaults()
+	s := &Session{
+		conn:     conn,
+		cfg:      cfg,
+		w:        wire.NewWriter(conn),
+		streams:  make(map[uint32]*Stream),
+		nextID:   firstID,
+		acceptCh: make(chan *Stream, cfg.AcceptBacklog),
+		done:     make(chan struct{}),
+		pongs:    make(map[uint64]chan struct{}),
+	}
+	go s.readLoop()
+	return s
+}
+
+// Open creates a new stream to the peer, passing opaque metadata the
+// acceptor can inspect with Stream.Meta. It blocks until the peer accepts
+// or refuses, or ctx is done.
+func (s *Session) Open(ctx context.Context, meta []byte) (*Stream, error) {
+	s.mu.Lock()
+	if s.closed {
+		err := s.err
+		s.mu.Unlock()
+		if err == nil {
+			err = ErrSessionClosed
+		}
+		return nil, err
+	}
+	if len(s.streams) >= s.cfg.MaxStreams {
+		s.mu.Unlock()
+		return nil, ErrTooManyStreams
+	}
+	id := s.nextID
+	s.nextID += 2
+	st := newStream(s, id)
+	s.streams[id] = st
+	s.mu.Unlock()
+
+	payload := make([]byte, 0, 4+len(meta))
+	payload = wire.AppendUint32(payload, id)
+	payload = append(payload, meta...)
+	if err := s.w.WriteFrame(frameSYN, payload); err != nil {
+		s.removeStream(id)
+		return nil, s.fail(fmt.Errorf("tunnel: send SYN: %w", err))
+	}
+	select {
+	case ok := <-st.openResult:
+		if !ok {
+			s.removeStream(id)
+			return nil, ErrStreamRefused
+		}
+		s.cfg.Metrics.Counter(metrics.StreamsOpened).Inc()
+		return st, nil
+	case <-ctx.Done():
+		_ = st.Close()
+		return nil, ctx.Err()
+	case <-s.done:
+		return nil, s.closeErr()
+	}
+}
+
+// Accept returns the next stream opened by the peer.
+func (s *Session) Accept(ctx context.Context) (*Stream, error) {
+	select {
+	case st := <-s.acceptCh:
+		return st, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.done:
+		// Streams may have been queued before shutdown.
+		select {
+		case st := <-s.acceptCh:
+			return st, nil
+		default:
+		}
+		return nil, s.closeErr()
+	}
+}
+
+// Ping round-trips a probe through the peer.
+func (s *Session) Ping(ctx context.Context) error {
+	nonce := uint64(time.Now().UnixNano())
+	ch := make(chan struct{}, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.closeErr()
+	}
+	s.pongs[nonce] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pongs, nonce)
+		s.mu.Unlock()
+	}()
+	if err := s.w.WriteFrame(framePING, wire.AppendUint64(nil, nonce)); err != nil {
+		return s.fail(fmt.Errorf("tunnel: send PING: %w", err))
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		return s.closeErr()
+	}
+}
+
+// NumStreams returns the number of currently open streams.
+func (s *Session) NumStreams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
+}
+
+// Close shuts the session down: all streams fail, the underlying
+// connection is closed.
+func (s *Session) Close() error {
+	return s.shutdown(ErrSessionClosed, true)
+}
+
+// Done returns a channel closed when the session terminates.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Err returns the error that terminated the session, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == ErrSessionClosed {
+		return nil
+	}
+	return s.err
+}
+
+func (s *Session) closeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return ErrSessionClosed
+}
+
+// fail records err (if the session isn't already down) and tears down.
+func (s *Session) fail(err error) error {
+	_ = s.shutdown(err, false)
+	return err
+}
+
+func (s *Session) shutdown(err error, sendGoaway bool) error {
+	s.closeOne.Do(func() {
+		if sendGoaway {
+			_ = s.w.WriteFrame(frameGOAWAY, nil)
+		}
+		s.mu.Lock()
+		s.closed = true
+		s.err = err
+		streams := make([]*Stream, 0, len(s.streams))
+		for _, st := range s.streams {
+			streams = append(streams, st)
+		}
+		s.mu.Unlock()
+		for _, st := range streams {
+			st.closeWithError(err)
+		}
+		close(s.done)
+		_ = s.conn.Close()
+	})
+	return nil
+}
+
+func (s *Session) removeStream(id uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.streams, id)
+}
+
+func (s *Session) lookup(id uint32) *Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[id]
+}
+
+// readLoop dispatches inbound frames until the connection dies.
+func (s *Session) readLoop() {
+	r := wire.NewReader(s.conn)
+	for {
+		frame, err := r.ReadFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				_ = s.shutdown(ErrSessionClosed, false)
+			} else {
+				_ = s.shutdown(fmt.Errorf("tunnel: read: %w", err), false)
+			}
+			return
+		}
+		if err := s.dispatch(frame); err != nil {
+			_ = s.shutdown(err, false)
+			return
+		}
+	}
+}
+
+func (s *Session) dispatch(frame wire.Frame) error {
+	switch frame.Type {
+	case framePING:
+		return s.w.WriteFrame(framePONG, frame.Payload)
+	case framePONG:
+		if len(frame.Payload) >= 8 {
+			nonce := wire.NewBuffer(frame.Payload).Uint64()
+			s.mu.Lock()
+			ch := s.pongs[nonce]
+			s.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			}
+		}
+		return nil
+	case frameGOAWAY:
+		_ = s.shutdown(ErrSessionClosed, false)
+		return nil
+	}
+
+	if len(frame.Payload) < 4 {
+		return fmt.Errorf("tunnel: short frame type %#x", frame.Type)
+	}
+	id := wire.NewBuffer(frame.Payload).Uint32()
+	rest := frame.Payload[4:]
+
+	switch frame.Type {
+	case frameSYN:
+		return s.handleSYN(id, rest)
+	case frameSYNACK:
+		if st := s.lookup(id); st != nil {
+			st.notifyOpen(true)
+		}
+		return nil
+	case frameRST:
+		if st := s.lookup(id); st != nil {
+			st.notifyOpen(false)
+			st.closeWithError(ErrStreamClosed)
+			s.removeStream(id)
+		}
+		return nil
+	case frameDATA:
+		st := s.lookup(id)
+		if st == nil {
+			// Stream already gone; drop silently (late data after
+			// local close is normal).
+			return nil
+		}
+		s.cfg.Metrics.Counter(metrics.BytesTunneled).Add(int64(len(rest)))
+		return st.deliver(rest)
+	case frameFIN:
+		if st := s.lookup(id); st != nil {
+			st.deliverEOF()
+		}
+		return nil
+	case frameWINDOW:
+		if st := s.lookup(id); st != nil && len(rest) >= 4 {
+			delta := wire.NewBuffer(rest).Uint32()
+			st.grantSendWindow(int(delta))
+		}
+		return nil
+	default:
+		return fmt.Errorf("tunnel: unknown frame type %#x", frame.Type)
+	}
+}
+
+func (s *Session) handleSYN(id uint32, meta []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if _, dup := s.streams[id]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("tunnel: duplicate SYN for stream %d", id)
+	}
+	if len(s.streams) >= s.cfg.MaxStreams {
+		s.mu.Unlock()
+		return s.w.WriteFrame(frameRST, wire.AppendUint32(nil, id))
+	}
+	st := newStream(s, id)
+	st.meta = append([]byte(nil), meta...)
+	st.accepted = true
+	s.streams[id] = st
+	s.mu.Unlock()
+
+	select {
+	case s.acceptCh <- st:
+		s.cfg.Metrics.Counter(metrics.StreamsOpened).Inc()
+		return s.w.WriteFrame(frameSYNACK, wire.AppendUint32(nil, id))
+	default:
+		// Backlog full: refuse.
+		s.removeStream(id)
+		return s.w.WriteFrame(frameRST, wire.AppendUint32(nil, id))
+	}
+}
