@@ -18,6 +18,18 @@
 //	nodes       = 4                 # hosted node agents on this proxy host
 //	node_speed  = 1.0
 //	announce    = 30s               # inventory re-announce interval
+//
+// Peer-lifecycle knobs (all optional; see internal/peerlink defaults):
+//
+//	backoff_min       = 200ms       # first redial delay after a link drops
+//	backoff_max       = 15s         # redial delay cap
+//	heartbeat         = 3s          # peer probe interval (negative disables)
+//	heartbeat_timeout = 1s          # per-probe deadline
+//	heartbeat_misses  = 3           # consecutive misses before redial
+//	rpc_timeout       = 10s         # default per-control-RPC deadline
+//	hello_timeout     = 10s         # inbound session identification deadline
+//	status_ttl        = 0           # serve cached global status this fresh
+//	                                 # (0 disables caching)
 package main
 
 import (
@@ -38,6 +50,7 @@ import (
 	"gridproxy/internal/logging"
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/node"
+	"gridproxy/internal/peerlink"
 	"gridproxy/internal/programs"
 	"gridproxy/internal/transport"
 	"gridproxy/internal/webui"
@@ -89,6 +102,11 @@ func run() error {
 		return err
 	}
 
+	lifecycle, err := lifecycleFromConfig(cfg)
+	if err != nil {
+		return err
+	}
+
 	reg := metrics.NewRegistry()
 	local := transport.NewLabelTCP()
 	wan := transport.NewTLS(transport.TCP{}, cred, authority.CertPool(), reg)
@@ -101,6 +119,7 @@ func run() error {
 		Local:     local,
 		Users:     users,
 		Policy:    policy,
+		Lifecycle: lifecycle,
 		Metrics:   reg,
 		Logger:    log,
 	})
@@ -144,7 +163,7 @@ func run() error {
 				return fmt.Errorf("config: peers entry %q must be site=addr", entry)
 			}
 			if err := proxy.Connect(ctx, name, addr); err != nil {
-				log.Warn("peer connect failed (will not retry)", "site", name, "err", err)
+				log.Warn("peer connect failed (supervisor keeps retrying)", "site", name, "err", err)
 			}
 		}
 	}
@@ -187,4 +206,37 @@ func run() error {
 	<-ctx.Done()
 	log.Info("shutting down")
 	return nil
+}
+
+// lifecycleFromConfig reads the peer-lifecycle knobs. Absent keys stay
+// zero so peerlink's defaults apply; negative durations disable the
+// corresponding mechanism.
+func lifecycleFromConfig(cfg *config.Config) (peerlink.Config, error) {
+	var lc peerlink.Config
+	var err error
+	if lc.BackoffMin, err = cfg.Duration("backoff_min", 0); err != nil {
+		return lc, err
+	}
+	if lc.BackoffMax, err = cfg.Duration("backoff_max", 0); err != nil {
+		return lc, err
+	}
+	if lc.HeartbeatInterval, err = cfg.Duration("heartbeat", 0); err != nil {
+		return lc, err
+	}
+	if lc.HeartbeatTimeout, err = cfg.Duration("heartbeat_timeout", 0); err != nil {
+		return lc, err
+	}
+	if lc.HeartbeatMisses, err = cfg.Int("heartbeat_misses", 0); err != nil {
+		return lc, err
+	}
+	if lc.RPCTimeout, err = cfg.Duration("rpc_timeout", 0); err != nil {
+		return lc, err
+	}
+	if lc.HelloTimeout, err = cfg.Duration("hello_timeout", 0); err != nil {
+		return lc, err
+	}
+	if lc.StatusTTL, err = cfg.Duration("status_ttl", 0); err != nil {
+		return lc, err
+	}
+	return lc, nil
 }

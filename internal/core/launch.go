@@ -9,6 +9,7 @@ import (
 
 	"gridproxy/internal/balance"
 	"gridproxy/internal/node"
+	"gridproxy/internal/peerlink"
 	"gridproxy/internal/proto"
 )
 
@@ -172,44 +173,55 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 		return nil, err
 	}
 
-	// Ask each remote site's proxy to spawn its share.
+	// Ask each remote site's proxy to spawn its share. The requests fan
+	// out concurrently with a per-peer deadline: a multi-site launch
+	// costs one slowest-site round trip, not the sum over sites.
 	wireLocs := locationsToWire(locations)
-	for site, ranks := range sites {
-		if site == p.site {
-			continue
+	var remoteSites []string
+	for site := range sites {
+		if site != p.site {
+			remoteSites = append(remoteSites, site)
 		}
-		pr, err := p.peerBySite(site)
-		if err != nil {
-			cleanup()
-			return nil, err
-		}
-		req := &proto.SpawnRequest{
-			AppID:     appID,
-			Owner:     spec.Owner,
-			Program:   spec.Program,
-			Args:      spec.Args,
-			WorldSize: uint32(len(locations)),
-			Locations: wireLocs,
-		}
-		for _, rank := range ranks {
-			req.Ranks = append(req.Ranks, proto.RankAssignment{
-				Rank: uint32(rank),
-				Node: locations[rank].node,
-			})
-		}
-		reply, err := pr.ctrl.call(ctx, req)
-		if err != nil {
-			cleanup()
-			return nil, fmt.Errorf("core: spawn at %s: %w", site, err)
-		}
-		sr, ok := reply.(*proto.SpawnReply)
-		if !ok || !sr.OK {
-			cleanup()
-			reason := "unexpected reply"
-			if ok {
-				reason = sr.Reason
+	}
+	if len(remoteSites) > 0 {
+		results := peerlink.FanOut(ctx, remoteSites, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
+			pr, err := p.peerBySite(site)
+			if err != nil {
+				return struct{}{}, err
 			}
-			return nil, fmt.Errorf("core: spawn at %s refused: %s", site, reason)
+			req := &proto.SpawnRequest{
+				AppID:     appID,
+				Owner:     spec.Owner,
+				Program:   spec.Program,
+				Args:      spec.Args,
+				WorldSize: uint32(len(locations)),
+				Locations: wireLocs,
+			}
+			for _, rank := range sites[site] {
+				req.Ranks = append(req.Ranks, proto.RankAssignment{
+					Rank: uint32(rank),
+					Node: locations[rank].node,
+				})
+			}
+			reply, err := p.callPeer(ctx, pr, req)
+			if err != nil {
+				return struct{}{}, fmt.Errorf("core: spawn at %s: %w", site, err)
+			}
+			sr, ok := reply.(*proto.SpawnReply)
+			if !ok || !sr.OK {
+				reason := "unexpected reply"
+				if ok {
+					reason = sr.Reason
+				}
+				return struct{}{}, fmt.Errorf("core: spawn at %s refused: %s", site, reason)
+			}
+			return struct{}{}, nil
+		})
+		for _, res := range results {
+			if res.Err != nil {
+				cleanup()
+				return nil, res.Err
+			}
 		}
 	}
 

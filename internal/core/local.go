@@ -78,7 +78,7 @@ func (p *Proxy) acceptClients(ln net.Listener) {
 			return
 		}
 		session := &clientSession{proxy: p}
-		session.rpc = newRPC(conn, session.handle, p.log.Named("client"), p.reg)
+		session.rpc = newRPC(p.ctx, conn, roleServer, session.handle, p.log.Named("client"), p.reg)
 		session.rpc.start()
 	}
 }

@@ -2,13 +2,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
+	"gridproxy/internal/metrics"
 	"gridproxy/internal/monitor"
+	"gridproxy/internal/peerlink"
 	"gridproxy/internal/proto"
 	"gridproxy/internal/transport"
 	"gridproxy/internal/tunnel"
@@ -32,30 +35,41 @@ func (pr *peer) close() {
 
 // Connect dials the proxy of a remote site, performs the Hello exchange,
 // and announces this site's inventory. It is idempotent: connecting to an
-// already-connected site returns nil.
+// already-connected site returns nil. Connect also registers the site
+// with the peer-lifecycle supervisor, so even when the synchronous
+// attempt fails (or the link later drops) the proxy keeps redialing with
+// backoff until it is stopped.
 func (p *Proxy) Connect(ctx context.Context, site, wanAddr string) error {
+	_, err := p.connectOnce(ctx, site, wanAddr)
+	p.superviseLink(site, wanAddr)
+	return err
+}
+
+// connectOnce performs one dial + Hello exchange, returning the
+// (possibly pre-existing) peer.
+func (p *Proxy) connectOnce(ctx context.Context, site, wanAddr string) (*peer, error) {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
-		return ErrStopped
+		return nil, ErrStopped
 	}
-	if _, ok := p.peers[site]; ok {
+	if pr, ok := p.peers[site]; ok {
 		p.mu.Unlock()
-		return nil
+		return pr, nil
 	}
 	p.mu.Unlock()
 
 	conn, err := p.wan.Dial(ctx, wanAddr)
 	if err != nil {
-		return fmt.Errorf("core: dial site %s: %w", site, err)
+		return nil, fmt.Errorf("core: dial site %s: %w", site, err)
 	}
 	session := tunnel.Client(conn, p.tunnelConfig())
 	ctrlStream, err := session.Open(ctx, controlStreamMeta)
 	if err != nil {
 		_ = session.Close()
-		return fmt.Errorf("core: open control stream to %s: %w", site, err)
+		return nil, fmt.Errorf("core: open control stream to %s: %w", site, err)
 	}
-	ctrl := newRPC(ctrlStream, p.handleControl, p.log.Named("ctrl."+site), p.reg)
+	ctrl := newRPC(p.ctx, ctrlStream, roleDialer, p.handleControl, p.log.Named("ctrl."+site), p.reg)
 	ctrl.start()
 
 	reply, err := ctrl.call(ctx, &proto.Hello{
@@ -66,18 +80,18 @@ func (p *Proxy) Connect(ctx context.Context, site, wanAddr string) error {
 	if err != nil {
 		ctrl.close()
 		_ = session.Close()
-		return fmt.Errorf("core: hello to %s: %w", site, err)
+		return nil, fmt.Errorf("core: hello to %s: %w", site, err)
 	}
 	ack, ok := reply.(*proto.HelloAck)
 	if !ok {
 		ctrl.close()
 		_ = session.Close()
-		return fmt.Errorf("core: hello to %s: unexpected reply %T", site, reply)
+		return nil, fmt.Errorf("core: hello to %s: unexpected reply %T", site, reply)
 	}
 	if ack.Version != proto.Version {
 		ctrl.close()
 		_ = session.Close()
-		return fmt.Errorf("%w: local %d remote %d", proto.ErrVersionMismatch, proto.Version, ack.Version)
+		return nil, fmt.Errorf("%w: local %d remote %d", proto.ErrVersionMismatch, proto.Version, ack.Version)
 	}
 	if ack.Site != site {
 		p.log.Warn("peer announced unexpected site name", "expected", site, "got", ack.Site)
@@ -87,7 +101,7 @@ func (p *Proxy) Connect(ctx context.Context, site, wanAddr string) error {
 	pr := &peer{site: site, session: session, ctrl: ctrl}
 	if err := p.addPeer(pr); err != nil {
 		pr.close()
-		return err
+		return nil, err
 	}
 	p.wg.Add(1)
 	go p.servePeerStreams(pr)
@@ -103,7 +117,82 @@ func (p *Proxy) Connect(ctx context.Context, site, wanAddr string) error {
 		p.log.Warn("initial status query failed", "peer", site, "err", err)
 	}
 	p.log.Info("connected to peer", "site", site, "addr", wanAddr)
-	return nil
+	return pr, nil
+}
+
+// superviseLink registers a peer with the lifecycle supervisor
+// (idempotent). Supervision only runs on the dialing side: the accepting
+// side of a link relies on the remote to redial.
+func (p *Proxy) superviseLink(site, wanAddr string) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	if _, ok := p.links[site]; ok {
+		p.mu.Unlock()
+		return
+	}
+	link := peerlink.New(site, p.lifecycle, p.peerDialer(site, wanAddr), p.peerProber(site))
+	p.links[site] = link
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		link.Run(p.ctx)
+	}()
+}
+
+// peerDialer adapts connectOnce into the supervisor's DialFunc. It
+// adopts a live session established by other means (the synchronous
+// Connect, or a crossing inbound dial from the remote) instead of
+// dialing a duplicate.
+func (p *Proxy) peerDialer(site, wanAddr string) peerlink.DialFunc {
+	return func(ctx context.Context) (peerlink.Session, error) {
+		if pr, err := p.peerBySite(site); err == nil {
+			select {
+			case <-pr.session.Done():
+				// Stale entry on its way out; fall through to redial.
+			default:
+				return pr.session, nil
+			}
+		}
+		pr, err := p.connectOnce(ctx, site, wanAddr)
+		if err != nil {
+			return nil, err
+		}
+		return pr.session, nil
+	}
+}
+
+// peerProber adapts PingPeer into the supervisor's heartbeat probe.
+func (p *Proxy) peerProber(site string) peerlink.ProbeFunc {
+	return func(ctx context.Context) error {
+		return p.PingPeer(ctx, site)
+	}
+}
+
+// PeerLinkState reports the supervised lifecycle state of a site's link.
+// Only links registered via Connect (the dialing side) are supervised.
+func (p *Proxy) PeerLinkState(site string) (peerlink.State, bool) {
+	p.mu.Lock()
+	link, ok := p.links[site]
+	p.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return link.State(), true
+}
+
+// KickPeer asks the supervisor to retry a site's link now instead of
+// waiting out the current backoff.
+func (p *Proxy) KickPeer(site string) {
+	p.mu.Lock()
+	link, ok := p.links[site]
+	p.mu.Unlock()
+	if ok {
+		link.Kick()
+	}
 }
 
 func (p *Proxy) addPeer(pr *peer) error {
@@ -121,13 +210,25 @@ func (p *Proxy) addPeer(pr *peer) error {
 
 // acceptWAN admits inbound proxy sessions. Host authentication already
 // happened in the TLS handshake (the WAN network rejects certificates not
-// chaining to the grid CA).
+// chaining to the grid CA). Accept errors are per-connection (the TLS
+// listener reports each failed handshake — a port scan, an aborted dial);
+// only listener closure ends the loop. Treating a handshake failure as
+// fatal would let one bad client kill the WAN listener for good.
 func (p *Proxy) acceptWAN(ln net.Listener) {
 	defer p.wg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			select {
+			case <-p.ctx.Done():
+				return
+			default:
+			}
+			p.log.Debug("wan accept failed", "err", err)
+			continue
 		}
 		if cn := transport.PeerCommonName(conn); cn != "" {
 			p.log.Debug("inbound proxy connection", "peer_cn", cn)
@@ -139,9 +240,13 @@ func (p *Proxy) acceptWAN(ln net.Listener) {
 }
 
 // admitSession waits for the inbound session's control stream and Hello.
+// A session that never identifies itself is reaped after HelloTimeout:
+// without the watchdog, an opened-but-silent control stream would pin the
+// session and its rpc forever.
 func (p *Proxy) admitSession(session *tunnel.Session) {
 	defer p.wg.Done()
-	ctx, cancel := context.WithTimeout(p.ctx, 30*time.Second)
+	helloTimeout := p.lifecycle.HelloTimeout
+	ctx, cancel := context.WithTimeout(p.ctx, helloTimeout)
 	defer cancel()
 	ctrlStream, err := session.Accept(ctx)
 	if err != nil {
@@ -157,9 +262,22 @@ func (p *Proxy) admitSession(session *tunnel.Session) {
 	// The Hello arrives as the first request on the control channel;
 	// the pending peer's handler registers the peer on receipt.
 	pending := &pendingPeer{proxy: p, session: session}
-	ctrl := newRPC(ctrlStream, pending.handle, p.log.Named("ctrl.inbound"), p.reg)
+	ctrl := newRPC(p.ctx, ctrlStream, roleAcceptor, pending.handle, p.log.Named("ctrl.inbound"), p.reg)
 	pending.ctrl = ctrl
 	ctrl.start()
+
+	timer := time.NewTimer(helloTimeout)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		if !pending.established() {
+			p.log.Warn("inbound session sent no Hello; reaping")
+			ctrl.close()
+			_ = session.Close()
+		}
+	case <-session.Done():
+	case <-p.ctx.Done():
+	}
 }
 
 // pendingPeer serves an inbound control channel until the Hello arrives,
@@ -171,6 +289,13 @@ type pendingPeer struct {
 
 	mu   sync.Mutex
 	peer *peer
+}
+
+// established reports whether the Hello arrived and the peer registered.
+func (pp *pendingPeer) established() bool {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return pp.peer != nil
 }
 
 func (pp *pendingPeer) handle(ctx context.Context, msg proto.Message) (proto.Body, error) {
@@ -280,11 +405,39 @@ func (p *Proxy) Peers() []string {
 	return sites
 }
 
+// callPeer issues one control call to a peer. Calls arriving without a
+// deadline get the configured default (Lifecycle.RPCTimeout), so a hung
+// peer can never pin a control-plane caller indefinitely; latency and
+// timeout metrics are recorded per call.
+func (p *Proxy) callPeer(ctx context.Context, pr *peer, body proto.Body) (proto.Body, error) {
+	if _, ok := ctx.Deadline(); !ok && p.lifecycle.RPCTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.lifecycle.RPCTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	reply, err := pr.ctrl.call(ctx, body)
+	p.reg.Counter(metrics.ControlRPCs).Inc()
+	p.reg.Counter(metrics.ControlRPCMicros).Add(time.Since(start).Microseconds())
+	if errors.Is(err, context.DeadlineExceeded) {
+		p.reg.Counter(metrics.ControlRPCTimeouts).Inc()
+	}
+	return reply, err
+}
+
+// perPeerTimeout is the per-target deadline control fan-outs run under.
+func (p *Proxy) perPeerTimeout() time.Duration {
+	if d := p.lifecycle.RPCTimeout; d > 0 {
+		return d
+	}
+	return 0
+}
+
 // announceTo exchanges inventories with one peer: it announces this
 // site's nodes and merges the peer's reply, so both schedulers see each
 // other's resources after a single round trip.
 func (p *Proxy) announceTo(ctx context.Context, pr *peer) error {
-	reply, err := pr.ctrl.call(ctx, p.inventoryAnnouncement())
+	reply, err := p.callPeer(ctx, pr, p.inventoryAnnouncement())
 	if err != nil {
 		return err
 	}
@@ -296,31 +449,49 @@ func (p *Proxy) announceTo(ctx context.Context, pr *peer) error {
 }
 
 // AnnounceAll re-announces inventory to every peer (called after node
-// attach/detach and periodically by the daemon).
+// attach/detach and periodically by the daemon). Announcements fan out
+// concurrently with a per-peer deadline, so one slow peer delays nothing.
 func (p *Proxy) AnnounceAll(ctx context.Context) {
-	p.mu.Lock()
-	peers := make([]*peer, 0, len(p.peers))
-	for _, pr := range p.peers {
-		peers = append(peers, pr)
-	}
-	p.mu.Unlock()
-	for _, pr := range peers {
-		if err := p.announceTo(ctx, pr); err != nil {
-			p.log.Warn("announce failed", "peer", pr.site, "err", err)
+	targets, byName := p.connectedPeers(nil)
+	results := peerlink.FanOut(ctx, targets, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
+		return struct{}{}, p.announceTo(ctx, byName[site])
+	})
+	for _, res := range results {
+		if res.Err != nil {
+			p.log.Warn("announce failed", "peer", res.Target, "err", res.Err)
 		}
 	}
 }
 
+// connectedPeers snapshots the peers passing the include filter (nil
+// means all), returning sorted names plus a lookup map.
+func (p *Proxy) connectedPeers(include func(string) bool) ([]string, map[string]*peer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	targets := make([]string, 0, len(p.peers))
+	byName := make(map[string]*peer, len(p.peers))
+	for site, pr := range p.peers {
+		if include != nil && !include(site) {
+			continue
+		}
+		targets = append(targets, site)
+		byName[site] = pr
+	}
+	sortStrings(targets)
+	return targets, byName
+}
+
 // PingPeer round-trips a liveness probe to one connected peer. The
 // monitoring experiment (E4) also uses it as the unit cost of one
-// per-node poll in the centralized-collection baseline.
+// per-node poll in the centralized-collection baseline, and the
+// peer-lifecycle supervisor uses it as the heartbeat probe.
 func (p *Proxy) PingPeer(ctx context.Context, site string) error {
 	pr, err := p.peerBySite(site)
 	if err != nil {
 		return err
 	}
 	nonce := uint64(time.Now().UnixNano())
-	reply, err := pr.ctrl.call(ctx, &proto.Ping{Nonce: nonce})
+	reply, err := p.callPeer(ctx, pr, &proto.Ping{Nonce: nonce})
 	if err != nil {
 		return err
 	}
@@ -333,7 +504,7 @@ func (p *Proxy) PingPeer(ctx context.Context, site string) error {
 
 // queryPeerStatus fetches one peer's site summary into the global view.
 func (p *Proxy) queryPeerStatus(ctx context.Context, pr *peer) error {
-	reply, err := pr.ctrl.call(ctx, &proto.StatusQuery{})
+	reply, err := p.callPeer(ctx, pr, &proto.StatusQuery{})
 	if err != nil {
 		return err
 	}
@@ -351,7 +522,24 @@ func (p *Proxy) queryPeerStatus(ctx context.Context, pr *peer) error {
 // site (all connected sites if sites is empty), the peer's compiled
 // answer. This is the paper's "global status obtained by compilation of
 // all the sites' data" with O(sites) control messages.
+//
+// When Lifecycle.StatusTTL is set, cached summaries younger than the TTL
+// are served without any cross-site RPC (the background refresher keeps
+// them warm); only stale sites are queried. Queries fan out concurrently
+// with a per-peer deadline, so the wall-clock cost is O(slowest healthy
+// peer) and a hung peer costs at most its deadline.
 func (p *Proxy) Status(ctx context.Context, sites []string) ([]monitor.SiteSummary, error) {
+	return p.status(ctx, sites, true)
+}
+
+// FreshStatus is Status with the TTL cache bypassed: every requested peer
+// is queried synchronously. Experiments measuring the per-request cost of
+// status compilation use this to defeat caching.
+func (p *Proxy) FreshStatus(ctx context.Context, sites []string) ([]monitor.SiteSummary, error) {
+	return p.status(ctx, sites, false)
+}
+
+func (p *Proxy) status(ctx context.Context, sites []string, useCache bool) ([]monitor.SiteSummary, error) {
 	include := func(site string) bool {
 		if len(sites) == 0 {
 			return true
@@ -369,25 +557,71 @@ func (p *Proxy) Status(ctx context.Context, sites []string) ([]monitor.SiteSumma
 		p.global.Update(local)
 		out = append(out, local)
 	}
-	p.mu.Lock()
-	peers := make([]*peer, 0, len(p.peers))
-	for _, pr := range p.peers {
-		if include(pr.site) {
-			peers = append(peers, pr)
+	targets, byName := p.connectedPeers(include)
+
+	ttl := p.lifecycle.StatusTTL
+	var stale []string
+	for _, site := range targets {
+		if useCache && ttl > 0 {
+			if s, age, ok := p.global.SiteWithAge(site); ok && age <= ttl {
+				p.reg.Counter(metrics.StatusCacheHits).Inc()
+				out = append(out, s)
+				continue
+			}
+			p.reg.Counter(metrics.StatusCacheMisses).Inc()
 		}
+		stale = append(stale, site)
 	}
-	p.mu.Unlock()
-	for _, pr := range peers {
-		if err := p.queryPeerStatus(ctx, pr); err != nil {
-			p.log.Warn("status query failed", "peer", pr.site, "err", err)
-			continue
-		}
-		if s, ok := p.global.Site(pr.site); ok {
-			out = append(out, s)
+	if len(stale) > 0 {
+		results := peerlink.FanOut(ctx, stale, p.perPeerTimeout(), func(ctx context.Context, site string) (monitor.SiteSummary, error) {
+			if err := p.queryPeerStatus(ctx, byName[site]); err != nil {
+				return monitor.SiteSummary{}, err
+			}
+			s, ok := p.global.Site(site)
+			if !ok {
+				return monitor.SiteSummary{}, fmt.Errorf("core: site %s reported no summary", site)
+			}
+			return s, nil
+		})
+		for _, res := range results {
+			if res.Err != nil {
+				p.log.Warn("status query failed", "peer", res.Target, "err", res.Err)
+				continue
+			}
+			out = append(out, res.Value)
 		}
 	}
 	sortSummaries(out)
 	return out, nil
+}
+
+// statusRefresher keeps the cached global view inside its TTL by
+// re-querying peers at TTL/2, making cached Status reads the common case.
+func (p *Proxy) statusRefresher() {
+	defer p.wg.Done()
+	interval := p.lifecycle.StatusTTL / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		p.refreshPeerStatus()
+	}
+}
+
+// refreshPeerStatus re-queries every connected peer's summary in one
+// concurrent sweep.
+func (p *Proxy) refreshPeerStatus() {
+	targets, byName := p.connectedPeers(nil)
+	peerlink.FanOut(p.ctx, targets, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
+		return struct{}{}, p.queryPeerStatus(ctx, byName[site])
+	})
 }
 
 // GlobalView returns the cached global monitor (updated by status queries

@@ -34,6 +34,7 @@ import (
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/monitor"
 	"gridproxy/internal/node"
+	"gridproxy/internal/peerlink"
 	"gridproxy/internal/proto"
 	"gridproxy/internal/registry"
 	"gridproxy/internal/scheduler"
@@ -96,6 +97,10 @@ type Config struct {
 	TicketKey []byte
 	// Policy is the placement policy; nil means balance.LeastLoaded.
 	Policy balance.Policy
+	// Lifecycle carries the peer-link supervision knobs (backoff,
+	// heartbeats, RPC deadlines, status cache TTL). The zero value uses
+	// peerlink defaults; see peerlink.Config.
+	Lifecycle peerlink.Config
 	// Metrics receives instrument counters; may be nil.
 	Metrics *metrics.Registry
 	// Logger may be nil.
@@ -119,6 +124,7 @@ type Proxy struct {
 	global    *monitor.Global
 	resources *registry.Registry
 	sched     *scheduler.Scheduler
+	lifecycle peerlink.Config
 
 	wanListener    net.Listener
 	localListener  net.Listener
@@ -127,6 +133,7 @@ type Proxy struct {
 
 	mu      sync.Mutex
 	peers   map[string]*peer
+	links   map[string]*peerlink.Link
 	nodes   map[string]NodeHandle
 	apps    map[string]*addressSpace
 	jobs    map[string]*jobState
@@ -153,6 +160,9 @@ func New(cfg Config) (*Proxy, error) {
 	if policy == nil {
 		policy = balance.LeastLoaded{}
 	}
+	lifecycle := cfg.Lifecycle
+	lifecycle.Metrics = cfg.Metrics
+	lifecycle.Logger = cfg.Logger.Named("peerlink." + cfg.Site)
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Proxy{
 		site:      cfg.Site,
@@ -167,7 +177,9 @@ func New(cfg Config) (*Proxy, error) {
 		collector: monitor.NewCollector(cfg.Site),
 		global:    monitor.NewGlobal(),
 		resources: registry.New(),
+		lifecycle: lifecycle.WithDefaults(),
 		peers:     make(map[string]*peer),
+		links:     make(map[string]*peerlink.Link),
 		nodes:     make(map[string]NodeHandle),
 		apps:      make(map[string]*addressSpace),
 		jobs:      make(map[string]*jobState),
@@ -217,6 +229,10 @@ func (p *Proxy) Start() error {
 			}
 			return err
 		}
+	}
+	if p.lifecycle.StatusTTL > 0 {
+		p.wg.Add(1)
+		go p.statusRefresher()
 	}
 	p.log.Info("proxy started", "wan", p.wanAddr, "local", p.localAddr)
 	return nil

@@ -10,17 +10,31 @@ import (
 	"gridproxy/internal/ca"
 	"gridproxy/internal/core"
 	"gridproxy/internal/failure"
+	"gridproxy/internal/metrics"
 	"gridproxy/internal/monitor"
 	"gridproxy/internal/node"
+	"gridproxy/internal/peerlink"
 	"gridproxy/internal/proto"
 	"gridproxy/internal/transport"
 	"gridproxy/internal/wire"
 )
 
+// fastLifecycle keeps supervised-reconnect tests snappy: small backoff so
+// a healed link comes back within a test's wait window, heartbeats off so
+// probe traffic does not race assertions.
+func fastLifecycle() peerlink.Config {
+	return peerlink.Config{
+		BackoffMin:        20 * time.Millisecond,
+		BackoffMax:        200 * time.Millisecond,
+		HeartbeatInterval: -1,
+	}
+}
+
 // TestReconnectAfterPartition severs the WAN between two proxies with the
 // failure injector, verifies the survivor evicts the peer, heals the
-// link, reconnects, and confirms the grid is whole again — the recovery
-// side of the paper's "recovery of system flaws" requirement.
+// link, and confirms the supervised peer lifecycle re-establishes the
+// grid WITHOUT any operator reconnect — the recovery side of the paper's
+// "recovery of system flaws" requirement.
 func TestReconnectAfterPartition(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -45,19 +59,21 @@ func TestReconnectAfterPartition(t *testing.T) {
 	// Site A reaches the WAN through a kill switch.
 	flaky := failure.New(wanBase)
 
-	mk := func(name string, wanNet transport.Network) *core.Proxy {
+	mk := func(name string, wanNet transport.Network, reg *metrics.Registry) *core.Proxy {
 		cred, err := authority.IssueHost("proxy." + name)
 		if err != nil {
 			t.Fatal(err)
 		}
 		local := transport.NewMemNetwork()
 		proxy, err := core.New(core.Config{
-			Site:    name,
-			WANAddr: "wan." + name,
-			WAN:     transport.NewTLS(wanNet, cred, authority.CertPool(), nil),
-			Local:   local,
-			Users:   users,
-			Policy:  balance.LeastLoaded{},
+			Site:      name,
+			WANAddr:   "wan." + name,
+			WAN:       transport.NewTLS(wanNet, cred, authority.CertPool(), nil),
+			Local:     local,
+			Users:     users,
+			Policy:    balance.LeastLoaded{},
+			Lifecycle: fastLifecycle(),
+			Metrics:   reg,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -74,8 +90,9 @@ func TestReconnectAfterPartition(t *testing.T) {
 		return proxy
 	}
 
-	proxyA := mk("sitea", flaky)
-	proxyB := mk("siteb", wanBase)
+	regA := metrics.NewRegistry()
+	proxyA := mk("sitea", flaky, regA)
+	proxyB := mk("siteb", wanBase, nil)
 
 	if err := proxyA.Connect(ctx, "siteb", "wan.siteb"); err != nil {
 		t.Fatal(err)
@@ -92,13 +109,20 @@ func TestReconnectAfterPartition(t *testing.T) {
 		t.Fatalf("candidates during partition = %d", got)
 	}
 
-	// Heal and reconnect (a real daemon would retry on a timer; the
-	// reconnect call is the operator/cron action).
+	// Heal. No reconnect call: the supervised link must redial with
+	// backoff and restore the grid on its own.
 	flaky.Heal()
-	if err := proxyA.Connect(ctx, "siteb", "wan.siteb"); err != nil {
-		t.Fatalf("reconnect: %v", err)
-	}
 	waitFor(t, 10*time.Second, func() bool { return len(proxyA.Candidates()) == 2 })
+	waitFor(t, 10*time.Second, func() bool {
+		state, ok := proxyA.PeerLinkState("siteb")
+		return ok && state == peerlink.StateEstablished
+	})
+	if got := regA.Counter(metrics.PeerReconnects).Value(); got < 1 {
+		t.Fatalf("peer.reconnects = %d, want >= 1", got)
+	}
+	if got := regA.Counter(metrics.PeerTransitions).Value(); got < 3 {
+		t.Fatalf("peer.transitions = %d, want >= 3 (established/backoff/established)", got)
+	}
 	summaries, err := proxyA.Status(ctx, nil)
 	if err != nil {
 		t.Fatal(err)

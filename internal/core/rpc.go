@@ -15,6 +15,26 @@ import (
 	"gridproxy/internal/wire"
 )
 
+// rpcRole fixes which correlation ids each end of a control channel may
+// mint. Both proxies of a peer link issue calls concurrently; giving the
+// dialing side odd ids and the accepting side even ids means a corr can
+// never collide, and — more importantly — a message carrying one of OUR
+// ids that no longer has a pending call is recognizably a late reply (the
+// call timed out) rather than a request, so it is dropped instead of
+// being answered with an ErrorBody that the remote would in turn treat as
+// a request.
+type rpcRole int
+
+const (
+	// roleServer: only the remote end issues calls (local client and
+	// node-agent sessions). Every inbound correlated message is a request.
+	roleServer rpcRole = iota
+	// roleDialer: the side that dialed the peer link; mints odd ids.
+	roleDialer
+	// roleAcceptor: the side that accepted the peer link; mints even ids.
+	roleAcceptor
+)
+
 // rpc speaks the control protocol over one connection (a tunnel control
 // stream between proxies, or a plain local connection from a node or
 // client). Both ends can issue requests; replies are correlated by id.
@@ -23,6 +43,12 @@ type rpc struct {
 	w    *wire.Writer
 	log  *logging.Logger
 	reg  *metrics.Registry
+	role rpcRole
+
+	// ctx spans the rpc's lifetime; handlers run under it so in-flight
+	// work is cancelled on shutdown and proxy stop.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	// handler serves requests from the peer. It returns the reply body,
 	// or an error rendered as an ErrorBody.
@@ -42,17 +68,53 @@ type rpc struct {
 // errRPCClosed is returned for calls on a closed control channel.
 var errRPCClosed = errors.New("core: control channel closed")
 
-func newRPC(conn net.Conn, handler func(ctx context.Context, msg proto.Message) (proto.Body, error), log *logging.Logger, reg *metrics.Registry) *rpc {
+func newRPC(parent context.Context, conn net.Conn, role rpcRole, handler func(ctx context.Context, msg proto.Message) (proto.Body, error), log *logging.Logger, reg *metrics.Registry) *rpc {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
 	r := &rpc{
 		conn:    conn,
 		w:       wire.NewWriter(conn),
 		log:     log,
 		reg:     reg,
+		role:    role,
+		ctx:     ctx,
+		cancel:  cancel,
 		handler: handler,
 		pending: make(map[uint64]chan proto.Message),
 		done:    make(chan struct{}),
 	}
 	return r
+}
+
+// newCorr mints the next correlation id for this end's role.
+func (r *rpc) newCorr() uint64 {
+	n := r.nextCorr.Add(1)
+	switch r.role {
+	case roleDialer:
+		return 2*n - 1
+	case roleAcceptor:
+		return 2 * n
+	default:
+		return n
+	}
+}
+
+// ownsCorr reports whether this end could have minted corr, i.e. whether
+// an unmatched message carrying it is a late reply rather than a request.
+func (r *rpc) ownsCorr(corr uint64) bool {
+	if corr == 0 {
+		return false
+	}
+	switch r.role {
+	case roleDialer:
+		return corr%2 == 1
+	case roleAcceptor:
+		return corr%2 == 0
+	default:
+		return false
+	}
 }
 
 // start launches the read loop. Callers may set up state between newRPC
@@ -79,10 +141,15 @@ func (r *rpc) readLoop() {
 		r.reg.Counter(metrics.ControlBytes).Add(int64(len(msg.Payload)))
 
 		// A message whose correlation id matches one of our in-flight
-		// calls is a reply; everything else is a request for the
-		// handler.
+		// calls is a reply; an unmatched message carrying an id we mint
+		// is a late reply to a call that already timed out and is
+		// dropped; everything else is a request for the handler.
 		if ch := r.takePending(msg.Corr); ch != nil {
 			ch <- msg
+			continue
+		}
+		if r.ownsCorr(msg.Corr) {
+			r.log.Debug("dropping late control reply", "corr", msg.Corr)
 			continue
 		}
 		r.wg.Add(1)
@@ -107,7 +174,7 @@ func (r *rpc) takePending(corr uint64) chan proto.Message {
 }
 
 func (r *rpc) serve(msg proto.Message) {
-	reply, err := r.handler(context.Background(), msg)
+	reply, err := r.handler(r.ctx, msg)
 	if msg.Corr == 0 {
 		// Notification; nothing to send back.
 		return
@@ -135,9 +202,11 @@ func (r *rpc) write(msg proto.Message) error {
 }
 
 // call sends a request and waits for its reply. An ErrorBody reply is
-// converted to an error.
+// converted to an error. Both the send and the wait respect ctx: a hung
+// connection (write blocked in the kernel or a peer that stopped reading)
+// cannot hold the caller past its deadline.
 func (r *rpc) call(ctx context.Context, body proto.Body) (proto.Body, error) {
-	corr := r.nextCorr.Add(1)
+	corr := r.newCorr()
 	ch := make(chan proto.Message, 1)
 	r.mu.Lock()
 	if r.closed {
@@ -152,8 +221,21 @@ func (r *rpc) call(ctx context.Context, body proto.Body) (proto.Body, error) {
 		r.mu.Unlock()
 	}()
 
-	if err := r.write(proto.Marshal(corr, body)); err != nil {
-		return nil, fmt.Errorf("core: control send: %w", err)
+	// The write runs in its own goroutine so a blocked connection cannot
+	// pin the caller: wire.Writer serializes frames internally, so an
+	// abandoned write simply drains (or fails) when the connection
+	// unblocks or is torn down.
+	written := make(chan error, 1)
+	go func() { written <- r.write(proto.Marshal(corr, body)) }()
+	select {
+	case err := <-written:
+		if err != nil {
+			return nil, fmt.Errorf("core: control send: %w", err)
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-r.done:
+		return nil, r.closeErr()
 	}
 	select {
 	case msg := <-ch:
@@ -192,6 +274,7 @@ func (r *rpc) shutdown(err error) {
 	r.closed = true
 	r.err = err
 	r.mu.Unlock()
+	r.cancel()
 	close(r.done)
 	_ = r.conn.Close()
 }

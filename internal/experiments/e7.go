@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"gridproxy/internal/peerlink"
 	"gridproxy/internal/site"
 )
 
@@ -27,6 +28,13 @@ type E7Row struct {
 	// PlacementOK reports whether a new placement succeeded on the
 	// survivors immediately after detection.
 	PlacementOK bool
+	// Reconnect is how long after the dead site restarted (at the same
+	// addresses) the survivor's supervised link re-established peering
+	// and re-learned the full inventory — with no operator action.
+	Reconnect time.Duration
+	// RecoveredOK reports whether the full pre-failure inventory came
+	// back after the restart.
+	RecoveredOK bool
 }
 
 // E7Config parameterizes experiment E7.
@@ -39,11 +47,13 @@ func DefaultE7() E7Config {
 	return E7Config{Shapes: [][2]int{{2, 4}, {3, 4}, {5, 4}}}
 }
 
-// E7 kills one site's proxy and measures what the rest of the grid loses.
-// The paper: "This distributed control reduces the effect of failures on
-// a given site or proxy." Expected shape: the surviving fraction of
-// schedulable nodes equals (sites-1)/sites and new placements keep
-// succeeding.
+// E7 kills one site's proxy and measures what the rest of the grid loses,
+// then restarts the site and measures how long unsupervised recovery
+// takes. The paper: "This distributed control reduces the effect of
+// failures on a given site or proxy." Expected shape: the surviving
+// fraction of schedulable nodes equals (sites-1)/sites, new placements
+// keep succeeding, and after the restart the supervised peer links
+// re-establish the full grid without operator action.
 func E7(cfg E7Config) ([]E7Row, error) {
 	var rows []E7Row
 	for _, shape := range cfg.Shapes {
@@ -57,7 +67,17 @@ func E7(cfg E7Config) ([]E7Row, error) {
 }
 
 func runE7Shape(sitesCount, nodesPerSite int) (E7Row, error) {
-	tbCfg := site.TestbedConfig{GridName: "e7"}
+	tbCfg := site.TestbedConfig{
+		GridName: "e7",
+		// Fast backoff so the post-restart reconnect measurement reflects
+		// the supervisor, not a long default backoff; heartbeats off so
+		// detection measures the session-death path alone.
+		Lifecycle: peerlink.Config{
+			BackoffMin:        20 * time.Millisecond,
+			BackoffMax:        500 * time.Millisecond,
+			HeartbeatInterval: -1,
+		},
+	}
 	for s := 0; s < sitesCount; s++ {
 		tbCfg.Sites = append(tbCfg.Sites, site.SiteSpec{
 			Name:  fmt.Sprintf("site%d", s),
@@ -99,6 +119,24 @@ func runE7Shape(sitesCount, nodesPerSite int) (E7Row, error) {
 		placementOK = true
 	}
 
+	// Recovery: boot a replacement site at the same addresses and time
+	// how long the survivor's supervised link takes to redial, re-peer,
+	// and restore the full inventory — no operator reconnect.
+	restart := time.Now()
+	var reconnect time.Duration
+	recoveredOK := false
+	if _, err := tb.RestartSite(victim.Name); err == nil {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if len(survivor.Candidates()) == before {
+				recoveredOK = true
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		reconnect = time.Since(restart)
+	}
+
 	row := E7Row{
 		Sites:        sitesCount,
 		NodesPerSite: nodesPerSite,
@@ -107,6 +145,8 @@ func runE7Shape(sitesCount, nodesPerSite int) (E7Row, error) {
 		ExpectedFrac: float64(sitesCount-1) / float64(sitesCount),
 		Detection:    detection,
 		PlacementOK:  placementOK,
+		Reconnect:    reconnect,
+		RecoveredOK:  recoveredOK,
 	}
 	if before > 0 {
 		row.SurvivingFrac = float64(after) / float64(before)
@@ -117,14 +157,15 @@ func runE7Shape(sitesCount, nodesPerSite int) (E7Row, error) {
 // E7Table renders E7 rows.
 func E7Table(rows []E7Row) Table {
 	t := Table{
-		Title:  "E7 — failure containment: one proxy dies",
-		Claim:  "distributed control limits a proxy failure to its own site's resources",
-		Header: []string{"sites", "nodes/site", "nodes_before", "nodes_after", "surviving_frac", "expected_frac", "detection", "placement_ok"},
+		Title:  "E7 — failure containment: one proxy dies, then restarts",
+		Claim:  "distributed control limits a proxy failure to its own site's resources; supervised links restore the grid unattended",
+		Header: []string{"sites", "nodes/site", "nodes_before", "nodes_after", "surviving_frac", "expected_frac", "detection", "placement_ok", "reconnect", "recovered_ok"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			itoa(r.Sites), itoa(r.NodesPerSite), itoa(r.NodesBefore), itoa(r.NodesAfter),
 			f2(r.SurvivingFrac), f2(r.ExpectedFrac), dur(r.Detection), fmt.Sprintf("%v", r.PlacementOK),
+			dur(r.Reconnect), fmt.Sprintf("%v", r.RecoveredOK),
 		})
 	}
 	return t

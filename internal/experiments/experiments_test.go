@@ -68,11 +68,11 @@ func TestE4Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
+	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	distributed, central := rows[0], rows[1]
-	if distributed.Scheme != "site-compiled" || central.Scheme != "central-poll" {
+	distributed, central, cached := rows[0], rows[1], rows[2]
+	if distributed.Scheme != "site-compiled" || central.Scheme != "central-poll" || cached.Scheme != "site-cached" {
 		t.Fatalf("rows out of order: %+v", rows)
 	}
 	if distributed.ControlMsgs >= central.ControlMsgs {
@@ -83,6 +83,10 @@ func TestE4Shape(t *testing.T) {
 	// end = 4 accounting events per site); central with nodes.
 	if central.ControlMsgs < int64(3*8) {
 		t.Errorf("central poll msgs = %d, expected at least one per node", central.ControlMsgs)
+	}
+	// A warm cached read is answered from local state: no control traffic.
+	if cached.ControlMsgs != 0 {
+		t.Errorf("cached status sent %d control msgs, want 0", cached.ControlMsgs)
 	}
 }
 
@@ -139,6 +143,12 @@ func TestE7Shape(t *testing.T) {
 	}
 	if r.Detection > 10*time.Second {
 		t.Errorf("detection took %v", r.Detection)
+	}
+	if !r.RecoveredOK {
+		t.Error("grid did not recover after the site restarted")
+	}
+	if r.Reconnect <= 0 || r.Reconnect > 30*time.Second {
+		t.Errorf("reconnect took %v", r.Reconnect)
 	}
 }
 

@@ -28,6 +28,7 @@ type FlakyNetwork struct {
 
 	mu        sync.Mutex
 	failed    bool
+	hang      chan struct{}
 	conns     map[*flakyConn]struct{}
 	listeners map[*flakyListener]struct{}
 }
@@ -58,10 +59,28 @@ func (f *FlakyNetwork) Fail() {
 	}
 }
 
-// Heal re-enables new dials and accepts. Severed connections stay dead.
+// Hang makes every tracked connection stall: reads and writes block
+// without erroring until Heal or the connection is closed. Unlike Fail
+// (a crashed endpoint), this is the observable behaviour of a hung but
+// still-connected peer — the failure mode that per-RPC deadlines exist
+// for.
+func (f *FlakyNetwork) Hang() {
+	f.mu.Lock()
+	if f.hang == nil {
+		f.hang = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// Heal re-enables new dials and accepts and unblocks hung connections.
+// Severed connections stay dead.
 func (f *FlakyNetwork) Heal() {
 	f.mu.Lock()
 	f.failed = false
+	if f.hang != nil {
+		close(f.hang)
+		f.hang = nil
+	}
 	f.mu.Unlock()
 }
 
@@ -101,7 +120,7 @@ func (f *FlakyNetwork) Listen(addr string) (net.Listener, error) {
 }
 
 func (f *FlakyNetwork) track(conn net.Conn) net.Conn {
-	fc := &flakyConn{Conn: conn, net: f}
+	fc := &flakyConn{Conn: conn, net: f, closed: make(chan struct{})}
 	f.mu.Lock()
 	if f.failed {
 		f.mu.Unlock()
@@ -121,12 +140,47 @@ func (f *FlakyNetwork) forget(fc *flakyConn) {
 
 type flakyConn struct {
 	net.Conn
-	net  *FlakyNetwork
-	once sync.Once
+	net    *FlakyNetwork
+	once   sync.Once
+	closed chan struct{}
+}
+
+// gate blocks while the network is hung; it returns net.ErrClosed if the
+// connection is closed while waiting.
+func (c *flakyConn) gate() error {
+	c.net.mu.Lock()
+	hang := c.net.hang
+	c.net.mu.Unlock()
+	if hang == nil {
+		return nil
+	}
+	select {
+	case <-hang:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+func (c *flakyConn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *flakyConn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
 }
 
 func (c *flakyConn) Close() error {
-	c.once.Do(func() { c.net.forget(c) })
+	c.once.Do(func() {
+		c.net.forget(c)
+		close(c.closed)
+	})
 	return c.Conn.Close()
 }
 

@@ -198,4 +198,32 @@ const (
 	TicketOps = "auth.ticket_ops"
 	// StreamsOpened counts logical streams opened through tunnels.
 	StreamsOpened = "tunnel.streams"
+
+	// Peer-lifecycle gauges: how many supervised links currently occupy
+	// each state of the machine (see internal/peerlink).
+	PeersConnecting  = "gauge.peer.connecting"
+	PeersEstablished = "gauge.peer.established"
+	PeersDegraded    = "gauge.peer.degraded"
+	PeersBackoff     = "gauge.peer.backoff"
+	// PeerTransitions counts state-machine transitions across all links.
+	PeerTransitions = "peer.transitions"
+	// PeerReconnects counts sessions re-established after a loss.
+	PeerReconnects = "peer.reconnects"
+	// PeerRedialFailures counts dial attempts that failed.
+	PeerRedialFailures = "peer.redial_failures"
+	// PeerHeartbeats counts heartbeat probes sent.
+	PeerHeartbeats = "peer.heartbeats"
+	// PeerHeartbeatMisses counts probes that failed or timed out.
+	PeerHeartbeatMisses = "peer.heartbeat_misses"
+	// ControlRPCs counts proxy-to-proxy control calls issued.
+	ControlRPCs = "control.rpcs"
+	// ControlRPCMicros accumulates control-call latency in microseconds.
+	ControlRPCMicros = "control.rpc_micros"
+	// ControlRPCTimeouts counts control calls that hit their deadline.
+	ControlRPCTimeouts = "control.rpc_timeouts"
+	// StatusCacheHits counts Status reads answered from the cached global
+	// view without a cross-site RPC.
+	StatusCacheHits = "status.cache_hits"
+	// StatusCacheMisses counts Status reads that had to query a peer.
+	StatusCacheMisses = "status.cache_misses"
 )

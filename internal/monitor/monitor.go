@@ -215,11 +215,18 @@ func (c *Collector) Summary() SiteSummary {
 type Global struct {
 	mu    sync.RWMutex
 	sites map[string]SiteSummary
+	// updated stamps each site's LOCAL receipt time. Ages derived from it
+	// are immune to cross-site clock skew, unlike SiteSummary.Collected
+	// which is stamped by the reporting site.
+	updated map[string]time.Time
 }
 
 // NewGlobal creates an empty global view.
 func NewGlobal() *Global {
-	return &Global{sites: make(map[string]SiteSummary)}
+	return &Global{
+		sites:   make(map[string]SiteSummary),
+		updated: make(map[string]time.Time),
+	}
 }
 
 // Update records a site's summary, replacing its previous one.
@@ -227,6 +234,7 @@ func (g *Global) Update(s SiteSummary) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.sites[s.Site] = s
+	g.updated[s.Site] = time.Now()
 }
 
 // Remove drops a site (site left the grid or its proxy failed).
@@ -234,6 +242,7 @@ func (g *Global) Remove(site string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	delete(g.sites, site)
+	delete(g.updated, site)
 }
 
 // Site returns one site's summary.
@@ -242,6 +251,18 @@ func (g *Global) Site(site string) (SiteSummary, bool) {
 	defer g.mu.RUnlock()
 	s, ok := g.sites[site]
 	return s, ok
+}
+
+// SiteWithAge returns one site's summary plus how long ago this view
+// received it (local clock). Status caching keys freshness off this age.
+func (g *Global) SiteWithAge(site string) (SiteSummary, time.Duration, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, ok := g.sites[site]
+	if !ok {
+		return SiteSummary{}, 0, false
+	}
+	return s, time.Since(g.updated[site]), true
 }
 
 // Sites returns all summaries sorted by site name.

@@ -1,0 +1,40 @@
+package peerlink
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Result carries one target's outcome from a FanOut call.
+type Result[T any] struct {
+	Target string
+	Value  T
+	Err    error
+}
+
+// FanOut runs fn against every target concurrently and returns the
+// results in target order. When perTarget is positive each call runs
+// under its own deadline, so the wall-clock cost of the whole fan-out is
+// bounded by the slowest target that still answers within its budget —
+// a hung target costs perTarget, not forever. fn must honor ctx.
+func FanOut[T any](ctx context.Context, targets []string, perTarget time.Duration, fn func(ctx context.Context, target string) (T, error)) []Result[T] {
+	results := make([]Result[T], len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			tctx := ctx
+			if perTarget > 0 {
+				var cancel context.CancelFunc
+				tctx, cancel = context.WithTimeout(ctx, perTarget)
+				defer cancel()
+			}
+			v, err := fn(tctx, target)
+			results[i] = Result[T]{Target: target, Value: v, Err: err}
+		}(i, target)
+	}
+	wg.Wait()
+	return results
+}

@@ -21,6 +21,7 @@ import (
 	"gridproxy/internal/logging"
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/node"
+	"gridproxy/internal/peerlink"
 	"gridproxy/internal/ticket"
 	"gridproxy/internal/transport"
 )
@@ -87,6 +88,9 @@ type TestbedConfig struct {
 	WANBandwidth int64
 	// Policy is the placement policy name (default "least-loaded").
 	Policy string
+	// Lifecycle carries the peer-link supervision knobs handed to every
+	// proxy (zero value: peerlink defaults).
+	Lifecycle peerlink.Config
 	// Metrics may be nil.
 	Metrics *metrics.Registry
 	// Logger may be nil.
@@ -105,7 +109,11 @@ type Testbed struct {
 	// WAN is the shared inter-site backbone (pre-TLS).
 	WAN *transport.MemNetwork
 
-	metrics *metrics.Registry
+	metrics    *metrics.Registry
+	specs      map[string]SiteSpec
+	policyName string
+	lifecycle  peerlink.Config
+	logger     *logging.Logger
 }
 
 // NewTestbed builds and starts a grid: a CA, per-site TLS credentials, a
@@ -156,11 +164,15 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	}
 
 	tb := &Testbed{
-		CA:      authority,
-		Users:   users,
-		TGS:     tgs,
-		WAN:     wan,
-		metrics: cfg.Metrics,
+		CA:         authority,
+		Users:      users,
+		TGS:        tgs,
+		WAN:        wan,
+		metrics:    cfg.Metrics,
+		specs:      make(map[string]SiteSpec, len(cfg.Sites)),
+		policyName: policyName,
+		lifecycle:  cfg.Lifecycle,
+		logger:     cfg.Logger,
 	}
 	for _, spec := range cfg.Sites {
 		s, err := tb.buildSite(spec, policyName, cfg.Logger)
@@ -169,6 +181,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			return nil, err
 		}
 		tb.Sites = append(tb.Sites, s)
+		tb.specs[spec.Name] = spec
 	}
 	return tb, nil
 }
@@ -199,6 +212,7 @@ func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logg
 		TGS:       tb.TGS,
 		TicketKey: ticketKey,
 		Policy:    policy,
+		Lifecycle: tb.lifecycle,
 		Metrics:   tb.metrics,
 		Logger:    log,
 	})
@@ -227,6 +241,34 @@ func (tb *Testbed) Site(name string) *Site {
 		}
 	}
 	return nil
+}
+
+// RestartSite tears one site down and rebuilds it from its original
+// spec — the testbed's "kill -9 the proxy host and boot a fresh one".
+// The new site listens on the same WAN and client addresses; peers that
+// supervise a link to it will redial and recover without operator
+// action. The returned Site replaces the old one in tb.Sites.
+func (tb *Testbed) RestartSite(name string) (*Site, error) {
+	spec, ok := tb.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("site: no spec for site %q", name)
+	}
+	old := tb.Site(name)
+	if old != nil {
+		old.Close()
+	}
+	s, err := tb.buildSite(spec, tb.policyName, tb.logger)
+	if err != nil {
+		return nil, err
+	}
+	for i, existing := range tb.Sites {
+		if existing.Name == name {
+			tb.Sites[i] = s
+			return s, nil
+		}
+	}
+	tb.Sites = append(tb.Sites, s)
+	return s, nil
 }
 
 // ConnectAll joins every pair of sites (each pair connected once, lower

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"gridproxy/internal/ca"
 	"gridproxy/internal/metrics"
@@ -77,7 +78,17 @@ type TLS struct {
 	cred  *ca.Credential
 	roots *x509.CertPool
 	reg   *metrics.Registry
+
+	// HandshakeTimeout bounds the server-side handshake performed inside
+	// Accept. Without it a client that connects and never speaks TLS
+	// would block the accept loop forever. Zero means
+	// DefaultHandshakeTimeout.
+	HandshakeTimeout time.Duration
 }
+
+// DefaultHandshakeTimeout is the accept-side TLS handshake bound used
+// when TLS.HandshakeTimeout is zero.
+const DefaultHandshakeTimeout = 10 * time.Second
 
 var _ Network = (*TLS)(nil)
 
@@ -162,10 +173,16 @@ func (l *tlsListener) Accept() (net.Conn, error) {
 		l.t.reg.Counter(metrics.BytesEncrypted),
 		l.t.reg.Counter(metrics.BytesEncrypted))
 	conn := tls.Server(counted, l.t.serverConfig())
+	timeout := l.t.HandshakeTimeout
+	if timeout <= 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	_ = raw.SetDeadline(time.Now().Add(timeout))
 	if err := conn.Handshake(); err != nil {
 		_ = raw.Close()
 		return nil, fmt.Errorf("transport: tls accept handshake: %w", err)
 	}
+	_ = raw.SetDeadline(time.Time{})
 	l.t.reg.Counter(metrics.TLSHandshakes).Inc()
 	return conn, nil
 }

@@ -395,3 +395,71 @@ func TestInstrumentCounts(t *testing.T) {
 		t.Errorf("in = %d, want 37", in.Value())
 	}
 }
+
+// TestTLSAcceptSurvivesSilentClient connects a raw TCP client that never
+// speaks TLS and checks Accept errors out within the handshake timeout
+// instead of blocking the accept loop forever, and that a genuine TLS
+// dial still succeeds afterwards.
+func TestTLSAcceptSurvivesSilentClient(t *testing.T) {
+	authority, err := ca.New("silentgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credSrv, err := authority.IssueHost("proxy.srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credCli, err := authority.IssueHost("proxy.cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := authority.CertPool()
+	tlsSrv := NewTLS(TCP{}, credSrv, pool, nil)
+	tlsSrv.HandshakeTimeout = 200 * time.Millisecond
+	ln, err := tlsSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("accept of a silent client reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept blocked on a silent client; handshake deadline not applied")
+	}
+
+	// The listener must still serve real peers.
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			_ = conn.Close()
+		}
+		errCh <- err
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tlsCli := NewTLS(TCP{}, credCli, pool, nil)
+	client, err := tlsCli.Dial(ctx, addr)
+	if err != nil {
+		t.Fatalf("tls dial after silent client: %v", err)
+	}
+	_ = client.Close()
+	if err := <-errCh; err != nil {
+		t.Fatalf("accept after silent client: %v", err)
+	}
+}
