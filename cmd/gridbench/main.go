@@ -21,12 +21,12 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment to run: e1..e8, comma-separated, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e9, comma-separated, or all")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for i := 1; i <= 8; i++ {
+		for i := 1; i <= 9; i++ {
 			want[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -70,6 +70,10 @@ func run() error {
 			rows, err := experiments.E8(experiments.DefaultE8())
 			return experiments.E8Table(rows), err
 		}},
+		{"e9", func() (experiments.Table, error) {
+			rows, err := experiments.E9(experiments.DefaultE9())
+			return experiments.E9Table(rows), err
+		}},
 	}
 
 	ran := 0
@@ -85,7 +89,7 @@ func run() error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e8 or all)", *exp)
+		return fmt.Errorf("no experiment matched %q (use e1..e9 or all)", *exp)
 	}
 	return nil
 }

@@ -6,6 +6,8 @@
 //	gridctl -proxy 127.0.0.1:7200 -user alice -password secret status
 //	gridctl ... submit -program pi -procs 8 -args 1000000
 //	gridctl ... wait -job <id>
+//	gridctl ... cancel <id>
+//	gridctl ... jobs
 //	gridctl ... resources -kind node
 //	gridctl ... ping
 //	gridctl ... tunnel -app tun1 -site siteb -target legacy-echo:7000 -listen 127.0.0.1:9000
@@ -41,7 +43,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: gridctl [flags] ping|status|submit|wait|resources|tunnel")
+		return fmt.Errorf("usage: gridctl [flags] ping|status|submit|wait|cancel|jobs|resources|tunnel")
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -142,6 +144,42 @@ func run() error {
 			return err
 		}
 		fmt.Println("job done")
+		return nil
+
+	case "cancel":
+		fs := flag.NewFlagSet("cancel", flag.ContinueOnError)
+		jobID := fs.String("job", "", "job (application) id")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		target := *jobID
+		if target == "" && fs.NArg() > 0 {
+			target = fs.Arg(0)
+		}
+		if target == "" {
+			return fmt.Errorf("usage: gridctl cancel <appID> (or -job <appID>)")
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		if err := client.Cancel(ctx, target); err != nil {
+			return err
+		}
+		fmt.Println("job canceled:", target)
+		return nil
+
+	case "jobs":
+		if err := login(); err != nil {
+			return err
+		}
+		jobs, err := client.Jobs(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %-10s %s\n", "JOB", "STATE", "DETAIL")
+		for _, j := range jobs {
+			fmt.Printf("%-20s %-10s %s\n", j.ID, j.State, j.Detail)
+		}
 		return nil
 
 	case "resources":

@@ -30,6 +30,15 @@
 //	hello_timeout     = 10s         # inbound session identification deadline
 //	status_ttl        = 0           # serve cached global status this fresh
 //	                                 # (0 disables caching)
+//
+// Job-lifecycle knobs (all optional; see internal/core defaults):
+//
+//	orphan_grace      = 45s         # reap hosted apps whose origin link
+//	                                 # stays dead this long (negative disables)
+//	job_ttl           = 15m         # prune terminal jobs after this long
+//	                                 # (negative disables)
+//	reschedule_budget = 2           # site deaths survived per job before
+//	                                 # the launch fails (negative disables)
 package main
 
 import (
@@ -106,6 +115,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	jobs, err := jobsFromConfig(cfg)
+	if err != nil {
+		return err
+	}
 
 	reg := metrics.NewRegistry()
 	local := transport.NewLabelTCP()
@@ -120,6 +133,7 @@ func run() error {
 		Users:     users,
 		Policy:    policy,
 		Lifecycle: lifecycle,
+		Jobs:      jobs,
 		Metrics:   reg,
 		Logger:    log,
 	})
@@ -239,4 +253,21 @@ func lifecycleFromConfig(cfg *config.Config) (peerlink.Config, error) {
 		return lc, err
 	}
 	return lc, nil
+}
+
+// jobsFromConfig reads the job-lifecycle knobs. Absent keys stay zero so
+// core's defaults apply; negative values disable the mechanism.
+func jobsFromConfig(cfg *config.Config) (core.JobConfig, error) {
+	var jc core.JobConfig
+	var err error
+	if jc.OrphanGrace, err = cfg.Duration("orphan_grace", 0); err != nil {
+		return jc, err
+	}
+	if jc.TerminalTTL, err = cfg.Duration("job_ttl", 0); err != nil {
+		return jc, err
+	}
+	if jc.RescheduleBudget, err = cfg.Int("reschedule_budget", 0); err != nil {
+		return jc, err
+	}
+	return jc, nil
 }

@@ -32,14 +32,43 @@ type rankLoc struct {
 // virtual slaves thus constitute the abstraction that provides the
 // illusion of the virtual cluster".
 type addressSpace struct {
-	proxy     *Proxy
-	appID     string
-	owner     string
-	locations map[int]rankLoc
+	proxy *Proxy
+	appID string
+	owner string
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// locations is the app's current rank placement. Rescheduling
+	// replaces entries, so virtual slaves look a rank's location up per
+	// accepted connection rather than capturing it at creation.
+	locations map[int]rankLoc
 	listeners []net.Listener
 	closed    bool
+}
+
+// lookup returns a rank's current location.
+func (as *addressSpace) lookup(rank int) (rankLoc, bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	loc, ok := as.locations[rank]
+	return loc, ok
+}
+
+// locationsSnapshot copies the current placement.
+func (as *addressSpace) locationsSnapshot() map[int]rankLoc {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	out := make(map[int]rankLoc, len(as.locations))
+	for rank, loc := range as.locations {
+		out[rank] = loc
+	}
+	return out
+}
+
+// setLocations replaces the placement (rank rescheduling).
+func (as *addressSpace) setLocations(locations map[int]rankLoc) {
+	as.mu.Lock()
+	as.locations = locations
+	as.mu.Unlock()
 }
 
 // vsAddr is the site-local address of the virtual slave for (app, rank).
@@ -82,7 +111,7 @@ func (p *Proxy) createAddressSpace(appID, owner string, locations map[int]rankLo
 		as.listeners = append(as.listeners, ln)
 		as.mu.Unlock()
 		p.wg.Add(1)
-		go as.serveVirtualSlave(ln, rank, loc)
+		go as.serveVirtualSlave(ln, rank)
 	}
 	return as, nil
 }
@@ -154,9 +183,11 @@ func (as *addressSpace) close() {
 	}
 }
 
-// serveVirtualSlave forwards each local connection to the rank's real node
-// through the tunnel to its site's proxy.
-func (as *addressSpace) serveVirtualSlave(ln net.Listener, rank int, loc rankLoc) {
+// serveVirtualSlave forwards each local connection to the rank's real
+// node through the tunnel to its site's proxy. The location is resolved
+// per accepted connection so rescheduled ranks are reached at their new
+// home without restarting the listener.
+func (as *addressSpace) serveVirtualSlave(ln net.Listener, rank int) {
 	p := as.proxy
 	defer p.wg.Done()
 	for {
@@ -167,6 +198,13 @@ func (as *addressSpace) serveVirtualSlave(ln net.Listener, rank int, loc rankLoc
 		p.wg.Add(1)
 		go func(conn net.Conn) {
 			defer p.wg.Done()
+			loc, ok := as.lookup(rank)
+			if !ok {
+				p.log.Warn("virtual slave has no location for rank",
+					"app", as.appID, "rank", rank)
+				_ = conn.Close()
+				return
+			}
 			if err := p.forwardToSite(conn, as.appID, loc, rank); err != nil {
 				p.log.Warn("virtual slave forward failed",
 					"app", as.appID, "rank", rank, "site", loc.site, "err", err)
@@ -177,8 +215,18 @@ func (as *addressSpace) serveVirtualSlave(ln net.Listener, rank int, loc rankLoc
 }
 
 // forwardToSite opens a tunnel stream to the target site's proxy and
-// splices conn onto it.
+// splices conn onto it. A rank rescheduled onto this very site is dialed
+// directly: processes keep using the virtual-slave address from their
+// original rank table, and the proxy shortcuts the tunnel.
 func (p *Proxy) forwardToSite(conn net.Conn, appID string, loc rankLoc, rank int) error {
+	if loc.site == p.site {
+		local, err := p.dialLocal(node.EndpointAddr(loc.node, appID, rank))
+		if err != nil {
+			return err
+		}
+		p.splice(conn, local)
+		return nil
+	}
 	pr, err := p.peerBySite(loc.site)
 	if err != nil {
 		return err
@@ -235,7 +283,7 @@ func (p *Proxy) validateInboundStream(open *proto.StreamOpen) error {
 	switch open.Kind {
 	case proto.StreamMPI:
 		// The target must be a rank this site hosts.
-		for rank, loc := range as.locations {
+		for rank, loc := range as.locationsSnapshot() {
 			if loc.site == p.site && loc.node == open.TargetNode &&
 				node.EndpointAddr(loc.node, open.AppID, rank) == open.TargetAddr {
 				return nil

@@ -381,14 +381,25 @@ func TestPeerDeathFailsOutstandingLaunch(t *testing.T) {
 	}
 	// Kill siteb mid-flight. Its ranks will never report completion;
 	// the origin must fail the launch instead of hanging, and the
-	// origin's own rank must be cancellable.
+	// origin's own ranks must be cancellable. The rescheduler may move
+	// siteb's ranks onto sitea, so keep sweeping: every local rank
+	// (original or rescheduled) is killed until Wait returns.
 	tb.Sites[1].Close()
+	sweepDone := make(chan struct{})
+	defer close(sweepDone)
 	go func() {
-		// Unblock the surviving local rank.
-		time.Sleep(100 * time.Millisecond)
-		for _, agent := range tb.Sites[0].Nodes {
-			for _, p := range agent.Processes() {
-				_ = agent.Kill(p.AppID, p.Rank)
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-sweepDone:
+				return
+			case <-ticker.C:
+			}
+			for _, agent := range tb.Sites[0].Nodes {
+				for _, p := range agent.Processes() {
+					_ = agent.Kill(p.AppID, p.Rank)
+				}
 			}
 		}
 	}()

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 
 	"gridproxy/internal/monitor"
 	"gridproxy/internal/proto"
@@ -37,8 +36,14 @@ func (p *Proxy) handleControl(ctx context.Context, msg proto.Message) (proto.Bod
 		return p.inventoryAnnouncement(), nil
 	case *proto.RegistryQuery:
 		return p.handleRegistryQuery(req)
+	case *proto.PrepareSpawn:
+		return p.handlePrepareSpawn(req)
+	case *proto.CommitSpawn:
+		return p.handleCommitSpawn(ctx, req)
+	case *proto.AbortSpawn:
+		return p.handleAbortSpawn(req), nil
 	case *proto.SpawnRequest:
-		return p.handleSpawn(ctx, msg.Corr, req)
+		return nil, badRequest("single-phase spawn superseded by prepare/commit")
 	case *proto.JobUpdate:
 		p.handleJobUpdate(req)
 		return nil, nil
@@ -140,76 +145,10 @@ func (p *Proxy) clientRegistryQuery(req *proto.RegistryQuery) (proto.Body, error
 	return reply, nil
 }
 
-// handleSpawn serves a remote proxy's request to start ranks at this site.
-// This is the destination-side validation and the remote half of the
-// virtual-cluster abstraction.
-func (p *Proxy) handleSpawn(ctx context.Context, corr uint64, req *proto.SpawnRequest) (proto.Body, error) {
-	// Destination-side permission check (paper: permissions validated
-	// at originating AND destination proxies).
-	if err := p.users.Allowed(req.Owner, "mpi", "site:"+p.site); err != nil {
-		return &proto.SpawnReply{
-			AppID: req.AppID, OK: false,
-			Reason: fmt.Sprintf("owner %q not permitted at site %s", req.Owner, p.site),
-		}, nil
-	}
-	locations := locationsFromWire(req.Locations)
-	as, err := p.createAddressSpace(req.AppID, req.Owner, locations)
-	if err != nil {
-		return &proto.SpawnReply{AppID: req.AppID, OK: false, Reason: err.Error()}, nil
-	}
-	ranks := make([]int, 0, len(req.Ranks))
-	for _, ra := range req.Ranks {
-		ranks = append(ranks, int(ra.Rank))
-	}
-	if err := p.spawnLocalRanks(ctx, req.AppID, req.Owner, req.Program, req.Args, int(req.WorldSize), locations, ranks); err != nil {
-		as.close()
-		p.dropAddressSpace(req.AppID)
-		return &proto.SpawnReply{AppID: req.AppID, OK: false, Reason: err.Error()}, nil
-	}
-
-	reply := &proto.SpawnReply{AppID: req.AppID, OK: true}
-	for _, rank := range ranks {
-		reply.Endpoints = append(reply.Endpoints, proto.RankEndpoint{
-			Rank: uint32(rank),
-			Addr: p.vsAddr(req.AppID, rank),
-		})
-	}
-
-	// Watch local ranks; when they finish, close the address space and
-	// report completion to the origin proxy.
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		err := p.waitLocalRanks(req.AppID, locations, ranks)
-		as.close()
-		p.dropAddressSpace(req.AppID)
-		update := &proto.JobUpdate{JobID: req.AppID, State: proto.JobDone, Detail: p.site}
-		if err != nil {
-			update.State = proto.JobFailed
-			update.Detail = fmt.Sprintf("%s: %v", p.site, err)
-		}
-		// Report to whichever peer launched the app. The origin site
-		// is the launcher; find it from the locations of ranks we do
-		// not host — the origin is the site whose proxy opened the
-		// control channel, but JobUpdate is addressed by app id, so
-		// broadcasting to all peers is safe and simple.
-		p.mu.Lock()
-		peers := make([]*peer, 0, len(p.peers))
-		for _, pr := range p.peers {
-			peers = append(peers, pr)
-		}
-		p.mu.Unlock()
-		for _, pr := range peers {
-			if err := pr.ctrl.notify(update); err != nil && !errors.Is(err, errRPCClosed) {
-				p.log.Debug("job update notify failed", "peer", pr.site, "err", err)
-			}
-		}
-	}()
-	return reply, nil
-}
-
 // handleJobUpdate records a remote site's completion report for an app we
-// launched.
+// launched. The Site field names the reporter; reports from peers built
+// before that field existed fall back to the done-report convention of
+// carrying the site in Detail.
 func (p *Proxy) handleJobUpdate(req *proto.JobUpdate) {
 	p.mu.Lock()
 	js, ok := p.jobs[req.JobID]
@@ -221,29 +160,11 @@ func (p *Proxy) handleJobUpdate(req *proto.JobUpdate) {
 	if req.State == proto.JobFailed {
 		err = errors.New(req.Detail)
 	}
-	// Detail carries the reporting site for done updates.
-	site := req.Detail
-	if req.State == proto.JobFailed {
-		// Failed details are "<site>: error"; extract the site.
-		for s := range js.launch.remoteSnapshot() {
-			site = s
-			if len(req.Detail) >= len(s) && req.Detail[:len(s)] == s {
-				break
-			}
-		}
+	site := req.Site
+	if site == "" {
+		site = req.Detail
 	}
 	js.launch.remoteDone(site, err)
-}
-
-// remoteSnapshot returns the launch's outstanding remote sites.
-func (l *Launch) remoteSnapshot() map[string]bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make(map[string]bool, len(l.remote))
-	for s := range l.remote {
-		out[s] = true
-	}
-	return out
 }
 
 // handlePermCheck validates a permission for a peer (the destination-side

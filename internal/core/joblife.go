@@ -1,0 +1,678 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gridproxy/internal/balance"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/peerlink"
+	"gridproxy/internal/proto"
+)
+
+// JobConfig carries the fault-tolerance knobs of the job lifecycle.
+// Zero values select defaults; negative values disable the feature.
+type JobConfig struct {
+	// OrphanGrace is how long a destination site keeps hosting an
+	// application whose origin proxy is disconnected before reaping it
+	// autonomously. Negative disables orphan reaping.
+	OrphanGrace time.Duration
+	// TerminalTTL is how long terminal job records (done, failed,
+	// cancelled) stay queryable before the janitor prunes them from the
+	// job table. Negative keeps records forever.
+	TerminalTTL time.Duration
+	// RescheduleBudget bounds how many site deaths a single launch
+	// survives by respawning the lost ranks on surviving sites. Negative
+	// disables rescheduling (a site death fails the job, the pre-existing
+	// behaviour).
+	RescheduleBudget int
+}
+
+// Job-lifecycle defaults.
+const (
+	DefaultOrphanGrace      = 45 * time.Second
+	DefaultTerminalTTL      = 15 * time.Minute
+	DefaultRescheduleBudget = 2
+)
+
+// WithDefaults fills zero fields with defaults.
+func (c JobConfig) WithDefaults() JobConfig {
+	if c.OrphanGrace == 0 {
+		c.OrphanGrace = DefaultOrphanGrace
+	}
+	if c.TerminalTTL == 0 {
+		c.TerminalTTL = DefaultTerminalTTL
+	}
+	if c.RescheduleBudget == 0 {
+		c.RescheduleBudget = DefaultRescheduleBudget
+	}
+	return c
+}
+
+// jobState is one entry of the origin proxy's job table.
+type jobState struct {
+	launch *Launch
+	state  proto.JobState
+	detail string
+	// terminalAt is when the job reached a terminal state; zero while it
+	// is queued or running. The janitor prunes entries older than the
+	// configured TTL.
+	terminalAt time.Time
+}
+
+// registerJob installs a job-table entry before the launch can produce
+// any completion report, so even an instantly-finishing remote group
+// finds it.
+func (p *Proxy) registerJob(appID string, l *Launch) {
+	p.mu.Lock()
+	p.jobs[appID] = &jobState{launch: l, state: proto.JobQueued, detail: "preparing"}
+	n := len(p.jobs)
+	p.mu.Unlock()
+	p.reg.Gauge(metrics.JobsTracked).Set(int64(n))
+}
+
+// setJobRunning marks a job running unless it already reached a terminal
+// state (an all-remote job can finish before the launcher gets here).
+func (p *Proxy) setJobRunning(appID string) {
+	p.mu.Lock()
+	if js, ok := p.jobs[appID]; ok && js.terminalAt.IsZero() {
+		js.state = proto.JobRunning
+		js.detail = "running"
+	}
+	p.mu.Unlock()
+}
+
+// setJobTerminal records a job's terminal state and stamps it for the
+// janitor.
+func (p *Proxy) setJobTerminal(appID string, state proto.JobState, detail string) {
+	p.mu.Lock()
+	if js, ok := p.jobs[appID]; ok && js.terminalAt.IsZero() {
+		js.state, js.detail, js.terminalAt = state, detail, time.Now()
+	}
+	p.mu.Unlock()
+}
+
+// unregisterJob removes a job-table entry (aborted launches).
+func (p *Proxy) unregisterJob(appID string) {
+	p.mu.Lock()
+	delete(p.jobs, appID)
+	n := len(p.jobs)
+	p.mu.Unlock()
+	p.reg.Gauge(metrics.JobsTracked).Set(int64(n))
+}
+
+// jobsJanitor prunes terminal job records past the TTL, bounding the job
+// table of a long-lived proxy.
+func (p *Proxy) jobsJanitor() {
+	defer p.wg.Done()
+	ttl := p.jobcfg.TerminalTTL
+	interval := ttl / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		pruned := 0
+		p.mu.Lock()
+		for id, js := range p.jobs {
+			if !js.terminalAt.IsZero() && now.Sub(js.terminalAt) >= ttl {
+				delete(p.jobs, id)
+				pruned++
+			}
+		}
+		n := len(p.jobs)
+		p.mu.Unlock()
+		if pruned > 0 {
+			p.reg.Counter(metrics.JobsPruned).Add(int64(pruned))
+			p.reg.Gauge(metrics.JobsTracked).Set(int64(n))
+		}
+	}
+}
+
+// Cancel terminates a running job launched from this proxy: local ranks
+// are killed, every destination site gets an AbortSpawn, and the job
+// moves to the cancelled terminal state. Launch.Wait then returns
+// ErrCanceled. Cancelling an already-cancelled job is a no-op; jobs still
+// in their launch phases or already finished are refused.
+func (p *Proxy) Cancel(ctx context.Context, appID string) error {
+	p.mu.Lock()
+	js, ok := p.jobs[appID]
+	p.mu.Unlock()
+	if !ok || js.launch == nil {
+		return notFound("no job %q", appID)
+	}
+	l := js.launch
+	start := time.Now()
+
+	l.mu.Lock()
+	if l.finished {
+		l.mu.Unlock()
+		return badRequest("job %q already finished", appID)
+	}
+	if !l.committed {
+		l.mu.Unlock()
+		return badRequest("job %q is still launching; retry", appID)
+	}
+	if l.canceled {
+		l.mu.Unlock()
+		return nil
+	}
+	// Claim the finished transition here: the watchers' maybeFinish then
+	// becomes a no-op, so exactly one goroutine (this one) runs finish.
+	l.canceled = true
+	l.finished = true
+	l.failed = ErrCanceled
+	l.localPending = 0
+	sites := make([]string, 0, len(l.remote))
+	for site := range l.remote {
+		sites = append(sites, site)
+	}
+	l.remote = map[string]int{}
+	locations := copyLocations(l.locations)
+	l.mu.Unlock()
+	sort.Strings(sites)
+
+	var localRanks []int
+	for rank, loc := range locations {
+		if loc.site == p.site {
+			localRanks = append(localRanks, rank)
+		}
+	}
+	p.reapLocalRanks(appID, locations, localRanks)
+	p.abortRemote(ctx, appID, sites, "canceled by operator")
+	l.finish(ErrCanceled, true)
+
+	p.reg.Counter(metrics.JobCancels).Inc()
+	p.reg.Counter(metrics.JobCancelMicros).Add(time.Since(start).Microseconds())
+	p.log.Info("job canceled", "app", appID, "sites_aborted", len(sites))
+	return nil
+}
+
+func copyLocations(locations map[int]rankLoc) map[int]rankLoc {
+	out := make(map[int]rankLoc, len(locations))
+	for rank, loc := range locations {
+		out[rank] = loc
+	}
+	return out
+}
+
+// ActiveApps returns how many application address spaces this proxy
+// currently holds (origin-side and hosted). Tests assert it reaches zero
+// after aborts, cancellations, and completions: no leaked address spaces.
+func (p *Proxy) ActiveApps() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.apps)
+}
+
+// hostedApp is the destination-side record of an application this site
+// runs ranks for on behalf of a remote origin proxy. It exists from the
+// PrepareSpawn until the last rank group finishes or the app is aborted
+// or reaped.
+type hostedApp struct {
+	appID     string
+	origin    string
+	owner     string
+	program   string
+	args      []string
+	worldSize int
+	as        *addressSpace
+
+	mu      sync.Mutex
+	pending []int          // ranks prepared but not yet committed
+	running map[int]string // rank -> node, committed and not yet done
+	groups  int            // committed rank groups still being watched
+	aborted bool
+
+	// originLost is when the reaper first saw the origin's link down;
+	// touched only by the orphanReaper goroutine.
+	originLost time.Time
+}
+
+func (p *Proxy) lookupHosted(appID string) (*hostedApp, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ha, ok := p.hosted[appID]
+	return ha, ok
+}
+
+func (p *Proxy) dropHosted(appID string) {
+	p.mu.Lock()
+	delete(p.hosted, appID)
+	p.mu.Unlock()
+}
+
+// handlePrepareSpawn serves launch phase one at a destination: validate
+// the owner (the paper validates permissions at originating AND
+// destination proxies), create the address space, and record the rank
+// assignments — without starting anything. A later reschedule landing
+// more ranks on a site that already hosts the app merges into the
+// existing record instead of re-creating it.
+func (p *Proxy) handlePrepareSpawn(req *proto.PrepareSpawn) (proto.Body, error) {
+	refuse := func(reason string) proto.Body {
+		return &proto.PrepareSpawnReply{AppID: req.AppID, OK: false, Reason: reason}
+	}
+	if err := p.users.Allowed(req.Owner, "mpi", "site:"+p.site); err != nil {
+		return refuse(fmt.Sprintf("owner %q not permitted at site %s", req.Owner, p.site)), nil
+	}
+	locations := locationsFromWire(req.Locations)
+	ranks := make([]int, 0, len(req.Ranks))
+	for _, ra := range req.Ranks {
+		ranks = append(ranks, int(ra.Rank))
+	}
+	sort.Ints(ranks)
+
+	if ha, ok := p.lookupHosted(req.AppID); ok {
+		ha.mu.Lock()
+		if ha.aborted {
+			ha.mu.Unlock()
+			return refuse("application is being aborted"), nil
+		}
+		if ha.origin != req.Origin {
+			ha.mu.Unlock()
+			return refuse(fmt.Sprintf("application belongs to origin %q", ha.origin)), nil
+		}
+		ha.pending = ranks
+		ha.worldSize = int(req.WorldSize)
+		ha.program, ha.args = req.Program, req.Args
+		ha.mu.Unlock()
+		ha.as.setLocations(locations)
+		p.reg.Counter(metrics.JobPrepares).Inc()
+		return &proto.PrepareSpawnReply{AppID: req.AppID, OK: true}, nil
+	}
+
+	as, err := p.createAddressSpace(req.AppID, req.Owner, locations)
+	if err != nil {
+		return refuse(err.Error()), nil
+	}
+	ha := &hostedApp{
+		appID:     req.AppID,
+		origin:    req.Origin,
+		owner:     req.Owner,
+		program:   req.Program,
+		args:      req.Args,
+		worldSize: int(req.WorldSize),
+		as:        as,
+		pending:   ranks,
+		running:   make(map[int]string),
+	}
+	p.mu.Lock()
+	p.hosted[req.AppID] = ha
+	p.mu.Unlock()
+	p.reg.Counter(metrics.JobPrepares).Inc()
+	return &proto.PrepareSpawnReply{AppID: req.AppID, OK: true}, nil
+}
+
+// handleCommitSpawn serves launch phase two: spawn the prepared ranks and
+// watch them. The reply lists the virtual-slave endpoints of the started
+// ranks, mirroring the old single-phase SpawnReply.
+func (p *Proxy) handleCommitSpawn(ctx context.Context, req *proto.CommitSpawn) (proto.Body, error) {
+	refuse := func(reason string) proto.Body {
+		return &proto.SpawnReply{AppID: req.AppID, OK: false, Reason: reason}
+	}
+	ha, ok := p.lookupHosted(req.AppID)
+	if !ok {
+		return refuse("no prepared application"), nil
+	}
+	ha.mu.Lock()
+	if ha.aborted {
+		ha.mu.Unlock()
+		return refuse("application is being aborted"), nil
+	}
+	if len(ha.pending) == 0 {
+		ha.mu.Unlock()
+		return refuse("no pending ranks (commit without prepare)"), nil
+	}
+	ranks := ha.pending
+	ha.pending = nil
+	ha.groups++
+	program, args, worldSize := ha.program, ha.args, ha.worldSize
+	ha.mu.Unlock()
+
+	locations := ha.as.locationsSnapshot()
+	if err := p.spawnLocalRanks(ctx, req.AppID, ha.owner, program, args, worldSize, locations, ranks); err != nil {
+		p.releaseHostedGroup(ha, nil)
+		return refuse(err.Error()), nil
+	}
+
+	ha.mu.Lock()
+	if ha.aborted {
+		// An abort raced in while we were spawning; undo.
+		ha.mu.Unlock()
+		p.reapLocalRanks(req.AppID, locations, ranks)
+		p.releaseHostedGroup(ha, nil)
+		return refuse("application is being aborted"), nil
+	}
+	for _, rank := range ranks {
+		ha.running[rank] = locations[rank].node
+	}
+	ha.mu.Unlock()
+	p.reg.Counter(metrics.JobCommits).Inc()
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		err := p.waitLocalRanks(req.AppID, locations, ranks)
+		p.finishHostedGroup(ha, ranks, err)
+	}()
+
+	reply := &proto.SpawnReply{AppID: req.AppID, OK: true}
+	for _, rank := range ranks {
+		reply.Endpoints = append(reply.Endpoints, proto.RankEndpoint{
+			Rank: uint32(rank),
+			Addr: p.vsAddr(req.AppID, rank),
+		})
+	}
+	return reply, nil
+}
+
+// releaseHostedGroup undoes one group increment without a completion
+// report (failed or aborted commit), tearing the app down if nothing else
+// references it.
+func (p *Proxy) releaseHostedGroup(ha *hostedApp, ranks []int) {
+	ha.mu.Lock()
+	for _, rank := range ranks {
+		delete(ha.running, rank)
+	}
+	ha.groups--
+	last := ha.groups == 0 && len(ha.pending) == 0
+	ha.mu.Unlock()
+	if last {
+		p.dropHosted(ha.appID)
+		ha.as.close()
+		p.dropAddressSpace(ha.appID)
+	}
+}
+
+// finishHostedGroup records one committed rank group's completion: report
+// it to the origin (unless the app was aborted — then the origin asked
+// for the teardown or is gone) and release the app when it was the last
+// group.
+func (p *Proxy) finishHostedGroup(ha *hostedApp, ranks []int, err error) {
+	ha.mu.Lock()
+	aborted := ha.aborted
+	ha.mu.Unlock()
+	p.releaseHostedGroup(ha, ranks)
+	if aborted {
+		return
+	}
+	update := &proto.JobUpdate{JobID: ha.appID, State: proto.JobDone, Detail: p.site, Site: p.site}
+	if err != nil {
+		update.State = proto.JobFailed
+		update.Detail = fmt.Sprintf("%s: %v", p.site, err)
+	}
+	// JobUpdate is addressed by app id, so broadcasting to all peers is
+	// safe and simple; the origin matches it against its job table.
+	p.broadcastJobUpdate(update)
+}
+
+// broadcastJobUpdate notifies every connected peer (best effort).
+func (p *Proxy) broadcastJobUpdate(update *proto.JobUpdate) {
+	p.mu.Lock()
+	peers := make([]*peer, 0, len(p.peers))
+	for _, pr := range p.peers {
+		peers = append(peers, pr)
+	}
+	p.mu.Unlock()
+	for _, pr := range peers {
+		if err := pr.ctrl.notify(update); err != nil && !errors.Is(err, errRPCClosed) {
+			p.log.Debug("job update notify failed", "peer", pr.site, "err", err)
+		}
+	}
+}
+
+// handleAbortSpawn tears a prepared or running hosted application down.
+// Idempotent: aborting an unknown (or already-aborted) app succeeds, so
+// origin-side abort fan-outs can safely over-approximate.
+func (p *Proxy) handleAbortSpawn(req *proto.AbortSpawn) proto.Body {
+	ha, ok := p.lookupHosted(req.AppID)
+	if !ok {
+		return &proto.AbortSpawnReply{AppID: req.AppID, OK: true}
+	}
+	ha.mu.Lock()
+	killed := uint32(len(ha.running))
+	ha.mu.Unlock()
+	if p.reapHosted(ha, req.Reason) {
+		p.reg.Counter(metrics.JobAbortsServed).Inc()
+	}
+	return &proto.AbortSpawnReply{AppID: req.AppID, OK: true, Killed: killed}
+}
+
+// reapHosted aborts a hosted app: pending ranks are forgotten, running
+// ranks killed (their group watchers observe the deaths and release the
+// app), and an idle app is torn down immediately. Returns whether this
+// call performed the abort.
+func (p *Proxy) reapHosted(ha *hostedApp, reason string) bool {
+	ha.mu.Lock()
+	if ha.aborted {
+		ha.mu.Unlock()
+		return false
+	}
+	ha.aborted = true
+	ha.pending = nil
+	victims := make(map[int]string, len(ha.running))
+	for rank, nodeName := range ha.running {
+		victims[rank] = nodeName
+	}
+	groups := ha.groups
+	ha.mu.Unlock()
+
+	for rank, nodeName := range victims {
+		if h, err := p.nodeHandle(nodeName); err == nil {
+			_ = h.Kill(ha.appID, rank)
+		}
+	}
+	if groups == 0 {
+		p.dropHosted(ha.appID)
+		ha.as.close()
+		p.dropAddressSpace(ha.appID)
+	}
+	p.log.Info("hosted application aborted", "app", ha.appID, "reason", reason)
+	return true
+}
+
+// orphanReaper autonomously reaps hosted applications whose origin proxy
+// has stayed disconnected past the grace period. Without it, an origin
+// crash would leave its remote rank groups running (and their address
+// spaces pinned) at every destination forever.
+func (p *Proxy) orphanReaper() {
+	defer p.wg.Done()
+	grace := p.jobcfg.OrphanGrace
+	interval := grace / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var reap []*hostedApp
+		p.mu.Lock()
+		for _, ha := range p.hosted {
+			if _, up := p.peers[ha.origin]; up {
+				ha.originLost = time.Time{}
+				continue
+			}
+			if ha.originLost.IsZero() {
+				ha.originLost = now
+				continue
+			}
+			if now.Sub(ha.originLost) >= grace {
+				reap = append(reap, ha)
+			}
+		}
+		p.mu.Unlock()
+		for _, ha := range reap {
+			p.log.Warn("reaping orphaned application", "app", ha.appID, "origin", ha.origin)
+			if p.reapHosted(ha, fmt.Sprintf("origin proxy %s lost", ha.origin)) {
+				p.reg.Counter(metrics.OrphanReaps).Inc()
+			}
+		}
+	}
+}
+
+// rescheduleSite recovers a committed launch from the death of one
+// destination site: the lost ranks are placed on surviving nodes and
+// respawned (restart from scratch — surviving ranks keep running; see
+// DESIGN.md for the model's limits), bounded by the reschedule budget.
+func (p *Proxy) rescheduleSite(l *Launch, deadSite string) {
+	disconnect := fmt.Errorf("core: proxy of site %s disconnected", deadSite)
+	l.mu.Lock()
+	if l.finished || l.canceled || !l.committed {
+		// Uncommitted launches handle peer failure in their own phase
+		// error paths; finished/cancelled ones have nothing to recover.
+		l.mu.Unlock()
+		return
+	}
+	if _, ok := l.remote[deadSite]; !ok {
+		l.mu.Unlock()
+		return
+	}
+	delete(l.remote, deadSite)
+	budget := p.jobcfg.RescheduleBudget
+	if budget <= 0 || l.reschedules >= budget {
+		if l.failed == nil {
+			l.failed = disconnect
+		}
+		l.mu.Unlock()
+		l.maybeFinish()
+		return
+	}
+	l.reschedules++
+	var lost []int
+	for rank, loc := range l.locations {
+		if loc.site == deadSite {
+			lost = append(lost, rank)
+		}
+	}
+	sort.Ints(lost)
+	l.mu.Unlock()
+	if len(lost) == 0 {
+		l.maybeFinish()
+		return
+	}
+
+	p.reg.Counter(metrics.JobReschedules).Inc()
+	p.log.Warn("rescheduling ranks of dead site",
+		"app", l.AppID, "site", deadSite, "ranks", len(lost))
+
+	var candidates []balance.NodeInfo
+	for _, n := range p.Candidates() {
+		if n.Site != deadSite {
+			candidates = append(candidates, n)
+		}
+	}
+	chosen, err := p.sched.Replacements(candidates, len(lost))
+	if err != nil {
+		l.fail(fmt.Errorf("core: reschedule %s after %s died: %w", l.AppID, deadSite, err))
+		return
+	}
+
+	newSites := map[string][]int{}
+	l.mu.Lock()
+	if l.finished || l.canceled {
+		l.mu.Unlock()
+		return
+	}
+	for i, rank := range lost {
+		loc := rankLoc{site: chosen[i].Site, node: chosen[i].Name}
+		l.locations[rank] = loc
+		newSites[loc.site] = append(newSites[loc.site], rank)
+	}
+	locations := copyLocations(l.locations)
+	// Register the outstanding groups before any spawn so a
+	// lightning-fast replacement cannot finish the launch early.
+	var localRanks []int
+	var remoteSites []string
+	for site, ranks := range newSites {
+		if site == p.site {
+			l.localPending++
+			localRanks = ranks
+		} else {
+			l.remote[site]++
+			remoteSites = append(remoteSites, site)
+		}
+	}
+	l.mu.Unlock()
+	sort.Strings(remoteSites)
+
+	// Re-route the origin's virtual slaves to the new placements.
+	if as, err := p.addressSpace(l.AppID); err == nil {
+		as.setLocations(locations)
+	}
+
+	spec := l.spec
+	if len(localRanks) > 0 {
+		if err := p.spawnLocalRanks(p.ctx, l.AppID, spec.Owner, spec.Program, spec.Args, len(locations), locations, localRanks); err != nil {
+			l.localDone(err)
+		} else {
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				l.localDone(p.waitLocalRanks(l.AppID, locations, localRanks))
+			}()
+		}
+	}
+	if len(remoteSites) > 0 {
+		results := peerlink.FanOut(p.ctx, remoteSites, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
+			return struct{}{}, p.spawnAtSite(ctx, l, site, newSites[site], locations)
+		})
+		for _, res := range results {
+			if res.Err != nil {
+				l.remoteDone(res.Target, res.Err)
+			}
+		}
+	}
+	// If a cancel raced with the respawn, the replacement sites missed
+	// the abort fan-out; re-abort them.
+	l.mu.Lock()
+	canceled := l.canceled
+	l.mu.Unlock()
+	if canceled && len(remoteSites) > 0 {
+		p.abortRemote(p.ctx, l.AppID, remoteSites, "canceled by operator")
+	}
+	p.reg.Counter(metrics.RanksRescheduled).Add(int64(len(lost)))
+	l.maybeFinish()
+}
+
+// spawnAtSite runs the prepare+commit sequence against a single site
+// (reschedule path).
+func (p *Proxy) spawnAtSite(ctx context.Context, l *Launch, site string, ranks []int, locations map[int]rankLoc) error {
+	spec := l.spec
+	if err := p.prepareAt(ctx, site, &proto.PrepareSpawn{
+		AppID:     l.AppID,
+		Origin:    p.site,
+		Owner:     spec.Owner,
+		Program:   spec.Program,
+		Args:      spec.Args,
+		WorldSize: uint32(len(locations)),
+		Ranks:     rankAssignments(ranks, locations),
+		Locations: locationsToWire(locations),
+	}); err != nil {
+		return err
+	}
+	_, err := p.commitAt(ctx, site, l.AppID)
+	return err
+}

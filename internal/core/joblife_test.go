@@ -1,0 +1,379 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"gridproxy/internal/core"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/node"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/site"
+)
+
+// newJobGrid is newGrid with explicit job-lifecycle knobs.
+func newJobGrid(t *testing.T, reg *metrics.Registry, jobs core.JobConfig, nodesPerSite ...int) *site.Testbed {
+	t.Helper()
+	cfg := site.TestbedConfig{GridName: "jobtest", Metrics: reg, Jobs: jobs}
+	for i, n := range nodesPerSite {
+		cfg.Sites = append(cfg.Sites, site.SiteSpec{
+			Name:  fmt.Sprintf("site%c", 'a'+i),
+			Nodes: site.UniformNodes(n, 1),
+		})
+	}
+	tb, err := site.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tb.ConnectAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// workProgram computes for d, or aborts when killed.
+func workProgram(d time.Duration) node.ProgramFunc {
+	return func(ctx context.Context, env node.Env) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+			return nil
+		}
+	}
+}
+
+// blockProgram runs until killed.
+func blockProgram() node.ProgramFunc {
+	return func(ctx context.Context, env node.Env) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition %q not reached within %v", what, d)
+}
+
+// TestRescheduleCompletesJob is the headline acceptance test: with three
+// sites, killing one mid-run must move its ranks onto the survivors
+// within the retry budget and the job must still complete.
+func TestRescheduleCompletesJob(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tb := newJobGrid(t, reg, core.JobConfig{}, 2, 2, 2)
+	tb.RegisterProgram("work", workProgram(time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	origin := tb.Sites[0].Proxy
+	launch, err := origin.LaunchMPI(ctx, core.LaunchSpec{
+		Owner: "admin", Program: "work", Procs: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a non-origin site hosting ranks as the victim.
+	victim, lost := "", 0
+	for _, loc := range launch.Locations {
+		if loc.Site != tb.Sites[0].Name {
+			victim = loc.Site
+			lost++
+		}
+	}
+	if victim == "" {
+		t.Skip("placement kept all ranks local; nothing to kill")
+	}
+	time.Sleep(100 * time.Millisecond)
+	tb.Site(victim).Close()
+
+	if err := launch.Wait(ctx); err != nil {
+		t.Fatalf("job did not survive the site death: %v", err)
+	}
+	if got := reg.Counter(metrics.JobReschedules).Value(); got < 1 {
+		t.Errorf("job.reschedules = %d, want >= 1", got)
+	}
+	if got := reg.Counter(metrics.RanksRescheduled).Value(); got < 1 {
+		t.Errorf("job.ranks_rescheduled = %d, want >= 1", got)
+	}
+	// No rank may still be placed on the dead site.
+	for rank, loc := range launch.CurrentPlacement() {
+		if loc.Site == victim {
+			t.Errorf("rank %d still placed on dead site %s", rank, victim)
+		}
+	}
+	// Completion must tear every address space down on the survivors.
+	for _, s := range tb.Sites {
+		if s.Name == victim {
+			continue
+		}
+		s := s
+		eventually(t, 10*time.Second, "address spaces released at "+s.Name, func() bool {
+			return s.Proxy.ActiveApps() == 0
+		})
+	}
+}
+
+// TestRescheduleBudgetExhausted: with rescheduling disabled the old
+// behaviour remains — a site death fails the launch.
+func TestRescheduleBudgetExhausted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tb := newJobGrid(t, reg, core.JobConfig{RescheduleBudget: -1}, 1, 1)
+	tb.RegisterProgram("block", blockProgram())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	launch, err := tb.Sites[0].Proxy.LaunchMPI(ctx, core.LaunchSpec{
+		Owner: "admin", Program: "block", Procs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansB := false
+	for _, loc := range launch.Locations {
+		if loc.Site == "siteb" {
+			spansB = true
+		}
+	}
+	if !spansB {
+		t.Skip("placement kept all ranks local")
+	}
+	tb.Sites[1].Close()
+	// Unblock the local ranks once the remote failure is recorded.
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		for _, agent := range tb.Sites[0].Nodes {
+			for _, p := range agent.Processes() {
+				_ = agent.Kill(p.AppID, p.Rank)
+			}
+		}
+	}()
+	err = launch.Wait(ctx)
+	if err == nil {
+		t.Fatal("launch survived a site death with rescheduling disabled")
+	}
+	if got := reg.Counter(metrics.JobReschedules).Value(); got != 0 {
+		t.Errorf("job.reschedules = %d, want 0", got)
+	}
+}
+
+// TestPartialLaunchAbortLeavesNoOrphans injects a refusing third site
+// (its prepare fails on an app-id collision) and asserts the two healthy
+// sites end with zero leaked address spaces and zero running ranks.
+func TestPartialLaunchAbortLeavesNoOrphans(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tb := newJobGrid(t, reg, core.JobConfig{}, 1, 1, 1)
+	tb.RegisterProgram("block", blockProgram())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	origin := tb.Sites[0].Proxy
+	placement, err := origin.Placement(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansAll := map[string]bool{}
+	for _, loc := range placement {
+		spansAll[loc.Site] = true
+	}
+	if len(spansAll) != 3 {
+		t.Skipf("placement %v does not span all three sites", placement)
+	}
+
+	// The third site will refuse the prepare: the app id is already taken
+	// there by a registered tunnel application.
+	const appID = "doomed-app"
+	if err := tb.Sites[2].Proxy.RegisterTunnelApp("admin", appID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = origin.LaunchMPI(ctx, core.LaunchSpec{
+		Owner: "admin", Program: "block", Procs: 3, AppID: appID,
+	})
+	if err == nil {
+		t.Fatal("launch succeeded despite a refusing site")
+	}
+	if !strings.Contains(err.Error(), "refused") {
+		t.Errorf("launch error %v does not name the refusal", err)
+	}
+
+	// The healthy remote site prepared, the launch aborted, nothing was
+	// ever committed.
+	if got := reg.Counter(metrics.JobPrepares).Value(); got < 1 {
+		t.Errorf("job.prepares = %d, want >= 1", got)
+	}
+	if got := reg.Counter(metrics.JobAborts).Value(); got < 1 {
+		t.Errorf("job.aborts = %d, want >= 1", got)
+	}
+	if got := reg.Counter(metrics.JobCommits).Value(); got != 0 {
+		t.Errorf("job.commits = %d, want 0", got)
+	}
+	// Origin and the healthy destination are fully clean; the third site
+	// keeps exactly its pre-registered tunnel app.
+	eventually(t, 10*time.Second, "origin address spaces released", func() bool {
+		return tb.Sites[0].Proxy.ActiveApps() == 0
+	})
+	eventually(t, 10*time.Second, "destination address spaces released", func() bool {
+		return tb.Sites[1].Proxy.ActiveApps() == 0
+	})
+	if got := tb.Sites[2].Proxy.ActiveApps(); got != 1 {
+		t.Errorf("third site tracks %d apps, want only the tunnel app", got)
+	}
+	for _, s := range tb.Sites {
+		for _, agent := range s.Nodes {
+			if procs := agent.Processes(); len(procs) != 0 {
+				t.Errorf("site %s node leaked processes: %v", s.Name, procs)
+			}
+		}
+	}
+	if got := reg.Gauge(metrics.JobsTracked).Value(); got != 0 {
+		t.Errorf("gauge.jobs.tracked = %d, want 0 after abort", got)
+	}
+}
+
+// TestCancelKillsEveryRank: Cancel must kill local ranks, abort remote
+// sites, and surface ErrCanceled from Wait.
+func TestCancelKillsEveryRank(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tb := newJobGrid(t, reg, core.JobConfig{}, 1, 1)
+	tb.RegisterProgram("block", blockProgram())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	origin := tb.Sites[0].Proxy
+	launch, err := origin.LaunchMPI(ctx, core.LaunchSpec{
+		Owner: "admin", Program: "block", Procs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := origin.Cancel(ctx, launch.AppID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if err := launch.Wait(ctx); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("Wait after cancel = %v, want ErrCanceled", err)
+	}
+	state, _, err := origin.JobStatus(launch.AppID)
+	if err != nil || state != proto.JobCancelled {
+		t.Errorf("job state = %v (%v), want JobCancelled", state, err)
+	}
+	if got := reg.Counter(metrics.JobCancels).Value(); got != 1 {
+		t.Errorf("job.cancels = %d, want 1", got)
+	}
+	for _, s := range tb.Sites {
+		s := s
+		eventually(t, 10*time.Second, "apps released at "+s.Name, func() bool {
+			return s.Proxy.ActiveApps() == 0
+		})
+		eventually(t, 10*time.Second, "ranks killed at "+s.Name, func() bool {
+			for _, agent := range s.Nodes {
+				if len(agent.Processes()) != 0 {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// Cancelling again (already finished) and cancelling an unknown job
+	// are both refused.
+	if err := origin.Cancel(ctx, launch.AppID); err == nil {
+		t.Error("cancel of finished job accepted")
+	}
+	if err := origin.Cancel(ctx, "no-such-job"); err == nil {
+		t.Error("cancel of unknown job accepted")
+	}
+}
+
+// TestOrphanReaper: a destination site must autonomously reap hosted
+// ranks when the origin proxy stays dead past the grace period.
+func TestOrphanReaper(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tb := newJobGrid(t, reg, core.JobConfig{OrphanGrace: 80 * time.Millisecond}, 1, 1)
+	tb.RegisterProgram("block", blockProgram())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	launch, err := tb.Sites[0].Proxy.LaunchMPI(ctx, core.LaunchSpec{
+		Owner: "admin", Program: "block", Procs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansB := false
+	for _, loc := range launch.Locations {
+		if loc.Site == "siteb" {
+			spansB = true
+		}
+	}
+	if !spansB {
+		t.Skip("placement kept all ranks local")
+	}
+	// Kill the origin site outright. siteb cannot reschedule (it is not
+	// the origin); it must notice the dead origin link and reap.
+	tb.Sites[0].Close()
+
+	dest := tb.Sites[1]
+	eventually(t, 15*time.Second, "hosted app reaped", func() bool {
+		return dest.Proxy.ActiveApps() == 0
+	})
+	eventually(t, 10*time.Second, "hosted ranks killed", func() bool {
+		for _, agent := range dest.Nodes {
+			if len(agent.Processes()) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if got := reg.Counter(metrics.OrphanReaps).Value(); got < 1 {
+		t.Errorf("job.orphan_reaps = %d, want >= 1", got)
+	}
+}
+
+// TestTerminalJobsPruned: the janitor must drop terminal job records
+// after the TTL, fixing the unbounded p.jobs growth.
+func TestTerminalJobsPruned(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tb := newJobGrid(t, reg, core.JobConfig{TerminalTTL: 30 * time.Millisecond}, 1)
+	tb.RegisterProgram("quick", workProgram(time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	origin := tb.Sites[0].Proxy
+	launch, err := origin.LaunchMPI(ctx, core.LaunchSpec{
+		Owner: "admin", Program: "quick", Procs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := launch.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := origin.JobStatus(launch.AppID); err != nil {
+		t.Fatalf("terminal job not queryable right after completion: %v", err)
+	}
+	eventually(t, 10*time.Second, "terminal job pruned", func() bool {
+		_, _, err := origin.JobStatus(launch.AppID)
+		return err != nil
+	})
+	if got := reg.Counter(metrics.JobsPruned).Value(); got < 1 {
+		t.Errorf("job.pruned = %d, want >= 1", got)
+	}
+	if got := reg.Gauge(metrics.JobsTracked).Value(); got != 0 {
+		t.Errorf("gauge.jobs.tracked = %d, want 0", got)
+	}
+}

@@ -8,10 +8,15 @@ import (
 	"sync"
 
 	"gridproxy/internal/balance"
+	"gridproxy/internal/metrics"
 	"gridproxy/internal/node"
 	"gridproxy/internal/peerlink"
 	"gridproxy/internal/proto"
 )
+
+// ErrCanceled is the failure Launch.Wait surfaces for jobs terminated by
+// an operator Cancel, so callers can tell cancellation from site failure.
+var ErrCanceled = errors.New("core: job canceled")
 
 // LaunchSpec describes an MPI application launch.
 type LaunchSpec struct {
@@ -37,25 +42,28 @@ type RankPlacement struct {
 // Launch tracks a running MPI application from the origin proxy.
 type Launch struct {
 	AppID string
-	// Locations maps every rank to its placement.
+	// Locations maps every rank to its initial placement. Rescheduling
+	// may move ranks afterwards; see CurrentPlacement.
 	Locations map[int]RankPlacement
 
-	proxy      *Proxy
-	localRanks []int
-	remote     map[string]bool // sites we await completion reports from
+	proxy *Proxy
+	spec  LaunchSpec
 
-	mu       sync.Mutex
-	done     chan struct{}
-	failed   error
-	finished bool
-}
-
-// jobState is the origin proxy's record of a submitted job, queryable over
-// the control protocol.
-type jobState struct {
-	launch *Launch
-	state  proto.JobState
-	detail string
+	mu        sync.Mutex
+	locations map[int]rankLoc // current placement (reschedules update it)
+	// localPending counts outstanding local rank watcher groups (the
+	// initial spawn plus one per local reschedule).
+	localPending int
+	// remote counts outstanding completion reports per site: the initial
+	// commit contributes one, each reschedule landing ranks there one
+	// more.
+	remote      map[string]int
+	reschedules int
+	committed   bool // two-phase launch completed; rescheduling may act
+	canceled    bool
+	done        chan struct{}
+	failed      error
+	finished    bool
 }
 
 // Placement computes where each rank would run without launching —
@@ -113,7 +121,12 @@ func (p *Proxy) LaunchMPI(ctx context.Context, spec LaunchSpec) (*Launch, error)
 }
 
 // launchAt starts spec with an explicit placement (used directly by
-// experiments that sweep policies).
+// experiments that sweep policies). The multi-site part runs as a
+// two-phase commit: every remote site first PREPARES (validates the
+// owner, creates the address space, records its ranks — nothing runs),
+// then every site COMMITS (spawns). A failure in either phase triggers a
+// best-effort AbortSpawn fan-out, so a launch that dies half-way strands
+// no address spaces or ranks anywhere.
 func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int]rankLoc) (*Launch, error) {
 	appID := spec.AppID
 	if appID == "" {
@@ -131,6 +144,7 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 		}
 	}
 	// All remote sites must be connected before any process starts.
+	var remoteSites []string
 	for site := range sites {
 		if site == p.site {
 			continue
@@ -138,7 +152,11 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 		if _, err := p.peerBySite(site); err != nil {
 			return nil, err
 		}
+		remoteSites = append(remoteSites, site)
 	}
+	sort.Strings(remoteSites)
+	localRanks := append([]int(nil), sites[p.site]...)
+	sort.Ints(localRanks)
 
 	as, err := p.createAddressSpace(appID, spec.Owner, locations)
 	if err != nil {
@@ -149,120 +167,172 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 		AppID:     appID,
 		Locations: exportLocations(locations),
 		proxy:     p,
-		remote:    make(map[string]bool),
+		spec:      spec,
+		locations: locations,
+		remote:    make(map[string]int, len(remoteSites)),
 		done:      make(chan struct{}),
 	}
-	for _, rank := range sites[p.site] {
-		launch.localRanks = append(launch.localRanks, rank)
+	if len(localRanks) > 0 {
+		launch.localPending = 1
 	}
-	sort.Ints(launch.localRanks)
-	for site := range sites {
-		if site != p.site {
-			launch.remote[site] = true
-		}
+	for _, site := range remoteSites {
+		launch.remote[site] = 1
 	}
 
-	cleanup := func() {
+	// Register the job before any site can report completion, so even an
+	// instantly-finishing remote rank group finds its launch.
+	p.registerJob(appID, launch)
+
+	abort := func(reason string) {
+		p.abortRemote(ctx, appID, remoteSites, reason)
 		as.close()
 		p.dropAddressSpace(appID)
+		p.unregisterJob(appID)
 	}
 
-	// Spawn local ranks.
-	if err := p.spawnLocalRanks(ctx, appID, spec.Owner, spec.Program, spec.Args, len(locations), locations, sites[p.site]); err != nil {
-		cleanup()
-		return nil, err
-	}
-
-	// Ask each remote site's proxy to spawn its share. The requests fan
-	// out concurrently with a per-peer deadline: a multi-site launch
-	// costs one slowest-site round trip, not the sum over sites.
+	// Phase 1: prepare every remote site. Requests fan out concurrently
+	// with a per-peer deadline: a multi-site launch costs one
+	// slowest-site round trip per phase, not the sum over sites.
 	wireLocs := locationsToWire(locations)
-	var remoteSites []string
-	for site := range sites {
-		if site != p.site {
-			remoteSites = append(remoteSites, site)
-		}
-	}
 	if len(remoteSites) > 0 {
 		results := peerlink.FanOut(ctx, remoteSites, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
-			pr, err := p.peerBySite(site)
-			if err != nil {
-				return struct{}{}, err
-			}
-			req := &proto.SpawnRequest{
+			return struct{}{}, p.prepareAt(ctx, site, &proto.PrepareSpawn{
 				AppID:     appID,
+				Origin:    p.site,
 				Owner:     spec.Owner,
 				Program:   spec.Program,
 				Args:      spec.Args,
 				WorldSize: uint32(len(locations)),
+				Ranks:     rankAssignments(sites[site], locations),
 				Locations: wireLocs,
-			}
-			for _, rank := range sites[site] {
-				req.Ranks = append(req.Ranks, proto.RankAssignment{
-					Rank: uint32(rank),
-					Node: locations[rank].node,
-				})
-			}
-			reply, err := p.callPeer(ctx, pr, req)
-			if err != nil {
-				return struct{}{}, fmt.Errorf("core: spawn at %s: %w", site, err)
-			}
-			sr, ok := reply.(*proto.SpawnReply)
-			if !ok || !sr.OK {
-				reason := "unexpected reply"
-				if ok {
-					reason = sr.Reason
-				}
-				return struct{}{}, fmt.Errorf("core: spawn at %s refused: %s", site, reason)
-			}
-			return struct{}{}, nil
+			})
 		})
 		for _, res := range results {
 			if res.Err != nil {
-				cleanup()
+				abort(res.Err.Error())
 				return nil, res.Err
 			}
 		}
 	}
 
-	p.mu.Lock()
-	p.jobs[appID] = &jobState{launch: launch, state: proto.JobRunning, detail: "running"}
-	p.mu.Unlock()
+	// Spawn local ranks (the origin's own commit).
+	if err := p.spawnLocalRanks(ctx, appID, spec.Owner, spec.Program, spec.Args, len(locations), locations, localRanks); err != nil {
+		abort(err.Error())
+		return nil, err
+	}
+
+	// Phase 2: commit every prepared site.
+	if len(remoteSites) > 0 {
+		results := peerlink.FanOut(ctx, remoteSites, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
+			_, err := p.commitAt(ctx, site, appID)
+			return struct{}{}, err
+		})
+		for _, res := range results {
+			if res.Err != nil {
+				// Commit is not atomic across sites: some may already
+				// run ranks. Abort everywhere (idempotent) and kill our
+				// own ranks so nothing survives a failed launch.
+				p.reapLocalRanks(appID, locations, localRanks)
+				abort(res.Err.Error())
+				return nil, res.Err
+			}
+		}
+	}
+
+	launch.mu.Lock()
+	launch.committed = true
+	launch.mu.Unlock()
+	p.setJobRunning(appID)
 
 	// Completion watcher for local ranks.
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		err := p.waitLocalRanks(appID, locations, launch.localRanks)
-		launch.localDone(err)
-	}()
+	if len(localRanks) > 0 {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			err := p.waitLocalRanks(appID, locations, localRanks)
+			launch.localDone(err)
+		}()
+	}
+
+	// A remote site can die between its commit reply and our committed
+	// flag; its watchPeer-triggered reschedule would have found the
+	// launch uncommitted and deferred to us. Re-check liveness so those
+	// deaths are handled exactly once.
+	for _, site := range remoteSites {
+		if _, err := p.peerBySite(site); err != nil {
+			site := site
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.rescheduleSite(launch, site)
+			}()
+		}
+	}
 	launch.maybeFinish()
 	return launch, nil
 }
 
+// rankAssignments renders one site's rank->node share.
+func rankAssignments(ranks []int, locations map[int]rankLoc) []proto.RankAssignment {
+	out := make([]proto.RankAssignment, 0, len(ranks))
+	for _, rank := range ranks {
+		out = append(out, proto.RankAssignment{Rank: uint32(rank), Node: locations[rank].node})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
 // spawnLocalRanks starts this site's share of an application on its nodes.
+// On failure the ranks already started are killed, so a half-spawned group
+// never outlives its launch.
 func (p *Proxy) spawnLocalRanks(ctx context.Context, appID, owner, program string, args []string, worldSize int, locations map[int]rankLoc, ranks []int) error {
 	table := p.buildRankTable(appID, locations)
-	for _, rank := range ranks {
+	for i, rank := range ranks {
 		loc := locations[rank]
 		handle, err := p.nodeHandle(loc.node)
-		if err != nil {
-			return err
+		if err == nil {
+			_, err = handle.Spawn(ctx, node.SpawnSpec{
+				AppID:     appID,
+				Program:   program,
+				Args:      args,
+				Rank:      rank,
+				WorldSize: worldSize,
+				RankTable: table,
+			})
 		}
-		_, err = handle.Spawn(ctx, node.SpawnSpec{
-			AppID:     appID,
-			Program:   program,
-			Args:      args,
-			Rank:      rank,
-			WorldSize: worldSize,
-			RankTable: table,
-		})
 		if err != nil {
+			p.reapLocalRanks(appID, locations, ranks[:i])
 			return fmt.Errorf("core: spawn rank %d on %s: %w", rank, loc.node, err)
 		}
 	}
-	_ = owner // origin validated; destination validation happens in handleSpawn
+	_ = owner // origin validated; destination validation happens in handlePrepareSpawn
 	return nil
+}
+
+// reapLocalRanks best-effort kills local ranks. Each kill is followed by
+// an asynchronous wait-and-release: Release only frees a process slot
+// once the process is done, which a just-killed rank may not be yet.
+func (p *Proxy) reapLocalRanks(appID string, locations map[int]rankLoc, ranks []int) {
+	for _, rank := range ranks {
+		loc := locations[rank]
+		if loc.site != p.site {
+			continue
+		}
+		handle, err := p.nodeHandle(loc.node)
+		if err != nil {
+			continue
+		}
+		if err := handle.Kill(appID, rank); err != nil {
+			continue
+		}
+		rank := rank
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			_ = handle.Wait(p.ctx, appID, rank)
+			handle.Release(appID, rank)
+		}()
+	}
 }
 
 // buildRankTable maps every rank to the address processes of THIS site
@@ -281,7 +351,7 @@ func (p *Proxy) buildRankTable(appID string, locations map[int]rankLoc) map[int]
 }
 
 // waitLocalRanks blocks until every local rank of the app exits, then
-// releases the process slots and the app's address space.
+// releases the process slots.
 func (p *Proxy) waitLocalRanks(appID string, locations map[int]rankLoc, ranks []int) error {
 	var firstErr error
 	for _, rank := range ranks {
@@ -318,10 +388,20 @@ func locationsFromWire(locs []proto.RankLocation) map[int]rankLoc {
 	return out
 }
 
-// localDone records the local ranks' completion.
+// CurrentPlacement returns where each rank runs right now, reflecting any
+// rescheduling since the launch.
+func (l *Launch) CurrentPlacement() map[int]RankPlacement {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return exportLocations(l.locations)
+}
+
+// localDone records one local rank group's completion.
 func (l *Launch) localDone(err error) {
 	l.mu.Lock()
-	l.localRanks = nil
+	if l.localPending > 0 {
+		l.localPending--
+	}
 	if err != nil && l.failed == nil {
 		l.failed = err
 	}
@@ -334,13 +414,24 @@ func (l *Launch) localDone(err error) {
 func (l *Launch) awaitsSite(site string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.remote[site]
+	return l.remote[site] > 0
 }
 
-// remoteDone records a remote site's completion report.
+// remoteDone records a remote site's completion report (one per committed
+// rank group). Reports from sites the launch no longer tracks — for
+// example after their ranks were rescheduled away — are ignored.
 func (l *Launch) remoteDone(site string, err error) {
 	l.mu.Lock()
-	delete(l.remote, site)
+	n, ok := l.remote[site]
+	if !ok {
+		l.mu.Unlock()
+		return
+	}
+	if n <= 1 {
+		delete(l.remote, site)
+	} else {
+		l.remote[site] = n - 1
+	}
 	if err != nil && l.failed == nil {
 		l.failed = fmt.Errorf("site %s: %w", site, err)
 	}
@@ -348,37 +439,52 @@ func (l *Launch) remoteDone(site string, err error) {
 	l.maybeFinish()
 }
 
+// fail records a launch-level failure that is not attributable to one
+// outstanding report (e.g. no capacity left for rescheduling).
+func (l *Launch) fail(err error) {
+	l.mu.Lock()
+	if l.failed == nil {
+		l.failed = err
+	}
+	l.mu.Unlock()
+	l.maybeFinish()
+}
+
 func (l *Launch) maybeFinish() {
 	l.mu.Lock()
-	if l.finished || len(l.localRanks) != 0 || len(l.remote) != 0 {
+	if l.finished || l.localPending != 0 || len(l.remote) != 0 {
 		l.mu.Unlock()
 		return
 	}
 	l.finished = true
-	failed := l.failed
+	failed, canceled := l.failed, l.canceled
 	l.mu.Unlock()
-	// Close the origin address space and record the job outcome.
+	l.finish(failed, canceled)
+}
+
+// finish closes the origin address space, records the terminal job state,
+// and releases waiters. Exactly one goroutine reaches it (the one that
+// flips finished).
+func (l *Launch) finish(failed error, canceled bool) {
 	p := l.proxy
 	if as, err := p.addressSpace(l.AppID); err == nil {
 		as.close()
 		p.dropAddressSpace(l.AppID)
 	}
-	p.mu.Lock()
-	if js, ok := p.jobs[l.AppID]; ok {
-		if failed != nil {
-			js.state = proto.JobFailed
-			js.detail = failed.Error()
-		} else {
-			js.state = proto.JobDone
-			js.detail = "completed"
-		}
+	state, detail := proto.JobDone, "completed"
+	switch {
+	case canceled:
+		state, detail = proto.JobCancelled, "canceled by operator"
+	case failed != nil:
+		state, detail = proto.JobFailed, failed.Error()
 	}
-	p.mu.Unlock()
+	p.setJobTerminal(l.AppID, state, detail)
 	close(l.done)
 }
 
 // Wait blocks until every rank (local and remote) finished. It returns
-// the first failure, if any.
+// the first failure, if any; for operator-cancelled jobs that failure is
+// ErrCanceled.
 func (l *Launch) Wait(ctx context.Context) error {
 	select {
 	case <-l.done:
@@ -399,4 +505,66 @@ func (p *Proxy) JobStatus(appID string) (proto.JobState, string, error) {
 		return 0, "", notFound("no job %q", appID)
 	}
 	return js.state, js.detail, nil
+}
+
+// prepareAt runs launch phase one at a remote site.
+func (p *Proxy) prepareAt(ctx context.Context, site string, req *proto.PrepareSpawn) error {
+	pr, err := p.peerBySite(site)
+	if err != nil {
+		return err
+	}
+	reply, err := p.callPeer(ctx, pr, req)
+	if err != nil {
+		return fmt.Errorf("core: prepare at %s: %w", site, err)
+	}
+	pre, ok := reply.(*proto.PrepareSpawnReply)
+	if !ok || !pre.OK {
+		reason := "unexpected reply"
+		if ok {
+			reason = pre.Reason
+		}
+		return fmt.Errorf("core: prepare at %s refused: %s", site, reason)
+	}
+	return nil
+}
+
+// commitAt runs launch phase two at a remote site.
+func (p *Proxy) commitAt(ctx context.Context, site, appID string) (*proto.SpawnReply, error) {
+	pr, err := p.peerBySite(site)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := p.callPeer(ctx, pr, &proto.CommitSpawn{AppID: appID})
+	if err != nil {
+		return nil, fmt.Errorf("core: commit at %s: %w", site, err)
+	}
+	sr, ok := reply.(*proto.SpawnReply)
+	if !ok || !sr.OK {
+		reason := "unexpected reply"
+		if ok {
+			reason = sr.Reason
+		}
+		return nil, fmt.Errorf("core: commit at %s refused: %s", site, reason)
+	}
+	return sr, nil
+}
+
+// abortRemote fans AbortSpawn out to the named sites (best effort:
+// unreachable peers are skipped — their state dies with them or is reaped
+// by their orphan reaper).
+func (p *Proxy) abortRemote(ctx context.Context, appID string, sites []string, reason string) {
+	if len(sites) == 0 {
+		return
+	}
+	p.reg.Counter(metrics.JobAborts).Inc()
+	peerlink.FanOut(ctx, sites, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
+		pr, err := p.peerBySite(site)
+		if err != nil {
+			return struct{}{}, nil // disconnected: nothing to abort there
+		}
+		if _, err := p.callPeer(ctx, pr, &proto.AbortSpawn{AppID: appID, Reason: reason}); err != nil {
+			p.log.Warn("abort fan-out failed", "app", appID, "site", site, "err", err)
+		}
+		return struct{}{}, nil
+	})
 }

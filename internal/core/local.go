@@ -132,6 +132,19 @@ func (cs *clientSession) handle(ctx context.Context, msg proto.Message) (proto.B
 			return nil, err
 		}
 		return &proto.JobUpdate{JobID: req.JobID, State: state, Detail: detail}, nil
+	case *proto.JobCancel:
+		return cs.handleJobCancel(ctx, req)
+	case *proto.JobList:
+		if err := cs.requirePermission("status", "grid"); err != nil {
+			return nil, err
+		}
+		reply := &proto.JobListReply{}
+		for _, job := range p.Jobs() {
+			reply.Jobs = append(reply.Jobs, proto.JobRecord{
+				JobID: job.AppID, State: job.State, Detail: job.Detail,
+			})
+		}
+		return reply, nil
 	case *proto.RegistryQuery:
 		if err := cs.requirePermission("status", "grid"); err != nil {
 			return nil, err
@@ -238,6 +251,41 @@ func (cs *clientSession) handleJobSubmit(ctx context.Context, req *proto.JobSubm
 		return nil, err
 	}
 	return &proto.JobUpdate{JobID: launch.AppID, State: proto.JobRunning, Detail: "running"}, nil
+}
+
+// handleJobCancel cancels a job for the session user: the job's owner may
+// always cancel their own jobs; anyone else needs the "cancel" grid
+// permission (operators). The reply reports the job's state after the
+// cancellation took effect.
+func (cs *clientSession) handleJobCancel(ctx context.Context, req *proto.JobCancel) (proto.Body, error) {
+	p := cs.proxy
+	if cs.user == "" {
+		return nil, unauthorized("authenticate first")
+	}
+	p.mu.Lock()
+	js, ok := p.jobs[req.JobID]
+	var owner string
+	if ok && js.launch != nil {
+		owner = js.launch.spec.Owner
+	}
+	p.mu.Unlock()
+	if !ok {
+		return nil, notFound("no job %q", req.JobID)
+	}
+	if owner != cs.user {
+		if err := p.users.Allowed(cs.user, "cancel", "grid"); err != nil {
+			return nil, denied("job %q belongs to %q: %v", req.JobID, owner, err)
+		}
+	}
+	if err := p.Cancel(ctx, req.JobID); err != nil {
+		return nil, err
+	}
+	state, detail, err := p.JobStatus(req.JobID)
+	if err != nil {
+		// Pruned between cancel and query; report the terminal state.
+		return &proto.JobUpdate{JobID: req.JobID, State: proto.JobCancelled, Detail: "canceled by operator"}, nil
+	}
+	return &proto.JobUpdate{JobID: req.JobID, State: state, Detail: detail}, nil
 }
 
 // acceptNodeReports ingests stats pushed by node agents over the local

@@ -348,8 +348,10 @@ func (p *Proxy) watchPeer(pr *peer) {
 		delete(p.peers, pr.site)
 	}
 	// Jobs still waiting on that site will never get its completion
-	// report; fail them now so waiters unblock (the caller can
-	// resubmit — the paper's "recovery of users' applications").
+	// report. Hand each affected launch to the rescheduler: within the
+	// configured budget the lost ranks are respawned on survivors;
+	// beyond it the launch fails so waiters unblock (the paper's
+	// "recovery of users' applications").
 	var affected []*Launch
 	for _, js := range p.jobs {
 		if js.launch != nil && js.launch.awaitsSite(pr.site) {
@@ -360,7 +362,12 @@ func (p *Proxy) watchPeer(pr *peer) {
 	p.resources.RemoveSite(pr.site)
 	p.global.Remove(pr.site)
 	for _, launch := range affected {
-		launch.remoteDone(pr.site, fmt.Errorf("core: proxy of site %s disconnected", pr.site))
+		launch := launch
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.rescheduleSite(launch, pr.site)
+		}()
 	}
 	p.log.Warn("peer disconnected", "site", pr.site)
 }

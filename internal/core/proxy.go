@@ -66,6 +66,7 @@ type NodeHandle interface {
 	Stats() monitor.NodeStats
 	Spawn(ctx context.Context, spec node.SpawnSpec) (string, error)
 	Wait(ctx context.Context, appID string, rank int) error
+	Kill(appID string, rank int) error
 	Release(appID string, rank int)
 }
 
@@ -101,6 +102,10 @@ type Config struct {
 	// heartbeats, RPC deadlines, status cache TTL). The zero value uses
 	// peerlink defaults; see peerlink.Config.
 	Lifecycle peerlink.Config
+	// Jobs carries the job-lifecycle fault-tolerance knobs (orphan
+	// grace, terminal-record TTL, reschedule budget). The zero value
+	// uses the JobConfig defaults.
+	Jobs JobConfig
 	// Metrics receives instrument counters; may be nil.
 	Metrics *metrics.Registry
 	// Logger may be nil.
@@ -125,6 +130,7 @@ type Proxy struct {
 	resources *registry.Registry
 	sched     *scheduler.Scheduler
 	lifecycle peerlink.Config
+	jobcfg    JobConfig
 
 	wanListener    net.Listener
 	localListener  net.Listener
@@ -137,6 +143,7 @@ type Proxy struct {
 	nodes   map[string]NodeHandle
 	apps    map[string]*addressSpace
 	jobs    map[string]*jobState
+	hosted  map[string]*hostedApp
 	stopped bool
 
 	appSeq atomic.Uint64
@@ -178,11 +185,13 @@ func New(cfg Config) (*Proxy, error) {
 		global:    monitor.NewGlobal(),
 		resources: registry.New(),
 		lifecycle: lifecycle.WithDefaults(),
+		jobcfg:    cfg.Jobs.WithDefaults(),
 		peers:     make(map[string]*peer),
 		links:     make(map[string]*peerlink.Link),
 		nodes:     make(map[string]NodeHandle),
 		apps:      make(map[string]*addressSpace),
 		jobs:      make(map[string]*jobState),
+		hosted:    make(map[string]*hostedApp),
 		ctx:       ctx,
 		cancel:    cancel,
 	}
@@ -233,6 +242,14 @@ func (p *Proxy) Start() error {
 	if p.lifecycle.StatusTTL > 0 {
 		p.wg.Add(1)
 		go p.statusRefresher()
+	}
+	if p.jobcfg.OrphanGrace > 0 {
+		p.wg.Add(1)
+		go p.orphanReaper()
+	}
+	if p.jobcfg.TerminalTTL > 0 {
+		p.wg.Add(1)
+		go p.jobsJanitor()
 	}
 	p.log.Info("proxy started", "wan", p.wanAddr, "local", p.localAddr)
 	return nil

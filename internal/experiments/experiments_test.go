@@ -152,6 +152,27 @@ func TestE7Shape(t *testing.T) {
 	}
 }
 
+func TestE9Shape(t *testing.T) {
+	rows, err := E9(E9Config{Shapes: [][3]int{{3, 2, 6}}, Work: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.RanksLost == 0 {
+		t.Skip("placement kept all ranks at the origin; nothing was killed")
+	}
+	if !r.Survived {
+		t.Error("job did not survive the site death")
+	}
+	if r.Reschedules < 1 {
+		t.Errorf("reschedules = %d, want >= 1", r.Reschedules)
+	}
+	// Recovery must be control-plane fast, far below the rank runtime.
+	if r.TimeToReschedule <= 0 || r.TimeToReschedule > 10*time.Second {
+		t.Errorf("time to reschedule = %v", r.TimeToReschedule)
+	}
+}
+
 func TestE8Shape(t *testing.T) {
 	rows, err := E8(E8Config{StreamCounts: []int{8}, BytesEach: 8 << 10})
 	if err != nil {

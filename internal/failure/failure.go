@@ -29,6 +29,8 @@ type FlakyNetwork struct {
 	mu        sync.Mutex
 	failed    bool
 	hang      chan struct{}
+	armed     bool
+	countdown int
 	conns     map[*flakyConn]struct{}
 	listeners map[*flakyListener]struct{}
 }
@@ -59,6 +61,18 @@ func (f *FlakyNetwork) Fail() {
 	}
 }
 
+// FailAfterDials arms a countdown: the next n dials succeed, then the
+// network fails exactly as if Fail had been called. n = 0 fails on the
+// next dial attempt. This injects a death *mid-protocol* — e.g. between
+// the prepare and commit phases of a multi-site launch — where a manual
+// Fail cannot be timed reliably.
+func (f *FlakyNetwork) FailAfterDials(n int) {
+	f.mu.Lock()
+	f.armed = true
+	f.countdown = n
+	f.mu.Unlock()
+}
+
 // Hang makes every tracked connection stall: reads and writes block
 // without erroring until Heal or the connection is closed. Unlike Fail
 // (a crashed endpoint), this is the observable behaviour of a hung but
@@ -77,6 +91,7 @@ func (f *FlakyNetwork) Hang() {
 func (f *FlakyNetwork) Heal() {
 	f.mu.Lock()
 	f.failed = false
+	f.armed = false
 	if f.hang != nil {
 		close(f.hang)
 		f.hang = nil
@@ -94,6 +109,15 @@ func (f *FlakyNetwork) Failed() bool {
 // Dial implements transport.Network.
 func (f *FlakyNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	f.mu.Lock()
+	if f.armed {
+		if f.countdown <= 0 {
+			f.armed = false
+			f.mu.Unlock()
+			f.Fail()
+			return nil, ErrInjected
+		}
+		f.countdown--
+	}
 	failed := f.failed
 	f.mu.Unlock()
 	if failed {

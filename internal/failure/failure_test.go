@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"gridproxy/internal/node"
 	"gridproxy/internal/transport"
 )
 
@@ -137,5 +138,58 @@ func TestFailedListenerDropsInbound(t *testing.T) {
 		t.Error("failed listener accepted a connection")
 	case <-time.After(100 * time.Millisecond):
 		// Accept stayed blocked: black-holed, as intended.
+	}
+}
+
+func TestFailAfterDials(t *testing.T) {
+	flaky, ln := setup(t)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	flaky.FailAfterDials(2)
+	for i := 0; i < 2; i++ {
+		conn, err := flaky.Dial(context.Background(), "svc")
+		if err != nil {
+			t.Fatalf("dial %d before the countdown expired: %v", i, err)
+		}
+		conn.Close()
+	}
+	if _, err := flaky.Dial(context.Background(), "svc"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial after countdown = %v, want ErrInjected", err)
+	}
+	if !flaky.Failed() {
+		t.Error("network not failed after the countdown tripped")
+	}
+	flaky.Heal()
+	if _, err := flaky.Dial(context.Background(), "svc"); err != nil {
+		t.Errorf("dial after heal = %v (countdown must disarm)", err)
+	}
+}
+
+func TestCrashRanks(t *testing.T) {
+	ran := false
+	program := func(ctx context.Context, env node.Env) error {
+		ran = true
+		return nil
+	}
+	wrapped := CrashRanks(program, 1)
+	if err := wrapped(context.Background(), node.Env{Rank: 1}); !errors.Is(err, ErrInjected) {
+		t.Errorf("victim rank = %v, want ErrInjected", err)
+	}
+	if ran {
+		t.Error("victim rank ran the wrapped program")
+	}
+	if err := wrapped(context.Background(), node.Env{Rank: 0}); err != nil || !ran {
+		t.Errorf("healthy rank: err=%v ran=%v", err, ran)
+	}
+	all := CrashRanks(program)
+	if err := all(context.Background(), node.Env{Rank: 7}); !errors.Is(err, ErrInjected) {
+		t.Errorf("crash-all rank = %v, want ErrInjected", err)
 	}
 }

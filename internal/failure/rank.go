@@ -1,0 +1,25 @@
+package failure
+
+import (
+	"context"
+	"fmt"
+
+	"gridproxy/internal/node"
+)
+
+// CrashRanks wraps a program so that the listed ranks fail immediately
+// with ErrInjected instead of running it — rank-level fault injection
+// for the job-lifecycle tests and experiments. Ranks not listed run the
+// wrapped program unchanged. With no ranks listed every rank crashes.
+func CrashRanks(program node.ProgramFunc, ranks ...int) node.ProgramFunc {
+	victim := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		victim[r] = true
+	}
+	return func(ctx context.Context, env node.Env) error {
+		if len(ranks) == 0 || victim[env.Rank] {
+			return fmt.Errorf("%w: rank %d crashed", ErrInjected, env.Rank)
+		}
+		return program(ctx, env)
+	}
+}

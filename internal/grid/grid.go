@@ -42,6 +42,9 @@ var (
 	ErrNotAuthenticated = errors.New("grid: not authenticated")
 	// ErrJobFailed is returned by WaitJob for failed jobs.
 	ErrJobFailed = errors.New("grid: job failed")
+	// ErrJobCanceled is returned by WaitJob for operator-cancelled jobs,
+	// so callers can tell cancellation from failure.
+	ErrJobCanceled = errors.New("grid: job canceled")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("grid: client closed")
 )
@@ -326,8 +329,9 @@ func (c *Client) JobState(ctx context.Context, jobID string) (proto.JobState, st
 	return ju.State, ju.Detail, nil
 }
 
-// WaitJob polls until the job completes. It returns nil for JobDone and
-// ErrJobFailed (wrapped with the detail) otherwise.
+// WaitJob polls until the job completes. It returns nil for JobDone,
+// ErrJobCanceled for cancelled jobs, and ErrJobFailed otherwise (each
+// wrapped with the detail).
 func (c *Client) WaitJob(ctx context.Context, jobID string) error {
 	delay := 5 * time.Millisecond
 	for {
@@ -338,7 +342,9 @@ func (c *Client) WaitJob(ctx context.Context, jobID string) error {
 		switch state {
 		case proto.JobDone:
 			return nil
-		case proto.JobFailed, proto.JobCancelled:
+		case proto.JobCancelled:
+			return fmt.Errorf("%w: %s", ErrJobCanceled, detail)
+		case proto.JobFailed:
 			return fmt.Errorf("%w: %s", ErrJobFailed, detail)
 		}
 		timer := time.NewTimer(delay)
@@ -352,6 +358,46 @@ func (c *Client) WaitJob(ctx context.Context, jobID string) error {
 			delay *= 2
 		}
 	}
+}
+
+// Cancel asks the proxy to cancel a job. The job's owner may cancel
+// their own jobs; other users need the "cancel" grid permission.
+func (c *Client) Cancel(ctx context.Context, jobID string) error {
+	if c.User() == "" {
+		return ErrNotAuthenticated
+	}
+	reply, err := c.call(ctx, &proto.JobCancel{JobID: jobID})
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*proto.JobUpdate); !ok {
+		return fmt.Errorf("grid: unexpected cancel reply %T", reply)
+	}
+	return nil
+}
+
+// JobRecord is one entry of the proxy's job table.
+type JobRecord struct {
+	ID     string
+	State  string
+	Detail string
+}
+
+// Jobs lists the jobs tracked by this client's proxy.
+func (c *Client) Jobs(ctx context.Context) ([]JobRecord, error) {
+	reply, err := c.call(ctx, &proto.JobList{})
+	if err != nil {
+		return nil, err
+	}
+	jl, ok := reply.(*proto.JobListReply)
+	if !ok {
+		return nil, fmt.Errorf("grid: unexpected job list reply %T", reply)
+	}
+	out := make([]JobRecord, len(jl.Jobs))
+	for i, j := range jl.Jobs {
+		out[i] = JobRecord{ID: j.JobID, State: j.State, Detail: j.Detail}
+	}
+	return out, nil
 }
 
 // Resources queries the proxy's local resource inventory.

@@ -198,6 +198,50 @@ func TestSubmitRequiresAuth(t *testing.T) {
 	}
 }
 
+func TestCancelJobAndList(t *testing.T) {
+	f := newFixture(t, 2)
+	f.tb.RegisterProgram("forever", func(ctx context.Context, env node.Env) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := c.SubmitMPI(ctx, "forever", nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, jobID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if err := c.WaitJob(ctx, jobID); !errors.Is(err, grid.ErrJobCanceled) {
+		t.Fatalf("WaitJob after cancel = %v, want ErrJobCanceled", err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, j := range jobs {
+		if j.ID == jobID {
+			found = true
+			if j.State != "cancelled" {
+				t.Errorf("job state = %q, want cancelled", j.State)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("cancelled job %q missing from listing %v", jobID, jobs)
+	}
+	// Cancelling an unknown job is refused.
+	if err := c.Cancel(ctx, "no-such-job"); err == nil {
+		t.Error("cancel of unknown job accepted")
+	}
+}
+
 func TestFailingJobReported(t *testing.T) {
 	f := newFixture(t, 2)
 	f.tb.RegisterProgram("crash", mpirun.Program(

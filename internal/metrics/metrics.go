@@ -226,4 +226,34 @@ const (
 	StatusCacheHits = "status.cache_hits"
 	// StatusCacheMisses counts Status reads that had to query a peer.
 	StatusCacheMisses = "status.cache_misses"
+
+	// Job-lifecycle metrics (fault-tolerant launch, cancellation,
+	// reaping, rescheduling).
+
+	// JobPrepares counts PrepareSpawn requests served at destinations.
+	JobPrepares = "job.prepares"
+	// JobCommits counts CommitSpawn requests that started ranks.
+	JobCommits = "job.commits"
+	// JobAborts counts abort fan-outs initiated by an origin proxy
+	// (failed launch phase, cancellation).
+	JobAborts = "job.aborts"
+	// JobAbortsServed counts AbortSpawn requests handled at destinations.
+	JobAbortsServed = "job.aborts_served"
+	// JobCancels counts operator cancellations accepted.
+	JobCancels = "job.cancels"
+	// JobCancelMicros accumulates Cancel latency (kill + abort fan-out)
+	// in microseconds.
+	JobCancelMicros = "job.cancel_micros"
+	// JobReschedules counts site-death reschedule events (one per launch
+	// per dead site).
+	JobReschedules = "job.reschedules"
+	// RanksRescheduled counts individual ranks respawned on survivors.
+	RanksRescheduled = "job.ranks_rescheduled"
+	// OrphanReaps counts hosted apps a destination reaped autonomously
+	// after their origin proxy stayed dead past the grace period.
+	OrphanReaps = "job.orphan_reaps"
+	// JobsPruned counts terminal job records removed by the TTL janitor.
+	JobsPruned = "job.pruned"
+	// JobsTracked gauges the origin proxy's current job-table size.
+	JobsTracked = "gauge.jobs.tracked"
 )

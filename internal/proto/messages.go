@@ -32,6 +32,14 @@ func init() {
 	registerCore(CodeRegistryAnnounce, func() Body { return &RegistryAnnounce{} })
 	registerCore(CodeRegistryQuery, func() Body { return &RegistryQuery{} })
 	registerCore(CodeRegistryReply, func() Body { return &RegistryReply{} })
+	registerCore(CodePrepareSpawn, func() Body { return &PrepareSpawn{} })
+	registerCore(CodePrepareSpawnReply, func() Body { return &PrepareSpawnReply{} })
+	registerCore(CodeCommitSpawn, func() Body { return &CommitSpawn{} })
+	registerCore(CodeAbortSpawn, func() Body { return &AbortSpawn{} })
+	registerCore(CodeAbortSpawnReply, func() Body { return &AbortSpawnReply{} })
+	registerCore(CodeJobCancel, func() Body { return &JobCancel{} })
+	registerCore(CodeJobList, func() Body { return &JobList{} })
+	registerCore(CodeJobListReply, func() Body { return &JobListReply{} })
 }
 
 // Hello opens a proxy-to-proxy session.
@@ -520,6 +528,9 @@ type JobUpdate struct {
 	JobID  string
 	State  JobState
 	Detail string
+	// Site names the reporting site, so the origin can attribute a
+	// completion report without parsing Detail.
+	Site string
 }
 
 // Code implements Body.
@@ -530,6 +541,7 @@ func (m *JobUpdate) Encode(b []byte) []byte {
 	b = wire.AppendString(b, m.JobID)
 	b = append(b, byte(m.State))
 	b = wire.AppendString(b, m.Detail)
+	b = wire.AppendString(b, m.Site)
 	return b
 }
 
@@ -538,6 +550,7 @@ func (m *JobUpdate) Decode(buf *wire.Buffer) error {
 	m.JobID = buf.String()
 	m.State = JobState(buf.Uint8())
 	m.Detail = buf.String()
+	m.Site = buf.String()
 	return buf.Err()
 }
 
@@ -695,6 +708,266 @@ func (m *SpawnReply) Decode(buf *wire.Buffer) error {
 	for i := range m.Endpoints {
 		m.Endpoints[i].Rank = buf.Uint32()
 		m.Endpoints[i].Addr = buf.String()
+	}
+	return buf.Err()
+}
+
+// PrepareSpawn reserves an application at a destination site: the proxy
+// validates the owner, creates the address space, and records the rank
+// assignments, but starts nothing. Processes only run after a
+// CommitSpawn, so a launch that fails at any site can be aborted without
+// stranding ranks anywhere. Re-preparing a hosted application (same
+// origin) replaces its pending ranks and location map — the rescheduling
+// path lands replacement ranks on sites that already host the app.
+type PrepareSpawn struct {
+	// AppID identifies the application's address space on the proxies.
+	AppID string
+	// Origin is the launching site; destinations track it to reap hosted
+	// apps whose origin proxy stays unreachable past the orphan grace.
+	Origin string
+	// Owner is the submitting user; the destination proxy re-validates
+	// the owner's permission (paper: "validated at the originating and
+	// destination proxies").
+	Owner     string
+	Program   string
+	Args      []string
+	WorldSize uint32
+	// Ranks lists the ranks the receiving proxy must spawn on commit.
+	Ranks []RankAssignment
+	// Locations places every rank of the application.
+	Locations []RankLocation
+}
+
+// Code implements Body.
+func (*PrepareSpawn) Code() Code { return CodePrepareSpawn }
+
+// Encode implements Body.
+func (m *PrepareSpawn) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendString(b, m.Origin)
+	b = wire.AppendString(b, m.Owner)
+	b = wire.AppendString(b, m.Program)
+	b = wire.AppendStringSlice(b, m.Args)
+	b = wire.AppendUint32(b, m.WorldSize)
+	b = wire.AppendUint32(b, uint32(len(m.Ranks)))
+	for _, ra := range m.Ranks {
+		b = wire.AppendUint32(b, ra.Rank)
+		b = wire.AppendString(b, ra.Node)
+	}
+	b = wire.AppendUint32(b, uint32(len(m.Locations)))
+	for _, loc := range m.Locations {
+		b = wire.AppendUint32(b, loc.Rank)
+		b = wire.AppendString(b, loc.Site)
+		b = wire.AppendString(b, loc.Node)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *PrepareSpawn) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.Origin = buf.String()
+	m.Owner = buf.String()
+	m.Program = buf.String()
+	m.Args = buf.StringSlice()
+	m.WorldSize = buf.Uint32()
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Ranks = make([]RankAssignment, n)
+	for i := range m.Ranks {
+		m.Ranks[i].Rank = buf.Uint32()
+		m.Ranks[i].Node = buf.String()
+	}
+	nl := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if nl > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Locations = make([]RankLocation, nl)
+	for i := range m.Locations {
+		m.Locations[i].Rank = buf.Uint32()
+		m.Locations[i].Site = buf.String()
+		m.Locations[i].Node = buf.String()
+	}
+	return buf.Err()
+}
+
+// PrepareSpawnReply answers a PrepareSpawn.
+type PrepareSpawnReply struct {
+	AppID  string
+	OK     bool
+	Reason string
+}
+
+// Code implements Body.
+func (*PrepareSpawnReply) Code() Code { return CodePrepareSpawnReply }
+
+// Encode implements Body.
+func (m *PrepareSpawnReply) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendBool(b, m.OK)
+	b = wire.AppendString(b, m.Reason)
+	return b
+}
+
+// Decode implements Body.
+func (m *PrepareSpawnReply) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.OK = buf.Bool()
+	m.Reason = buf.String()
+	return buf.Err()
+}
+
+// CommitSpawn starts the ranks reserved by a PrepareSpawn. The reply is
+// a SpawnReply listing the spawned endpoints.
+type CommitSpawn struct {
+	AppID string
+}
+
+// Code implements Body.
+func (*CommitSpawn) Code() Code { return CodeCommitSpawn }
+
+// Encode implements Body.
+func (m *CommitSpawn) Encode(b []byte) []byte { return wire.AppendString(b, m.AppID) }
+
+// Decode implements Body.
+func (m *CommitSpawn) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	return buf.Err()
+}
+
+// AbortSpawn tears a prepared or running application down at a
+// destination site: pending ranks are discarded, running ranks killed,
+// the address space closed. Idempotent — aborting an app the receiver
+// does not host succeeds, so best-effort abort fan-outs can always be
+// retried.
+type AbortSpawn struct {
+	AppID  string
+	Reason string
+}
+
+// Code implements Body.
+func (*AbortSpawn) Code() Code { return CodeAbortSpawn }
+
+// Encode implements Body.
+func (m *AbortSpawn) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendString(b, m.Reason)
+	return b
+}
+
+// Decode implements Body.
+func (m *AbortSpawn) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.Reason = buf.String()
+	return buf.Err()
+}
+
+// AbortSpawnReply answers an AbortSpawn.
+type AbortSpawnReply struct {
+	AppID string
+	OK    bool
+	// Killed counts the running ranks the abort terminated.
+	Killed uint32
+}
+
+// Code implements Body.
+func (*AbortSpawnReply) Code() Code { return CodeAbortSpawnReply }
+
+// Encode implements Body.
+func (m *AbortSpawnReply) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendBool(b, m.OK)
+	b = wire.AppendUint32(b, m.Killed)
+	return b
+}
+
+// Decode implements Body.
+func (m *AbortSpawnReply) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.OK = buf.Bool()
+	m.Killed = buf.Uint32()
+	return buf.Err()
+}
+
+// JobCancel asks the origin proxy to cancel a job it launched. The reply
+// is a JobUpdate carrying the job's (terminal) state.
+type JobCancel struct {
+	JobID string
+}
+
+// Code implements Body.
+func (*JobCancel) Code() Code { return CodeJobCancel }
+
+// Encode implements Body.
+func (m *JobCancel) Encode(b []byte) []byte { return wire.AppendString(b, m.JobID) }
+
+// Decode implements Body.
+func (m *JobCancel) Decode(buf *wire.Buffer) error {
+	m.JobID = buf.String()
+	return buf.Err()
+}
+
+// JobList asks a proxy for its job table.
+type JobList struct{}
+
+// Code implements Body.
+func (*JobList) Code() Code { return CodeJobList }
+
+// Encode implements Body.
+func (m *JobList) Encode(b []byte) []byte { return b }
+
+// Decode implements Body.
+func (m *JobList) Decode(buf *wire.Buffer) error { return buf.Err() }
+
+// JobRecord is one entry of a JobListReply. State is the human-readable
+// state name ("queued", "running", "done", "failed", "cancelled").
+type JobRecord struct {
+	JobID  string
+	State  string
+	Detail string
+}
+
+// JobListReply answers a JobList.
+type JobListReply struct {
+	Jobs []JobRecord
+}
+
+// Code implements Body.
+func (*JobListReply) Code() Code { return CodeJobListReply }
+
+// Encode implements Body.
+func (m *JobListReply) Encode(b []byte) []byte {
+	b = wire.AppendUint32(b, uint32(len(m.Jobs)))
+	for _, j := range m.Jobs {
+		b = wire.AppendString(b, j.JobID)
+		b = wire.AppendString(b, j.State)
+		b = wire.AppendString(b, j.Detail)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *JobListReply) Decode(buf *wire.Buffer) error {
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	m.Jobs = make([]JobRecord, n)
+	for i := range m.Jobs {
+		m.Jobs[i].JobID = buf.String()
+		m.Jobs[i].State = buf.String()
+		m.Jobs[i].Detail = buf.String()
 	}
 	return buf.Err()
 }

@@ -92,6 +92,29 @@ const (
 	CodeRegistryQuery
 	// CodeRegistryReply answers a registry query.
 	CodeRegistryReply
+
+	// CodePrepareSpawn reserves an application's address space and rank
+	// assignments at a destination site without starting processes —
+	// phase one of the atomic two-phase launch.
+	CodePrepareSpawn
+	// CodePrepareSpawnReply answers a PrepareSpawn.
+	CodePrepareSpawnReply
+	// CodeCommitSpawn starts the ranks reserved by a PrepareSpawn; the
+	// reply is a CodeSpawnReply listing the spawned endpoints.
+	CodeCommitSpawn
+	// CodeAbortSpawn tears a prepared or running application down at a
+	// destination site (launch abort, cancellation). Idempotent: aborting
+	// an unknown application succeeds.
+	CodeAbortSpawn
+	// CodeAbortSpawnReply answers an AbortSpawn.
+	CodeAbortSpawnReply
+	// CodeJobCancel asks the origin proxy to cancel a job (client API);
+	// the reply is a CodeJobUpdate with the terminal state.
+	CodeJobCancel
+	// CodeJobList asks a proxy for its job table (client API).
+	CodeJobList
+	// CodeJobListReply answers a JobList.
+	CodeJobListReply
 )
 
 // Version is the control-protocol version spoken by this build.

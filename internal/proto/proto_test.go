@@ -46,6 +46,21 @@ func allBodies() []Body {
 		},
 		&JobQuery{JobID: "j1"},
 		&SpawnReply{AppID: "app-1", OK: true, Endpoints: []RankEndpoint{{Rank: 1, Addr: "n1:7001"}}},
+		&PrepareSpawn{
+			AppID: "app-2", Origin: "a", Owner: "alice", Program: "pi", Args: []string{"y"}, WorldSize: 3,
+			Ranks: []RankAssignment{{Rank: 2, Node: "n2"}},
+			Locations: []RankLocation{
+				{Rank: 0, Site: "a", Node: "n0"},
+				{Rank: 2, Site: "b", Node: "n2"},
+			},
+		},
+		&PrepareSpawnReply{AppID: "app-2", OK: false, Reason: "duplicate app id"},
+		&CommitSpawn{AppID: "app-2"},
+		&AbortSpawn{AppID: "app-2", Reason: "prepare failed at site c"},
+		&AbortSpawnReply{AppID: "app-2", OK: true, Killed: 2},
+		&JobCancel{JobID: "j1"},
+		&JobList{},
+		&JobListReply{Jobs: []JobRecord{{JobID: "j1", State: "cancelled", Detail: "canceled by operator"}}},
 		&StreamOpen{AppID: "app-1", TargetNode: "n1", TargetAddr: "n1:7001", Kind: StreamMPI},
 		&StreamOpenReply{OK: true},
 		&RegistryAnnounce{Site: "a", Resources: []Resource{{Name: "n1", Kind: "node", Site: "a", Attrs: []string{"ram_mb=1024"}}}},
@@ -160,6 +175,7 @@ func TestDecodeCorruptPayloadsNeverPanic(t *testing.T) {
 	codes := []Code{
 		CodeHello, CodeAuthRequest, CodeStatusReport, CodeSpawnRequest,
 		CodeRegistryAnnounce, CodeJobSubmit, CodeSpawnReply, CodeRegistryReply,
+		CodePrepareSpawn, CodeAbortSpawn, CodeJobListReply,
 	}
 	f := func(raw []byte, pick uint8) bool {
 		code := codes[int(pick)%len(codes)]

@@ -220,6 +220,25 @@ func (s *Scheduler) Place(jobID string) ([]Placement, error) {
 	return placements, nil
 }
 
+// Replacements picks nodes for n replacement processes from the given
+// candidates using the scheduler's policy. Rank rescheduling uses it
+// after a site failure: the caller has already filtered the dead site
+// out of the candidate list.
+func (s *Scheduler) Replacements(candidates []balance.NodeInfo, n int) ([]balance.NodeInfo, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoEligibleNodes
+	}
+	idxs, err := balance.Assign(s.policy, candidates, n)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: place %d replacements: %w", n, err)
+	}
+	out := make([]balance.NodeInfo, len(idxs))
+	for i, idx := range idxs {
+		out[i] = candidates[idx]
+	}
+	return out, nil
+}
+
 // PlaceNext places the oldest queued job, returning its id and placements.
 // Jobs whose requirements cannot currently be met are skipped (left
 // queued). It returns ErrUnknownJob if the queue is empty.

@@ -91,6 +91,9 @@ type TestbedConfig struct {
 	// Lifecycle carries the peer-link supervision knobs handed to every
 	// proxy (zero value: peerlink defaults).
 	Lifecycle peerlink.Config
+	// Jobs carries the job-lifecycle fault-tolerance knobs handed to
+	// every proxy (zero value: core.JobConfig defaults).
+	Jobs core.JobConfig
 	// Metrics may be nil.
 	Metrics *metrics.Registry
 	// Logger may be nil.
@@ -113,6 +116,7 @@ type Testbed struct {
 	specs      map[string]SiteSpec
 	policyName string
 	lifecycle  peerlink.Config
+	jobs       core.JobConfig
 	logger     *logging.Logger
 }
 
@@ -172,6 +176,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		specs:      make(map[string]SiteSpec, len(cfg.Sites)),
 		policyName: policyName,
 		lifecycle:  cfg.Lifecycle,
+		jobs:       cfg.Jobs,
 		logger:     cfg.Logger,
 	}
 	for _, spec := range cfg.Sites {
@@ -213,6 +218,7 @@ func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logg
 		TicketKey: ticketKey,
 		Policy:    policy,
 		Lifecycle: tb.lifecycle,
+		Jobs:      tb.jobs,
 		Metrics:   tb.metrics,
 		Logger:    log,
 	})
