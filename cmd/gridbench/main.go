@@ -1,7 +1,8 @@
 // Command gridbench regenerates every experiment table of the
 // reproduction (see DESIGN.md §5 and EXPERIMENTS.md). Each experiment
 // corresponds to one claim in the paper's text; run all of them with
-// `gridbench -exp all`, or a single one with e.g. `gridbench -exp e2`.
+// `gridbench -exp all`, a single one with e.g. `gridbench -exp e2`, and
+// list what exists with `gridbench -list`.
 package main
 
 import (
@@ -20,60 +21,75 @@ func main() {
 	}
 }
 
+// runners lists every experiment with a one-line description (shown by
+// -list) and the function that produces its table.
+var runners = []struct {
+	name string
+	desc string
+	fn   func() (experiments.Table, error)
+}{
+	{"e1", "MPI local vs proxy-multiplexed across sites", func() (experiments.Table, error) {
+		rows, err := experiments.E1(experiments.DefaultE1())
+		return experiments.E1Table(rows), err
+	}},
+	{"e2", "crypto cost at site edges vs on every node", func() (experiments.Table, error) {
+		rows, err := experiments.E2(experiments.DefaultE2())
+		return experiments.E2Table(rows), err
+	}},
+	{"e3", "load balancing vs MPI's round-robin placement", func() (experiments.Table, error) {
+		rows, err := experiments.E3(experiments.DefaultE3())
+		return experiments.E3Table(rows), err
+	}},
+	{"e4", "site-compiled monitoring vs polling every node", func() (experiments.Table, error) {
+		rows, err := experiments.E4(experiments.DefaultE4())
+		return experiments.E4Table(rows), err
+	}},
+	{"e5", "Kerberos-style tickets vs per-request auth", func() (experiments.Table, error) {
+		rows, err := experiments.E5(experiments.DefaultE5())
+		return experiments.E5Table(rows), err
+	}},
+	{"e6", "deployment footprint (modules per machine)", func() (experiments.Table, error) {
+		return experiments.E6Table(experiments.E6(experiments.DefaultE6())), nil
+	}},
+	{"e7", "failure containment when a proxy dies", func() (experiments.Table, error) {
+		rows, err := experiments.E7(experiments.DefaultE7())
+		return experiments.E7Table(rows), err
+	}},
+	{"e8", "one multiplexed tunnel vs connection-per-stream", func() (experiments.Table, error) {
+		rows, err := experiments.E8(experiments.DefaultE8())
+		return experiments.E8Table(rows), err
+	}},
+	{"e9", "job survival: rank rescheduling across site death", func() (experiments.Table, error) {
+		rows, err := experiments.E9(experiments.DefaultE9())
+		return experiments.E9Table(rows), err
+	}},
+	{"e10", "data plane: striped cross-site staging, cold vs warm", func() (experiments.Table, error) {
+		rows, err := experiments.E10(experiments.DefaultE10())
+		return experiments.E10Table(rows), err
+	}},
+}
+
 func run() error {
-	exp := flag.String("exp", "all", "experiment to run: e1..e9, comma-separated, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e10, comma-separated, or all")
+	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
+
+	if *list {
+		for _, runner := range runners {
+			fmt.Printf("%-4s %s\n", runner.name, runner.desc)
+		}
+		return nil
+	}
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for i := 1; i <= 9; i++ {
-			want[fmt.Sprintf("e%d", i)] = true
+		for _, runner := range runners {
+			want[runner.name] = true
 		}
 	} else {
 		for _, name := range strings.Split(*exp, ",") {
 			want[strings.TrimSpace(strings.ToLower(name))] = true
 		}
-	}
-
-	runners := []struct {
-		name string
-		fn   func() (experiments.Table, error)
-	}{
-		{"e1", func() (experiments.Table, error) {
-			rows, err := experiments.E1(experiments.DefaultE1())
-			return experiments.E1Table(rows), err
-		}},
-		{"e2", func() (experiments.Table, error) {
-			rows, err := experiments.E2(experiments.DefaultE2())
-			return experiments.E2Table(rows), err
-		}},
-		{"e3", func() (experiments.Table, error) {
-			rows, err := experiments.E3(experiments.DefaultE3())
-			return experiments.E3Table(rows), err
-		}},
-		{"e4", func() (experiments.Table, error) {
-			rows, err := experiments.E4(experiments.DefaultE4())
-			return experiments.E4Table(rows), err
-		}},
-		{"e5", func() (experiments.Table, error) {
-			rows, err := experiments.E5(experiments.DefaultE5())
-			return experiments.E5Table(rows), err
-		}},
-		{"e6", func() (experiments.Table, error) {
-			return experiments.E6Table(experiments.E6(experiments.DefaultE6())), nil
-		}},
-		{"e7", func() (experiments.Table, error) {
-			rows, err := experiments.E7(experiments.DefaultE7())
-			return experiments.E7Table(rows), err
-		}},
-		{"e8", func() (experiments.Table, error) {
-			rows, err := experiments.E8(experiments.DefaultE8())
-			return experiments.E8Table(rows), err
-		}},
-		{"e9", func() (experiments.Table, error) {
-			rows, err := experiments.E9(experiments.DefaultE9())
-			return experiments.E9Table(rows), err
-		}},
 	}
 
 	ran := 0
@@ -89,7 +105,7 @@ func run() error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiment matched %q (use e1..e9 or all)", *exp)
+		return fmt.Errorf("no experiment matched %q (use -list to see e1..e10)", *exp)
 	}
 	return nil
 }

@@ -11,6 +11,14 @@
 //	gridctl ... resources -kind node
 //	gridctl ... ping
 //	gridctl ... tunnel -app tun1 -site siteb -target legacy-echo:7000 -listen 127.0.0.1:9000
+//
+// Data-plane commands (the content-addressed staging store, DESIGN.md §12):
+//
+//	gridctl ... put params.bin                 # stage a file, print its ref
+//	gridctl ... get -o out.bin <hash>          # fetch a blob by hash
+//	gridctl ... stat <hash>                    # is the blob staged, and how big
+//	gridctl ... submit -program fit -procs 8 -in params.bin -out result-0
+//	gridctl ... outputs -job <id> -fetch dir   # list/download a job's outputs
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -43,7 +52,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: gridctl [flags] ping|status|submit|wait|cancel|jobs|resources|tunnel")
+		return fmt.Errorf("usage: gridctl [flags] ping|status|submit|wait|cancel|jobs|outputs|resources|put|get|stat|tunnel")
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -101,6 +110,8 @@ func run() error {
 		program := fs.String("program", "", "program name installed on nodes")
 		procs := fs.Int("procs", 1, "number of MPI processes")
 		progArgs := fs.String("args", "", "comma-separated program arguments")
+		stageIn := fs.String("in", "", "comma-separated files to stage in (each is put first)")
+		stageOut := fs.String("out", "", "comma-separated output names to stage back (empty = all)")
 		wait := fs.Bool("wait", false, "wait for completion")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
@@ -115,7 +126,26 @@ func run() error {
 		if *progArgs != "" {
 			pargs = strings.Split(*progArgs, ",")
 		}
-		jobID, err := client.SubmitMPI(ctx, *program, pargs, *procs)
+		spec := grid.JobSpec{Program: *program, Args: pargs, Procs: *procs}
+		if *stageIn != "" {
+			for _, path := range strings.Split(*stageIn, ",") {
+				path = strings.TrimSpace(path)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				ref, err := client.Put(ctx, filepath.Base(path), data)
+				if err != nil {
+					return fmt.Errorf("stage %s: %w", path, err)
+				}
+				fmt.Printf("staged: %s %s %d\n", ref.Name, ref.Hash, ref.Size)
+				spec.StageIn = append(spec.StageIn, ref)
+			}
+		}
+		if *stageOut != "" {
+			spec.StageOut = strings.Split(*stageOut, ",")
+		}
+		jobID, err := client.SubmitJob(ctx, spec)
 		if err != nil {
 			return err
 		}
@@ -179,6 +209,115 @@ func run() error {
 		fmt.Printf("%-20s %-10s %s\n", "JOB", "STATE", "DETAIL")
 		for _, j := range jobs {
 			fmt.Printf("%-20s %-10s %s\n", j.ID, j.State, j.Detail)
+		}
+		return nil
+
+	case "put":
+		fs := flag.NewFlagSet("put", flag.ContinueOnError)
+		name := fs.String("name", "", "blob name visible to ranks (default: file basename)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: gridctl put [-name n] <file>")
+		}
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if *name == "" {
+			*name = filepath.Base(fs.Arg(0))
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		ref, err := client.Put(ctx, *name, data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %s\n%-8s %s\n%-8s %d\n", "name", ref.Name, "hash", ref.Hash, "size", ref.Size)
+		return nil
+
+	case "get":
+		fs := flag.NewFlagSet("get", flag.ContinueOnError)
+		out := fs.String("o", "", "output file (default: stdout)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: gridctl get [-o file] <hash>")
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		data, err := client.Get(ctx, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(*out, data, 0o644)
+
+	case "stat":
+		fs := flag.NewFlagSet("stat", flag.ContinueOnError)
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: gridctl stat <hash>")
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		size, ok, err := client.Stat(ctx, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("not staged")
+			return nil
+		}
+		fmt.Printf("staged, %d bytes\n", size)
+		return nil
+
+	case "outputs":
+		fs := flag.NewFlagSet("outputs", flag.ContinueOnError)
+		jobID := fs.String("job", "", "job id")
+		fetch := fs.String("fetch", "", "download each output into this directory")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *jobID == "" {
+			return fmt.Errorf("-job is required")
+		}
+		if err := login(); err != nil {
+			return err
+		}
+		refs, err := client.JobOutputs(ctx, *jobID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %10s  %s\n", "NAME", "SIZE", "HASH")
+		for _, ref := range refs {
+			fmt.Printf("%-20s %10d  %s\n", ref.Name, ref.Size, ref.Hash)
+		}
+		if *fetch != "" {
+			if err := os.MkdirAll(*fetch, 0o755); err != nil {
+				return err
+			}
+			for _, ref := range refs {
+				data, err := client.Get(ctx, ref.Hash)
+				if err != nil {
+					return fmt.Errorf("fetch %s: %w", ref.Name, err)
+				}
+				path := filepath.Join(*fetch, filepath.Base(ref.Name))
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote", path)
+			}
 		}
 		return nil
 

@@ -39,6 +39,15 @@
 //	                                 # (negative disables)
 //	reschedule_budget = 2           # site deaths survived per job before
 //	                                 # the launch fails (negative disables)
+//
+// Data-plane knobs (all optional; see internal/stage defaults):
+//
+//	store_dir         = stage       # persist blobs here across restarts
+//	                                 # ("" keeps the cache in memory only)
+//	store_max_bytes   = 268435456   # staging-cache cap before LRU eviction
+//	                                 # (negative disables the cap)
+//	chunk_size        = 262144      # transfer checksum/retry unit in bytes
+//	stripes           = 4           # parallel streams per cross-site pull
 package main
 
 import (
@@ -61,6 +70,7 @@ import (
 	"gridproxy/internal/node"
 	"gridproxy/internal/peerlink"
 	"gridproxy/internal/programs"
+	"gridproxy/internal/stage"
 	"gridproxy/internal/transport"
 	"gridproxy/internal/webui"
 )
@@ -119,6 +129,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	stagecfg, err := stageFromConfig(cfg)
+	if err != nil {
+		return err
+	}
 
 	reg := metrics.NewRegistry()
 	local := transport.NewLabelTCP()
@@ -134,6 +148,7 @@ func run() error {
 		Policy:    policy,
 		Lifecycle: lifecycle,
 		Jobs:      jobs,
+		Stage:     stagecfg,
 		Metrics:   reg,
 		Logger:    log,
 	})
@@ -253,6 +268,25 @@ func lifecycleFromConfig(cfg *config.Config) (peerlink.Config, error) {
 		return lc, err
 	}
 	return lc, nil
+}
+
+// stageFromConfig reads the data-plane knobs. Absent keys stay zero so
+// stage's defaults apply; a negative store_max_bytes removes the cap.
+func stageFromConfig(cfg *config.Config) (stage.Config, error) {
+	var sc stage.Config
+	sc.Dir = cfg.Get("store_dir", "")
+	maxBytes, err := cfg.Int("store_max_bytes", 0)
+	if err != nil {
+		return sc, err
+	}
+	sc.MaxBytes = int64(maxBytes)
+	if sc.ChunkSize, err = cfg.Int("chunk_size", 0); err != nil {
+		return sc, err
+	}
+	if sc.Stripes, err = cfg.Int("stripes", 0); err != nil {
+		return sc, err
+	}
+	return sc, nil
 }
 
 // jobsFromConfig reads the job-lifecycle knobs. Absent keys stay zero so

@@ -11,6 +11,7 @@ import (
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/node"
 	"gridproxy/internal/proto"
+	"gridproxy/internal/stage"
 	"gridproxy/internal/tunnel"
 	"gridproxy/internal/wire"
 )
@@ -254,6 +255,16 @@ func (p *Proxy) handleInboundStream(pr *peer, stream *tunnel.Stream) {
 	if err := open.Decode(wire.NewBuffer(stream.Meta())); err != nil {
 		p.log.Warn("inbound stream: bad metadata", "peer", pr.site, "err", err)
 		_ = stream.Close()
+		return
+	}
+	if open.Kind == proto.StreamStage {
+		// Stage streams terminate at this proxy's blob store — no node
+		// dial, no splice. Peer proxies are host-authenticated by the
+		// WAN transport, and blobs are addressable only by content
+		// hash, so no further validation is needed.
+		if err := stage.Serve(stream, p.store, p.stagecfg, p.reg); err != nil {
+			p.log.Warn("stage stream ended with error", "peer", pr.site, "err", err)
+		}
 		return
 	}
 	if err := p.validateInboundStream(&open); err != nil {

@@ -37,7 +37,7 @@ func (p *Proxy) handleControl(ctx context.Context, msg proto.Message) (proto.Bod
 	case *proto.RegistryQuery:
 		return p.handleRegistryQuery(req)
 	case *proto.PrepareSpawn:
-		return p.handlePrepareSpawn(req)
+		return p.handlePrepareSpawn(ctx, req)
 	case *proto.CommitSpawn:
 		return p.handleCommitSpawn(ctx, req)
 	case *proto.AbortSpawn:
@@ -45,7 +45,7 @@ func (p *Proxy) handleControl(ctx context.Context, msg proto.Message) (proto.Bod
 	case *proto.SpawnRequest:
 		return nil, badRequest("single-phase spawn superseded by prepare/commit")
 	case *proto.JobUpdate:
-		p.handleJobUpdate(req)
+		p.handleJobUpdate(ctx, req)
 		return nil, nil
 	case *proto.PermCheck:
 		return p.handlePermCheck(req), nil
@@ -148,8 +148,10 @@ func (p *Proxy) clientRegistryQuery(req *proto.RegistryQuery) (proto.Body, error
 // handleJobUpdate records a remote site's completion report for an app we
 // launched. The Site field names the reporter; reports from peers built
 // before that field existed fall back to the done-report convention of
-// carrying the site in Detail.
-func (p *Proxy) handleJobUpdate(req *proto.JobUpdate) {
+// carrying the site in Detail. Outputs the reporter published are pulled
+// into the origin store over the data plane before the report counts,
+// so Launch.Wait returning means the output blobs are local.
+func (p *Proxy) handleJobUpdate(ctx context.Context, req *proto.JobUpdate) {
 	p.mu.Lock()
 	js, ok := p.jobs[req.JobID]
 	p.mu.Unlock()
@@ -163,6 +165,12 @@ func (p *Proxy) handleJobUpdate(req *proto.JobUpdate) {
 	site := req.Site
 	if site == "" {
 		site = req.Detail
+	}
+	if len(req.Outputs) > 0 && site != "" {
+		p.pullOutputs(ctx, site, req.Outputs)
+		for _, ref := range req.Outputs {
+			js.launch.recordOutput(ref)
+		}
 	}
 	js.launch.remoteDone(site, err)
 }

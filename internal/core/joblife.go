@@ -237,10 +237,34 @@ type hostedApp struct {
 	running map[int]string // rank -> node, committed and not yet done
 	groups  int            // committed rank groups still being watched
 	aborted bool
+	// stageIn and stageOut carry the launch's data-plane manifest; the
+	// blobs themselves were pulled into the site store during prepare.
+	stageIn  []proto.StageRef
+	stageOut []string
+	// outputs are the refs local ranks published, reported to the origin
+	// in the completion JobUpdate.
+	outputs []proto.StageRef
 
 	// originLost is when the reaper first saw the origin's link down;
 	// touched only by the orphanReaper goroutine.
 	originLost time.Time
+}
+
+// recordOutput registers one published output blob under the app's
+// StageOut filter. A re-publish under the same name replaces the ref.
+func (ha *hostedApp) recordOutput(ref proto.StageRef) {
+	ha.mu.Lock()
+	defer ha.mu.Unlock()
+	if !wantOutput(ha.stageOut, ref.Name) {
+		return
+	}
+	for i, have := range ha.outputs {
+		if have.Name == ref.Name {
+			ha.outputs[i] = ref
+			return
+		}
+	}
+	ha.outputs = append(ha.outputs, ref)
 }
 
 func (p *Proxy) lookupHosted(appID string) (*hostedApp, bool) {
@@ -258,16 +282,23 @@ func (p *Proxy) dropHosted(appID string) {
 
 // handlePrepareSpawn serves launch phase one at a destination: validate
 // the owner (the paper validates permissions at originating AND
-// destination proxies), create the address space, and record the rank
-// assignments — without starting anything. A later reschedule landing
-// more ranks on a site that already hosts the app merges into the
-// existing record instead of re-creating it.
-func (p *Proxy) handlePrepareSpawn(req *proto.PrepareSpawn) (proto.Body, error) {
+// destination proxies), stage the job's input blobs into the site store,
+// create the address space, and record the rank assignments — without
+// starting anything. Staging inside prepare means the data plane runs
+// strictly between PrepareSpawn and CommitSpawn: the origin only fans
+// out commits once every site holds every input, and a site that
+// already holds the blobs (warm cache) transfers nothing. A later
+// reschedule landing more ranks on a site that already hosts the app
+// merges into the existing record instead of re-creating it.
+func (p *Proxy) handlePrepareSpawn(ctx context.Context, req *proto.PrepareSpawn) (proto.Body, error) {
 	refuse := func(reason string) proto.Body {
 		return &proto.PrepareSpawnReply{AppID: req.AppID, OK: false, Reason: reason}
 	}
 	if err := p.users.Allowed(req.Owner, "mpi", "site:"+p.site); err != nil {
 		return refuse(fmt.Sprintf("owner %q not permitted at site %s", req.Owner, p.site)), nil
+	}
+	if err := p.stageIn(ctx, req.Origin, req.StageIn); err != nil {
+		return refuse(err.Error()), nil
 	}
 	locations := locationsFromWire(req.Locations)
 	ranks := make([]int, 0, len(req.Ranks))
@@ -289,6 +320,7 @@ func (p *Proxy) handlePrepareSpawn(req *proto.PrepareSpawn) (proto.Body, error) 
 		ha.pending = ranks
 		ha.worldSize = int(req.WorldSize)
 		ha.program, ha.args = req.Program, req.Args
+		ha.stageIn, ha.stageOut = req.StageIn, req.StageOut
 		ha.mu.Unlock()
 		ha.as.setLocations(locations)
 		p.reg.Counter(metrics.JobPrepares).Inc()
@@ -309,6 +341,8 @@ func (p *Proxy) handlePrepareSpawn(req *proto.PrepareSpawn) (proto.Body, error) 
 		as:        as,
 		pending:   ranks,
 		running:   make(map[int]string),
+		stageIn:   req.StageIn,
+		stageOut:  req.StageOut,
 	}
 	p.mu.Lock()
 	p.hosted[req.AppID] = ha
@@ -341,10 +375,11 @@ func (p *Proxy) handleCommitSpawn(ctx context.Context, req *proto.CommitSpawn) (
 	ha.pending = nil
 	ha.groups++
 	program, args, worldSize := ha.program, ha.args, ha.worldSize
+	stageIn := ha.stageIn
 	ha.mu.Unlock()
 
 	locations := ha.as.locationsSnapshot()
-	if err := p.spawnLocalRanks(ctx, req.AppID, ha.owner, program, args, worldSize, locations, ranks); err != nil {
+	if err := p.spawnLocalRanks(ctx, req.AppID, ha.owner, program, args, worldSize, locations, ranks, stageIn, ha.recordOutput); err != nil {
 		p.releaseHostedGroup(ha, nil)
 		return refuse(err.Error()), nil
 	}
@@ -405,12 +440,24 @@ func (p *Proxy) releaseHostedGroup(ha *hostedApp, ranks []int) {
 func (p *Proxy) finishHostedGroup(ha *hostedApp, ranks []int, err error) {
 	ha.mu.Lock()
 	aborted := ha.aborted
+	outputs := append([]proto.StageRef(nil), ha.outputs...)
 	ha.mu.Unlock()
 	p.releaseHostedGroup(ha, ranks)
 	if aborted {
 		return
 	}
-	update := &proto.JobUpdate{JobID: ha.appID, State: proto.JobDone, Detail: p.site, Site: p.site}
+	if p.ctx.Err() != nil {
+		// The proxy itself is shutting down, so the ranks died of the
+		// teardown, not of the job. Stay silent: to the origin this site
+		// is simply dead, and its link-death rescheduling — not a
+		// spurious JobFailed racing the link teardown — decides the
+		// job's fate.
+		return
+	}
+	// The update advertises the refs of every output published here so
+	// far; the origin pulls the blobs over the data plane before it
+	// counts this group done.
+	update := &proto.JobUpdate{JobID: ha.appID, State: proto.JobDone, Detail: p.site, Site: p.site, Outputs: outputs}
 	if err != nil {
 		update.State = proto.JobFailed
 		update.Detail = fmt.Sprintf("%s: %v", p.site, err)
@@ -625,7 +672,7 @@ func (p *Proxy) rescheduleSite(l *Launch, deadSite string) {
 
 	spec := l.spec
 	if len(localRanks) > 0 {
-		if err := p.spawnLocalRanks(p.ctx, l.AppID, spec.Owner, spec.Program, spec.Args, len(locations), locations, localRanks); err != nil {
+		if err := p.spawnLocalRanks(p.ctx, l.AppID, spec.Owner, spec.Program, spec.Args, len(locations), locations, localRanks, spec.StageIn, l.recordOutput); err != nil {
 			l.localDone(err)
 		} else {
 			p.wg.Add(1)
@@ -670,6 +717,8 @@ func (p *Proxy) spawnAtSite(ctx context.Context, l *Launch, site string, ranks [
 		WorldSize: uint32(len(locations)),
 		Ranks:     rankAssignments(ranks, locations),
 		Locations: locationsToWire(locations),
+		StageIn:   spec.StageIn,
+		StageOut:  spec.StageOut,
 	}); err != nil {
 		return err
 	}

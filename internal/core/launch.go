@@ -31,6 +31,15 @@ type LaunchSpec struct {
 	Procs int
 	// AppID, if empty, is generated.
 	AppID string
+	// StageIn lists blobs (previously Put into the origin proxy's store)
+	// that must be present at every destination site before ranks start;
+	// ranks read them via node.Env.StagedInput. Destinations pull only
+	// the blobs they do not already hold — a warm cache transfers
+	// nothing.
+	StageIn []proto.StageRef
+	// StageOut filters which published outputs flow back to the origin
+	// when the job completes; empty means all of them.
+	StageOut []string
 }
 
 // RankPlacement is the public view of where one rank runs.
@@ -64,6 +73,38 @@ type Launch struct {
 	done        chan struct{}
 	failed      error
 	finished    bool
+	// outputs accumulates the refs of published output blobs: local
+	// ranks record directly, remote sites report theirs via
+	// JobUpdate.Outputs (pulled into the origin store on arrival).
+	outputs []proto.StageRef
+}
+
+// recordOutput registers one published output blob, applying the spec's
+// StageOut filter. A re-publish under the same name replaces the ref.
+func (l *Launch) recordOutput(ref proto.StageRef) {
+	if !wantOutput(l.spec.StageOut, ref.Name) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, have := range l.outputs {
+		if have.Name == ref.Name {
+			l.outputs[i] = ref
+			return
+		}
+	}
+	l.outputs = append(l.outputs, ref)
+}
+
+// Outputs returns the refs of the job's output blobs staged back to the
+// origin store so far; complete once Wait has returned. Read the bytes
+// with Proxy.Store().Get(ref.Hash).
+func (l *Launch) Outputs() []proto.StageRef {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]proto.StageRef(nil), l.outputs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Placement computes where each rank would run without launching —
@@ -143,6 +184,11 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 			return nil, denied("user %q may not run MPI at site %q", spec.Owner, site)
 		}
 	}
+	// Every staged input must already be in the origin store: destinations
+	// pull the blobs from us during their PrepareSpawn.
+	if err := p.verifyStageRefs(spec.StageIn); err != nil {
+		return nil, err
+	}
 	// All remote sites must be connected before any process starts.
 	var remoteSites []string
 	for site := range sites {
@@ -205,6 +251,8 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 				WorldSize: uint32(len(locations)),
 				Ranks:     rankAssignments(sites[site], locations),
 				Locations: wireLocs,
+				StageIn:   spec.StageIn,
+				StageOut:  spec.StageOut,
 			})
 		})
 		for _, res := range results {
@@ -215,8 +263,10 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 		}
 	}
 
-	// Spawn local ranks (the origin's own commit).
-	if err := p.spawnLocalRanks(ctx, appID, spec.Owner, spec.Program, spec.Args, len(locations), locations, localRanks); err != nil {
+	// Spawn local ranks (the origin's own commit). Inputs are already in
+	// the origin store (verified above), so local ranks read them
+	// directly and publish outputs straight back into it.
+	if err := p.spawnLocalRanks(ctx, appID, spec.Owner, spec.Program, spec.Args, len(locations), locations, localRanks, spec.StageIn, launch.recordOutput); err != nil {
 		abort(err.Error())
 		return nil, err
 	}
@@ -284,9 +334,15 @@ func rankAssignments(ranks []int, locations map[int]rankLoc) []proto.RankAssignm
 
 // spawnLocalRanks starts this site's share of an application on its nodes.
 // On failure the ranks already started are killed, so a half-spawned group
-// never outlives its launch.
-func (p *Proxy) spawnLocalRanks(ctx context.Context, appID, owner, program string, args []string, worldSize int, locations map[int]rankLoc, ranks []int) error {
+// never outlives its launch. stageIn and record wire the processes to the
+// data plane: staged inputs resolve out of this site's store, published
+// outputs land in it and their refs flow to record (nil for none).
+func (p *Proxy) spawnLocalRanks(ctx context.Context, appID, owner, program string, args []string, worldSize int, locations map[int]rankLoc, ranks []int, stageIn []proto.StageRef, record func(proto.StageRef)) error {
 	table := p.buildRankTable(appID, locations)
+	if record == nil {
+		record = func(proto.StageRef) {}
+	}
+	input, publish := p.stageEnv(stageIn, record)
 	for i, rank := range ranks {
 		loc := locations[rank]
 		handle, err := p.nodeHandle(loc.node)
@@ -298,6 +354,8 @@ func (p *Proxy) spawnLocalRanks(ctx context.Context, appID, owner, program strin
 				Rank:      rank,
 				WorldSize: worldSize,
 				RankTable: table,
+				Input:     input,
+				Publish:   publish,
 			})
 		}
 		if err != nil {

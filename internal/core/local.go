@@ -131,7 +131,29 @@ func (cs *clientSession) handle(ctx context.Context, msg proto.Message) (proto.B
 		if err != nil {
 			return nil, err
 		}
-		return &proto.JobUpdate{JobID: req.JobID, State: state, Detail: detail}, nil
+		return &proto.JobUpdate{JobID: req.JobID, State: state, Detail: detail, Outputs: p.JobOutputs(req.JobID)}, nil
+	case *proto.StagePut:
+		if err := cs.requirePermission("stage", "site:"+p.site); err != nil {
+			return nil, err
+		}
+		ref := p.store.Put(req.Data)
+		ref.Name = req.Name
+		return &proto.StagePutReply{Ref: proto.StageRef{Name: ref.Name, Hash: ref.Hash, Size: ref.Size}}, nil
+	case *proto.StageGet:
+		if err := cs.requirePermission("stage", "site:"+p.site); err != nil {
+			return nil, err
+		}
+		data, ok := p.store.Get(req.Hash)
+		if !ok {
+			return nil, notFound("no blob %s in the %s store", req.Hash, p.site)
+		}
+		return &proto.StageGetReply{Hash: req.Hash, Data: data}, nil
+	case *proto.StageStat:
+		if err := cs.requirePermission("stage", "site:"+p.site); err != nil {
+			return nil, err
+		}
+		size, ok := p.store.Stat(req.Hash)
+		return &proto.StageStatReply{Hash: req.Hash, Present: ok, Size: size}, nil
 	case *proto.JobCancel:
 		return cs.handleJobCancel(ctx, req)
 	case *proto.JobList:
@@ -241,11 +263,13 @@ func (cs *clientSession) handleJobSubmit(ctx context.Context, req *proto.JobSubm
 	launchCtx, cancel := context.WithTimeout(ctx, time.Minute)
 	defer cancel()
 	launch, err := cs.proxy.LaunchMPI(launchCtx, LaunchSpec{
-		Owner:   cs.user,
-		Program: req.Program,
-		Args:    req.Args,
-		Procs:   int(req.Procs),
-		AppID:   req.JobID,
+		Owner:    cs.user,
+		Program:  req.Program,
+		Args:     req.Args,
+		Procs:    int(req.Procs),
+		AppID:    req.JobID,
+		StageIn:  req.StageIn,
+		StageOut: req.StageOut,
 	})
 	if err != nil {
 		return nil, err

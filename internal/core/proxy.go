@@ -38,6 +38,7 @@ import (
 	"gridproxy/internal/proto"
 	"gridproxy/internal/registry"
 	"gridproxy/internal/scheduler"
+	"gridproxy/internal/stage"
 	"gridproxy/internal/ticket"
 	"gridproxy/internal/transport"
 	"gridproxy/internal/tunnel"
@@ -106,6 +107,9 @@ type Config struct {
 	// grace, terminal-record TTL, reschedule budget). The zero value
 	// uses the JobConfig defaults.
 	Jobs JobConfig
+	// Stage carries the data-plane knobs (store dir and size cap, chunk
+	// size, stripes, idle timeout). The zero value uses stage defaults.
+	Stage stage.Config
 	// Metrics receives instrument counters; may be nil.
 	Metrics *metrics.Registry
 	// Logger may be nil.
@@ -131,6 +135,8 @@ type Proxy struct {
 	sched     *scheduler.Scheduler
 	lifecycle peerlink.Config
 	jobcfg    JobConfig
+	stagecfg  stage.Config
+	store     *stage.Store
 
 	wanListener    net.Listener
 	localListener  net.Listener
@@ -186,6 +192,7 @@ func New(cfg Config) (*Proxy, error) {
 		resources: registry.New(),
 		lifecycle: lifecycle.WithDefaults(),
 		jobcfg:    cfg.Jobs.WithDefaults(),
+		stagecfg:  cfg.Stage.WithDefaults(),
 		peers:     make(map[string]*peer),
 		links:     make(map[string]*peerlink.Link),
 		nodes:     make(map[string]NodeHandle),
@@ -199,8 +206,17 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.TGS != nil && cfg.TicketKey != nil {
 		p.validator = ticket.NewValidator(ServiceName(cfg.Site), cfg.TicketKey, cfg.Metrics)
 	}
+	store, err := stage.NewStore(p.stagecfg, cfg.Metrics)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	p.store = store
 	return p, nil
 }
+
+// Store exposes this site's content-addressed blob store.
+func (p *Proxy) Store() *stage.Store { return p.store }
 
 // ServiceName returns the ticket service name of a site's proxy.
 func ServiceName(site string) string { return "proxy:" + site }

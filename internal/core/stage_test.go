@@ -1,0 +1,202 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"gridproxy/internal/core"
+	"gridproxy/internal/failure"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/node"
+	"gridproxy/internal/proto"
+	"gridproxy/internal/site"
+	"gridproxy/internal/stage"
+)
+
+// newStagedGrid builds a connected testbed whose proxies share the given
+// stage configuration.
+func newStagedGrid(t *testing.T, reg *metrics.Registry, stagecfg stage.Config, nodesPerSite ...int) *site.Testbed {
+	t.Helper()
+	cfg := site.TestbedConfig{GridName: "stagetest", Metrics: reg, Stage: stagecfg}
+	for i, n := range nodesPerSite {
+		cfg.Sites = append(cfg.Sites, site.SiteSpec{
+			Name:  fmt.Sprintf("site%c", 'a'+i),
+			Nodes: site.UniformNodes(n, 1),
+		})
+	}
+	tb, err := site.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tb.ConnectAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// stagedEchoProgram verifies the staged input and publishes one output
+// per rank whose content depends only on the rank (so relaunches publish
+// identical blobs).
+func stagedEchoProgram(t *testing.T, want []byte) node.ProgramFunc {
+	return func(ctx context.Context, env node.Env) error {
+		data, ok := env.StagedInput("params")
+		if !ok {
+			return fmt.Errorf("rank %d: staged input missing", env.Rank)
+		}
+		if !bytes.Equal(data, want) {
+			return fmt.Errorf("rank %d: staged input corrupted", env.Rank)
+		}
+		return env.PublishOutput(fmt.Sprintf("result-%d", env.Rank), []byte(fmt.Sprintf("ok %d", env.Rank)))
+	}
+}
+
+// TestStagedLaunchWarmCache is the tentpole acceptance test: a cross-site
+// launch stages its input to the destination during prepare, outputs flow
+// back to the origin, and an identical relaunch moves ~0 payload bytes
+// because every blob is already cached.
+func TestStagedLaunchWarmCache(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tb := newStagedGrid(t, reg, stage.Config{ChunkSize: 16 << 10, Stripes: 2}, 1, 1)
+	params := make([]byte, 96<<10)
+	rand.New(rand.NewSource(7)).Read(params)
+	tb.RegisterProgram("staged-echo", stagedEchoProgram(t, params))
+
+	origin := tb.Sites[0].Proxy
+	ref := origin.Store().Put(params)
+	ref.Name = "params"
+	stageIn := []proto.StageRef{{Name: ref.Name, Hash: ref.Hash, Size: ref.Size}}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	run := func(appID string) *core.Launch {
+		launch, err := origin.LaunchMPI(ctx, core.LaunchSpec{
+			Owner:   "admin",
+			Program: "staged-echo",
+			Procs:   2,
+			AppID:   appID,
+			StageIn: stageIn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := launch.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return launch
+	}
+
+	launch := run("stage-job-1")
+
+	// The destination pulled the input once (cold), the origin pulled the
+	// remote rank's output once.
+	if misses := reg.Counter(metrics.StageCacheMisses).Value(); misses != 2 {
+		t.Errorf("cold cache misses = %d, want 2 (input at destination, output at origin)", misses)
+	}
+	coldBytes := reg.Counter(metrics.StageBytesReceived).Value()
+	if coldBytes < int64(len(params)) {
+		t.Errorf("cold bytes_received = %d, want >= %d", coldBytes, len(params))
+	}
+
+	// Outputs of both ranks are back at the origin.
+	outputs := launch.Outputs()
+	if len(outputs) != 2 {
+		t.Fatalf("outputs = %+v, want 2 refs", outputs)
+	}
+	for i, out := range outputs {
+		data, ok := origin.Store().Get(out.Hash)
+		if !ok {
+			t.Fatalf("output %q not in origin store", out.Name)
+		}
+		if want := fmt.Sprintf("ok %d", i); string(data) != want {
+			t.Errorf("output %q = %q, want %q", out.Name, data, want)
+		}
+	}
+	if got := origin.JobOutputs("stage-job-1"); len(got) != 2 {
+		t.Errorf("JobOutputs = %+v, want 2 refs", got)
+	}
+
+	// Warm relaunch: everything is cached on both sides, so no payload
+	// bytes move and every stage lookup is a hit.
+	hitsBefore := reg.Counter(metrics.StageCacheHits).Value()
+	run("stage-job-2")
+	if delta := reg.Counter(metrics.StageBytesReceived).Value() - coldBytes; delta != 0 {
+		t.Errorf("warm relaunch transferred %d payload bytes, want 0", delta)
+	}
+	if hits := reg.Counter(metrics.StageCacheHits).Value() - hitsBefore; hits != 2 {
+		t.Errorf("warm relaunch cache hits = %d, want 2", hits)
+	}
+	if misses := reg.Counter(metrics.StageCacheMisses).Value(); misses != 2 {
+		t.Errorf("warm relaunch added cache misses (total %d, want 2)", misses)
+	}
+}
+
+// TestStagedLaunchSurvivesCorruptChunk injects a flipped byte into one
+// transfer chunk: the per-chunk checksum must reject it and the re-request
+// must succeed without failing the job.
+func TestStagedLaunchSurvivesCorruptChunk(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var corrupter failure.Corrupter
+	corrupter.Arm(1)
+	tb := newStagedGrid(t, reg, stage.Config{
+		ChunkSize: 8 << 10,
+		Stripes:   1,
+		WrapConn:  func(c net.Conn) net.Conn { return corrupter.Wrap(c) },
+	}, 1, 1)
+	params := make([]byte, 64<<10)
+	rand.New(rand.NewSource(11)).Read(params)
+	tb.RegisterProgram("staged-echo", stagedEchoProgram(t, params))
+
+	origin := tb.Sites[0].Proxy
+	ref := origin.Store().Put(params)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	launch, err := origin.LaunchMPI(ctx, core.LaunchSpec{
+		Owner:   "admin",
+		Program: "staged-echo",
+		Procs:   2,
+		StageIn: []proto.StageRef{{Name: "params", Hash: ref.Hash, Size: ref.Size}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := launch.Wait(ctx); err != nil {
+		t.Fatalf("launch failed despite chunk retry: %v", err)
+	}
+	if corrupter.Corrupted() == 0 {
+		t.Fatal("corrupter never fired; test exercised nothing")
+	}
+	if got := reg.Counter(metrics.StageCorruptChunks).Value(); got < 1 {
+		t.Errorf("stage.corrupt_chunks = %d, want >= 1", got)
+	}
+	if got := reg.Counter(metrics.StageChunkRetries).Value(); got < 1 {
+		t.Errorf("stage.chunk_retries = %d, want >= 1", got)
+	}
+}
+
+// TestLaunchRefusedWithoutStagedBlob: launching with a ref the origin
+// store does not hold is refused before anything runs.
+func TestLaunchRefusedWithoutStagedBlob(t *testing.T) {
+	tb := newStagedGrid(t, nil, stage.Config{}, 1)
+	origin := tb.Sites[0].Proxy
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := origin.LaunchMPI(ctx, core.LaunchSpec{
+		Owner:   "admin",
+		Program: "anything",
+		Procs:   1,
+		StageIn: []proto.StageRef{{Name: "ghost", Hash: stage.Hash([]byte("nope")), Size: 4}},
+	})
+	if err == nil {
+		t.Fatal("launch with unstaged blob succeeded, want refusal")
+	}
+}

@@ -13,6 +13,7 @@
 //	E7  §3             failure containment when a proxy dies
 //	E8  §3             one multiplexed tunnel vs connection-per-stream
 //	E9  §3             job survival: rank rescheduling across site death
+//	E10 §3             data plane: striped cross-site staging, cold vs warm
 //
 // Every experiment returns typed rows; cmd/gridbench renders them as the
 // tables recorded in EXPERIMENTS.md, and bench_test.go exposes the same

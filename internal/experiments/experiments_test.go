@@ -173,6 +173,31 @@ func TestE9Shape(t *testing.T) {
 	}
 }
 
+func TestE10Shape(t *testing.T) {
+	rows, err := E10(E10Config{
+		BlobBytes:    256 << 10,
+		ChunkSize:    32 << 10,
+		StripeCounts: []int{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.ColdBytes != 256<<10 {
+		t.Errorf("cold pull received %d bytes, want %d", r.ColdBytes, 256<<10)
+	}
+	// The warm pull is a content-addressed cache hit: nothing moves.
+	if r.WarmBytes != 0 {
+		t.Errorf("warm pull moved %d bytes, want 0", r.WarmBytes)
+	}
+	if r.CacheHits < 1 {
+		t.Errorf("cache hits = %d, want >= 1", r.CacheHits)
+	}
+	if r.WarmTime >= r.ColdTime {
+		t.Errorf("warm pull (%v) not faster than cold (%v)", r.WarmTime, r.ColdTime)
+	}
+}
+
 func TestE8Shape(t *testing.T) {
 	rows, err := E8(E8Config{StreamCounts: []int{8}, BytesEach: 8 << 10})
 	if err != nil {

@@ -1,0 +1,147 @@
+package failure
+
+import (
+	"net"
+	"sync"
+)
+
+// Data-plane fault injection: wrappers for individual connections (in
+// practice the tunnel data streams the staging protocol runs over).
+// Unlike FlakyNetwork, which models a whole site failing, these model a
+// single misbehaving stream — a peer that stops making progress, or a
+// link that flips bits in flight.
+
+// StallStream freezes wrapped connections: while stalled, reads and writes
+// block without erroring until Heal or the connection is closed. This
+// is the failure mode idle deadlines exist for — a peer that is still
+// connected but no longer making progress.
+type StallStream struct {
+	mu sync.Mutex
+	ch chan struct{} // non-nil while stalled; closed on Heal
+}
+
+// Stall freezes all wrapped connections.
+func (s *StallStream) Stall() {
+	s.mu.Lock()
+	if s.ch == nil {
+		s.ch = make(chan struct{})
+	}
+	s.mu.Unlock()
+}
+
+// Heal unblocks every operation waiting on the stall.
+func (s *StallStream) Heal() {
+	s.mu.Lock()
+	if s.ch != nil {
+		close(s.ch)
+		s.ch = nil
+	}
+	s.mu.Unlock()
+}
+
+// Wrap returns conn gated by the injector. The signature matches
+// stage.Config.WrapConn.
+func (s *StallStream) Wrap(conn net.Conn) net.Conn {
+	return &stalledConn{Conn: conn, st: s, closed: make(chan struct{})}
+}
+
+type stalledConn struct {
+	net.Conn
+	st     *StallStream
+	once   sync.Once
+	closed chan struct{}
+}
+
+func (c *stalledConn) gate() error {
+	c.st.mu.Lock()
+	ch := c.st.ch
+	c.st.mu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+func (c *stalledConn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *stalledConn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *stalledConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// corruptMinLen distinguishes bulk data writes from the staging
+// protocol's small request/status frames, so an armed corrupter hits a
+// chunk payload rather than the framing.
+const corruptMinLen = 128
+
+// Corrupter flips one byte in each of the next Arm(n) sufficiently
+// large writes through wrapped connections — the observable behaviour
+// of a link (or buggy middlebox) corrupting payloads in flight, which
+// per-chunk checksums exist to catch.
+type Corrupter struct {
+	mu        sync.Mutex
+	remaining int
+	corrupted int
+}
+
+// Arm makes the next n large writes corrupt.
+func (c *Corrupter) Arm(n int) {
+	c.mu.Lock()
+	c.remaining = n
+	c.mu.Unlock()
+}
+
+// Corrupted reports how many writes have been corrupted so far.
+func (c *Corrupter) Corrupted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corrupted
+}
+
+// Wrap returns conn with corruption applied to outbound writes. The
+// signature matches stage.Config.WrapConn.
+func (c *Corrupter) Wrap(conn net.Conn) net.Conn {
+	return &corruptConn{Conn: conn, cr: c}
+}
+
+type corruptConn struct {
+	net.Conn
+	cr *Corrupter
+}
+
+func (c *corruptConn) Write(p []byte) (int, error) {
+	c.cr.mu.Lock()
+	hit := c.cr.remaining > 0 && len(p) >= corruptMinLen
+	if hit {
+		c.cr.remaining--
+		c.cr.corrupted++
+	}
+	c.cr.mu.Unlock()
+	if hit {
+		// Copy so the caller's buffer (often a view of stored data)
+		// is never mutated; flip the final byte, which in a staging
+		// chunk frame is always payload, never framing.
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[len(q)-1] ^= 0xFF
+		p = q
+	}
+	return c.Conn.Write(p)
+}

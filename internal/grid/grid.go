@@ -316,6 +316,127 @@ func (c *Client) SubmitMPI(ctx context.Context, program string, args []string, p
 	return ju.JobID, nil
 }
 
+// FileRef names a blob in the grid data plane: a logical file name plus
+// the content hash that addresses it in every site store.
+type FileRef struct {
+	Name string
+	Hash string
+	Size int64
+}
+
+func refFromProto(r proto.StageRef) FileRef { return FileRef{Name: r.Name, Hash: r.Hash, Size: r.Size} }
+func (r FileRef) toProto() proto.StageRef {
+	return proto.StageRef{Name: r.Name, Hash: r.Hash, Size: r.Size}
+}
+
+// Put stores a blob in the site proxy's content-addressed store and
+// returns its ref. Staging the same content twice is free: the store
+// dedupes by hash. The ref can be handed to SubmitJob as a StageIn.
+func (c *Client) Put(ctx context.Context, name string, data []byte) (FileRef, error) {
+	if c.User() == "" {
+		return FileRef{}, ErrNotAuthenticated
+	}
+	reply, err := c.call(ctx, &proto.StagePut{Name: name, Data: data})
+	if err != nil {
+		return FileRef{}, err
+	}
+	pr, ok := reply.(*proto.StagePutReply)
+	if !ok {
+		return FileRef{}, fmt.Errorf("grid: unexpected put reply %T", reply)
+	}
+	return refFromProto(pr.Ref), nil
+}
+
+// Get fetches a blob from the site proxy's store by content hash.
+func (c *Client) Get(ctx context.Context, hash string) ([]byte, error) {
+	if c.User() == "" {
+		return nil, ErrNotAuthenticated
+	}
+	reply, err := c.call(ctx, &proto.StageGet{Hash: hash})
+	if err != nil {
+		return nil, err
+	}
+	gr, ok := reply.(*proto.StageGetReply)
+	if !ok {
+		return nil, fmt.Errorf("grid: unexpected get reply %T", reply)
+	}
+	return gr.Data, nil
+}
+
+// Stat reports whether the site proxy's store holds a blob and its size.
+func (c *Client) Stat(ctx context.Context, hash string) (int64, bool, error) {
+	if c.User() == "" {
+		return 0, false, ErrNotAuthenticated
+	}
+	reply, err := c.call(ctx, &proto.StageStat{Hash: hash})
+	if err != nil {
+		return 0, false, err
+	}
+	sr, ok := reply.(*proto.StageStatReply)
+	if !ok {
+		return 0, false, fmt.Errorf("grid: unexpected stat reply %T", reply)
+	}
+	return sr.Size, sr.Present, nil
+}
+
+// JobSpec describes an MPI submission with data-plane staging.
+type JobSpec struct {
+	Program string
+	Args    []string
+	Procs   int
+	// StageIn blobs (previously Put) are made available to every rank
+	// via its node environment before the job starts.
+	StageIn []FileRef
+	// StageOut filters which published outputs return to the origin
+	// site; empty means all.
+	StageOut []string
+}
+
+// SubmitJob submits an MPI job with staged inputs and outputs.
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (string, error) {
+	if c.User() == "" {
+		return "", ErrNotAuthenticated
+	}
+	req := &proto.JobSubmit{
+		Owner:    c.User(),
+		Program:  spec.Program,
+		Args:     spec.Args,
+		Procs:    uint32(spec.Procs),
+		StageOut: spec.StageOut,
+	}
+	for _, ref := range spec.StageIn {
+		req.StageIn = append(req.StageIn, ref.toProto())
+	}
+	reply, err := c.call(ctx, req)
+	if err != nil {
+		return "", err
+	}
+	ju, ok := reply.(*proto.JobUpdate)
+	if !ok {
+		return "", fmt.Errorf("grid: unexpected submit reply %T", reply)
+	}
+	return ju.JobID, nil
+}
+
+// JobOutputs returns the refs of a job's outputs staged back to this
+// client's site so far (complete once WaitJob returned). Fetch the bytes
+// with Get.
+func (c *Client) JobOutputs(ctx context.Context, jobID string) ([]FileRef, error) {
+	reply, err := c.call(ctx, &proto.JobQuery{JobID: jobID})
+	if err != nil {
+		return nil, err
+	}
+	ju, ok := reply.(*proto.JobUpdate)
+	if !ok {
+		return nil, fmt.Errorf("grid: unexpected job reply %T", reply)
+	}
+	out := make([]FileRef, 0, len(ju.Outputs))
+	for _, r := range ju.Outputs {
+		out = append(out, refFromProto(r))
+	}
+	return out, nil
+}
+
 // JobState queries a job's current state.
 func (c *Client) JobState(ctx context.Context, jobID string) (proto.JobState, string, error) {
 	reply, err := c.call(ctx, &proto.JobQuery{JobID: jobID})

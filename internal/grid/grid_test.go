@@ -401,3 +401,98 @@ func TestTunnelDeniedWithoutPermission(t *testing.T) {
 		t.Error("tunnel without permission succeeded")
 	}
 }
+
+func TestStagePutGetStat(t *testing.T) {
+	f := newFixture(t, 1)
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Put(ctx, "x", []byte("data")); !errors.Is(err, grid.ErrNotAuthenticated) {
+		t.Errorf("unauthenticated put = %v", err)
+	}
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte(strings.Repeat("grid data plane ", 1024))
+	ref, err := c.Put(ctx, "payload.bin", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Name != "payload.bin" || ref.Size != int64(len(blob)) || ref.Hash == "" {
+		t.Fatalf("ref = %+v", ref)
+	}
+	// Same content, different name: same hash (dedupe).
+	ref2, err := c.Put(ctx, "copy.bin", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref2.Hash != ref.Hash {
+		t.Errorf("dedupe: hash %s != %s", ref2.Hash, ref.Hash)
+	}
+	size, ok, err := c.Stat(ctx, ref.Hash)
+	if err != nil || !ok || size != int64(len(blob)) {
+		t.Fatalf("stat = (%d, %v, %v)", size, ok, err)
+	}
+	back, err := c.Get(ctx, ref.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(blob) {
+		t.Fatal("get returned different content")
+	}
+	if _, _, err := c.Stat(ctx, strings.Repeat("0", 64)); err != nil {
+		t.Fatalf("stat of absent blob should not error: %v", err)
+	}
+	if _, err := c.Get(ctx, strings.Repeat("0", 64)); err == nil {
+		t.Fatal("get of absent blob succeeded")
+	}
+}
+
+func TestSubmitStagedJobEndToEnd(t *testing.T) {
+	f := newFixture(t, 1, 1)
+	f.tb.RegisterProgram("transform", func(ctx context.Context, env node.Env) error {
+		in, ok := env.StagedInput("input.txt")
+		if !ok {
+			return fmt.Errorf("rank %d: no staged input", env.Rank)
+		}
+		out := strings.ToUpper(string(in))
+		return env.PublishOutput(fmt.Sprintf("upper-%d.txt", env.Rank), []byte(out))
+	})
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Put(ctx, "input.txt", []byte("staged across sites"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := c.SubmitJob(ctx, grid.JobSpec{
+		Program: "transform",
+		Procs:   2,
+		StageIn: []grid.FileRef{ref},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitJob(ctx, jobID); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	outputs, err := c.JobOutputs(ctx, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 2 {
+		t.Fatalf("outputs = %+v, want 2", outputs)
+	}
+	for _, out := range outputs {
+		data, err := c.Get(ctx, out.Hash)
+		if err != nil {
+			t.Fatalf("get output %q: %v", out.Name, err)
+		}
+		if string(data) != "STAGED ACROSS SITES" {
+			t.Errorf("output %q = %q", out.Name, data)
+		}
+	}
+}

@@ -256,4 +256,39 @@ const (
 	JobsPruned = "job.pruned"
 	// JobsTracked gauges the origin proxy's current job-table size.
 	JobsTracked = "gauge.jobs.tracked"
+
+	// Data-plane metrics (content-addressed staging, internal/stage).
+
+	// StageBytesStored gauges the bytes currently held in a site's blob
+	// store (payload only, after dedupe and eviction).
+	StageBytesStored = "gauge.stage.bytes_stored"
+	// StageBlobs gauges how many distinct blobs the store holds.
+	StageBlobs = "gauge.stage.blobs"
+	// StagePuts counts blobs written into a store (client puts, completed
+	// pulls, and published outputs).
+	StagePuts = "stage.puts"
+	// StageCacheHits counts stage-in refs already present in the
+	// destination's store (no transfer needed).
+	StageCacheHits = "stage.cache_hits"
+	// StageCacheMisses counts stage-in refs that had to be pulled.
+	StageCacheMisses = "stage.cache_misses"
+	// StageBytesSent counts payload bytes served to remote pullers.
+	StageBytesSent = "stage.bytes_sent"
+	// StageBytesReceived counts payload bytes received from remote
+	// stores (the cross-site transfer volume dedupe is meant to shrink).
+	StageBytesReceived = "stage.bytes_received"
+	// StageChunkRetries counts chunks re-requested after a checksum
+	// mismatch or a failed stripe read.
+	StageChunkRetries = "stage.chunk_retries"
+	// StageCorruptChunks counts chunks rejected by per-chunk checksum.
+	StageCorruptChunks = "stage.corrupt_chunks"
+	// StageResumes counts transfers that restarted from a non-zero
+	// offset after a link drop instead of from byte 0.
+	StageResumes = "stage.resumes"
+	// StageEvictions counts blobs evicted by the LRU size cap.
+	StageEvictions = "stage.evictions"
+	// StagePulls counts whole-blob pulls completed from a remote store.
+	StagePulls = "stage.pulls"
+	// StageOutputs counts job output blobs returned to their origin site.
+	StageOutputs = "stage.outputs"
 )

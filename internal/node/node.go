@@ -77,6 +77,31 @@ type Env struct {
 	Network transport.Network
 	// Speed is the node's relative speed, for simulated workloads.
 	Speed float64
+	// Input resolves a staged input file by name out of the site's blob
+	// store; nil when the launch staged nothing in. Prefer StagedInput.
+	Input func(name string) ([]byte, bool)
+	// Publish stores an output blob at the site proxy so it can flow
+	// back to the origin when the job finishes; nil when the launch has
+	// no data plane attached. Prefer PublishOutput.
+	Publish func(name string, data []byte) error
+}
+
+// StagedInput resolves a staged input file by name; ok is false when the
+// name was not staged in (or the launch had no data plane).
+func (e Env) StagedInput(name string) ([]byte, bool) {
+	if e.Input == nil {
+		return nil, false
+	}
+	return e.Input(name)
+}
+
+// PublishOutput records an output blob for staging back to the origin
+// site when the job completes.
+func (e Env) PublishOutput(name string, data []byte) error {
+	if e.Publish == nil {
+		return errors.New("node: no data plane attached to this process")
+	}
+	return e.Publish(name, data)
 }
 
 // ProgramFunc is an installed program. The context is cancelled when the
@@ -91,6 +116,10 @@ type SpawnSpec struct {
 	Rank      int
 	WorldSize int
 	RankTable map[int]string
+	// Input and Publish are the data-plane hooks copied into Env (both
+	// optional; see Env.Input and Env.Publish).
+	Input   func(name string) ([]byte, bool)
+	Publish func(name string, data []byte) error
 }
 
 // ProcessState reports one running or finished process.
@@ -244,6 +273,8 @@ func (a *Agent) Spawn(ctx context.Context, spec SpawnSpec) (string, error) {
 		ListenAddr: endpoint,
 		Network:    a.network,
 		Speed:      a.hw.Speed,
+		Input:      spec.Input,
+		Publish:    spec.Publish,
 	}
 	go func() {
 		defer a.wg.Done()

@@ -15,6 +15,7 @@ import (
 	"gridproxy/internal/mpi"
 	"gridproxy/internal/mpirun"
 	"gridproxy/internal/node"
+	"gridproxy/internal/stage"
 )
 
 // RegisterAll installs every demo program on an agent.
@@ -23,6 +24,7 @@ func RegisterAll(agent *node.Agent) {
 	agent.RegisterProgram("ring", Ring())
 	agent.RegisterProgram("sleep", Sleep())
 	agent.RegisterProgram("stress", Stress())
+	agent.RegisterProgram("digest", Digest())
 }
 
 // Pi estimates π by midpoint integration of 4/(1+x²) over [0,1], split
@@ -122,6 +124,34 @@ func Sleep() node.ProgramFunc {
 			return ctx.Err()
 		}
 		return w.Barrier(ctx)
+	})
+}
+
+// Digest is the data-plane demo: every rank reads a staged input blob,
+// hashes it, and publishes "digest-<rank>" with the name, size, and
+// SHA-256 so the caller can check what the ranks actually saw. Rank 0
+// cross-checks agreement with an Allreduce over the first hash byte.
+// Args: [name] (default "input").
+func Digest() node.ProgramFunc {
+	return mpirun.Program(func(ctx context.Context, w *mpi.World, env node.Env) error {
+		name := "input"
+		if len(env.Args) > 0 {
+			name = env.Args[0]
+		}
+		data, ok := env.StagedInput(name)
+		if !ok {
+			return fmt.Errorf("digest: no staged input %q (submit with -in)", name)
+		}
+		sum := stage.Hash(data)
+		out, err := w.Allreduce(ctx, mpi.OpSum, []float64{float64(sum[0])})
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 && out[0] != float64(sum[0])*float64(w.Size()) {
+			return fmt.Errorf("digest: ranks disagree on staged content of %q", name)
+		}
+		return env.PublishOutput(fmt.Sprintf("digest-%d", w.Rank()),
+			[]byte(fmt.Sprintf("%s %d %s\n", name, len(data), sum)))
 	})
 }
 

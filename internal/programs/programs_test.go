@@ -62,7 +62,7 @@ func TestRegisterAll(t *testing.T) {
 	defer agent.Stop()
 	programs.RegisterAll(agent)
 	got := agent.Programs()
-	want := []string{"pi", "ring", "sleep", "stress"}
+	want := []string{"digest", "pi", "ring", "sleep", "stress"}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("programs = %v, want %v", got, want)
 	}

@@ -40,6 +40,12 @@ func init() {
 	registerCore(CodeJobCancel, func() Body { return &JobCancel{} })
 	registerCore(CodeJobList, func() Body { return &JobList{} })
 	registerCore(CodeJobListReply, func() Body { return &JobListReply{} })
+	registerCore(CodeStagePut, func() Body { return &StagePut{} })
+	registerCore(CodeStagePutReply, func() Body { return &StagePutReply{} })
+	registerCore(CodeStageGet, func() Body { return &StageGet{} })
+	registerCore(CodeStageGetReply, func() Body { return &StageGetReply{} })
+	registerCore(CodeStageStat, func() Body { return &StageStat{} })
+	registerCore(CodeStageStatReply, func() Body { return &StageStatReply{} })
 }
 
 // Hello opens a proxy-to-proxy session.
@@ -474,6 +480,42 @@ func (m *NodeReport) Decode(buf *wire.Buffer) error {
 	return buf.Err()
 }
 
+// StageRef is the wire form of a staged-file reference: the name ranks
+// address the file by plus the content hash (and size) of the backing
+// blob in the content-addressed store.
+type StageRef struct {
+	Name string
+	Hash string
+	Size int64
+}
+
+func appendStageRefs(b []byte, refs []StageRef) []byte {
+	b = wire.AppendUint32(b, uint32(len(refs)))
+	for _, r := range refs {
+		b = wire.AppendString(b, r.Name)
+		b = wire.AppendString(b, r.Hash)
+		b = wire.AppendInt64(b, r.Size)
+	}
+	return b
+}
+
+func decodeStageRefs(buf *wire.Buffer) ([]StageRef, error) {
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return nil, err
+	}
+	if n > buf.Remaining() {
+		return nil, wire.ErrTruncated
+	}
+	refs := make([]StageRef, n)
+	for i := range refs {
+		refs[i].Name = buf.String()
+		refs[i].Hash = buf.String()
+		refs[i].Size = buf.Int64()
+	}
+	return refs, buf.Err()
+}
+
 // JobSubmit submits a job for scheduling.
 type JobSubmit struct {
 	JobID   string
@@ -484,6 +526,12 @@ type JobSubmit struct {
 	// Requirements are "key=value" constraint strings understood by the
 	// scheduler (e.g. "min_ram_mb=512").
 	Requirements []string
+	// StageIn references blobs (already in the origin proxy's store) to
+	// stage to every site hosting ranks before the job starts.
+	StageIn []StageRef
+	// StageOut restricts which published outputs flow back to the
+	// origin; empty returns everything the ranks publish.
+	StageOut []string
 }
 
 // Code implements Body.
@@ -497,6 +545,8 @@ func (m *JobSubmit) Encode(b []byte) []byte {
 	b = wire.AppendStringSlice(b, m.Args)
 	b = wire.AppendUint32(b, m.Procs)
 	b = wire.AppendStringSlice(b, m.Requirements)
+	b = appendStageRefs(b, m.StageIn)
+	b = wire.AppendStringSlice(b, m.StageOut)
 	return b
 }
 
@@ -508,6 +558,11 @@ func (m *JobSubmit) Decode(buf *wire.Buffer) error {
 	m.Args = buf.StringSlice()
 	m.Procs = buf.Uint32()
 	m.Requirements = buf.StringSlice()
+	var err error
+	if m.StageIn, err = decodeStageRefs(buf); err != nil {
+		return err
+	}
+	m.StageOut = buf.StringSlice()
 	return buf.Err()
 }
 
@@ -531,6 +586,9 @@ type JobUpdate struct {
 	// Site names the reporting site, so the origin can attribute a
 	// completion report without parsing Detail.
 	Site string
+	// Outputs references blobs the reporting site's ranks published; the
+	// origin pulls any it does not already hold.
+	Outputs []StageRef
 }
 
 // Code implements Body.
@@ -542,6 +600,7 @@ func (m *JobUpdate) Encode(b []byte) []byte {
 	b = append(b, byte(m.State))
 	b = wire.AppendString(b, m.Detail)
 	b = wire.AppendString(b, m.Site)
+	b = appendStageRefs(b, m.Outputs)
 	return b
 }
 
@@ -551,6 +610,10 @@ func (m *JobUpdate) Decode(buf *wire.Buffer) error {
 	m.State = JobState(buf.Uint8())
 	m.Detail = buf.String()
 	m.Site = buf.String()
+	var err error
+	if m.Outputs, err = decodeStageRefs(buf); err != nil {
+		return err
+	}
 	return buf.Err()
 }
 
@@ -736,6 +799,12 @@ type PrepareSpawn struct {
 	Ranks []RankAssignment
 	// Locations places every rank of the application.
 	Locations []RankLocation
+	// StageIn references input blobs the receiving proxy must hold
+	// before commit; it pulls the ones missing from its store back from
+	// the origin over dedicated data streams.
+	StageIn []StageRef
+	// StageOut restricts which published outputs are reported back.
+	StageOut []string
 }
 
 // Code implements Body.
@@ -760,6 +829,8 @@ func (m *PrepareSpawn) Encode(b []byte) []byte {
 		b = wire.AppendString(b, loc.Site)
 		b = wire.AppendString(b, loc.Node)
 	}
+	b = appendStageRefs(b, m.StageIn)
+	b = wire.AppendStringSlice(b, m.StageOut)
 	return b
 }
 
@@ -796,6 +867,11 @@ func (m *PrepareSpawn) Decode(buf *wire.Buffer) error {
 		m.Locations[i].Site = buf.String()
 		m.Locations[i].Node = buf.String()
 	}
+	var err error
+	if m.StageIn, err = decodeStageRefs(buf); err != nil {
+		return err
+	}
+	m.StageOut = buf.StringSlice()
 	return buf.Err()
 }
 
@@ -983,6 +1059,10 @@ const (
 	// StreamMPI carries MPI traffic between a virtual slave and a real
 	// rank.
 	StreamMPI
+	// StreamStage carries the staging chunk protocol: the receiving
+	// proxy serves blob requests directly from its content-addressed
+	// store instead of splicing to a node.
+	StreamStage
 )
 
 // StreamOpen asks a proxy to splice a stream. Between proxies it is the
@@ -1025,6 +1105,142 @@ func (m *StreamOpen) Decode(buf *wire.Buffer) error {
 	m.TargetAddr = buf.String()
 	m.Kind = StreamKind(buf.Uint8())
 	m.Token = buf.Bytes()
+	return buf.Err()
+}
+
+// StagePut stores a blob in the serving proxy's content-addressed store
+// (client API). The blob must fit one control frame (wire.MaxPayload);
+// larger inputs are split by the caller into multiple named blobs.
+type StagePut struct {
+	// Name is advisory — the store is keyed by content, but tools echo
+	// the name back in refs.
+	Name string
+	Data []byte
+}
+
+// Code implements Body.
+func (*StagePut) Code() Code { return CodeStagePut }
+
+// Encode implements Body.
+func (m *StagePut) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Name)
+	b = wire.AppendBytes(b, m.Data)
+	return b
+}
+
+// Decode implements Body.
+func (m *StagePut) Decode(buf *wire.Buffer) error {
+	m.Name = buf.String()
+	m.Data = buf.Bytes()
+	return buf.Err()
+}
+
+// StagePutReply answers a StagePut with the stored blob's ref.
+type StagePutReply struct {
+	Ref StageRef
+}
+
+// Code implements Body.
+func (*StagePutReply) Code() Code { return CodeStagePutReply }
+
+// Encode implements Body.
+func (m *StagePutReply) Encode(b []byte) []byte {
+	return appendStageRefs(b, []StageRef{m.Ref})
+}
+
+// Decode implements Body.
+func (m *StagePutReply) Decode(buf *wire.Buffer) error {
+	refs, err := decodeStageRefs(buf)
+	if err != nil {
+		return err
+	}
+	if len(refs) != 1 {
+		return wire.ErrTruncated
+	}
+	m.Ref = refs[0]
+	return buf.Err()
+}
+
+// StageGet fetches a blob from the serving proxy's store (client API).
+type StageGet struct {
+	Hash string
+}
+
+// Code implements Body.
+func (*StageGet) Code() Code { return CodeStageGet }
+
+// Encode implements Body.
+func (m *StageGet) Encode(b []byte) []byte { return wire.AppendString(b, m.Hash) }
+
+// Decode implements Body.
+func (m *StageGet) Decode(buf *wire.Buffer) error {
+	m.Hash = buf.String()
+	return buf.Err()
+}
+
+// StageGetReply answers a StageGet.
+type StageGetReply struct {
+	Hash string
+	Data []byte
+}
+
+// Code implements Body.
+func (*StageGetReply) Code() Code { return CodeStageGetReply }
+
+// Encode implements Body.
+func (m *StageGetReply) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Hash)
+	b = wire.AppendBytes(b, m.Data)
+	return b
+}
+
+// Decode implements Body.
+func (m *StageGetReply) Decode(buf *wire.Buffer) error {
+	m.Hash = buf.String()
+	m.Data = buf.Bytes()
+	return buf.Err()
+}
+
+// StageStat asks whether the serving proxy's store holds a blob.
+type StageStat struct {
+	Hash string
+}
+
+// Code implements Body.
+func (*StageStat) Code() Code { return CodeStageStat }
+
+// Encode implements Body.
+func (m *StageStat) Encode(b []byte) []byte { return wire.AppendString(b, m.Hash) }
+
+// Decode implements Body.
+func (m *StageStat) Decode(buf *wire.Buffer) error {
+	m.Hash = buf.String()
+	return buf.Err()
+}
+
+// StageStatReply answers a StageStat.
+type StageStatReply struct {
+	Hash    string
+	Present bool
+	Size    int64
+}
+
+// Code implements Body.
+func (*StageStatReply) Code() Code { return CodeStageStatReply }
+
+// Encode implements Body.
+func (m *StageStatReply) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Hash)
+	b = wire.AppendBool(b, m.Present)
+	b = wire.AppendInt64(b, m.Size)
+	return b
+}
+
+// Decode implements Body.
+func (m *StageStatReply) Decode(buf *wire.Buffer) error {
+	m.Hash = buf.String()
+	m.Present = buf.Bool()
+	m.Size = buf.Int64()
 	return buf.Err()
 }
 

@@ -115,6 +115,20 @@ const (
 	CodeJobList
 	// CodeJobListReply answers a JobList.
 	CodeJobListReply
+
+	// CodeStagePut stores a blob in the proxy's content-addressed store
+	// (client API); the reply names the content hash.
+	CodeStagePut
+	// CodeStagePutReply answers a StagePut.
+	CodeStagePutReply
+	// CodeStageGet fetches a blob from the proxy's store (client API).
+	CodeStageGet
+	// CodeStageGetReply answers a StageGet.
+	CodeStageGetReply
+	// CodeStageStat asks whether a blob is held and how large it is.
+	CodeStageStat
+	// CodeStageStatReply answers a StageStat.
+	CodeStageStatReply
 )
 
 // Version is the control-protocol version spoken by this build.

@@ -22,6 +22,7 @@ import (
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/node"
 	"gridproxy/internal/peerlink"
+	"gridproxy/internal/stage"
 	"gridproxy/internal/ticket"
 	"gridproxy/internal/transport"
 )
@@ -94,6 +95,9 @@ type TestbedConfig struct {
 	// Jobs carries the job-lifecycle fault-tolerance knobs handed to
 	// every proxy (zero value: core.JobConfig defaults).
 	Jobs core.JobConfig
+	// Stage carries the data-plane knobs (blob store size, chunking,
+	// striping) handed to every proxy (zero value: stage defaults).
+	Stage stage.Config
 	// Metrics may be nil.
 	Metrics *metrics.Registry
 	// Logger may be nil.
@@ -117,6 +121,7 @@ type Testbed struct {
 	policyName string
 	lifecycle  peerlink.Config
 	jobs       core.JobConfig
+	stage      stage.Config
 	logger     *logging.Logger
 }
 
@@ -177,6 +182,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		policyName: policyName,
 		lifecycle:  cfg.Lifecycle,
 		jobs:       cfg.Jobs,
+		stage:      cfg.Stage,
 		logger:     cfg.Logger,
 	}
 	for _, spec := range cfg.Sites {
@@ -219,6 +225,7 @@ func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logg
 		Policy:    policy,
 		Lifecycle: tb.lifecycle,
 		Jobs:      tb.jobs,
+		Stage:     tb.stage,
 		Metrics:   tb.metrics,
 		Logger:    log,
 	})

@@ -1,0 +1,298 @@
+// Package stage implements the grid data plane: a per-site
+// content-addressed blob store plus a chunked, resumable transfer
+// protocol that runs over dedicated tunnel data streams between
+// proxies.
+//
+// Blobs are keyed by the hex SHA-256 of their content, so an input
+// staged twice — or shared by every rank of a job — is stored and
+// transferred once. The store is size-capped with LRU eviction and can
+// optionally persist blobs to a directory so a restarted proxy keeps
+// its cache. Transfers move blobs in checksummed chunks over one or
+// more parallel streams ("stripes"); a puller that loses its link
+// resumes from the bytes it already holds rather than from byte zero,
+// and a chunk that fails its checksum is re-requested without aborting
+// the whole transfer.
+package stage
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gridproxy/internal/metrics"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxBytes    = 256 << 20 // 256 MiB per-site cache
+	DefaultChunkSize   = 256 << 10 // 256 KiB checksummed chunks
+	DefaultStripes     = 4         // parallel streams per pull
+	DefaultIdleTimeout = 10 * time.Second
+	DefaultPullRetries = 4
+
+	// maxChunkSize bounds what either end will accept for one chunk; it
+	// keeps a single read allocation well under the wire frame limit.
+	maxChunkSize = 8 << 20
+)
+
+// Config parameterizes a site's store and its transfers. The zero value
+// means "defaults"; negative MaxBytes disables the size cap and negative
+// IdleTimeout disables idle deadlines.
+type Config struct {
+	// Dir, when non-empty, persists blobs as files named by their hash
+	// so the cache survives proxy restarts.
+	Dir string
+	// MaxBytes caps stored payload bytes; the least recently used blobs
+	// are evicted when a put would exceed it. 0 means DefaultMaxBytes,
+	// negative means unlimited.
+	MaxBytes int64
+	// ChunkSize is the unit of transfer checksumming and retry.
+	ChunkSize int
+	// Stripes is how many parallel streams a pull spreads a blob over.
+	Stripes int
+	// IdleTimeout bounds how long either end of a transfer waits on a
+	// single read or write before declaring the peer stalled. 0 means
+	// DefaultIdleTimeout, negative disables the deadline.
+	IdleTimeout time.Duration
+	// PullRetries bounds retry rounds (checksum re-requests, redials)
+	// per pull before it fails.
+	PullRetries int
+	// WrapConn, when set, wraps every transfer connection on both the
+	// serving and pulling side. Fault-injection hook for tests; nil in
+	// production.
+	WrapConn func(net.Conn) net.Conn
+}
+
+// WithDefaults fills zero fields with package defaults and clamps the
+// chunk size to what the protocol accepts.
+func (c Config) WithDefaults() Config {
+	if c.MaxBytes == 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.ChunkSize > maxChunkSize {
+		c.ChunkSize = maxChunkSize
+	}
+	if c.Stripes <= 0 {
+		c.Stripes = DefaultStripes
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.PullRetries <= 0 {
+		c.PullRetries = DefaultPullRetries
+	}
+	return c
+}
+
+// FileRef names one staged file: the name ranks address it by plus the
+// content hash (and size) of the blob backing it.
+type FileRef struct {
+	Name string
+	Hash string
+	Size int64
+}
+
+// Hash returns the store key for data: the hex SHA-256 of its content.
+func Hash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is a content-addressed, size-capped blob cache. All methods are
+// safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	max   int64 // <0 means unlimited
+	cur   int64
+	blobs map[string]*blob
+	lru   *list.List // front = most recently used; values are *blob
+	reg   *metrics.Registry
+}
+
+type blob struct {
+	hash string
+	data []byte
+	elem *list.Element
+}
+
+// NewStore builds a store from cfg. With Dir set, blobs already on disk
+// are loaded back (entries whose content no longer matches their name
+// are discarded).
+func NewStore(cfg Config, reg *metrics.Registry) (*Store, error) {
+	cfg = cfg.WithDefaults()
+	s := &Store{
+		dir:   cfg.Dir,
+		max:   cfg.MaxBytes,
+		blobs: make(map[string]*blob),
+		lru:   list.New(),
+		reg:   reg,
+	}
+	if s.dir != "" {
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("stage: store dir: %w", err)
+		}
+		if err := s.load(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// load restores persisted blobs. Runs only from NewStore, before the
+// store is shared.
+func (s *Store) load() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("stage: read store dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || len(e.Name()) != sha256.Size*2 {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		if Hash(data) != e.Name() {
+			// Torn write or tampering: the name is the contract.
+			os.Remove(path)
+			continue
+		}
+		b := &blob{hash: e.Name(), data: data}
+		b.elem = s.lru.PushBack(b)
+		s.blobs[b.hash] = b
+		s.cur += int64(len(data))
+	}
+	s.evictLocked(nil)
+	s.gaugeLocked()
+	return nil
+}
+
+// Put stores data under its content hash and returns the ref (with an
+// empty Name). Storing the same content twice is a no-op beyond an LRU
+// touch.
+func (s *Store) Put(data []byte) FileRef {
+	h := Hash(data)
+	s.put(h, data)
+	return FileRef{Hash: h, Size: int64(len(data))}
+}
+
+// PutHashed stores data that is claimed to hash to hash, verifying the
+// claim first. Transfer receive paths use it so a corrupted blob can
+// never enter the store under a clean name.
+func (s *Store) PutHashed(hash string, data []byte) error {
+	if Hash(data) != hash {
+		return fmt.Errorf("stage: content hashes to %s, not %s", Hash(data), hash)
+	}
+	s.put(hash, data)
+	return nil
+}
+
+func (s *Store) put(hash string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.blobs[hash]; ok {
+		s.lru.MoveToFront(b.elem)
+		return
+	}
+	b := &blob{hash: hash, data: data}
+	b.elem = s.lru.PushFront(b)
+	s.blobs[hash] = b
+	s.cur += int64(len(data))
+	if s.dir != "" {
+		// Write via rename so a crash mid-write cannot leave a file
+		// whose content does not match its name.
+		tmp := filepath.Join(s.dir, "."+hash+".tmp")
+		if err := os.WriteFile(tmp, data, 0o644); err == nil {
+			os.Rename(tmp, filepath.Join(s.dir, hash))
+		}
+	}
+	s.evictLocked(b)
+	s.reg.Counter(metrics.StagePuts).Inc()
+	s.gaugeLocked()
+}
+
+// evictLocked drops least-recently-used blobs until the store fits its
+// cap. keep, if non-nil, is never evicted (the blob just added: a blob
+// larger than the whole cap is stored alone rather than rejected, so an
+// oversized job input still works at the cost of cache capacity).
+func (s *Store) evictLocked(keep *blob) {
+	if s.max < 0 {
+		return
+	}
+	for s.cur > s.max && s.lru.Len() > 0 {
+		elem := s.lru.Back()
+		victim := elem.Value.(*blob)
+		if victim == keep {
+			return
+		}
+		s.lru.Remove(elem)
+		delete(s.blobs, victim.hash)
+		s.cur -= int64(len(victim.data))
+		if s.dir != "" {
+			os.Remove(filepath.Join(s.dir, victim.hash))
+		}
+		s.reg.Counter(metrics.StageEvictions).Inc()
+	}
+}
+
+func (s *Store) gaugeLocked() {
+	s.reg.Gauge(metrics.StageBytesStored).Set(s.cur)
+	s.reg.Gauge(metrics.StageBlobs).Set(int64(s.lru.Len()))
+}
+
+// Get returns the blob stored under hash. The returned slice is shared
+// and must be treated as read-only.
+func (s *Store) Get(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[hash]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(b.elem)
+	return b.data, true
+}
+
+// Stat reports whether hash is stored and its size, without touching
+// the LRU order.
+func (s *Store) Stat(hash string) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[hash]
+	if !ok {
+		return 0, false
+	}
+	return int64(len(b.data)), true
+}
+
+// Has reports whether hash is stored.
+func (s *Store) Has(hash string) bool {
+	_, ok := s.Stat(hash)
+	return ok
+}
+
+// BytesStored returns the payload bytes currently held.
+func (s *Store) BytesStored() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Blobs returns how many distinct blobs are held.
+func (s *Store) Blobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}

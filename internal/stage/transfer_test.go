@@ -1,0 +1,230 @@
+package stage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gridproxy/internal/failure"
+	"gridproxy/internal/metrics"
+)
+
+// pipeDialer returns a Dialer whose every connection is the client end
+// of a net.Pipe served from src. wrap, if non-nil, wraps the server end
+// (fault injection).
+func pipeDialer(src *Store, serveCfg Config, reg *metrics.Registry, wrap func(net.Conn) net.Conn) Dialer {
+	return func(ctx context.Context) (net.Conn, error) {
+		client, server := net.Pipe()
+		cfg := serveCfg
+		cfg.WrapConn = wrap
+		go Serve(server, src, cfg, reg)
+		return client, nil
+	}
+}
+
+func randBlob(t *testing.T, n int) []byte {
+	t.Helper()
+	data := make([]byte, n)
+	rnd := rand.New(rand.NewSource(int64(n)))
+	rnd.Read(data)
+	return data
+}
+
+func TestPullStriped(t *testing.T) {
+	reg := metrics.NewRegistry()
+	src, _ := NewStore(Config{}, nil)
+	dst, _ := NewStore(Config{}, reg)
+	data := randBlob(t, 1<<20)
+	ref := src.Put(data)
+
+	cfg := Config{ChunkSize: 32 << 10, Stripes: 4, IdleTimeout: 2 * time.Second}
+	dial := pipeDialer(src, cfg, reg, nil)
+	if err := Pull(context.Background(), dial, ref.Hash, dst, cfg, reg); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Get(ref.Hash)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("pulled blob does not match source")
+	}
+	if n := reg.Counter(metrics.StageBytesReceived).Value(); n != int64(len(data)) {
+		t.Fatalf("bytes received = %d, want %d", n, len(data))
+	}
+	if reg.Counter(metrics.StagePulls).Value() != 1 {
+		t.Fatal("pull not counted")
+	}
+}
+
+func TestPullMissingBlob(t *testing.T) {
+	src, _ := NewStore(Config{}, nil)
+	dst, _ := NewStore(Config{}, nil)
+	cfg := Config{IdleTimeout: time.Second}
+	dial := pipeDialer(src, cfg, nil, nil)
+	err := Pull(context.Background(), dial, Hash([]byte("nope")), dst, cfg, nil)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestPullRetriesCorruptChunk(t *testing.T) {
+	reg := metrics.NewRegistry()
+	src, _ := NewStore(Config{}, nil)
+	dst, _ := NewStore(Config{}, reg)
+	data := randBlob(t, 256<<10)
+	ref := src.Put(data)
+
+	var corr failure.Corrupter
+	corr.Arm(2)
+	cfg := Config{ChunkSize: 16 << 10, Stripes: 2, IdleTimeout: 2 * time.Second}
+	dial := pipeDialer(src, cfg, reg, corr.Wrap)
+	if err := Pull(context.Background(), dial, ref.Hash, dst, cfg, reg); err != nil {
+		t.Fatalf("pull should survive corrupt chunks: %v", err)
+	}
+	got, ok := dst.Get(ref.Hash)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("pulled blob does not match source after corruption recovery")
+	}
+	if n := reg.Counter(metrics.StageCorruptChunks).Value(); n < 1 {
+		t.Fatalf("corrupt chunks = %d, want >= 1", n)
+	}
+	if n := reg.Counter(metrics.StageChunkRetries).Value(); n < 1 {
+		t.Fatalf("chunk retries = %d, want >= 1", n)
+	}
+}
+
+// cutConn severs the connection after a write budget is spent,
+// simulating a link drop mid-transfer.
+type cutConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.budget -= len(p)
+	dead := c.budget < 0
+	c.mu.Unlock()
+	if dead {
+		c.Conn.Close()
+		return 0, errors.New("injected link drop")
+	}
+	return c.Conn.Write(p)
+}
+
+func TestPullResumesAfterLinkDrop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	src, _ := NewStore(Config{}, nil)
+	dst, _ := NewStore(Config{}, reg)
+	data := randBlob(t, 512<<10)
+	ref := src.Put(data)
+
+	cfg := Config{ChunkSize: 16 << 10, Stripes: 1, IdleTimeout: 2 * time.Second}
+	var dials int
+	var mu sync.Mutex
+	dial := pipeDialer(src, cfg, reg, func(conn net.Conn) net.Conn {
+		mu.Lock()
+		dials++
+		first := dials == 1
+		mu.Unlock()
+		if first {
+			// First connection dies halfway through the blob.
+			return &cutConn{Conn: conn, budget: len(data) / 2}
+		}
+		return conn
+	})
+	if err := Pull(context.Background(), dial, ref.Hash, dst, cfg, reg); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Get(ref.Hash)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("pulled blob does not match source after resume")
+	}
+	if n := reg.Counter(metrics.StageResumes).Value(); n < 1 {
+		t.Fatalf("resumes = %d, want >= 1", n)
+	}
+	// A resume continues from the recorded offset: total verified bytes
+	// stay exactly one blob, not blob + restarted prefix.
+	if n := reg.Counter(metrics.StageBytesReceived).Value(); n != int64(len(data)) {
+		t.Fatalf("bytes received = %d, want %d (resume must not restart from 0)", n, len(data))
+	}
+}
+
+func TestPullIdleDeadlineUnsticksStalledPeer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	src, _ := NewStore(Config{}, nil)
+	dst, _ := NewStore(Config{}, nil)
+	data := randBlob(t, 64<<10)
+	ref := src.Put(data)
+
+	var stall failure.StallStream
+	stall.Stall()
+	defer stall.Heal()
+	cfg := Config{ChunkSize: 16 << 10, Stripes: 1, IdleTimeout: 150 * time.Millisecond, PullRetries: 1}
+	dial := pipeDialer(src, cfg, reg, stall.Wrap)
+	start := time.Now()
+	err := Pull(context.Background(), dial, ref.Hash, dst, cfg, reg)
+	if err == nil {
+		t.Fatal("pull against a permanently stalled peer must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled peer pinned the transfer for %v", elapsed)
+	}
+}
+
+func TestPullRecoversAfterStallHeals(t *testing.T) {
+	reg := metrics.NewRegistry()
+	src, _ := NewStore(Config{}, nil)
+	dst, _ := NewStore(Config{}, reg)
+	data := randBlob(t, 64<<10)
+	ref := src.Put(data)
+
+	var stall failure.StallStream
+	stall.Stall()
+	cfg := Config{ChunkSize: 16 << 10, Stripes: 1, IdleTimeout: 100 * time.Millisecond, PullRetries: 50}
+	dial := pipeDialer(src, cfg, reg, stall.Wrap)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		stall.Heal()
+	}()
+	if err := Pull(context.Background(), dial, ref.Hash, dst, cfg, reg); err != nil {
+		t.Fatalf("pull should succeed once the stall heals: %v", err)
+	}
+	if got, ok := dst.Get(ref.Hash); !ok || !bytes.Equal(got, data) {
+		t.Fatal("pulled blob does not match source after stall heals")
+	}
+}
+
+func TestStripeRanges(t *testing.T) {
+	cases := []struct {
+		size, chunk int64
+		stripes     int
+		want        int
+	}{
+		{100, 64, 4, 2}, // only two chunks of data: two stripes
+		{10, 64, 4, 1},  // sub-chunk blob: one stripe
+		{1 << 20, 1 << 16, 4, 4},
+	}
+	for _, c := range cases {
+		got := stripeRanges(c.size, c.chunk, c.stripes)
+		if len(got) != c.want {
+			t.Fatalf("stripeRanges(%d,%d,%d) = %d ranges, want %d", c.size, c.chunk, c.stripes, len(got), c.want)
+		}
+		var covered int64
+		prev := int64(0)
+		for _, sp := range got {
+			if sp.off != prev || sp.end < sp.off {
+				t.Fatalf("ranges not contiguous: %+v", got)
+			}
+			covered += sp.end - sp.off
+			prev = sp.end
+		}
+		if covered != c.size {
+			t.Fatalf("ranges cover %d bytes, want %d", covered, c.size)
+		}
+	}
+}
