@@ -1,0 +1,73 @@
+// Command gridlint checks gridproxy's cross-layer invariants — the
+// conventions the compiler cannot see (DESIGN §14). It runs the analyzer
+// suite from internal/lint/analyzers in two modes:
+//
+// Standalone (the usual way, and what CI gates on):
+//
+//	go run ./cmd/gridlint ./...
+//
+// loads the matched packages plus their in-module dependencies from
+// source, runs every analyzer with facts flowing along the import graph,
+// then runs the whole-program checks (dead protocol codes, unused metric
+// constants). Exit status 1 means findings.
+//
+// As a vet tool:
+//
+//	go build -o /tmp/gridlint ./cmd/gridlint
+//	go vet -vettool=/tmp/gridlint ./...
+//
+// speaks the go vet unit-checker protocol: per-package analysis with facts
+// serialized between compilation units, incremental under the go build
+// cache. Whole-program checks do not run in this mode — use the
+// standalone form for the full gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridproxy/internal/lint/analyzers"
+	"gridproxy/internal/lint/driver"
+	"gridproxy/internal/lint/unitchecker"
+)
+
+const version = "1"
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-flags" || strings.HasSuffix(args[0], ".cfg")) {
+		os.Exit(unitchecker.Main("gridlint", version, analyzers.Suite(), args))
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gridlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range analyzers.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := driver.Run(os.Stdout, ".", patterns, analyzers.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridlint: %v\n", err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "gridlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -176,6 +176,9 @@ func New(cfg Config) (*Proxy, error) {
 	lifecycle := cfg.Lifecycle
 	lifecycle.Metrics = cfg.Metrics
 	lifecycle.Logger = cfg.Logger.Named("peerlink." + cfg.Site)
+	//lint:allow-background the proxy IS the lifecycle root: every peer
+	// link, job, and handler context in the process derives from this one,
+	// and Close cancels it.
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Proxy{
 		site:      cfg.Site,

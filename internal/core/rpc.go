@@ -68,10 +68,13 @@ type rpc struct {
 // errRPCClosed is returned for calls on a closed control channel.
 var errRPCClosed = errors.New("core: control channel closed")
 
+// newRPC builds a control channel whose handlers run under a context
+// derived from parent (the proxy's run context). parent must be non-nil:
+// a silent context.Background() fallback here once detached handlers
+// from the proxy lifetime (fixed in PR 1, now enforced by gridlint's
+// ctxprop), so a nil parent is a programmer error that panics in
+// context.WithCancel rather than detaching quietly.
 func newRPC(parent context.Context, conn net.Conn, role rpcRole, handler func(ctx context.Context, msg proto.Message) (proto.Body, error), log *logging.Logger, reg *metrics.Registry) *rpc {
-	if parent == nil {
-		parent = context.Background()
-	}
 	ctx, cancel := context.WithCancel(parent)
 	r := &rpc{
 		conn:    conn,

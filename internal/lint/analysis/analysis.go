@@ -1,0 +1,129 @@
+// Package analysis is a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for gridproxy's own analyzers.
+//
+// The build environment for this repository is hermetic (no module proxy,
+// no vendored third-party code), so the canonical analysis framework is
+// unavailable; this package keeps its shape — Analyzer, Pass, Diagnostic,
+// package facts — on the standard library alone, so the analyzers under
+// internal/lint/analyzers read like ordinary go/analysis code and could be
+// ported to the upstream framework by changing one import. Two drivers
+// consume it: internal/lint/driver (standalone, used by cmd/gridlint) and
+// internal/lint/unitchecker (the `go vet -vettool` protocol).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation. The first line is used as a
+	// one-line summary.
+	Doc string
+
+	// Run applies the analyzer to one package. It may inspect the
+	// package's syntax and types, report diagnostics via pass.Report,
+	// and export facts for packages that import this one. The returned
+	// value is kept per package and handed to ProgramRun.
+	Run func(*Pass) (interface{}, error)
+
+	// FactTypes lists the fact types this analyzer exports or imports.
+	// Every fact passed to ExportPackageFact/ImportPackageFact must have
+	// a type in this list so drivers can serialize them.
+	FactTypes []Fact
+
+	// ProgramRun, if non-nil, runs once after Run has completed on every
+	// package in the analysis scope. It sees each package's Run result
+	// and reports diagnostics that only make sense whole-program (for
+	// example "this constant is used nowhere"). Only the standalone
+	// driver and analysistest execute ProgramRun; under `go vet
+	// -vettool` analysis is strictly per-package and whole-program
+	// checks are skipped.
+	ProgramRun func(*Program, func(Diagnostic))
+}
+
+// A Pass presents one package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers decide rendering and exit
+	// status.
+	Report func(Diagnostic)
+
+	// facts is wired by the driver.
+	importPackageFact func(pkg *types.Package, fact Fact) bool
+	exportPackageFact func(fact Fact)
+}
+
+// A Program presents every analyzed package to ProgramRun, in dependency
+// order (imported packages first).
+type Program struct {
+	Fset  *token.FileSet
+	Units []ProgramUnit
+}
+
+// A ProgramUnit pairs one analyzed package with the value its per-package
+// Run returned.
+type ProgramUnit struct {
+	Pkg    *types.Package
+	Files  []*ast.File
+	Result interface{}
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Fact is an observation about a package, exported during that package's
+// pass and importable (by the same analyzer) while analyzing any package
+// that depends on it. Implementations must be pointers to gob-encodable
+// types: the unitchecker driver serializes facts between `go vet`
+// compilation units.
+type Fact interface{ AFact() }
+
+// ExportPackageFact associates fact with the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.exportPackageFact == nil {
+		panic("analysis: ExportPackageFact called outside a driver")
+	}
+	p.exportPackageFact(fact)
+}
+
+// ImportPackageFact copies into fact the fact of fact's type previously
+// exported for pkg, reporting whether one was found. pkg must be a direct
+// or indirect dependency of the package under analysis.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.importPackageFact == nil {
+		panic("analysis: ImportPackageFact called outside a driver")
+	}
+	return p.importPackageFact(pkg, fact)
+}
+
+// SetFactHooks wires the driver's fact store into the pass. It is exported
+// for the two driver packages and analysistest, not for analyzers.
+func (p *Pass) SetFactHooks(
+	importPkg func(pkg *types.Package, fact Fact) bool,
+	exportPkg func(fact Fact),
+) {
+	p.importPackageFact = importPkg
+	p.exportPackageFact = exportPkg
+}

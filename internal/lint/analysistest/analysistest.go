@@ -1,0 +1,282 @@
+// Package analysistest runs an analyzer over small fixture packages and
+// checks its diagnostics against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A line that should
+// trigger a diagnostic carries a comment of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// with each expectation a Go string literal (interpreted or raw) holding a
+// regular expression that must match a diagnostic reported on that line.
+// Diagnostics without a matching expectation, and expectations without a
+// matching diagnostic, fail the test. Fixture packages may import one
+// another (resolved under <testdata>/src) and the standard library
+// (resolved through `go list -export`, exactly like the real driver). The
+// analyzer runs over every fixture package in dependency order — so facts
+// flow — and its ProgramRun hook, if any, runs afterwards over the whole
+// fixture program.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/load"
+)
+
+// Run applies a to the fixture packages named by pkgs (plus any fixture
+// packages they import) and checks // want expectations across all of
+// them.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File) // fixture import path -> files
+	var order []string
+	stdImports := make(map[string]bool)
+
+	// Parse the named fixtures and, transitively, every fixture package
+	// they import, recording dependency order.
+	var parsePkg func(path string) error
+	seen := make(map[string]bool)
+	parsePkg = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture package %q: %w", path, err)
+		}
+		var files []*ast.File
+		var deps []string
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				if _, err := os.Stat(filepath.Join(src, filepath.FromSlash(p))); err == nil {
+					deps = append(deps, p)
+				} else {
+					stdImports[p] = true
+				}
+			}
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("fixture package %q has no Go files", path)
+		}
+		for _, d := range deps {
+			if err := parsePkg(d); err != nil {
+				return err
+			}
+		}
+		parsed[path] = files
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := parsePkg(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stdImp, err := stdImporter(fset, stdImports)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Type-check fixtures in dependency order; fixture imports resolve
+	// to already-checked fixture packages, everything else to std.
+	checked := make(map[string]*types.Package)
+	infos := make(map[string]*types.Info)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return stdImp.Import(path)
+	})
+	for _, path := range order {
+		info := load.NewInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(path, fset, parsed[path], info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", path, err)
+		}
+		checked[path] = pkg
+		infos[path] = info
+	}
+
+	// Run the analyzer with an in-memory fact store, then ProgramRun.
+	type diag struct {
+		pos token.Pos
+		msg string
+	}
+	var diags []diag
+	facts := make(map[string]map[string]analysis.Fact) // pkg path -> fact type -> fact
+	var units []analysis.ProgramUnit
+	for _, path := range order {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     parsed[path],
+			Pkg:       checked[path],
+			TypesInfo: infos[path],
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, diag{pos: d.Pos, msg: d.Message})
+		}
+		pkgPath := path
+		pass.SetFactHooks(
+			func(p *types.Package, fact analysis.Fact) bool {
+				stored, ok := facts[p.Path()][fmt.Sprintf("%T", fact)]
+				if !ok {
+					return false
+				}
+				copyFact(fact, stored)
+				return true
+			},
+			func(fact analysis.Fact) {
+				m := facts[pkgPath]
+				if m == nil {
+					m = make(map[string]analysis.Fact)
+					facts[pkgPath] = m
+				}
+				m[fmt.Sprintf("%T", fact)] = fact
+			},
+		)
+		result, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s on fixture %s: %v", a.Name, path, err)
+		}
+		units = append(units, analysis.ProgramUnit{Pkg: checked[path], Files: parsed[path], Result: result})
+	}
+	if a.ProgramRun != nil {
+		a.ProgramRun(&analysis.Program{Fset: fset, Units: units}, func(d analysis.Diagnostic) {
+			diags = append(diags, diag{pos: d.Pos, msg: d.Message})
+		})
+	}
+
+	// Collect // want expectations from every fixture file.
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, path := range order {
+		for _, f := range parsed[path] {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					idx := strings.Index(text, "want ")
+					if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					rest := strings.TrimSpace(text[idx+len("want "):])
+					for rest != "" {
+						lit, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Fatalf("%s: malformed want comment %q", key, c.Text)
+						}
+						s, err := strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s: malformed want literal %q", key, lit)
+						}
+						re, err := regexp.Compile(s)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, s, err)
+						}
+						wants[key] = append(wants[key], &want{re: re})
+						rest = strings.TrimSpace(rest[len(lit):])
+					}
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against expectations.
+	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	for _, d := range diags {
+		pos := fset.Position(d.pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.msg) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.msg)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// stdImporter builds an export-data importer covering the given standard
+// library packages (and their dependencies) via one `go list` run.
+func stdImporter(fset *token.FileSet, paths map[string]bool) (types.Importer, error) {
+	if len(paths) == 0 {
+		return importerFunc(func(path string) (*types.Package, error) {
+			return nil, fmt.Errorf("unexpected import %q in fixture", path)
+		}), nil
+	}
+	var list []string
+	for p := range paths {
+		list = append(list, p)
+	}
+	sort.Strings(list)
+	exports, err := load.ExportData(list)
+	if err != nil {
+		return nil, err
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}), nil
+}
+
+// copyFact copies the stored fact value into the caller's fact pointer.
+// Facts are pointers to struct types; both ends have the same concrete
+// type by construction (same analyzer, same fact type key).
+func copyFact(dst, src analysis.Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

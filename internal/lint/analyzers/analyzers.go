@@ -1,0 +1,24 @@
+// Package analyzers aggregates gridproxy's analyzer suite. cmd/gridlint,
+// the CI gate, and the analyzer tests all consume this one list, so a new
+// analyzer added here is enforced everywhere at once.
+package analyzers
+
+import (
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/analyzers/ctxprop"
+	"gridproxy/internal/lint/analyzers/goroleak"
+	"gridproxy/internal/lint/analyzers/lockhold"
+	"gridproxy/internal/lint/analyzers/metricnames"
+	"gridproxy/internal/lint/analyzers/protoreg"
+)
+
+// Suite returns every gridlint analyzer, in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		protoreg.Analyzer,
+		metricnames.Analyzer,
+		ctxprop.Analyzer,
+		lockhold.Analyzer,
+		goroleak.Analyzer,
+	}
+}

@@ -1,0 +1,15 @@
+package ctxprop_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/ctxprop"
+)
+
+// TestCtxprop checks that fresh roots are flagged in guarded packages,
+// that //lint:allow-background suppresses them (doc-comment and inline
+// forms), and that packages outside the guarded set are exempt.
+func TestCtxprop(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxprop.Analyzer, "core", "other")
+}

@@ -1,0 +1,36 @@
+// Fixture for a guarded server package (identified by package name):
+// fresh root contexts are forbidden unless annotated.
+package core
+
+import "context"
+
+func handle() {
+	ctx := context.Background() // want `context\.Background on a core path`
+	_ = ctx
+	todo := context.TODO() // want `context\.TODO on a core path`
+	_ = todo
+}
+
+// threaded contexts are the norm and are always fine.
+func threaded(ctx context.Context) context.Context {
+	return context.WithValue(ctx, key{}, "v")
+}
+
+type key struct{}
+
+// run is a genuine lifecycle root; the doc-comment annotation suppresses
+// the diagnostic for the whole function.
+//
+//lint:allow-background this daemon owns its lifecycle root
+func run() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx
+}
+
+func inlineAnnotated() {
+	//lint:allow-background justified root: cancellation comes from Close,
+	// not from a caller. A multi-line justification still counts.
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,9 @@
+// Fixture for a package outside the guarded set: free to mint roots.
+package other
+
+import "context"
+
+func anything() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,196 @@
+// Package goroleak implements the gridlint analyzer that flags
+// long-running goroutines started with no way to stop them.
+//
+// In the long-lived server packages (core, peerlink, stage, tunnel) a
+// `go` statement that enters a loop must be stoppable: its body should
+// watch a context or a done/stop channel (including ranging over a work
+// channel, which ends on close), or the launch must be supervised — a
+// WaitGroup Add just before the `go`, or a `defer wg.Done()` inside, the
+// repo's idiom for goroutines whose shutdown is ordered by Close/Wait. A
+// loopy goroutine with neither outlives its owner: every proxy restart
+// and every test leaks one more ticker loop. One-shot goroutines (no
+// loop) are exempt — parking forever is the caller's bug, not a leak
+// shape this analyzer understands. Suppress deliberate daemons with
+// `//lint:allow-leak <why>`.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/analyzers/ctxprop"
+	"gridproxy/internal/lint/lintutil"
+)
+
+// Analyzer is the goroleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "long-running goroutines in server packages need a stop signal (context, done channel, or WaitGroup supervision)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !ctxprop.GuardedPackages[pass.Pkg.Name()] {
+		return nil, nil
+	}
+
+	// Index local function/method declarations so `go r.loop()` can be
+	// resolved to its body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		if lintutil.InTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				g, ok := stmt.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				body := goBody(pass, decls, g)
+				if body == nil || !hasLoop(body) || hasStopSignal(pass, body) {
+					continue
+				}
+				if i > 0 && isWaitGroupAdd(pass, block.List[i-1]) {
+					continue // supervised: wg.Add(1); go ...
+				}
+				if hasWaitGroupDone(pass, body) {
+					continue // supervised from inside
+				}
+				if lintutil.Allowed(pass, g.Pos(), "allow-leak") {
+					continue
+				}
+				pass.Reportf(g.Pos(),
+					"goroutine runs a loop with no stop signal — no context, no done channel, no WaitGroup supervision; it outlives its owner")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goBody resolves the body the go statement will run: a function literal's
+// own body, or the declaration of a same-package function or method.
+func goBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		if fn := lintutil.Callee(pass.TypesInfo, g.Call); fn != nil {
+			if fd, ok := decls[fn]; ok && fd.Body != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasLoop reports whether body contains a for/range statement outside
+// nested function literals — the signature of a long-running goroutine.
+func hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasStopSignal reports whether body can learn that it should exit: it
+// references a context, receives from a channel (a done/stop channel, or
+// a work channel whose close ends a range), or selects.
+func hasStopSignal(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if lintutil.IsNamedType(obj.Type(), "context", "Context") {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupAdd matches `wg.Add(n)` (receiver sync.WaitGroup).
+func isWaitGroupAdd(pass *analysis.Pass, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == "Add" && lintutil.PkgPath(fn) == "sync" &&
+		recvIsWaitGroup(fn)
+}
+
+// hasWaitGroupDone matches a `defer wg.Done()` inside body.
+func hasWaitGroupDone(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if fn := lintutil.Callee(pass.TypesInfo, def.Call); fn != nil {
+			if fn.Name() == "Done" && lintutil.PkgPath(fn) == "sync" && recvIsWaitGroup(fn) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func recvIsWaitGroup(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return lintutil.IsNamedType(sig.Recv().Type(), "sync", "WaitGroup")
+}

@@ -1,0 +1,17 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/goroleak"
+)
+
+// TestGoroleak checks that unstoppable loopy goroutines are flagged —
+// both function literals and locally declared methods — while every
+// sanctioned shape is not: context checks, done channels, ranging over a
+// work channel, WaitGroup supervision from either side, one-shot
+// goroutines, and //lint:allow-leak annotations.
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "tunnel")
+}

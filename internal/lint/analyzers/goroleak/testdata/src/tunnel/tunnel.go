@@ -1,0 +1,100 @@
+// Fixture for a guarded server package: loopy goroutines need a stop
+// signal or supervision.
+package tunnel
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func work() {}
+
+func (s *server) badAnon() {
+	go func() { // want `goroutine runs a loop with no stop signal`
+		for {
+			work()
+		}
+	}()
+}
+
+func (s *server) badMethod() {
+	go s.spin() // want `goroutine runs a loop with no stop signal`
+}
+
+func (s *server) spin() {
+	for {
+		work()
+	}
+}
+
+func (s *server) goodCtx(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+func (s *server) goodDone() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+func (s *server) goodRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func (s *server) goodSupervisedOutside() {
+	s.wg.Add(1)
+	go s.spinSupervised()
+}
+
+func (s *server) spinSupervised() {
+	defer s.wg.Done()
+	for {
+		work()
+	}
+}
+
+func (s *server) goodSupervisedInside() {
+	go func() {
+		defer s.wg.Done()
+		for {
+			work()
+		}
+	}()
+}
+
+// one-shot goroutines are not this analyzer's leak shape.
+func (s *server) goodOneShot() {
+	go work()
+	go func() {
+		work()
+	}()
+}
+
+func (s *server) goodAllowed() {
+	//lint:allow-leak supervised by connection teardown: Close unblocks
+	// the read and the loop exits.
+	go s.spin()
+}

@@ -1,0 +1,337 @@
+// Package lockhold implements the gridlint analyzer that flags a mutex
+// held across a blocking operation.
+//
+// The deadlock shape that bites proxy cores: a sync.Mutex (or RWMutex) is
+// taken, and before it is released the goroutine parks — on a channel
+// send or receive, a select, a network or file operation, or an RPC that
+// takes a context. Every other goroutine needing the lock now waits on
+// the kernel or a peer, and a slow peer becomes a stalled proxy. The
+// analyzer walks each function in the guarded server packages (core,
+// peerlink, stage, tunnel) tracking which locks are held statement by
+// statement — `defer mu.Unlock()` holds to function end — and reports
+// blocking operations reached with a lock held. Functions whose name ends
+// in "Locked" are, by gridproxy convention, called with their receiver's
+// lock held, and are scanned as if a lock were taken on entry. The check
+// is intra-procedural and conservative around branches; a finding that is
+// provably safe can be suppressed with `//lint:allow-lockhold <why>`.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/analyzers/ctxprop"
+	"gridproxy/internal/lint/lintutil"
+)
+
+// Analyzer is the lockhold analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "no mutex may be held across a channel operation, network or file I/O, or other blocking call",
+	Run:  run,
+}
+
+// blockingOSFuncs are package-level os functions that hit the filesystem.
+var blockingOSFuncs = map[string]bool{
+	"WriteFile": true, "ReadFile": true, "Open": true, "Create": true,
+	"OpenFile": true, "ReadDir": true, "MkdirAll": true, "Mkdir": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+}
+
+// blockingWireMethods are gridproxy's own framed-I/O and handshake
+// primitives: blocking regardless of receiver type.
+var blockingWireMethods = map[string]bool{
+	"ReadFrame": true, "WriteFrame": true, "ReadMessage": true,
+	"WriteMessage": true, "Handshake": true, "Flush": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !ctxprop.GuardedPackages[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		if lintutil.InTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := map[string]token.Pos{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				// Convention: *Locked functions run with the caller's
+				// lock held for their whole extent.
+				held["(caller's lock)"] = fd.Pos()
+			}
+			c.scanBlock(fd.Body.List, held)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// scanBlock walks stmts in order, maintaining the set of held locks.
+// Branch bodies are scanned with a copy of the set: an unlock inside a
+// branch applies within that branch only, which is conservative for the
+// fall-through path (suppress provable false positives with
+// //lint:allow-lockhold).
+func (c *checker) scanBlock(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		c.scanStmt(stmt, held)
+	}
+}
+
+func (c *checker) scanStmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op, isLock := c.lockOp(call); isLock {
+				if op {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		c.checkBlocking(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end (so no
+		// delete); deferred work itself runs after the last statement
+		// and is not scanned.
+		return
+	case *ast.SendStmt:
+		c.report(held, s.Pos(), "a channel send")
+		c.checkBlocking(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkBlocking(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		c.checkBlocking(s.Cond, held)
+		c.scanBlock(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			c.scanStmt(s.Else, copyHeldStmt(held))
+		}
+	case *ast.ForStmt:
+		c.scanBlock(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		if t, ok := c.pass.TypesInfo.Types[s.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				c.report(held, s.Pos(), "a range over a channel")
+			}
+		}
+		c.scanBlock(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			c.checkBlocking(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			c.scanBlock(cc.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			c.scanBlock(cc.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			c.report(held, s.Pos(), "a select with no default")
+		}
+		for _, cl := range s.Body.List {
+			c.scanBlock(cl.(*ast.CommClause).Body, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		c.scanBlock(s.List, held)
+	case *ast.LabeledStmt:
+		c.scanStmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkBlocking(e, held)
+		}
+	case *ast.GoStmt:
+		// The new goroutine does not inherit the holder; its body is
+		// scanned when its function declaration is (if local).
+		return
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkBlocking(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// copyHeldStmt exists so an else-branch (an ast.Stmt, possibly a block or
+// a chained if) can be scanned against its own copy.
+func copyHeldStmt(held map[string]token.Pos) map[string]token.Pos { return copyHeld(held) }
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockOp classifies call as a lock acquisition (true,true), release
+// (key,false,true), or neither. The method must resolve to sync.Mutex or
+// sync.RWMutex (including via embedding).
+func (c *checker) lockOp(call *ast.CallExpr) (key string, acquire, isLock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", false, false
+	}
+	fn := lintutil.Callee(c.pass.TypesInfo, call)
+	if fn == nil || lintutil.PkgPath(fn) != "sync" {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), name == "Lock" || name == "RLock", true
+}
+
+// checkBlocking inspects an expression tree for blocking operations,
+// reporting each one reached while a lock is held. Function literals are
+// not descended into: they run later, on their own goroutine or stack.
+func (c *checker) checkBlocking(root ast.Expr, held map[string]token.Pos) {
+	if root == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.report(held, n.Pos(), "a channel receive")
+			}
+		case *ast.CallExpr:
+			if kind := c.blockingCall(n); kind != "" {
+				c.report(held, n.Pos(), kind)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call as blocking, returning a description or
+// "".
+func (c *checker) blockingCall(call *ast.CallExpr) string {
+	fn := lintutil.Callee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	pkg := lintutil.PkgPath(fn)
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+
+	switch {
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep"
+	case pkg == "os" && sig != nil && sig.Recv() == nil && blockingOSFuncs[name]:
+		return "file I/O (os." + name + ")"
+	case pkg == "net" && (name == "Dial" || name == "DialTimeout" || name == "Listen"):
+		return "net." + name
+	case pkg == "sync" && name == "Wait":
+		return "sync." + recvTypeName(sig) + ".Wait"
+	}
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	if blockingWireMethods[name] {
+		return "framed I/O (" + name + ")"
+	}
+	if name == "Read" || name == "Write" || name == "ReadFrom" || name == "WriteTo" {
+		// bytes.Buffer/Reader and strings.Builder/Reader satisfy io.Reader
+		// or io.Writer but never block — they are memory, not streams.
+		if pkg != "bytes" && pkg != "strings" && implementsIO(sig.Recv().Type()) {
+			return "stream I/O (" + name + ")"
+		}
+	}
+	// An RPC by convention: a method or function whose first parameter
+	// is a context.Context blocks until its deadline.
+	if sig.Params().Len() > 0 && lintutil.IsNamedType(sig.Params().At(0).Type(), "context", "Context") {
+		return "a context-taking call (" + name + ")"
+	}
+	return ""
+}
+
+func recvTypeName(sig *types.Signature) string {
+	if sig == nil || sig.Recv() == nil {
+		return "?"
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "?"
+}
+
+// ioReader and ioWriter are structural stand-ins for io.Reader/io.Writer,
+// built once so receiver types can be tested without importing io's
+// export data.
+var ioReader, ioWriter = func() (*types.Interface, *types.Interface) {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	mk := func(name string) *types.Interface {
+		sig := types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice)),
+			types.NewTuple(
+				types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+				types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+			), false)
+		iface := types.NewInterfaceType([]*types.Func{
+			types.NewFunc(token.NoPos, nil, name, sig),
+		}, nil)
+		iface.Complete()
+		return iface
+	}
+	return mk("Read"), mk("Write")
+}()
+
+func implementsIO(recv types.Type) bool {
+	return types.Implements(recv, ioReader) || types.Implements(recv, ioWriter)
+}
+
+// report emits one diagnostic per blocking site, naming the held locks.
+func (c *checker) report(held map[string]token.Pos, pos token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	if lintutil.Allowed(c.pass, pos, "allow-lockhold") {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	c.pass.Reportf(pos, "%s is held across %s — a parked goroutine stalls every contender for the lock",
+		strings.Join(names, ", "), what)
+}

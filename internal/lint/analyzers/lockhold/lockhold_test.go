@@ -1,0 +1,18 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/lockhold"
+)
+
+// TestLockhold checks every blocking shape — channel send and receive,
+// select with no default, file I/O, framed I/O, context-taking calls —
+// against held locks (including deferred unlocks and the *Locked naming
+// convention), and the shapes that must stay silent: unlock-then-block,
+// in-memory bytes.Buffer I/O, select with a default, and
+// //lint:allow-lockhold annotations.
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer, "stage")
+}

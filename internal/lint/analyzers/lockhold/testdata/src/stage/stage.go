@@ -1,0 +1,103 @@
+// Fixture for a guarded server package: no mutex may be held across a
+// blocking operation.
+package stage
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"sync"
+)
+
+type client struct{}
+
+func (c *client) Call(ctx context.Context) error { return nil }
+
+type framer struct{}
+
+func (f *framer) WriteFrame(p []byte) error { return nil }
+
+type store struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	ch  chan int
+	cli *client
+}
+
+func (s *store) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `s\.mu is held across a channel send`
+	s.mu.Unlock()
+}
+
+func (s *store) badRecv() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := <-s.ch // want `s\.mu is held across a channel receive`
+	_ = v
+}
+
+func (s *store) badDeferFile() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.WriteFile("x", nil, 0o644) // want `s\.mu is held across file I/O \(os\.WriteFile\)`
+}
+
+func (s *store) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `s\.mu is held across a select with no default`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *store) badRPC(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cli.Call(ctx) // want `s\.mu is held across a context-taking call \(Call\)`
+}
+
+func (s *store) badFrame(f *framer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f.WriteFrame(nil) // want `s\.mu is held across framed I/O \(WriteFrame\)`
+}
+
+// evictLocked runs with the caller's lock held, by naming convention.
+func (s *store) evictLocked() {
+	os.Remove("x") // want `\(caller's lock\) is held across file I/O \(os\.Remove\)`
+}
+
+func (s *store) goodUnlockFirst() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	os.WriteFile("x", nil, 0o644)
+}
+
+// bytes.Buffer satisfies io.Reader/io.Writer but is memory, not a
+// stream; holding a lock across it is fine.
+func (s *store) goodBuffer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf.Write([]byte("x"))
+	p := make([]byte, 1)
+	s.buf.Read(p)
+}
+
+func (s *store) goodSelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *store) goodAllowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow-lockhold the file lives on a ramdisk; provably instant
+	os.Remove("x")
+}

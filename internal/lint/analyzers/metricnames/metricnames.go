@@ -1,0 +1,174 @@
+// Package metricnames implements the gridlint analyzer that keeps the
+// metric inventory of DESIGN §13 honest.
+//
+// Two directions are enforced. First, every name handed to
+// (*metrics.Registry).Counter or .Gauge must be a constant declared in the
+// metrics package — a raw string literal at a call site creates a
+// typo-split counter that no dashboard and no DESIGN table knows about.
+// Dynamic names computed from those constants (e.g. peerlink's
+// state-gauge lookup) stay legal: only constant expressions that do not
+// resolve to a metrics-package constant are flagged. Second, whole-program
+// (standalone gridlint only): every constant the metrics package declares
+// must be referenced somewhere, so the §13 inventory cannot silently rot
+// into fiction when a metric's last call site is deleted.
+package metricnames
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/lintutil"
+)
+
+// Analyzer is the metricnames analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "metricnames",
+	Doc:        "metric names must be constants declared in internal/metrics, and every declared constant must be used",
+	Run:        run,
+	ProgramRun: programRun,
+}
+
+// result is the per-package value handed to programRun.
+type result struct {
+	// declared maps metric-constant name to its declaration position;
+	// only the metrics package itself fills it.
+	declared map[string]token.Pos
+	// used holds the metrics-package constants this package references.
+	used map[string]bool
+	// importsMetrics records that the package depends on the metrics
+	// package at all; the unused check stays silent unless at least one
+	// consumer is in scope (a partial run has no usage information).
+	importsMetrics bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	res := &result{declared: map[string]token.Pos{}, used: map[string]bool{}}
+
+	if isMetricsPackage(pass.Pkg) {
+		for _, name := range pass.Pkg.Scope().Names() {
+			obj := pass.Pkg.Scope().Lookup(name)
+			if c, ok := obj.(*types.Const); ok && c.Exported() && isString(c.Type()) {
+				res.declared[name] = c.Pos()
+			}
+		}
+	}
+
+	for ident, obj := range pass.TypesInfo.Uses {
+		c, ok := obj.(*types.Const)
+		if !ok || !isString(c.Type()) || !c.Exported() {
+			continue
+		}
+		if c.Pkg() == pass.Pkg && isMetricsPackage(pass.Pkg) {
+			// A reference from inside the metrics package (one constant
+			// defined from another) does not prove a metric is emitted.
+			continue
+		}
+		if isMetricsPackage(c.Pkg()) && !lintutil.InTestFile(pass, ident.Pos()) {
+			res.used[c.Name()] = true
+			res.importsMetrics = true
+		}
+	}
+
+	for _, file := range pass.Files {
+		if lintutil.InTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := lintutil.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !isMetricsPackage(fn.Pkg()) {
+				return true
+			}
+			if fn.Name() != "Counter" && fn.Name() != "Gauge" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+				return true // not the Registry lookup methods
+			}
+			arg := ast.Unparen(call.Args[0])
+			tv := pass.TypesInfo.Types[arg]
+			if tv.Value == nil {
+				return true // computed name (e.g. a state-gauge lookup table)
+			}
+			if declaredInMetrics(pass, arg) {
+				return true
+			}
+			pass.Reportf(arg.Pos(),
+				"metric name %s is not a constant from the metrics package; declare it there so the DESIGN §13 inventory stays complete",
+				tv.Value.ExactString())
+			return true
+		})
+	}
+	return res, nil
+}
+
+// programRun reports metrics-package constants no analyzed package uses.
+func programRun(prog *analysis.Program, report func(analysis.Diagnostic)) {
+	declared := map[string]token.Pos{}
+	used := map[string]bool{}
+	anyConsumer := false
+	for _, u := range prog.Units {
+		r, ok := u.Result.(*result)
+		if !ok || r == nil {
+			continue
+		}
+		for name, pos := range r.declared {
+			declared[name] = pos
+		}
+		for name := range r.used {
+			used[name] = true
+		}
+		anyConsumer = anyConsumer || r.importsMetrics
+	}
+	if !anyConsumer {
+		return // partial scope: no usage information to judge by
+	}
+	names := make([]string, 0, len(declared))
+	for name := range declared {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !used[name] {
+			report(analysis.Diagnostic{
+				Pos: declared[name],
+				Message: "metric constant " + name +
+					" is declared but never used — emit it or drop it from the DESIGN §13 inventory",
+			})
+		}
+	}
+}
+
+// isMetricsPackage identifies the metrics package structurally (package
+// named "metrics" declaring the Registry type), so fixture packages in
+// analyzer tests qualify exactly like internal/metrics.
+func isMetricsPackage(pkg *types.Package) bool {
+	if pkg == nil || pkg.Name() != "metrics" {
+		return false
+	}
+	_, ok := pkg.Scope().Lookup("Registry").(*types.TypeName)
+	return ok
+}
+
+func declaredInMetrics(pass *analysis.Pass, arg ast.Expr) bool {
+	var obj types.Object
+	switch e := arg.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	}
+	c, ok := obj.(*types.Const)
+	return ok && isMetricsPackage(c.Pkg())
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

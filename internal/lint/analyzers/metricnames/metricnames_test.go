@@ -1,0 +1,17 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/metricnames"
+)
+
+// TestMetricNames covers both directions of the inventory invariant:
+// raw string literals and non-metrics constants at Counter/Gauge call
+// sites are flagged, dynamic (non-constant) names and proper
+// metrics-package constants are not, and the whole-program pass flags a
+// declared constant no package emits.
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, "testdata", metricnames.Analyzer, "metricsuser")
+}

@@ -1,0 +1,26 @@
+// Fixture modelled on internal/metrics: a Registry with name-keyed
+// Counter/Gauge lookups and the canonical name constants. metricnames
+// identifies it structurally (package metrics declaring Registry).
+package metrics
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type Gauge struct{}
+
+func (*Gauge) Set(v int64) {}
+
+func (*Registry) Counter(name string) *Counter { return new(Counter) }
+
+func (*Registry) Gauge(name string) *Gauge { return new(Gauge) }
+
+// The metric inventory. Every constant declared here must be emitted by
+// some package in scope.
+const (
+	JobsStarted  = "jobs_started"
+	QueueDepth   = "queue_depth"
+	NeverEmitted = "never_emitted" // want `metric constant NeverEmitted is declared but never used`
+)

@@ -1,0 +1,22 @@
+// Fixture consumer: metric names must come from the metrics package.
+package metricsuser
+
+import "metrics"
+
+var reg *metrics.Registry
+
+func emit() {
+	reg.Counter(metrics.JobsStarted).Inc()
+	reg.Gauge(metrics.QueueDepth).Set(1)
+
+	reg.Counter("raw_name").Inc() // want `metric name "raw_name" is not a constant from the metrics package`
+
+	const local = "local_name"
+	reg.Gauge(local).Set(2) // want `metric name "local_name" is not a constant from the metrics package`
+}
+
+// dynamic names computed from non-constant parts are legal: the analyzer
+// only judges constant arguments.
+func dynamic(state string) {
+	reg.Gauge(metrics.QueueDepth + "_" + state).Set(3)
+}

@@ -1,0 +1,19 @@
+package protoreg_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/protoreg"
+)
+
+// TestProtoreg exercises all five registry checks on a fixture modelled
+// on internal/proto: unregistered core codes, factory/Code() mismatches,
+// unregistered Body implementers, dead dispatch arms in an importing
+// package, and the whole-program dead-code check. The fixture's
+// extension codes (at or above ExtensionBase) are registered with a
+// mismatched factory, or not registered and never dispatched — and must
+// produce no diagnostics.
+func TestProtoreg(t *testing.T) {
+	analysistest.Run(t, "testdata", protoreg.Analyzer, "protouser")
+}

@@ -1,0 +1,127 @@
+// Package driver runs a suite of analyzers over source-loaded packages —
+// the engine behind `gridlint ./...`.
+//
+// Unlike the `go vet -vettool` protocol (internal/lint/unitchecker), the
+// standalone driver sees the whole analysis scope at once: package facts
+// propagate in memory along the import graph, and after every per-package
+// pass it executes each analyzer's ProgramRun hook, which is where
+// whole-program invariants (metric inventory completeness, dead protocol
+// codes) are checked.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/load"
+)
+
+// A finding pairs a diagnostic with the analyzer that produced it.
+type finding struct {
+	analyzer string
+	diag     analysis.Diagnostic
+}
+
+// factKey addresses one exported fact: facts are private to an analyzer
+// and keyed by the package they describe and their concrete type.
+type factKey struct {
+	analyzer string
+	pkgPath  string
+	factType reflect.Type
+}
+
+// Run loads the packages matched by patterns under dir, applies every
+// analyzer, and prints diagnostics to w as "file:line:col: message
+// (analyzer)". It returns the number of diagnostics reported; a non-nil
+// error means the analysis itself could not run (load failure, analyzer
+// crash), not that findings exist.
+func Run(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	fset, pkgs, err := load.Packages(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+
+	facts := make(map[factKey]analysis.Fact)
+	units := make(map[string][]analysis.ProgramUnit) // analyzer name -> units
+	var findings []finding
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			target := pkg.Target
+			pass.Report = func(d analysis.Diagnostic) {
+				if target {
+					findings = append(findings, finding{analyzer: a.Name, diag: d})
+				}
+			}
+			name := a.Name
+			pass.SetFactHooks(
+				func(p *types.Package, fact analysis.Fact) bool {
+					key := factKey{name, p.Path(), reflect.TypeOf(fact)}
+					stored, ok := facts[key]
+					if !ok {
+						return false
+					}
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+					return true
+				},
+				func(fact analysis.Fact) {
+					facts[factKey{name, pkg.PkgPath, reflect.TypeOf(fact)}] = fact
+				},
+			)
+			result, err := a.Run(pass)
+			if err != nil {
+				return 0, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			units[a.Name] = append(units[a.Name], analysis.ProgramUnit{
+				Pkg:    pkg.Types,
+				Files:  pkg.Files,
+				Result: result,
+			})
+		}
+	}
+
+	for _, a := range analyzers {
+		if a.ProgramRun == nil {
+			continue
+		}
+		prog := &analysis.Program{Fset: fset, Units: units[a.Name]}
+		name := a.Name
+		a.ProgramRun(prog, func(d analysis.Diagnostic) {
+			findings = append(findings, finding{analyzer: name, diag: d})
+		})
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := fset.Position(findings[i].diag.Pos), fset.Position(findings[j].diag.Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return findings[i].analyzer < findings[j].analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s (%s)\n", position(fset, f.diag.Pos), f.diag.Message, f.analyzer)
+	}
+	return len(findings), nil
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	if !pos.IsValid() {
+		return "-"
+	}
+	return fset.Position(pos).String()
+}

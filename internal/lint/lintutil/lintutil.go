@@ -1,0 +1,129 @@
+// Package lintutil holds the small AST/type queries shared by gridproxy's
+// analyzers: suppression-annotation lookup, test-file detection, and
+// callee resolution.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gridproxy/internal/lint/analysis"
+)
+
+// Allowed reports whether the finding at pos is suppressed by a
+// `//lint:<directive>` comment. A suppression counts when it sits on the
+// same line as the finding, in the comment group ending on the line
+// directly above it (so the justification may run over several comment
+// lines), or in the doc comment of the enclosing function — the last
+// form is how a whole function is annotated as a legitimate root (for
+// example `//lint:allow-background proxy owns its lifecycle`). The
+// directive should carry a justification; the analyzer does not parse
+// it, reviewers do.
+func Allowed(pass *analysis.Pass, pos token.Pos, directive string) bool {
+	file := FileOf(pass, pos)
+	if file == nil {
+		return false
+	}
+	marker := "lint:" + directive
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		end := pass.Fset.Position(cg.End()).Line
+		if end != line && end != line-1 {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, marker) {
+				return true
+			}
+		}
+	}
+	if fd := EnclosingFunc(file, pos); fd != nil && fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileOf returns the syntax file containing pos.
+func FileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// EnclosingFunc returns the function declaration containing pos, if any.
+func EnclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Tests are free
+// to use raw metric names, background contexts and unsupervised
+// goroutines; the invariants gridlint enforces are about production
+// paths.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Callee resolves the static callee of call, or nil for dynamic calls
+// (function values, interface methods resolve to the interface method
+// object, which is still returned).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsNamedType reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// PkgName returns the name of the package declaring obj, or "".
+func PkgName(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Name()
+}
+
+// PkgPath returns the path of the package declaring obj, or "".
+func PkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

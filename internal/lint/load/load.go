@@ -1,0 +1,231 @@
+// Package load turns `go list` output into type-checked packages for the
+// standalone gridlint driver.
+//
+// The hermetic build environment has no golang.org/x/tools/go/packages, so
+// loading is done the way `go vet` itself does it: `go list -export -deps
+// -json` enumerates the import graph and compiles export data for every
+// dependency, the packages of the main module are parsed and type-checked
+// from source, and everything else is imported through the compiler export
+// data via go/importer. The result carries full syntax plus types.Info, so
+// analyzers can resolve identifiers across package boundaries.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one source-analyzed package of the main module.
+type Package struct {
+	// PkgPath is the full import path.
+	PkgPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Files is the parsed syntax of the package's non-test Go files.
+	Files []*ast.File
+	// Types and TypesInfo carry the type-checked form.
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Target reports whether the package matched the load patterns
+	// itself (true) or was pulled in only as a dependency of one that
+	// did (false). Drivers report diagnostics only for targets but run
+	// analyzers on every package so facts propagate.
+	Target bool
+	// Imports lists the package's direct imports by path.
+	Imports []string
+}
+
+// listPkg mirrors the fields of `go list -json` output that load consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses and type-checks the packages matched by patterns
+// (plus their in-module dependencies), returning them in dependency order:
+// every package appears after all of its in-module imports, so a driver
+// running analyzers front to back sees facts flow from imported to
+// importer.
+func Packages(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: go list %s: %w", strings.Join(patterns, " "), err)
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var inModule []*listPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && len(p.GoFiles) > 0 {
+			q := p
+			inModule = append(inModule, &q)
+		}
+	}
+	if len(inModule) == 0 {
+		return nil, nil, fmt.Errorf("load: no packages match %s", strings.Join(patterns, " "))
+	}
+
+	ordered, err := topoSort(inModule)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, lp := range ordered {
+		pkg, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs, nil
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, lp *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		Target:    !lp.DepOnly,
+		Imports:   lp.Imports,
+	}, nil
+}
+
+// ExportData compiles export data for the given packages (and their
+// dependencies) via `go list -export -deps` and returns the import path →
+// export file map. analysistest uses it to resolve standard-library
+// imports inside fixture packages.
+func ExportData(paths []string) (map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list -export %s: %w", strings.Join(paths, " "), err)
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// topoSort orders in-module packages so imports precede importers. Ties
+// are broken by import path for deterministic output.
+func topoSort(pkgs []*listPkg) ([]*listPkg, error) {
+	byPath := make(map[string]*listPkg, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+
+	var ordered []*listPkg
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPkg) error
+	visit = func(p *listPkg) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("load: import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, dep := range p.Imports {
+			if dp, ok := byPath[dep]; ok {
+				if err := visit(dp); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}

@@ -1,0 +1,232 @@
+// Package unitchecker implements the `go vet -vettool` protocol for
+// gridlint, mirroring golang.org/x/tools/go/analysis/unitchecker on the
+// standard library alone.
+//
+// When the go command drives vetting it invokes the tool once per
+// compilation unit with a JSON config file describing that unit: source
+// files, the import map, compiler export data for every dependency, and
+// fact files produced by earlier units. This package parses the config,
+// type-checks the unit, replays dependency facts, runs the per-package
+// analyzers, writes this unit's facts for downstream units, and reports
+// diagnostics on stderr with exit status 2 — the contract `go vet`
+// expects. Whole-program checks (Analyzer.ProgramRun) cannot run in this
+// mode and are documented as standalone-only; run `gridlint ./...` (or the
+// CI gate) to get them.
+package unitchecker
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"reflect"
+	"strings"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/load"
+)
+
+// Config mirrors the JSON schema of the file the go command passes to a
+// vet tool (see cmd/go/internal/work and x/tools unitchecker.Config).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// factRecord is the on-disk form of one package fact. The fact value
+// itself rides as a gob interface, so every fact type must be registered
+// (Run does this from Analyzer.FactTypes).
+type factRecord struct {
+	Analyzer string
+	PkgPath  string
+	Fact     analysis.Fact
+}
+
+// Main implements a vet tool's command line: `tool -V=full`, `tool
+// -flags`, or `tool file.cfg`. It returns the process exit code.
+func Main(progname, version string, analyzers []*analysis.Analyzer, args []string) int {
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			// The go command fingerprints the tool for its build cache
+			// with this line; any stable output works.
+			fmt.Printf("%s version %s\n", progname, version)
+			return 0
+		case "-flags":
+			// We expose no analyzer flags to `go vet`; an empty set is
+			// a valid answer to the flag-discovery handshake.
+			fmt.Println("[]")
+			return 0
+		}
+		if strings.HasSuffix(args[0], ".cfg") {
+			diags, err := runUnit(args[0], analyzers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+				return 1
+			}
+			if len(diags) > 0 {
+				for _, d := range diags {
+					fmt.Fprintln(os.Stderr, d)
+				}
+				return 2
+			}
+			return 0
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: expected -V=full, -flags, or a .cfg file (go vet -vettool protocol)\n", progname)
+	return 1
+}
+
+// runUnit analyzes one compilation unit, returning rendered diagnostics.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]string, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImp.Import(path)
+	})
+
+	info := load.NewInfo()
+	tconf := types.Config{Importer: imp}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	// Replay the facts exported while vetting this unit's dependencies.
+	facts := make(map[factKey]analysis.Fact)
+	for _, vetx := range cfg.PackageVetx {
+		f, err := os.Open(vetx)
+		if err != nil {
+			continue // dependency produced no facts
+		}
+		var records []factRecord
+		err = gob.NewDecoder(f).Decode(&records)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading facts %s: %w", vetx, err)
+		}
+		for _, r := range records {
+			facts[factKey{r.Analyzer, r.PkgPath, reflect.TypeOf(r.Fact)}] = r.Fact
+		}
+	}
+
+	var diags []string
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			if !cfg.VetxOnly {
+				diags = append(diags, fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, name))
+			}
+		}
+		pass.SetFactHooks(
+			func(p *types.Package, fact analysis.Fact) bool {
+				stored, ok := facts[factKey{name, p.Path(), reflect.TypeOf(fact)}]
+				if !ok {
+					return false
+				}
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+				return true
+			},
+			func(fact analysis.Fact) {
+				facts[factKey{name, cfg.ImportPath, reflect.TypeOf(fact)}] = fact
+			},
+		)
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, cfg.ImportPath, err)
+		}
+	}
+
+	// Persist the full fact store (dependency facts included) so
+	// downstream units see transitive facts without re-reading every
+	// ancestor's file.
+	if cfg.VetxOutput != "" {
+		records := make([]factRecord, 0, len(facts))
+		for k, f := range facts {
+			records = append(records, factRecord{Analyzer: k.analyzer, PkgPath: k.pkgPath, Fact: f})
+		}
+		var out strings.Builder
+		if err := gob.NewEncoder(&out).Encode(records); err != nil {
+			return nil, fmt.Errorf("encoding facts: %w", err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte(out.String()), 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts: %w", err)
+		}
+	}
+	return diags, nil
+}
+
+type factKey struct {
+	analyzer string
+	pkgPath  string
+	factType reflect.Type
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

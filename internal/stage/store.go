@@ -174,7 +174,9 @@ func (s *Store) load() error {
 		s.blobs[b.hash] = b
 		s.cur += int64(len(data))
 	}
-	s.evictLocked(nil)
+	// load runs before the store is shared, so no lock is held and the
+	// victims' files can be removed inline.
+	s.removeFiles(s.evictLocked(nil))
 	s.gaugeLocked()
 	return nil
 }
@@ -201,15 +203,26 @@ func (s *Store) PutHashed(hash string, data []byte) error {
 
 func (s *Store) put(hash string, data []byte) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if b, ok := s.blobs[hash]; ok {
 		s.lru.MoveToFront(b.elem)
+		s.mu.Unlock()
 		return
 	}
 	b := &blob{hash: hash, data: data}
 	b.elem = s.lru.PushFront(b)
 	s.blobs[hash] = b
 	s.cur += int64(len(data))
+	victims := s.evictLocked(b)
+	s.reg.Counter(metrics.StagePuts).Inc()
+	s.gaugeLocked()
+	s.mu.Unlock()
+
+	// Disk persistence runs outside the lock: a multi-megabyte blob on a
+	// slow disk must not stall every concurrent Get and Put (lockhold).
+	// The on-disk layer is a best-effort cache reconciled by load(), so
+	// a racing put/evict of the same hash at worst loses a cache file,
+	// never serves wrong content: the name-is-hash contract is verified
+	// on load.
 	if s.dir != "" {
 		// Write via rename so a crash mid-write cannot leave a file
 		// whose content does not match its name.
@@ -217,33 +230,41 @@ func (s *Store) put(hash string, data []byte) {
 		if err := os.WriteFile(tmp, data, 0o644); err == nil {
 			os.Rename(tmp, filepath.Join(s.dir, hash))
 		}
+		s.removeFiles(victims)
 	}
-	s.evictLocked(b)
-	s.reg.Counter(metrics.StagePuts).Inc()
-	s.gaugeLocked()
 }
 
 // evictLocked drops least-recently-used blobs until the store fits its
-// cap. keep, if non-nil, is never evicted (the blob just added: a blob
-// larger than the whole cap is stored alone rather than rejected, so an
-// oversized job input still works at the cost of cache capacity).
-func (s *Store) evictLocked(keep *blob) {
+// cap, returning the evicted hashes so the caller can delete their disk
+// files after releasing the lock. keep, if non-nil, is never evicted
+// (the blob just added: a blob larger than the whole cap is stored alone
+// rather than rejected, so an oversized job input still works at the
+// cost of cache capacity).
+func (s *Store) evictLocked(keep *blob) []string {
 	if s.max < 0 {
-		return
+		return nil
 	}
+	var victims []string
 	for s.cur > s.max && s.lru.Len() > 0 {
 		elem := s.lru.Back()
 		victim := elem.Value.(*blob)
 		if victim == keep {
-			return
+			break
 		}
 		s.lru.Remove(elem)
 		delete(s.blobs, victim.hash)
 		s.cur -= int64(len(victim.data))
-		if s.dir != "" {
-			os.Remove(filepath.Join(s.dir, victim.hash))
-		}
+		victims = append(victims, victim.hash)
 		s.reg.Counter(metrics.StageEvictions).Inc()
+	}
+	return victims
+}
+
+// removeFiles deletes the disk files of evicted blobs. Callers must not
+// hold s.mu.
+func (s *Store) removeFiles(hashes []string) {
+	for _, hash := range hashes {
+		os.Remove(filepath.Join(s.dir, hash))
 	}
 }
 

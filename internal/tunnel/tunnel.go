@@ -127,6 +127,9 @@ func newSession(conn net.Conn, cfg Config, firstID uint32) *Session {
 		done:     make(chan struct{}),
 		pongs:    make(map[uint64]chan struct{}),
 	}
+	//lint:allow-leak readLoop is supervised by the connection, not a
+	// context: Close (and any peer disconnect) closes conn, the blocked
+	// ReadFrame fails, and the loop exits.
 	go s.readLoop()
 	return s
 }
