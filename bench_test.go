@@ -111,6 +111,19 @@ func BenchmarkE8_TunnelMultiplexing(b *testing.B) {
 
 // --- substrate micro-benchmarks ---------------------------------------------
 
+// BenchmarkTunnelThroughput and BenchmarkWireRoundTrip are the data-path
+// headline numbers committed to BENCH_tunnel.json; their bodies live in
+// internal/experiments so `gridbench -json` captures the same
+// measurements.
+
+func BenchmarkTunnelThroughput(b *testing.B) {
+	experiments.BenchTunnelThroughput(b)
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	experiments.BenchWireRoundTrip(b)
+}
+
 func BenchmarkWireFrameRoundTrip(b *testing.B) {
 	payload := bytes.Repeat([]byte{0xAA}, 4096)
 	var buf bytes.Buffer

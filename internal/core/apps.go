@@ -408,12 +408,17 @@ func (c *countedConn) Write(p []byte) (int, error) {
 type closeWriter interface{ CloseWrite() error }
 
 // splice copies bidirectionally between a and b, propagating half-closes
-// when supported, and closes both when done.
+// when supported, and closes both when done. Copy buffers are leased from
+// the wire payload pool (sized to a full tunnel segment) instead of
+// io.Copy's per-call 32 KiB allocation, so long-lived splices cost no
+// steady-state allocation and each read fills a whole DATA frame.
 func (p *Proxy) splice(a, b net.Conn) {
 	var wg sync.WaitGroup
 	copyDir := func(dst, src net.Conn) {
 		defer wg.Done()
-		_, err := io.Copy(dst, src)
+		buf := wire.GetPayload(64 << 10)
+		defer wire.PutPayload(buf)
+		_, err := io.CopyBuffer(dst, src, buf)
 		if cw, ok := dst.(closeWriter); ok && err == nil {
 			_ = cw.CloseWrite()
 			return

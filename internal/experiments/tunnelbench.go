@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridproxy/internal/transport"
+	"gridproxy/internal/tunnel"
+	"gridproxy/internal/wire"
+)
+
+// BenchSchema identifies the layout of BENCH_tunnel.json. Bump it if the
+// field set changes shape.
+const BenchSchema = "gridproxy/tunnel-bench/v1"
+
+// BenchFile is the committed benchmark artifact: one run per capture
+// (before/after a change), each holding every tunnel micro-benchmark.
+type BenchFile struct {
+	Schema string     `json:"schema"`
+	Runs   []BenchRun `json:"runs"`
+}
+
+// BenchRun is one labeled capture of the tunnel micro-benchmarks.
+type BenchRun struct {
+	Label   string        `json:"label"`
+	Results []BenchResult `json:"results"`
+}
+
+// BenchResult is one benchmark's numbers in benchstat-equivalent units.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	MBPerS      float64 `json:"mb_per_s"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchTunnelThroughput measures multiplexed bulk throughput end to end:
+// four concurrent streams pushing 64 KiB writes through one session over
+// a memory WAN charging per-write latency, the regime where flush
+// coalescing pays. The body lives here so `go test -bench` (via the
+// repo-root wrapper) and `gridbench -json` measure the same thing.
+//
+// Writers are explicit goroutines sharing an op budget rather than
+// b.RunParallel, which spawns only GOMAXPROCS workers and exercises no
+// concurrency on a single-core machine.
+func BenchTunnelThroughput(b *testing.B) {
+	const (
+		streams = 4
+		frame   = 64 << 10
+		wanLat  = 100 * time.Microsecond
+	)
+	mem := transport.NewMemNetwork(transport.WithLatency(wanLat))
+	defer mem.Close()
+	ln, err := mem.Listen("peer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sessCh := make(chan *tunnel.Session, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sessCh <- tunnel.Server(conn, tunnel.Config{})
+	}()
+	conn, err := mem.Dial(ctx, "peer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := tunnel.Client(conn, tunnel.Config{})
+	defer client.Close()
+	server := <-sessCh
+	defer server.Close()
+	go func() {
+		for {
+			st, err := server.Accept(ctx)
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(io.Discard, st) }()
+		}
+	}()
+	sts := make([]*tunnel.Stream, streams)
+	for i := range sts {
+		st, err := client.Open(ctx, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sts[i] = st
+	}
+	payload := make([]byte, frame)
+	var ops atomic.Int64
+	ops.Store(int64(b.N))
+	var wg sync.WaitGroup
+	b.SetBytes(frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(st *tunnel.Stream) {
+			defer wg.Done()
+			for ops.Add(-1) >= 0 {
+				if _, err := st.Write(payload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(sts[i])
+	}
+	wg.Wait()
+}
+
+// BenchWireRoundTrip measures raw frame codec cost — one frame written
+// through the batched writer and read back through the pooled reader —
+// with no connection in the way.
+func BenchWireRoundTrip(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xA5}, 16<<10)
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	r := wire.NewReader(&buf)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteFrame(1, payload); err != nil {
+			b.Fatal(err)
+		}
+		f, err := r.ReadFramePooled()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire.PutPayload(f.Payload)
+	}
+}
+
+// tunnelBenchmarks names every benchmark captured into BENCH_tunnel.json.
+var tunnelBenchmarks = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"TunnelThroughput", BenchTunnelThroughput},
+	{"WireRoundTrip", BenchWireRoundTrip},
+}
+
+// TunnelBench runs the tunnel micro-benchmarks via testing.Benchmark and
+// returns them as one labeled run.
+func TunnelBench(label string) (BenchRun, error) {
+	run := BenchRun{Label: label}
+	for _, bench := range tunnelBenchmarks {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			return BenchRun{}, fmt.Errorf("benchmark %s failed", bench.name)
+		}
+		run.Results = append(run.Results, BenchResult{
+			Name:        bench.name,
+			MBPerS:      float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return run, nil
+}
+
+// WriteBenchFile captures a labeled benchmark run into the JSON artifact
+// at path, preserving runs already recorded under other labels (so a
+// "before" capture survives the "after" one) and replacing any run with
+// the same label.
+func WriteBenchFile(path, label string) (BenchRun, error) {
+	run, err := TunnelBench(label)
+	if err != nil {
+		return BenchRun{}, err
+	}
+	file, err := loadBenchFile(path)
+	if err != nil {
+		return BenchRun{}, err
+	}
+	mergeBenchRun(file, run)
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return BenchRun{}, err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return BenchRun{}, err
+	}
+	return run, nil
+}
+
+// loadBenchFile reads an existing artifact, or starts a fresh one if
+// path does not exist yet.
+func loadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &BenchFile{Schema: BenchSchema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var file BenchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if file.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, file.Schema, BenchSchema)
+	}
+	return &file, nil
+}
+
+// mergeBenchRun replaces the run sharing run's label, or appends.
+func mergeBenchRun(file *BenchFile, run BenchRun) {
+	for i := range file.Runs {
+		if file.Runs[i].Label == run.Label {
+			file.Runs[i] = run
+			return
+		}
+	}
+	file.Runs = append(file.Runs, run)
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchFileArtifact schema-checks the committed BENCH_tunnel.json:
+// both labeled runs present, every benchmark in each, values sane, and
+// the recorded "after" run actually clearing the data-path acceptance
+// bars (>=2x throughput, >=75% fewer allocations) relative to "before".
+func TestBenchFileArtifact(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_tunnel.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read committed artifact: %v", err)
+	}
+	var file BenchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if file.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", file.Schema, BenchSchema)
+	}
+
+	runs := map[string]BenchRun{}
+	for _, run := range file.Runs {
+		runs[run.Label] = run
+	}
+	for _, label := range []string{"before", "after"} {
+		run, ok := runs[label]
+		if !ok {
+			t.Fatalf("missing run %q", label)
+		}
+		byName := map[string]BenchResult{}
+		for _, res := range run.Results {
+			byName[res.Name] = res
+		}
+		for _, bench := range tunnelBenchmarks {
+			res, ok := byName[bench.name]
+			if !ok {
+				t.Fatalf("run %q missing benchmark %q", label, bench.name)
+			}
+			if res.MBPerS <= 0 || res.NsPerOp <= 0 {
+				t.Fatalf("run %q %s: non-positive numbers: %+v", label, bench.name, res)
+			}
+			if res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
+				t.Fatalf("run %q %s: negative alloc stats: %+v", label, bench.name, res)
+			}
+		}
+	}
+
+	// The headline acceptance bars, asserted against the committed file so
+	// a regressed re-capture fails CI rather than silently shipping.
+	find := func(label, name string) BenchResult {
+		for _, res := range runs[label].Results {
+			if res.Name == name {
+				return res
+			}
+		}
+		t.Fatalf("run %q missing %q", label, name)
+		return BenchResult{}
+	}
+	before := find("before", "TunnelThroughput")
+	after := find("after", "TunnelThroughput")
+	if after.MBPerS < 2*before.MBPerS {
+		t.Errorf("TunnelThroughput after = %.2f MB/s, want >= 2x before (%.2f MB/s)",
+			after.MBPerS, before.MBPerS)
+	}
+	if after.AllocsPerOp > before.AllocsPerOp/4 {
+		t.Errorf("TunnelThroughput after = %d allocs/op, want <= 25%% of before (%d)",
+			after.AllocsPerOp, before.AllocsPerOp)
+	}
+}
+
+// TestMergeBenchRun covers the artifact merge rules: append new labels,
+// replace an existing one in place, and reject foreign schemas on load.
+func TestMergeBenchRun(t *testing.T) {
+	file := &BenchFile{Schema: BenchSchema}
+	mergeBenchRun(file, BenchRun{Label: "before", Results: []BenchResult{{Name: "x", MBPerS: 1}}})
+	mergeBenchRun(file, BenchRun{Label: "after", Results: []BenchResult{{Name: "x", MBPerS: 2}}})
+	if len(file.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(file.Runs))
+	}
+	mergeBenchRun(file, BenchRun{Label: "after", Results: []BenchResult{{Name: "x", MBPerS: 3}}})
+	if len(file.Runs) != 2 {
+		t.Fatalf("replacing a label grew runs to %d", len(file.Runs))
+	}
+	if file.Runs[0].Label != "before" || file.Runs[1].Results[0].MBPerS != 3 {
+		t.Fatalf("replace did not keep order / update in place: %+v", file.Runs)
+	}
+}
+
+// TestLoadBenchFile covers the load paths the CLI depends on: a fresh
+// file when the artifact is absent, round-tripping an existing one, and
+// rejecting a schema mismatch.
+func TestLoadBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "absent.json")
+	file, err := loadBenchFile(missing)
+	if err != nil {
+		t.Fatalf("load absent: %v", err)
+	}
+	if file.Schema != BenchSchema || len(file.Runs) != 0 {
+		t.Fatalf("fresh file = %+v", file)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	payload, _ := json.Marshal(BenchFile{Schema: BenchSchema, Runs: []BenchRun{{Label: "before"}}})
+	if err := os.WriteFile(good, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	file, err = loadBenchFile(good)
+	if err != nil {
+		t.Fatalf("load existing: %v", err)
+	}
+	if len(file.Runs) != 1 || file.Runs[0].Label != "before" {
+		t.Fatalf("round trip = %+v", file)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBenchFile(bad); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

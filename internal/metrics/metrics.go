@@ -199,6 +199,19 @@ const (
 	// StreamsOpened counts logical streams opened through tunnels.
 	StreamsOpened = "tunnel.streams"
 
+	// TunnelFlushes counts underlying connection writes issued by the
+	// batched tunnel frame writer (one per non-empty lane per flush).
+	TunnelFlushes = "tunnel.flush.writes"
+	// TunnelFlushBytes counts wire bytes (frame headers included) those
+	// flushes carried.
+	TunnelFlushBytes = "tunnel.flush.bytes"
+	// TunnelBatchFrames counts frames coalesced into tunnel flushes;
+	// divide by TunnelFlushes for the achieved batching factor.
+	TunnelBatchFrames = "tunnel.batch.frames"
+	// TunnelBatchControl counts the subset of batched frames that rode
+	// the control (priority) lane.
+	TunnelBatchControl = "tunnel.batch.control"
+
 	// Peer-lifecycle gauges: how many supervised links currently occupy
 	// each state of the machine (see internal/peerlink).
 	PeersConnecting  = "gauge.peer.connecting"

@@ -182,19 +182,24 @@ func (w *World) readLoop(conn net.Conn) {
 		delete(w.accepted, conn)
 		w.mu.Unlock()
 	}()
+	// Frames are read through the wire payload pool; this loop is the
+	// single owner of each lease and releases it once the fields it keeps
+	// (Buffer.Bytes copies the message body) are extracted.
 	r := wire.NewReader(conn)
-	frame, err := r.ReadFrame()
+	frame, err := r.ReadFramePooled()
 	if err != nil || frame.Type != frameHello || len(frame.Payload) < 4 {
+		wire.PutPayload(frame.Payload)
 		w.log.Warn("mpi: bad hello", "rank", w.rank, "err", err)
 		return
 	}
 	from := int(wire.NewBuffer(frame.Payload).Uint32())
+	wire.PutPayload(frame.Payload)
 	if from < 0 || from >= w.size {
 		w.log.Warn("mpi: hello from invalid rank", "rank", w.rank, "from", from)
 		return
 	}
 	for {
-		frame, err := r.ReadFrame()
+		frame, err := r.ReadFramePooled()
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				w.log.Debug("mpi: read loop end", "rank", w.rank, "from", from, "err", err)
@@ -202,6 +207,7 @@ func (w *World) readLoop(conn net.Conn) {
 			return
 		}
 		if frame.Type != frameMsg {
+			wire.PutPayload(frame.Payload)
 			w.log.Warn("mpi: unexpected frame", "rank", w.rank, "type", frame.Type)
 			return
 		}
@@ -209,7 +215,9 @@ func (w *World) readLoop(conn net.Conn) {
 		msgFrom := int(buf.Uint32())
 		tag := int(buf.Int64())
 		data := buf.Bytes()
-		if buf.Err() != nil || msgFrom != from {
+		corrupt := buf.Err() != nil || msgFrom != from
+		wire.PutPayload(frame.Payload)
+		if corrupt {
 			w.log.Warn("mpi: corrupt message", "rank", w.rank, "from", from)
 			return
 		}
@@ -284,11 +292,14 @@ func (w *World) send(ctx context.Context, to, tag int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	payload := make([]byte, 0, 12+len(data))
-	payload = wire.AppendUint32(payload, uint32(w.rank))
-	payload = wire.AppendInt64(payload, int64(tag))
-	payload = wire.AppendBytes(payload, data)
-	if err := sc.w.WriteFrame(frameMsg, payload); err != nil {
+	// Gather header and body straight into the writer's coalescing
+	// buffer: rank + tag + uvarint length fit a small stack prefix, and
+	// the message body is never copied into an intermediate payload.
+	var hb [22]byte
+	hdr := wire.AppendUint32(hb[:0], uint32(w.rank))
+	hdr = wire.AppendInt64(hdr, int64(tag))
+	hdr = binary.AppendUvarint(hdr, uint64(len(data)))
+	if err := sc.w.WriteFramev(frameMsg, hdr, data); err != nil {
 		return fmt.Errorf("mpi: rank %d send to %d: %w", w.rank, to, err)
 	}
 	return nil

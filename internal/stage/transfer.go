@@ -140,9 +140,18 @@ func statusFrame(status byte, size int64) []byte {
 	return wire.AppendInt64(out, size)
 }
 
-// serveGet streams the requested range as checksummed chunks. Each
-// chunk goes out as a single Write so fault injection can corrupt a
-// chunk without desynchronizing the framing.
+// bufferWriter is the vectored write surface a tunnel stream exposes:
+// the segments are gathered into frames without an intermediate copy.
+type bufferWriter interface {
+	WriteBuffers(segs ...[]byte) (int64, error)
+}
+
+// serveGet streams the requested range as checksummed chunks. When the
+// connection supports vectored writes (a bare tunnel stream), the chunk
+// header and payload are gathered straight from the store's blob with no
+// assembly copy. Otherwise each chunk is assembled and sent as a single
+// Write so fault-injection wrappers (which see the conn interface only)
+// can corrupt a chunk without desynchronizing the framing.
 func serveGet(conn net.Conn, store *Store, cfg Config, reg *metrics.Registry, hash string, offset, length int64, chunk int) error {
 	data, ok := store.Get(hash)
 	if !ok {
@@ -162,7 +171,12 @@ func serveGet(conn net.Conn, store *Store, cfg Config, reg *metrics.Registry, ha
 	if err := writeFrame(conn, cfg.IdleTimeout, statusFrame(statusOK, size)); err != nil {
 		return err
 	}
-	frame := make([]byte, 0, 4+sha256.Size+chunk)
+	bw, _ := conn.(bufferWriter)
+	var frame []byte
+	if bw == nil {
+		frame = make([]byte, 0, 4+sha256.Size+chunk)
+	}
+	var chdr [4 + sha256.Size]byte
 	for pos := offset; pos < end; {
 		n := int64(chunk)
 		if pos+n > end {
@@ -170,13 +184,21 @@ func serveGet(conn net.Conn, store *Store, cfg Config, reg *metrics.Registry, ha
 		}
 		payload := data[pos : pos+n]
 		sum := sha256.Sum256(payload)
-		frame = frame[:0]
-		frame = binary.BigEndian.AppendUint32(frame, uint32(n))
-		frame = append(frame, sum[:]...)
-		frame = append(frame, payload...)
 		armWrite(conn, cfg.IdleTimeout)
-		if _, err := conn.Write(frame); err != nil {
-			return err
+		if bw != nil {
+			binary.BigEndian.PutUint32(chdr[:4], uint32(n))
+			copy(chdr[4:], sum[:])
+			if _, err := bw.WriteBuffers(chdr[:], payload); err != nil {
+				return err
+			}
+		} else {
+			frame = frame[:0]
+			frame = binary.BigEndian.AppendUint32(frame, uint32(n))
+			frame = append(frame, sum[:]...)
+			frame = append(frame, payload...)
+			if _, err := conn.Write(frame); err != nil {
+				return err
+			}
 		}
 		reg.Counter(metrics.StageBytesSent).Add(n)
 		pos += n

@@ -32,8 +32,11 @@ type Stream struct {
 	recvEOF  bool
 	recvErr  error
 	// pendingCredit accumulates consumed bytes until a WINDOW grant is
-	// worth sending (half the window).
+	// worth sending (half the window). grantInFlight marks the single
+	// reader currently out of the lock sending a grant; others keep
+	// accumulating instead of double-granting the same credit.
 	pendingCredit int
+	grantInFlight bool
 	readDeadline  time.Time
 
 	// Send side.
@@ -125,32 +128,50 @@ func (st *Stream) closeWithError(err error) {
 // and all buffered data is consumed.
 func (st *Stream) Read(p []byte) (int, error) {
 	st.recvMu.Lock()
-	defer st.recvMu.Unlock()
 	for st.recvBuf.Len() == 0 {
 		if st.recvErr != nil {
+			st.recvMu.Unlock()
 			return 0, st.recvErr
 		}
 		if st.recvEOF {
+			st.recvMu.Unlock()
 			return 0, io.EOF
 		}
 		if !st.waitRecv() {
+			st.recvMu.Unlock()
 			return 0, os.ErrDeadlineExceeded
 		}
 	}
 	n, _ := st.recvBuf.Read(p)
 	st.pendingCredit += n
-	// Replenish the peer's window once we've consumed half of it; doing
-	// it per-read would double frame volume.
-	if st.pendingCredit >= st.session.cfg.Window/2 {
+	st.recvMu.Unlock()
+	st.sendPendingGrant()
+	return n, nil
+}
+
+// sendPendingGrant replenishes the peer's window once half of it has been
+// consumed (granting per-read would double frame volume). Credit
+// accounting has a single owner: whichever reader flips grantInFlight
+// sends the accumulated credit outside the lock; concurrent readers keep
+// accumulating rather than banking the same credit twice, and the loop
+// re-checks after each send so credit accumulated meanwhile is never
+// stranded.
+func (st *Stream) sendPendingGrant() {
+	st.recvMu.Lock()
+	for st.recvErr == nil && !st.grantInFlight &&
+		st.pendingCredit >= st.session.cfg.Window/2 {
 		credit := st.pendingCredit
 		st.pendingCredit = 0
+		st.grantInFlight = true
 		st.recvMu.Unlock()
-		payload := wire.AppendUint32(nil, st.id)
+		var buf [8]byte
+		payload := wire.AppendUint32(buf[:0], st.id)
 		payload = wire.AppendUint32(payload, uint32(credit))
-		_ = st.session.w.WriteFrame(frameWINDOW, payload)
+		_ = st.session.w.WriteControl(frameWINDOW, payload)
 		st.recvMu.Lock()
+		st.grantInFlight = false
 	}
-	return n, nil
+	st.recvMu.Unlock()
 }
 
 // waitRecv blocks until recvCond is signaled or the read deadline passes.
@@ -176,45 +197,102 @@ func (st *Stream) waitRecv() bool {
 }
 
 // Write implements net.Conn. Data is segmented into DATA frames and paced
-// by the peer's receive window.
+// by the peer's receive window. Each segment is gathered straight from p
+// into the writer's coalescing buffer — no intermediate payload slice.
 func (st *Stream) Write(p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
-		st.sendMu.Lock()
-		for st.sendWindow == 0 && !st.sendClosed {
-			if !st.waitSend() {
-				st.sendMu.Unlock()
-				return total, os.ErrDeadlineExceeded
-			}
-		}
-		if st.sendClosed {
-			err := st.sendErr
-			st.sendMu.Unlock()
-			if err == nil {
-				err = ErrStreamClosed
-			}
+		n, err := st.reserveSend(len(p))
+		if err != nil {
 			return total, err
 		}
-		n := len(p)
-		if n > st.sendWindow {
-			n = st.sendWindow
-		}
-		if n > maxSegment {
-			n = maxSegment
-		}
-		st.sendWindow -= n
-		st.sendMu.Unlock()
-
-		payload := make([]byte, 0, 4+n)
-		payload = wire.AppendUint32(payload, st.id)
-		payload = append(payload, p[:n]...)
-		if err := st.session.w.WriteFrame(frameDATA, payload); err != nil {
+		var hdr [4]byte
+		if err := st.session.w.WriteFramev(frameDATA,
+			wire.AppendUint32(hdr[:0], st.id), p[:n]); err != nil {
 			return total, st.session.fail(fmt.Errorf("tunnel: send DATA: %w", err))
 		}
 		total += n
 		p = p[n:]
 	}
 	return total, nil
+}
+
+// WriteBuffers writes the concatenation of segs as stream data without
+// assembling them into one contiguous slice first (net.Buffers-style):
+// each DATA frame gathers directly from as many segments as fit, so small
+// prefixes (length fields, checksums) ride in the same frame as the bulk
+// payload that follows them. Frame boundaries fall exactly as if the
+// segments had been written back-to-back with Write.
+func (st *Stream) WriteBuffers(segs ...[]byte) (int64, error) {
+	remaining := 0
+	for _, seg := range segs {
+		remaining += len(seg)
+	}
+	var total int64
+	parts := make([][]byte, 1, len(segs)+1)
+	var hdr [4]byte
+	i, off := 0, 0
+	for remaining > 0 {
+		n, err := st.reserveSend(remaining)
+		if err != nil {
+			return total, err
+		}
+		// The writer copies every part into its coalescing buffer before
+		// returning, so hdr and parts can be reused per frame.
+		parts = parts[:1]
+		parts[0] = wire.AppendUint32(hdr[:0], st.id)
+		for k := n; k > 0; {
+			seg := segs[i][off:]
+			if len(seg) == 0 {
+				i, off = i+1, 0
+				continue
+			}
+			take := len(seg)
+			if take > k {
+				take = k
+			}
+			parts = append(parts, seg[:take])
+			off += take
+			k -= take
+		}
+		if err := st.session.w.WriteFramev(frameDATA, parts...); err != nil {
+			return total, st.session.fail(fmt.Errorf("tunnel: send DATA: %w", err))
+		}
+		total += int64(n)
+		remaining -= n
+	}
+	return total, nil
+}
+
+// reserveSend blocks until at least one byte of send-window credit is
+// available and claims up to want bytes (capped by the window and the
+// segment size), or fails if the stream is closed or the deadline passes.
+func (st *Stream) reserveSend(want int) (int, error) {
+	st.sendMu.Lock()
+	for st.sendWindow == 0 && !st.sendClosed {
+		if !st.waitSend() {
+			st.sendMu.Unlock()
+			return 0, os.ErrDeadlineExceeded
+		}
+	}
+	if st.sendClosed {
+		err := st.sendErr
+		st.sendMu.Unlock()
+		if err == nil {
+			err = ErrStreamClosed
+		}
+		return 0, err
+	}
+	n := want
+	if n > st.sendWindow {
+		n = st.sendWindow
+	}
+	if n > maxSegment {
+		n = maxSegment
+	}
+	st.sendWindow -= n
+	st.sendMu.Unlock()
+	return n, nil
 }
 
 // waitSend blocks until window credit arrives or the write deadline passes.

@@ -20,7 +20,7 @@ import (
 	"io"
 	"net"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/wire"
@@ -97,11 +97,20 @@ type Session struct {
 	cfg  Config
 	w    *wire.Writer
 
-	mu      sync.Mutex
-	streams map[uint32]*Stream
-	nextID  uint32
-	err     error
-	closed  bool
+	// table holds live streams; frame dispatch looks streams up through
+	// it without touching s.mu (which guards only the cold state below).
+	table *streamTable
+	// Hot-path counters resolved once at session setup; the registry map
+	// lookup is too expensive per DATA frame.
+	bytesTunneled *metrics.Counter
+	streamsOpened *metrics.Counter
+	// pingSeq generates unique probe nonces.
+	pingSeq atomic.Uint64
+
+	mu     sync.Mutex
+	nextID uint32
+	err    error
+	closed bool
 
 	acceptCh chan *Stream
 	done     chan struct{}
@@ -118,15 +127,28 @@ func Server(conn net.Conn, cfg Config) *Session { return newSession(conn, cfg, 2
 func newSession(conn net.Conn, cfg Config, firstID uint32) *Session {
 	cfg = cfg.withDefaults()
 	s := &Session{
-		conn:     conn,
-		cfg:      cfg,
-		w:        wire.NewWriter(conn),
-		streams:  make(map[uint32]*Stream),
-		nextID:   firstID,
-		acceptCh: make(chan *Stream, cfg.AcceptBacklog),
-		done:     make(chan struct{}),
-		pongs:    make(map[uint64]chan struct{}),
+		conn:          conn,
+		cfg:           cfg,
+		table:         newStreamTable(),
+		bytesTunneled: cfg.Metrics.Counter(metrics.BytesTunneled),
+		streamsOpened: cfg.Metrics.Counter(metrics.StreamsOpened),
+		nextID:        firstID,
+		acceptCh:      make(chan *Stream, cfg.AcceptBacklog),
+		done:          make(chan struct{}),
+		pongs:         make(map[uint64]chan struct{}),
 	}
+	flushes := cfg.Metrics.Counter(metrics.TunnelFlushes)
+	flushBytes := cfg.Metrics.Counter(metrics.TunnelFlushBytes)
+	batchFrames := cfg.Metrics.Counter(metrics.TunnelBatchFrames)
+	batchControl := cfg.Metrics.Counter(metrics.TunnelBatchControl)
+	s.w = wire.NewWriterOpts(conn, wire.Options{
+		Observer: func(fs wire.FlushStats) {
+			flushes.Add(int64(fs.Writes))
+			flushBytes.Add(int64(fs.Bytes))
+			batchFrames.Add(int64(fs.Frames))
+			batchControl.Add(int64(fs.Control))
+		},
+	})
 	//lint:allow-leak readLoop is supervised by the connection, not a
 	// context: Close (and any peer disconnect) closes conn, the blocked
 	// ReadFrame fails, and the loop exits.
@@ -147,20 +169,28 @@ func (s *Session) Open(ctx context.Context, meta []byte) (*Stream, error) {
 		}
 		return nil, err
 	}
-	if len(s.streams) >= s.cfg.MaxStreams {
-		s.mu.Unlock()
-		return nil, ErrTooManyStreams
-	}
 	id := s.nextID
 	s.nextID += 2
-	st := newStream(s, id)
-	s.streams[id] = st
 	s.mu.Unlock()
+
+	st := newStream(s, id)
+	if err := s.table.insert(id, st, s.cfg.MaxStreams); err != nil {
+		return nil, err
+	}
+	// Re-check closed now that the stream is visible: a concurrent
+	// shutdown either sees the stream in its snapshot or we clean up here.
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		s.table.remove(id)
+		return nil, s.closeErr()
+	}
 
 	payload := make([]byte, 0, 4+len(meta))
 	payload = wire.AppendUint32(payload, id)
 	payload = append(payload, meta...)
-	if err := s.w.WriteFrame(frameSYN, payload); err != nil {
+	if err := s.w.WriteControl(frameSYN, payload); err != nil {
 		s.removeStream(id)
 		return nil, s.fail(fmt.Errorf("tunnel: send SYN: %w", err))
 	}
@@ -170,7 +200,7 @@ func (s *Session) Open(ctx context.Context, meta []byte) (*Stream, error) {
 			s.removeStream(id)
 			return nil, ErrStreamRefused
 		}
-		s.cfg.Metrics.Counter(metrics.StreamsOpened).Inc()
+		s.streamsOpened.Inc()
 		return st, nil
 	case <-ctx.Done():
 		_ = st.Close()
@@ -198,9 +228,13 @@ func (s *Session) Accept(ctx context.Context) (*Stream, error) {
 	}
 }
 
-// Ping round-trips a probe through the peer.
+// Ping round-trips a probe through the peer. It rides the control lane,
+// so it measures peer liveness rather than bulk-queue depth.
 func (s *Session) Ping(ctx context.Context) error {
-	nonce := uint64(time.Now().UnixNano())
+	// A session-scoped sequence makes nonces collision-free; wall-clock
+	// nonces collided for concurrent pings within one clock tick, leaving
+	// one caller waiting for a pong that was consumed by the other.
+	nonce := s.pingSeq.Add(1)
 	ch := make(chan struct{}, 1)
 	s.mu.Lock()
 	if s.closed {
@@ -214,7 +248,7 @@ func (s *Session) Ping(ctx context.Context) error {
 		delete(s.pongs, nonce)
 		s.mu.Unlock()
 	}()
-	if err := s.w.WriteFrame(framePING, wire.AppendUint64(nil, nonce)); err != nil {
+	if err := s.w.WriteControl(framePING, wire.AppendUint64(nil, nonce)); err != nil {
 		return s.fail(fmt.Errorf("tunnel: send PING: %w", err))
 	}
 	select {
@@ -228,11 +262,7 @@ func (s *Session) Ping(ctx context.Context) error {
 }
 
 // NumStreams returns the number of currently open streams.
-func (s *Session) NumStreams() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.streams)
-}
+func (s *Session) NumStreams() int { return s.table.len() }
 
 // Close shuts the session down: all streams fail, the underlying
 // connection is closed.
@@ -271,17 +301,16 @@ func (s *Session) fail(err error) error {
 func (s *Session) shutdown(err error, sendGoaway bool) error {
 	s.closeOne.Do(func() {
 		if sendGoaway {
-			_ = s.w.WriteFrame(frameGOAWAY, nil)
+			_ = s.w.WriteControl(frameGOAWAY, nil)
 		}
 		s.mu.Lock()
 		s.closed = true
 		s.err = err
-		streams := make([]*Stream, 0, len(s.streams))
-		for _, st := range s.streams {
-			streams = append(streams, st)
-		}
 		s.mu.Unlock()
-		for _, st := range streams {
+		// Snapshot only after the closed flag is visible: an Open or
+		// handleSYN that missed the flag has already inserted its stream
+		// (so it appears here); one that saw it cleans up after itself.
+		for _, st := range s.table.snapshot() {
 			st.closeWithError(err)
 		}
 		close(s.done)
@@ -290,23 +319,18 @@ func (s *Session) shutdown(err error, sendGoaway bool) error {
 	return nil
 }
 
-func (s *Session) removeStream(id uint32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.streams, id)
-}
+func (s *Session) removeStream(id uint32) { s.table.remove(id) }
 
-func (s *Session) lookup(id uint32) *Stream {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.streams[id]
-}
-
-// readLoop dispatches inbound frames until the connection dies.
+// readLoop dispatches inbound frames until the connection dies. It reads
+// through the wire payload pool: the loop is the single owner of each
+// leased payload — every dispatch path that keeps bytes copies them before
+// returning (deliver copies into the recv buffer, handleSYN copies meta,
+// the PONG echo is coalesced into the writer before WriteControl returns)
+// — so the lease is released here, unconditionally, after dispatch.
 func (s *Session) readLoop() {
 	r := wire.NewReader(s.conn)
 	for {
-		frame, err := r.ReadFrame()
+		frame, err := r.ReadFramePooled()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				_ = s.shutdown(ErrSessionClosed, false)
@@ -315,8 +339,10 @@ func (s *Session) readLoop() {
 			}
 			return
 		}
-		if err := s.dispatch(frame); err != nil {
-			_ = s.shutdown(err, false)
+		derr := s.dispatch(frame)
+		wire.PutPayload(frame.Payload)
+		if derr != nil {
+			_ = s.shutdown(derr, false)
 			return
 		}
 	}
@@ -325,7 +351,7 @@ func (s *Session) readLoop() {
 func (s *Session) dispatch(frame wire.Frame) error {
 	switch frame.Type {
 	case framePING:
-		return s.w.WriteFrame(framePONG, frame.Payload)
+		return s.w.WriteControl(framePONG, frame.Payload)
 	case framePONG:
 		if len(frame.Payload) >= 8 {
 			nonce := wire.NewBuffer(frame.Payload).Uint64()
@@ -355,33 +381,33 @@ func (s *Session) dispatch(frame wire.Frame) error {
 	case frameSYN:
 		return s.handleSYN(id, rest)
 	case frameSYNACK:
-		if st := s.lookup(id); st != nil {
+		if st := s.table.get(id); st != nil {
 			st.notifyOpen(true)
 		}
 		return nil
 	case frameRST:
-		if st := s.lookup(id); st != nil {
+		if st := s.table.get(id); st != nil {
 			st.notifyOpen(false)
 			st.closeWithError(ErrStreamClosed)
 			s.removeStream(id)
 		}
 		return nil
 	case frameDATA:
-		st := s.lookup(id)
+		st := s.table.get(id)
 		if st == nil {
 			// Stream already gone; drop silently (late data after
 			// local close is normal).
 			return nil
 		}
-		s.cfg.Metrics.Counter(metrics.BytesTunneled).Add(int64(len(rest)))
+		s.bytesTunneled.Add(int64(len(rest)))
 		return st.deliver(rest)
 	case frameFIN:
-		if st := s.lookup(id); st != nil {
+		if st := s.table.get(id); st != nil {
 			st.deliverEOF()
 		}
 		return nil
 	case frameWINDOW:
-		if st := s.lookup(id); st != nil && len(rest) >= 4 {
+		if st := s.table.get(id); st != nil && len(rest) >= 4 {
 			delta := wire.NewBuffer(rest).Uint32()
 			st.grantSendWindow(int(delta))
 		}
@@ -392,32 +418,32 @@ func (s *Session) dispatch(frame wire.Frame) error {
 }
 
 func (s *Session) handleSYN(id uint32, meta []byte) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	if _, dup := s.streams[id]; dup {
-		s.mu.Unlock()
-		return fmt.Errorf("tunnel: duplicate SYN for stream %d", id)
-	}
-	if len(s.streams) >= s.cfg.MaxStreams {
-		s.mu.Unlock()
-		return s.w.WriteFrame(frameRST, wire.AppendUint32(nil, id))
-	}
 	st := newStream(s, id)
 	st.meta = append([]byte(nil), meta...)
 	st.accepted = true
-	s.streams[id] = st
+	switch err := s.table.insert(id, st, s.cfg.MaxStreams); {
+	case errors.Is(err, errDuplicateStream):
+		return fmt.Errorf("tunnel: duplicate SYN for stream %d", id)
+	case errors.Is(err, ErrTooManyStreams):
+		return s.w.WriteControl(frameRST, wire.AppendUint32(nil, id))
+	}
+	// Same closed re-check as Open: either the shutdown snapshot saw our
+	// insert, or we saw the flag and unwind.
+	s.mu.Lock()
+	closed := s.closed
 	s.mu.Unlock()
+	if closed {
+		s.table.remove(id)
+		return nil
+	}
 
 	select {
 	case s.acceptCh <- st:
-		s.cfg.Metrics.Counter(metrics.StreamsOpened).Inc()
-		return s.w.WriteFrame(frameSYNACK, wire.AppendUint32(nil, id))
+		s.streamsOpened.Inc()
+		return s.w.WriteControl(frameSYNACK, wire.AppendUint32(nil, id))
 	default:
 		// Backlog full: refuse.
 		s.removeStream(id)
-		return s.w.WriteFrame(frameRST, wire.AppendUint32(nil, id))
+		return s.w.WriteControl(frameRST, wire.AppendUint32(nil, id))
 	}
 }

@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync"
 )
 
 // Magic is the first byte of every gridproxy frame ('G' for grid).
@@ -57,41 +56,6 @@ type Frame struct {
 	Payload []byte
 }
 
-// Writer writes frames to an underlying io.Writer. It is safe for
-// concurrent use; each WriteFrame is atomic with respect to other calls.
-type Writer struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	hdr [headerSize]byte
-}
-
-// NewWriter wraps w in a frame writer.
-func NewWriter(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriterSize(w, 32<<10)}
-}
-
-// WriteFrame writes one frame and flushes it.
-func (w *Writer) WriteFrame(frameType byte, payload []byte) error {
-	if len(payload) > MaxPayload {
-		return ErrFrameTooLarge
-	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.hdr[0] = magicByte
-	w.hdr[1] = frameType
-	binary.BigEndian.PutUint32(w.hdr[2:], uint32(len(payload)))
-	if _, err := w.bw.Write(w.hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if _, err := w.bw.Write(payload); err != nil {
-		return fmt.Errorf("wire: write payload: %w", err)
-	}
-	if err := w.bw.Flush(); err != nil {
-		return fmt.Errorf("wire: flush: %w", err)
-	}
-	return nil
-}
-
 // Reader reads frames from an underlying io.Reader. It is not safe for
 // concurrent use; protocols own a single read loop per connection.
 type Reader struct {
@@ -112,6 +76,20 @@ func (r *Reader) Raw() io.Reader { return r.br }
 // ReadFrame reads the next frame. The returned payload is freshly
 // allocated and owned by the caller.
 func (r *Reader) ReadFrame() (Frame, error) {
+	return r.readFrame(false)
+}
+
+// ReadFramePooled reads the next frame into a payload buffer leased from
+// the package payload pool (when the frame fits; oversized frames fall back
+// to a fresh allocation). Ownership of the payload transfers to the caller,
+// who must hand it back with PutPayload exactly once when done with it —
+// including on decode-and-drop paths. After PutPayload the slice contents
+// may be overwritten by an unrelated frame at any time.
+func (r *Reader) ReadFramePooled() (Frame, error) {
+	return r.readFrame(true)
+}
+
+func (r *Reader) readFrame(pooled bool) (Frame, error) {
 	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return Frame{}, io.EOF
@@ -125,8 +103,16 @@ func (r *Reader) ReadFrame() (Frame, error) {
 	if length > MaxPayload {
 		return Frame{}, ErrFrameTooLarge
 	}
-	payload := make([]byte, length)
+	var payload []byte
+	if pooled {
+		payload = GetPayload(int(length))
+	} else {
+		payload = make([]byte, length)
+	}
 	if _, err := io.ReadFull(r.br, payload); err != nil {
+		if pooled {
+			PutPayload(payload)
+		}
 		return Frame{}, fmt.Errorf("wire: read payload: %w", err)
 	}
 	return Frame{Type: r.hdr[1], Payload: payload}, nil
