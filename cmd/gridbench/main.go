@@ -18,6 +18,13 @@ import (
 	"gridproxy/internal/experiments"
 )
 
+// e11Sites overrides E11's default N sweep with a single grid size; the
+// CI smoke step runs `-exp e11 -e11n 64` so a convergence regression
+// fails the build without paying for the N=1000 acceptance run. E11
+// itself enforces its round budget: exceeding it is an error, not a
+// table row.
+var e11Sites = flag.Int("e11n", 0, "run E11 at this single grid size instead of its default sweep")
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "gridbench:", err)
@@ -70,6 +77,14 @@ var runners = []struct {
 	{"e10", "data plane: striped cross-site staging, cold vs warm", func() (experiments.Table, error) {
 		rows, err := experiments.E10(experiments.DefaultE10())
 		return experiments.E10Table(rows), err
+	}},
+	{"e11", "control-plane scaling: gossip directory vs all-pairs", func() (experiments.Table, error) {
+		cfg := experiments.DefaultE11()
+		if *e11Sites > 0 {
+			cfg.Ns = []int{*e11Sites}
+		}
+		rows, err := experiments.E11(cfg)
+		return experiments.E11Table(rows), err
 	}},
 }
 
@@ -124,7 +139,7 @@ func run() error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiment matched %q (use -list to see e1..e10)", *exp)
+		return fmt.Errorf("no experiment matched %q (use -list to see e1..e11)", *exp)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	gridctl -proxy 127.0.0.1:7200 -user alice -password secret status
+//	gridctl ... members                        # membership directory: state, summary age, tunnel held
 //	gridctl ... submit -program pi -procs 8 -args 1000000
 //	gridctl ... wait -job <id>
 //	gridctl ... cancel <id>
@@ -52,7 +53,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: gridctl [flags] ping|status|submit|wait|cancel|jobs|outputs|resources|put|get|stat|tunnel")
+		return fmt.Errorf("usage: gridctl [flags] ping|status|members|submit|wait|cancel|jobs|outputs|resources|put|get|stat|tunnel")
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -102,6 +103,30 @@ func run() error {
 		for _, s := range summaries {
 			fmt.Printf("%-10s %6d %4d %10.1f %12d %12d %8.2f %6d\n",
 				s.Site, s.Nodes, s.NodesUp, s.CPUFreePct, s.RAMFreeMB, s.DiskFreeMB, s.Load1, s.RunningProcs)
+		}
+		return nil
+
+	case "members":
+		if err := login(); err != nil {
+			return err
+		}
+		members, err := client.Members(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %-8s %5s %12s %7s  %s\n",
+			"SITE", "STATE", "INC", "SUMMARY AGE", "TUNNEL", "ADDR")
+		for _, m := range members {
+			age := "-"
+			if m.HasSummary {
+				age = m.SummaryAge.Round(time.Millisecond).String()
+			}
+			tunnel := "n"
+			if m.Tunnel {
+				tunnel = "y"
+			}
+			fmt.Printf("%-10s %-8s %5d %12s %7s  %s\n",
+				m.Site, m.State, m.Incarnation, age, tunnel, m.Addr)
 		}
 		return nil
 

@@ -31,6 +31,21 @@
 //	status_ttl        = 0           # serve cached global status this fresh
 //	                                 # (0 disables caching)
 //
+// Membership/gossip knobs (all optional; see core.GossipConfig and
+// peerlink.CacheConfig defaults). With gossip on, `peers` only needs ONE
+// bootstrap entry: the directory learns every other site epidemically
+// and tunnels are dialed on demand.
+//
+//	gossip_interval   = 1s          # gossip round period (negative disables)
+//	summary_every     = 15s         # local status republication cadence
+//	gossip_fanout     = 3           # targets per round
+//	suspect_after     = 60s         # silence before an entry turns suspect
+//	dead_after        = 30s         # unrefuted suspicion before dead
+//	dead_retention    = 5m          # how long dead entries keep gossiping
+//	max_tunnels       = 32          # live-tunnel LRU cap (negative unlimited)
+//	idle_close        = 2m          # close tunnels idle this long
+//	                                 # (negative disables)
+//
 // Job-lifecycle knobs (all optional; see internal/core defaults):
 //
 //	orphan_grace      = 45s         # reap hosted apps whose origin link
@@ -129,6 +144,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	gossip, peerCache, err := gossipFromConfig(cfg)
+	if err != nil {
+		return err
+	}
 	stagecfg, err := stageFromConfig(cfg)
 	if err != nil {
 		return err
@@ -147,6 +166,8 @@ func run() error {
 		Users:     users,
 		Policy:    policy,
 		Lifecycle: lifecycle,
+		Gossip:    gossip,
+		PeerCache: peerCache,
 		Jobs:      jobs,
 		Stage:     stagecfg,
 		Metrics:   reg,
@@ -268,6 +289,40 @@ func lifecycleFromConfig(cfg *config.Config) (peerlink.Config, error) {
 		return lc, err
 	}
 	return lc, nil
+}
+
+// gossipFromConfig reads the membership-gossip and connection-cache
+// knobs. Absent keys stay zero so the GossipConfig / CacheConfig
+// defaults apply; negative values disable the mechanism.
+func gossipFromConfig(cfg *config.Config) (core.GossipConfig, peerlink.CacheConfig, error) {
+	var gc core.GossipConfig
+	var cc peerlink.CacheConfig
+	var err error
+	if gc.Interval, err = cfg.Duration("gossip_interval", 0); err != nil {
+		return gc, cc, err
+	}
+	if gc.SummaryEvery, err = cfg.Duration("summary_every", 0); err != nil {
+		return gc, cc, err
+	}
+	if gc.Fanout, err = cfg.Int("gossip_fanout", 0); err != nil {
+		return gc, cc, err
+	}
+	if gc.SuspectAfter, err = cfg.Duration("suspect_after", 0); err != nil {
+		return gc, cc, err
+	}
+	if gc.DeadAfter, err = cfg.Duration("dead_after", 0); err != nil {
+		return gc, cc, err
+	}
+	if gc.DeadRetention, err = cfg.Duration("dead_retention", 0); err != nil {
+		return gc, cc, err
+	}
+	if cc.MaxTunnels, err = cfg.Int("max_tunnels", 0); err != nil {
+		return gc, cc, err
+	}
+	if cc.IdleClose, err = cfg.Duration("idle_close", 0); err != nil {
+		return gc, cc, err
+	}
+	return gc, cc, nil
 }
 
 // stageFromConfig reads the data-plane knobs. Absent keys stay zero so

@@ -228,10 +228,13 @@ func (p *Proxy) forwardToSite(conn net.Conn, appID string, loc rankLoc, rank int
 		p.splice(conn, local)
 		return nil
 	}
-	pr, err := p.peerBySite(loc.site)
+	pr, err := p.peerFor(p.ctx, loc.site)
 	if err != nil {
 		return err
 	}
+	// The checkout covers the stream-open window only; once the stream
+	// exists its lifetime is the splice's problem, not the cache's.
+	defer p.releasePeer(pr)
 	open := &proto.StreamOpen{
 		AppID:      appID,
 		TargetNode: loc.node,
@@ -330,10 +333,11 @@ func (p *Proxy) OpenTunnel(ctx context.Context, user, appID, targetSite, targetA
 	if err := p.users.Allowed(user, "tunnel", "site:"+targetSite); err != nil {
 		return nil, err
 	}
-	pr, err := p.peerBySite(targetSite)
+	pr, err := p.peerFor(ctx, targetSite)
 	if err != nil {
 		return nil, err
 	}
+	defer p.releasePeer(pr)
 	open := &proto.StreamOpen{
 		AppID:      appID,
 		TargetAddr: targetAddr,

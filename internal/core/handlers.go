@@ -4,10 +4,38 @@ import (
 	"context"
 	"errors"
 
+	"gridproxy/internal/membership"
 	"gridproxy/internal/monitor"
 	"gridproxy/internal/proto"
 	"gridproxy/internal/registry"
 )
+
+// handleSessionControl wraps handleControl with the identity of the
+// session a message arrived on, so session-scoped messages act on that
+// tunnel. PeerBye is the only such message: the remote is about to close
+// this session for reasons unrelated to site health (LRU eviction, idle
+// close), so the close must read as expected, not as failure evidence.
+func (p *Proxy) handleSessionControl(ctx context.Context, pr *peer, msg proto.Message) (proto.Body, error) {
+	if msg.Code != proto.CodePeerBye {
+		return p.handleControl(ctx, msg)
+	}
+	body, err := proto.Unmarshal(msg)
+	if err != nil {
+		return nil, badRequest("undecodable message: %v", err)
+	}
+	bye, ok := body.(*proto.PeerBye)
+	if !ok {
+		return nil, badRequest("unexpected body %T for PeerBye", body)
+	}
+	if pr != nil {
+		pr.evicted.Store(true)
+		// Drop it now so the next peerFor redials instead of picking up
+		// a tunnel with one foot out the door.
+		p.cache.DropIf(pr.site, pr)
+		p.log.Debug("peer announced teardown", "site", pr.site, "reason", bye.Reason)
+	}
+	return &proto.PeerByeAck{}, nil
+}
 
 // handleControl serves requests arriving on proxy-to-proxy control
 // channels.
@@ -26,6 +54,8 @@ func (p *Proxy) handleControl(ctx context.Context, msg proto.Message) (proto.Bod
 			p.global.Update(monitor.SummaryFromStatus(s))
 		}
 		return nil, nil
+	case *proto.GossipSync:
+		return p.handleGossipSync(req), nil
 	case *proto.RegistryAnnounce:
 		if err := p.handleRegistryAnnounce(req); err != nil {
 			return nil, err
@@ -57,18 +87,28 @@ func (p *Proxy) handleControl(ctx context.Context, msg proto.Message) (proto.Bod
 	}
 }
 
-// handleStatusQuery compiles this site's summary (and any cached summaries
-// for other requested sites — proxies answer with what they know, the
-// requester contacts other sites itself if it wants fresher data).
+// handleStatusQuery compiles this site's summary (and the directory's
+// view of other requested sites — proxies answer with what they know,
+// the requester contacts other sites itself if it wants fresher data).
+// Served directory summaries carry their age and membership stamps; dead
+// sites are never served.
 func (p *Proxy) handleStatusQuery(req *proto.StatusQuery) *proto.StatusReport {
 	report := &proto.StatusReport{}
 	wantLocal := len(req.Sites) == 0
 	for _, s := range req.Sites {
 		if s == p.site {
 			wantLocal = true
-		} else if cached, ok := p.global.Site(s); ok {
-			report.Sites = append(report.Sites, cached.ToStatus())
+			continue
 		}
+		e, ok := p.members.Lookup(s)
+		if !ok || !e.HasSummary || e.State == membership.Dead {
+			continue
+		}
+		ws := e.Summary
+		ws.AgeMillis = e.SummaryAge.Milliseconds()
+		ws.Incarnation = e.Incarnation
+		ws.Member = uint8(e.State)
+		report.Sites = append(report.Sites, ws)
 	}
 	if wantLocal {
 		report.Sites = append(report.Sites, p.LocalSummary().ToStatus())

@@ -467,17 +467,15 @@ func (p *Proxy) finishHostedGroup(ha *hostedApp, ranks []int, err error) {
 	p.broadcastJobUpdate(update)
 }
 
-// broadcastJobUpdate notifies every connected peer (best effort).
+// broadcastJobUpdate notifies every peer a live tunnel is held to (best
+// effort). The origin of a job always holds one — it dialed us for the
+// launch and its supervised link is pinned; for anyone else the update
+// is an optimization, so unreachable directory members are not dialed
+// just to be told about someone else's job.
 func (p *Proxy) broadcastJobUpdate(update *proto.JobUpdate) {
-	p.mu.Lock()
-	peers := make([]*peer, 0, len(p.peers))
-	for _, pr := range p.peers {
-		peers = append(peers, pr)
-	}
-	p.mu.Unlock()
-	for _, pr := range peers {
+	for site, pr := range p.cache.Snapshot() {
 		if err := pr.ctrl.notify(update); err != nil && !errors.Is(err, errRPCClosed) {
-			p.log.Debug("job update notify failed", "peer", pr.site, "err", err)
+			p.log.Debug("job update notify failed", "peer", site, "err", err)
 		}
 	}
 }
@@ -555,10 +553,19 @@ func (p *Proxy) orphanReaper() {
 		case <-ticker.C:
 		}
 		now := time.Now()
-		var reap []*hostedApp
 		p.mu.Lock()
+		hosted := make([]*hostedApp, 0, len(p.hosted))
 		for _, ha := range p.hosted {
-			if _, up := p.peers[ha.origin]; up {
+			hosted = append(hosted, ha)
+		}
+		p.mu.Unlock()
+		var reap []*hostedApp
+		// Origin liveness comes from the membership directory, not from
+		// "do I hold a tunnel": with on-demand dialing, an idle-closed
+		// tunnel to a healthy origin must not start the orphan clock.
+		// originLost is only ever touched by this goroutine.
+		for _, ha := range hosted {
+			if p.siteUp(ha.origin) {
 				ha.originLost = time.Time{}
 				continue
 			}
@@ -570,7 +577,6 @@ func (p *Proxy) orphanReaper() {
 				reap = append(reap, ha)
 			}
 		}
-		p.mu.Unlock()
 		for _, ha := range reap {
 			p.log.Warn("reaping orphaned application", "app", ha.appID, "origin", ha.origin)
 			if p.reapHosted(ha, fmt.Sprintf("origin proxy %s lost", ha.origin)) {

@@ -189,14 +189,15 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 	if err := p.verifyStageRefs(spec.StageIn); err != nil {
 		return nil, err
 	}
-	// All remote sites must be connected before any process starts.
+	// All remote sites must be live directory members before any process
+	// starts; tunnels to them are dialed on demand by the phases below.
 	var remoteSites []string
 	for site := range sites {
 		if site == p.site {
 			continue
 		}
-		if _, err := p.peerBySite(site); err != nil {
-			return nil, err
+		if !p.siteUp(site) {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, site)
 		}
 		remoteSites = append(remoteSites, site)
 	}
@@ -309,7 +310,7 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 	// launch uncommitted and deferred to us. Re-check liveness so those
 	// deaths are handled exactly once.
 	for _, site := range remoteSites {
-		if _, err := p.peerBySite(site); err != nil {
+		if !p.siteUp(site) {
 			site := site
 			p.wg.Add(1)
 			go func() {
@@ -567,10 +568,11 @@ func (p *Proxy) JobStatus(appID string) (proto.JobState, string, error) {
 
 // prepareAt runs launch phase one at a remote site.
 func (p *Proxy) prepareAt(ctx context.Context, site string, req *proto.PrepareSpawn) error {
-	pr, err := p.peerBySite(site)
+	pr, err := p.peerFor(ctx, site)
 	if err != nil {
 		return err
 	}
+	defer p.releasePeer(pr)
 	reply, err := p.callPeer(ctx, pr, req)
 	if err != nil {
 		return fmt.Errorf("core: prepare at %s: %w", site, err)
@@ -588,10 +590,11 @@ func (p *Proxy) prepareAt(ctx context.Context, site string, req *proto.PrepareSp
 
 // commitAt runs launch phase two at a remote site.
 func (p *Proxy) commitAt(ctx context.Context, site, appID string) (*proto.SpawnReply, error) {
-	pr, err := p.peerBySite(site)
+	pr, err := p.peerFor(ctx, site)
 	if err != nil {
 		return nil, err
 	}
+	defer p.releasePeer(pr)
 	reply, err := p.callPeer(ctx, pr, &proto.CommitSpawn{AppID: appID})
 	if err != nil {
 		return nil, fmt.Errorf("core: commit at %s: %w", site, err)
@@ -616,10 +619,11 @@ func (p *Proxy) abortRemote(ctx context.Context, appID string, sites []string, r
 	}
 	p.reg.Counter(metrics.JobAborts).Inc()
 	peerlink.FanOut(ctx, sites, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
-		pr, err := p.peerBySite(site)
+		pr, err := p.peerFor(ctx, site)
 		if err != nil {
-			return struct{}{}, nil // disconnected: nothing to abort there
+			return struct{}{}, nil // unreachable: nothing to abort there
 		}
+		defer p.releasePeer(pr)
 		if _, err := p.callPeer(ctx, pr, &proto.AbortSpawn{AppID: appID, Reason: reason}); err != nil {
 			p.log.Warn("abort fan-out failed", "app", appID, "site", site, "err", err)
 		}

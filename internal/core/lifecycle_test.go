@@ -167,12 +167,16 @@ func TestStatusWithHungPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Site C hangs: its connections stall without dying.
+	// Site C hangs: its connections stall without dying. FreshStatus
+	// queries every site synchronously, so it is the path a hung peer
+	// could pin; the gossip-served Status never calls out (and would
+	// legitimately serve C's connect-time summary until suspicion marks
+	// it down).
 	flakyC.Hang()
 	defer flakyC.Heal()
 
 	start := time.Now()
-	summaries, err := proxyA.Status(ctx, nil)
+	summaries, err := proxyA.FreshStatus(ctx, nil)
 	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)

@@ -124,6 +124,11 @@ func (cs *clientSession) handle(ctx context.Context, msg proto.Message) (proto.B
 			report.Sites = append(report.Sites, s.ToStatus())
 		}
 		return report, nil
+	case *proto.MemberList:
+		if err := cs.requirePermission("status", "grid"); err != nil {
+			return nil, err
+		}
+		return p.handleMemberList(), nil
 	case *proto.JobSubmit:
 		return cs.handleJobSubmit(ctx, req)
 	case *proto.JobQuery:

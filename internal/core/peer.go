@@ -7,8 +7,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gridproxy/internal/membership"
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/monitor"
 	"gridproxy/internal/peerlink"
@@ -21,11 +23,17 @@ import (
 var controlStreamMeta = []byte("gridproxy-control")
 
 // peer is one connected remote proxy: a tunnel session plus its control
-// channel.
+// channel. Holding a peer is holding a tunnel — membership (who exists in
+// the grid) lives in the directory, and most directory entries have no
+// peer at any given moment.
 type peer struct {
 	site    string
 	session *tunnel.Session
 	ctrl    *rpc
+	// evicted marks a teardown initiated by the connection cache (LRU,
+	// idle close, or replacement) so watchPeer can tell an expected close
+	// from a site failure.
+	evicted atomic.Bool
 }
 
 func (pr *peer) close() {
@@ -33,31 +41,41 @@ func (pr *peer) close() {
 	_ = pr.session.Close()
 }
 
+// Done and Close make *peer a peerlink.Session, so the connection cache
+// can hold peers directly.
+func (pr *peer) Done() <-chan struct{} { return pr.session.Done() }
+func (pr *peer) Close() error          { pr.close(); return nil }
+
 // Connect dials the proxy of a remote site, performs the Hello exchange,
 // and announces this site's inventory. It is idempotent: connecting to an
 // already-connected site returns nil. Connect also registers the site
 // with the peer-lifecycle supervisor, so even when the synchronous
 // attempt fails (or the link later drops) the proxy keeps redialing with
-// backoff until it is stopped.
+// backoff until it is stopped. Connected bootstrap peers are pinned in
+// the connection cache: the supervisor owns their lifetime, not the LRU.
 func (p *Proxy) Connect(ctx context.Context, site, wanAddr string) error {
-	_, err := p.connectOnce(ctx, site, wanAddr)
+	_, err := p.connectOnce(ctx, site, wanAddr, true, true)
 	p.superviseLink(site, wanAddr)
 	return err
 }
 
 // connectOnce performs one dial + Hello exchange, returning the
-// (possibly pre-existing) peer.
-func (p *Proxy) connectOnce(ctx context.Context, site, wanAddr string) (*peer, error) {
+// (possibly pre-existing) peer. With register it adds the session to the
+// connection cache itself (the Connect/supervisor path); without, the
+// caller owns registration — the cache's dial-on-demand path inserts the
+// session atomically with its checkout, so it is never cached at zero
+// references where LRU pressure from a concurrent fan-out could close it
+// mid-handshake.
+func (p *Proxy) connectOnce(ctx context.Context, site, wanAddr string, pinned, register bool) (*peer, error) {
 	p.mu.Lock()
-	if p.stopped {
-		p.mu.Unlock()
+	stopped := p.stopped
+	p.mu.Unlock()
+	if stopped {
 		return nil, ErrStopped
 	}
-	if pr, ok := p.peers[site]; ok {
-		p.mu.Unlock()
+	if pr, ok := p.cache.Peek(site); ok {
 		return pr, nil
 	}
-	p.mu.Unlock()
 
 	conn, err := p.wan.Dial(ctx, wanAddr)
 	if err != nil {
@@ -69,13 +87,21 @@ func (p *Proxy) connectOnce(ctx context.Context, site, wanAddr string) (*peer, e
 		_ = session.Close()
 		return nil, fmt.Errorf("core: open control stream to %s: %w", site, err)
 	}
-	ctrl := newRPC(p.ctx, ctrlStream, roleDialer, p.handleControl, p.log.Named("ctrl."+site), p.reg)
+	// The handler needs the session identity for session-scoped messages
+	// (PeerBye), but the peer is only built after the Hello exchange —
+	// bind it late. Nothing session-scoped arrives before Hello.
+	var bound atomic.Pointer[peer]
+	handler := func(ctx context.Context, msg proto.Message) (proto.Body, error) {
+		return p.handleSessionControl(ctx, bound.Load(), msg)
+	}
+	ctrl := newRPC(p.ctx, ctrlStream, roleDialer, handler, p.log.Named("ctrl."+site), p.reg)
 	ctrl.start()
 
 	reply, err := ctrl.call(ctx, &proto.Hello{
 		Site:         p.site,
 		Version:      proto.Version,
 		Capabilities: defaultCapabilities,
+		WANAddr:      p.wanAddr,
 	})
 	if err != nil {
 		ctrl.close()
@@ -99,10 +125,20 @@ func (p *Proxy) connectOnce(ctx context.Context, site, wanAddr string) (*peer, e
 	}
 
 	pr := &peer{site: site, session: session, ctrl: ctrl}
-	if err := p.addPeer(pr); err != nil {
-		pr.close()
-		return nil, err
+	bound.Store(pr)
+	if register {
+		if !p.cache.Add(site, pr, pinned) {
+			// A crossing dial from the remote registered a session for
+			// this site while we were dialing (or the proxy is
+			// stopping). Keep the established one and discard ours.
+			pr.close()
+			if cur, ok := p.cache.Peek(site); ok {
+				return cur, nil
+			}
+			return nil, ErrStopped
+		}
 	}
+	p.members.ObserveAlive(site, wanAddr)
 	p.wg.Add(1)
 	go p.servePeerStreams(pr)
 	p.wg.Add(1)
@@ -146,22 +182,24 @@ func (p *Proxy) superviseLink(site, wanAddr string) {
 // peerDialer adapts connectOnce into the supervisor's DialFunc. It
 // adopts a live session established by other means (the synchronous
 // Connect, or a crossing inbound dial from the remote) instead of
-// dialing a duplicate.
+// dialing a duplicate. A failed dial is direct evidence against the site
+// and feeds the membership suspicion machinery.
 func (p *Proxy) peerDialer(site, wanAddr string) peerlink.DialFunc {
 	return func(ctx context.Context) (peerlink.Session, error) {
-		if pr, err := p.peerBySite(site); err == nil {
+		if pr, ok := p.cache.Peek(site); ok {
 			select {
 			case <-pr.session.Done():
 				// Stale entry on its way out; fall through to redial.
 			default:
-				return pr.session, nil
+				return pr, nil
 			}
 		}
-		pr, err := p.connectOnce(ctx, site, wanAddr)
+		pr, err := p.connectOnce(ctx, site, wanAddr, true, true)
 		if err != nil {
+			p.members.ObserveSuspect(site)
 			return nil, err
 		}
-		return pr.session, nil
+		return pr, nil
 	}
 }
 
@@ -193,19 +231,6 @@ func (p *Proxy) KickPeer(site string) {
 	if ok {
 		link.Kick()
 	}
-}
-
-func (p *Proxy) addPeer(pr *peer) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.stopped {
-		return ErrStopped
-	}
-	if _, dup := p.peers[pr.site]; dup {
-		return fmt.Errorf("core: peer %s already connected", pr.site)
-	}
-	p.peers[pr.site] = pr
-	return nil
 }
 
 // acceptWAN admits inbound proxy sessions. Host authentication already
@@ -300,10 +325,10 @@ func (pp *pendingPeer) established() bool {
 
 func (pp *pendingPeer) handle(ctx context.Context, msg proto.Message) (proto.Body, error) {
 	pp.mu.Lock()
-	established := pp.peer != nil
+	established := pp.peer
 	pp.mu.Unlock()
-	if established {
-		return pp.proxy.handleControl(ctx, msg)
+	if established != nil {
+		return pp.proxy.handleSessionControl(ctx, established, msg)
 	}
 	body, err := proto.Unmarshal(msg)
 	if err != nil {
@@ -317,9 +342,32 @@ func (pp *pendingPeer) handle(ctx context.Context, msg proto.Message) (proto.Bod
 		return nil, badRequest("protocol version %d unsupported", hello.Version)
 	}
 	pr := &peer{site: hello.Site, session: pp.session, ctrl: pp.ctrl}
-	if err := pp.proxy.addPeer(pr); err != nil {
-		return nil, badRequest("%v", err)
+	if !pp.proxy.cache.Add(hello.Site, pr, false) {
+		// A session for this site is already cached. With disposable
+		// on-demand tunnels that is routinely a dying predecessor — one
+		// we just evicted, or one whose bye beat this redial — so a
+		// dead or leaving session is replaced, and only a genuinely
+		// live duplicate (a crossing dial) is refused: the remote's
+		// dialer adopts the existing session when it sees the refusal.
+		cur, ok := pp.proxy.cache.Peek(hello.Site)
+		stale := false
+		if ok {
+			select {
+			case <-cur.session.Done():
+				stale = true
+			default:
+				stale = cur.evicted.Load()
+			}
+		}
+		if ok && !stale {
+			return nil, badRequest("core: peer %s already connected", hello.Site)
+		}
+		pp.proxy.cache.Put(hello.Site, pr, false)
 	}
+	// The Hello carries the dialer's WAN address, so accepting a
+	// connection is also learning a dialable directory entry — this is
+	// how a bootstrap proxy populates its directory from inbound joins.
+	pp.proxy.members.ObserveAlive(hello.Site, hello.WANAddr)
 	pp.mu.Lock()
 	pp.peer = pr
 	pp.mu.Unlock()
@@ -327,15 +375,50 @@ func (pp *pendingPeer) handle(ctx context.Context, msg proto.Message) (proto.Bod
 	go pp.proxy.servePeerStreams(pr)
 	pp.proxy.wg.Add(1)
 	go pp.proxy.watchPeer(pr)
+	// Pull the dialer's summary so both directories hold each other's
+	// status after a connect, not just the dialer's (the dialer pulls
+	// ours right after its Hello). Async: the rpc channel is
+	// bidirectional, but this handler must return the ack first.
+	pp.proxy.wg.Add(1)
+	go func() {
+		defer pp.proxy.wg.Done()
+		if err := pp.proxy.queryPeerStatus(pp.proxy.ctx, pr); err != nil {
+			pp.proxy.log.Debug("accept-side status query failed", "peer", pr.site, "err", err)
+		}
+	}()
 	pp.proxy.log.Info("accepted peer", "site", hello.Site, "capabilities", hello.Capabilities)
 	// The dialer follows its Hello with an inventory exchange, which
 	// gives both sides each other's node lists; nothing more to do here.
 	return &proto.HelloAck{Site: pp.proxy.site, Version: proto.Version}, nil
 }
 
-// watchPeer removes the peer when its session dies, dropping its announced
-// resources and status — the failure-containment behaviour of E7: losing
-// one proxy costs the grid only that site.
+// watchPeer reacts to the peer's session ending. A teardown the
+// connection cache initiated (LRU eviction, idle close, replacement) is
+// expected: the site remains a live directory member and only the tunnel
+// goes away. Anything else is evidence of site failure: the directory
+// marks it dead (the rumor gossips out), its announced resources and
+// status leave the local view, and affected launches are rescheduled —
+// the failure-containment behaviour of E7: losing one proxy costs the
+// grid only that site.
+// byeTimeout bounds the courtesy PeerBye announcement on the eviction
+// path; a peer that cannot ack it in time just sees an unannounced close
+// and draws its own conclusions.
+const byeTimeout = 250 * time.Millisecond
+
+// evictPeer is the connection cache's pre-close hook: mark the teardown
+// as expected on this side and announce it to the remote, so neither
+// directory reads a disposable tunnel's close as site failure. During
+// shutdown p.ctx is already cancelled and the bye degrades to a no-op —
+// a crashing or stopping proxy SHOULD look unannounced to its peers.
+func (p *Proxy) evictPeer(site string, pr *peer) {
+	pr.evicted.Store(true)
+	ctx, cancel := context.WithTimeout(p.ctx, byeTimeout)
+	defer cancel()
+	if _, err := p.callPeer(ctx, pr, &proto.PeerBye{Reason: "evicted"}); err != nil {
+		p.log.Debug("bye announcement failed", "site", site, "err", err)
+	}
+}
+
 func (p *Proxy) watchPeer(pr *peer) {
 	defer p.wg.Done()
 	select {
@@ -343,15 +426,18 @@ func (p *Proxy) watchPeer(pr *peer) {
 	case <-p.ctx.Done():
 		return
 	}
-	p.mu.Lock()
-	if current, ok := p.peers[pr.site]; ok && current == pr {
-		delete(p.peers, pr.site)
+	p.cache.DropIf(pr.site, pr)
+	if pr.evicted.Load() {
+		p.log.Debug("peer tunnel released", "site", pr.site)
+		return
 	}
+	p.members.ObserveDead(pr.site)
 	// Jobs still waiting on that site will never get its completion
 	// report. Hand each affected launch to the rescheduler: within the
 	// configured budget the lost ranks are respawned on survivors;
 	// beyond it the launch fails so waiters unblock (the paper's
 	// "recovery of users' applications").
+	p.mu.Lock()
 	var affected []*Launch
 	for _, js := range p.jobs {
 		if js.launch != nil && js.launch.awaitsSite(pr.site) {
@@ -389,27 +475,22 @@ func (p *Proxy) servePeerStreams(pr *peer) {
 	}
 }
 
-// peerBySite returns the connected peer for a site.
+// peerBySite returns the peer for a site if a live tunnel is already
+// held; it never dials. Probing paths use it so a lost tunnel surfaces
+// as an error instead of being papered over by a redial.
 func (p *Proxy) peerBySite(site string) (*peer, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	pr, ok := p.peers[site]
+	pr, ok := p.cache.Peek(site)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, site)
 	}
 	return pr, nil
 }
 
-// Peers returns the names of currently connected peer sites, sorted.
+// Peers returns the sites this proxy currently holds live tunnels to,
+// sorted. With the membership split this is the active working set, not
+// the known grid — Members has the full directory.
 func (p *Proxy) Peers() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	sites := make([]string, 0, len(p.peers))
-	for site := range p.peers {
-		sites = append(sites, site)
-	}
-	sortStrings(sites)
-	return sites
+	return p.cache.Sites()
 }
 
 // callPeer issues one control call to a peer. Calls arriving without a
@@ -455,9 +536,10 @@ func (p *Proxy) announceTo(ctx context.Context, pr *peer) error {
 	return p.handleRegistryAnnounce(theirs)
 }
 
-// AnnounceAll re-announces inventory to every peer (called after node
-// attach/detach and periodically by the daemon). Announcements fan out
-// concurrently with a per-peer deadline, so one slow peer delays nothing.
+// AnnounceAll re-announces inventory to every peer a tunnel is held to
+// (called after node attach/detach and periodically by the daemon).
+// Announcements fan out concurrently with a per-peer deadline, so one
+// slow peer delays nothing.
 func (p *Proxy) AnnounceAll(ctx context.Context) {
 	targets, byName := p.connectedPeers(nil)
 	results := peerlink.FanOut(ctx, targets, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
@@ -470,19 +552,17 @@ func (p *Proxy) AnnounceAll(ctx context.Context) {
 	}
 }
 
-// connectedPeers snapshots the peers passing the include filter (nil
-// means all), returning sorted names plus a lookup map.
+// connectedPeers snapshots the live-tunnel peers passing the include
+// filter (nil means all), returning sorted names plus a lookup map.
 func (p *Proxy) connectedPeers(include func(string) bool) ([]string, map[string]*peer) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	targets := make([]string, 0, len(p.peers))
-	byName := make(map[string]*peer, len(p.peers))
-	for site, pr := range p.peers {
+	byName := p.cache.Snapshot()
+	targets := make([]string, 0, len(byName))
+	for site := range byName {
 		if include != nil && !include(site) {
+			delete(byName, site)
 			continue
 		}
 		targets = append(targets, site)
-		byName[site] = pr
 	}
 	sortStrings(targets)
 	return targets, byName
@@ -509,7 +589,9 @@ func (p *Proxy) PingPeer(ctx context.Context, site string) error {
 	return nil
 }
 
-// queryPeerStatus fetches one peer's site summary into the global view.
+// queryPeerStatus fetches one peer's site summary. The peer's own
+// summary is direct evidence and enters the membership directory (where
+// gossip spreads it); everything lands in the compiled global view.
 func (p *Proxy) queryPeerStatus(ctx context.Context, pr *peer) error {
 	reply, err := p.callPeer(ctx, pr, &proto.StatusQuery{})
 	if err != nil {
@@ -520,34 +602,129 @@ func (p *Proxy) queryPeerStatus(ctx context.Context, pr *peer) error {
 		return fmt.Errorf("core: status query to %s: unexpected reply %T", pr.site, reply)
 	}
 	for _, s := range report.Sites {
+		if s.Site == pr.site {
+			p.members.ObserveSummary(pr.site, "", s)
+		}
 		p.global.Update(monitor.SummaryFromStatus(s))
 	}
 	return nil
 }
 
-// Status returns compiled summaries: this site's plus, for each requested
-// site (all connected sites if sites is empty), the peer's compiled
-// answer. This is the paper's "global status obtained by compilation of
-// all the sites' data" with O(sites) control messages.
+// Status returns compiled summaries: this site's live summary plus the
+// membership directory's gossiped view of every other requested site
+// (all known sites if sites is empty). Dead sites and sites that have
+// not yet gossiped a summary are omitted. No cross-site RPC happens on
+// this path — freshness arrives by gossip and by the connect-time status
+// exchange, which is what lets a 1000-site grid answer a global status
+// query in zero control messages. FreshStatus keeps the direct-query
+// semantics.
 //
-// When Lifecycle.StatusTTL is set, cached summaries younger than the TTL
-// are served without any cross-site RPC (the background refresher keeps
-// them warm); only stale sites are queried. Queries fan out concurrently
-// with a per-peer deadline, so the wall-clock cost is O(slowest healthy
-// peer) and a hung peer costs at most its deadline.
+// Lifecycle.StatusTTL acts as a staleness budget: served summaries
+// younger than the TTL count as status cache hits, older ones as misses
+// (both are served — the metric is the operator's signal that gossip is
+// not keeping up, not a trigger to refetch).
 func (p *Proxy) Status(ctx context.Context, sites []string) ([]monitor.SiteSummary, error) {
-	return p.status(ctx, sites, true)
+	include := includeFunc(sites)
+	var out []monitor.SiteSummary
+	if include(p.site) {
+		local := p.LocalSummary()
+		p.global.Update(local)
+		out = append(out, local)
+	}
+	ttl := p.lifecycle.StatusTTL
+	for _, e := range p.members.Entries() {
+		if e.Site == p.site || !include(e.Site) || e.State == membership.Dead || !e.HasSummary {
+			continue
+		}
+		if ttl > 0 && e.SummaryAge <= ttl {
+			p.reg.Counter(metrics.StatusCacheHits).Inc()
+		} else {
+			p.reg.Counter(metrics.StatusCacheMisses).Inc()
+		}
+		s := monitor.SummaryFromStatus(e.Summary)
+		s.Age = e.SummaryAge
+		s.Incarnation = e.Incarnation
+		s.Member = e.State
+		out = append(out, s)
+	}
+	sortSummaries(out)
+	return out, nil
 }
 
-// FreshStatus is Status with the TTL cache bypassed: every requested peer
-// is queried synchronously. Experiments measuring the per-request cost of
-// status compilation use this to defeat caching.
+// FreshStatus queries every requested site synchronously for its current
+// summary, dialing tunnels on demand through the directory. Experiments
+// measuring the per-request cost of status compilation use this to
+// defeat the gossiped view; operators use it when they need
+// this-second numbers. Queries fan out concurrently with a per-peer
+// deadline, so the wall-clock cost is O(slowest healthy peer) and a hung
+// peer costs at most its deadline.
 func (p *Proxy) FreshStatus(ctx context.Context, sites []string) ([]monitor.SiteSummary, error) {
-	return p.status(ctx, sites, false)
+	include := includeFunc(sites)
+	var out []monitor.SiteSummary
+	if include(p.site) {
+		local := p.LocalSummary()
+		p.global.Update(local)
+		out = append(out, local)
+	}
+	var targets []string
+	for _, e := range p.members.Entries() {
+		if e.Site != p.site && include(e.Site) && e.State != membership.Dead && e.Addr != "" {
+			targets = append(targets, e.Site)
+		}
+	}
+	results := peerlink.FanOut(ctx, targets, p.perPeerTimeout(), func(ctx context.Context, site string) (monitor.SiteSummary, error) {
+		// Retry with a fresh dial when an attempt fails: with on-demand
+		// dialing, a query can lose benign races that say nothing about
+		// the site's health — the remote's cache pressure evicting the
+		// session it accepted from us mid-RPC, or a redial arriving
+		// before the remote noticed its old session die. The short
+		// backoff lets the dying tunnel's close propagate.
+		var lastErr error
+		for attempt := 0; ; attempt++ {
+			pr, err := p.peerFor(ctx, site)
+			if err == nil {
+				err = p.queryPeerStatus(ctx, pr)
+				p.releasePeer(pr)
+				if err == nil {
+					s, ok := p.global.Site(site)
+					if !ok {
+						return monitor.SiteSummary{}, fmt.Errorf("core: site %s reported no summary", site)
+					}
+					return s, nil
+				}
+				select {
+				case <-pr.session.Done():
+					p.cache.DropIf(site, pr)
+				default:
+				}
+			}
+			lastErr = err
+			if attempt >= 2 || ctx.Err() != nil {
+				return monitor.SiteSummary{}, lastErr
+			}
+			select {
+			case <-time.After(5 * time.Millisecond):
+			case <-ctx.Done():
+				return monitor.SiteSummary{}, lastErr
+			}
+		}
+	})
+	for _, res := range results {
+		if res.Err != nil {
+			p.members.ObserveSuspect(res.Target)
+			p.log.Warn("status query failed", "peer", res.Target, "err", res.Err)
+			continue
+		}
+		out = append(out, res.Value)
+	}
+	sortSummaries(out)
+	return out, nil
 }
 
-func (p *Proxy) status(ctx context.Context, sites []string, useCache bool) ([]monitor.SiteSummary, error) {
-	include := func(site string) bool {
+// includeFunc builds the site filter status compilations share: an empty
+// request means every site.
+func includeFunc(sites []string) func(string) bool {
+	return func(site string) bool {
 		if len(sites) == 0 {
 			return true
 		}
@@ -558,81 +735,10 @@ func (p *Proxy) status(ctx context.Context, sites []string, useCache bool) ([]mo
 		}
 		return false
 	}
-	var out []monitor.SiteSummary
-	if include(p.site) {
-		local := p.LocalSummary()
-		p.global.Update(local)
-		out = append(out, local)
-	}
-	targets, byName := p.connectedPeers(include)
-
-	ttl := p.lifecycle.StatusTTL
-	var stale []string
-	for _, site := range targets {
-		if useCache && ttl > 0 {
-			if s, age, ok := p.global.SiteWithAge(site); ok && age <= ttl {
-				p.reg.Counter(metrics.StatusCacheHits).Inc()
-				out = append(out, s)
-				continue
-			}
-			p.reg.Counter(metrics.StatusCacheMisses).Inc()
-		}
-		stale = append(stale, site)
-	}
-	if len(stale) > 0 {
-		results := peerlink.FanOut(ctx, stale, p.perPeerTimeout(), func(ctx context.Context, site string) (monitor.SiteSummary, error) {
-			if err := p.queryPeerStatus(ctx, byName[site]); err != nil {
-				return monitor.SiteSummary{}, err
-			}
-			s, ok := p.global.Site(site)
-			if !ok {
-				return monitor.SiteSummary{}, fmt.Errorf("core: site %s reported no summary", site)
-			}
-			return s, nil
-		})
-		for _, res := range results {
-			if res.Err != nil {
-				p.log.Warn("status query failed", "peer", res.Target, "err", res.Err)
-				continue
-			}
-			out = append(out, res.Value)
-		}
-	}
-	sortSummaries(out)
-	return out, nil
 }
 
-// statusRefresher keeps the cached global view inside its TTL by
-// re-querying peers at TTL/2, making cached Status reads the common case.
-func (p *Proxy) statusRefresher() {
-	defer p.wg.Done()
-	interval := p.lifecycle.StatusTTL / 2
-	if interval < 10*time.Millisecond {
-		interval = 10 * time.Millisecond
-	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-p.ctx.Done():
-			return
-		case <-ticker.C:
-		}
-		p.refreshPeerStatus()
-	}
-}
-
-// refreshPeerStatus re-queries every connected peer's summary in one
-// concurrent sweep.
-func (p *Proxy) refreshPeerStatus() {
-	targets, byName := p.connectedPeers(nil)
-	peerlink.FanOut(p.ctx, targets, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
-		return struct{}{}, p.queryPeerStatus(ctx, byName[site])
-	})
-}
-
-// GlobalView returns the cached global monitor (updated by status queries
-// and peer announcements).
+// GlobalView returns the cached global monitor (updated by gossip, status
+// queries, and peer announcements).
 func (p *Proxy) GlobalView() *monitor.Global { return p.global }
 
 func sortStrings(s []string) { sort.Strings(s) }

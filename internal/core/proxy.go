@@ -31,6 +31,7 @@ import (
 	"gridproxy/internal/auth"
 	"gridproxy/internal/balance"
 	"gridproxy/internal/logging"
+	"gridproxy/internal/membership"
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/monitor"
 	"gridproxy/internal/node"
@@ -103,6 +104,13 @@ type Config struct {
 	// heartbeats, RPC deadlines, status cache TTL). The zero value uses
 	// peerlink defaults; see peerlink.Config.
 	Lifecycle peerlink.Config
+	// Gossip carries the membership gossip knobs (round interval,
+	// fanout, suspicion timing). The zero value uses the GossipConfig
+	// defaults; a negative Interval disables the gossip loop.
+	Gossip GossipConfig
+	// PeerCache carries the connection-cache knobs (max live tunnels,
+	// idle close). The zero value uses peerlink.CacheConfig defaults.
+	PeerCache peerlink.CacheConfig
 	// Jobs carries the job-lifecycle fault-tolerance knobs (orphan
 	// grace, terminal-record TTL, reschedule budget). The zero value
 	// uses the JobConfig defaults.
@@ -134,9 +142,17 @@ type Proxy struct {
 	resources *registry.Registry
 	sched     *scheduler.Scheduler
 	lifecycle peerlink.Config
+	gossipcfg GossipConfig
 	jobcfg    JobConfig
 	stagecfg  stage.Config
 	store     *stage.Store
+
+	// members is the gossip-maintained directory of every site in the
+	// grid; cache holds live tunnels to the few in active use. The split
+	// is the point: knowing a site exists no longer means holding a
+	// connection to it.
+	members *membership.Directory
+	cache   *peerlink.Cache[*peer]
 
 	wanListener    net.Listener
 	localListener  net.Listener
@@ -144,7 +160,6 @@ type Proxy struct {
 	spliceListener net.Listener
 
 	mu      sync.Mutex
-	peers   map[string]*peer
 	links   map[string]*peerlink.Link
 	nodes   map[string]NodeHandle
 	apps    map[string]*addressSpace
@@ -194,9 +209,9 @@ func New(cfg Config) (*Proxy, error) {
 		global:    monitor.NewGlobal(),
 		resources: registry.New(),
 		lifecycle: lifecycle.WithDefaults(),
+		gossipcfg: cfg.Gossip.WithDefaults(),
 		jobcfg:    cfg.Jobs.WithDefaults(),
 		stagecfg:  cfg.Stage.WithDefaults(),
-		peers:     make(map[string]*peer),
 		links:     make(map[string]*peerlink.Link),
 		nodes:     make(map[string]NodeHandle),
 		apps:      make(map[string]*addressSpace),
@@ -205,6 +220,24 @@ func New(cfg Config) (*Proxy, error) {
 		ctx:       ctx,
 		cancel:    cancel,
 	}
+	p.members = membership.New(membership.Config{
+		Site:              cfg.Site,
+		Addr:              cfg.WANAddr,
+		Fanout:            p.gossipcfg.Fanout,
+		PushLimit:         p.gossipcfg.PushLimit,
+		RetransmitFactor:  p.gossipcfg.RetransmitFactor,
+		AntiEntropyFactor: p.gossipcfg.AntiEntropyFactor,
+		BootstrapDigests:  p.gossipcfg.BootstrapDigests,
+		SuspectAfter:      p.gossipcfg.SuspectAfter,
+		DeadAfter:         p.gossipcfg.DeadAfter,
+		DeadRetention:     p.gossipcfg.DeadRetention,
+		Seed:              p.gossipcfg.Seed,
+		Metrics:           cfg.Metrics,
+		Logger:            cfg.Logger.Named("member." + cfg.Site),
+	})
+	cachecfg := cfg.PeerCache
+	cachecfg.Metrics = cfg.Metrics
+	p.cache = peerlink.NewCache[*peer](cachecfg, p.dialOnDemand, p.evictPeer)
 	p.sched = scheduler.New(policy, scheduler.NodeSourceFunc(p.Candidates))
 	if cfg.TGS != nil && cfg.TicketKey != nil {
 		p.validator = ticket.NewValidator(ServiceName(cfg.Site), cfg.TicketKey, cfg.Metrics)
@@ -258,9 +291,18 @@ func (p *Proxy) Start() error {
 			return err
 		}
 	}
-	if p.lifecycle.StatusTTL > 0 {
+	// Seed the directory with a first local summary so the very first
+	// gossip rounds already carry it; the loop republishes on a slow
+	// cadence.
+	p.members.SetLocalSummary(p.LocalSummary().ToStatus())
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.cache.Run(p.ctx)
+	}()
+	if p.gossipcfg.Interval > 0 {
 		p.wg.Add(1)
-		go p.statusRefresher()
+		go p.gossipLoop()
 	}
 	if p.jobcfg.OrphanGrace > 0 {
 		p.wg.Add(1)
@@ -282,10 +324,6 @@ func (p *Proxy) Close() error {
 		return nil
 	}
 	p.stopped = true
-	peers := make([]*peer, 0, len(p.peers))
-	for _, pr := range p.peers {
-		peers = append(peers, pr)
-	}
 	apps := make([]*addressSpace, 0, len(p.apps))
 	for _, as := range p.apps {
 		apps = append(apps, as)
@@ -298,9 +336,7 @@ func (p *Proxy) Close() error {
 			_ = ln.Close()
 		}
 	}
-	for _, pr := range peers {
-		pr.close()
-	}
+	p.cache.CloseAll()
 	for _, as := range apps {
 		as.close()
 	}

@@ -19,10 +19,11 @@ import (
 // calls it once per stripe and again to resume after a link drop.
 func (p *Proxy) stageDialer(site string) stage.Dialer {
 	return func(ctx context.Context) (net.Conn, error) {
-		pr, err := p.peerBySite(site)
+		pr, err := p.peerFor(ctx, site)
 		if err != nil {
 			return nil, err
 		}
+		defer p.releasePeer(pr)
 		open := &proto.StreamOpen{Kind: proto.StreamStage}
 		stream, err := pr.session.Open(ctx, open.Encode(nil))
 		if err != nil {

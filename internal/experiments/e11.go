@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"gridproxy/internal/sim"
+)
+
+// E11Row is one (scheme, grid size) control-plane scaling measurement.
+type E11Row struct {
+	Scheme string // "gossip" or "all-pairs"
+	Sites  int
+	// Rounds is how many gossip rounds full status convergence took
+	// (every directory holding every site's summary); Budget is the
+	// c·⌈log₂N⌉ ceiling it is asserted against. The all-pairs baseline
+	// "converges" in its single synchronous fan-out.
+	Rounds int
+	Budget int
+	// ConvBytes is mean control bytes per proxy per round during the
+	// convergence phase; SteadyBytes the same after the rumor mill has
+	// drained (for all-pairs, both are the recurring cost of every
+	// refresh — it pays the full fan-out each time).
+	ConvBytes   int64
+	SteadyBytes int64
+	// SteadyMsgs is mean messages per proxy per round at steady state.
+	SteadyMsgs float64
+	// Tunnels is how many live tunnels a proxy needs for the scheme.
+	Tunnels string
+}
+
+// E11Config parameterizes experiment E11.
+type E11Config struct {
+	// Ns lists the grid sizes swept; the steady-state traffic of every
+	// size must stay within FlatFactor× of the smallest.
+	Ns []int
+	// BudgetC is the c in the c·⌈log₂N⌉ convergence-round budget.
+	BudgetC int
+	// SteadyWindow is how many rounds the steady-state means average
+	// over; MaxRounds bounds the whole run (convergence + rumor drain).
+	SteadyWindow int
+	MaxRounds    int
+	// FlatFactor is the allowed steady-state growth across Ns.
+	FlatFactor float64
+	Seed       int64
+}
+
+// DefaultE11 returns the parameters used in EXPERIMENTS.md: the
+// acceptance run comparing N=100 against N=1000.
+func DefaultE11() E11Config {
+	return E11Config{
+		Ns:           []int{100, 1000},
+		BudgetC:      4,
+		SteadyWindow: 25,
+		MaxRounds:    400,
+		FlatFactor:   2,
+		Seed:         1,
+	}
+}
+
+// E11 measures how the gossip control plane scales against the all-pairs
+// status fan-out it replaced. For each N it simulates the single-
+// bootstrap worst case (every site initially knows only site 0) over
+// real membership directories and real wire encodings, and records:
+//
+//   - rounds until every directory holds every site's summary, asserted
+//     against the c·⌈log₂N⌉ budget (the run FAILS if exceeded, which is
+//     what the CI smoke step leans on);
+//   - per-proxy bytes/round during convergence — bounded by
+//     Fanout·PushLimit, not by N, so it stays roughly flat as the grid
+//     grows 10×;
+//   - per-proxy bytes/round at steady state, asserted flat within
+//     FlatFactor across Ns (empty syncs plus the AntiEntropyFactor/N
+//     digest lottery, whose expected cost is N-independent);
+//   - the all-pairs baseline measured in the same run from the same
+//     summaries: one StatusQuery/StatusReport round trip per peer,
+//     per proxy, per refresh, over N-1 standing tunnels.
+func E11(cfg E11Config) ([]E11Row, error) {
+	var rows []E11Row
+	var baseline []E11Row
+	var steadies []int64
+	for _, n := range cfg.Ns {
+		g, err := sim.NewGossipGrid(sim.GossipGridConfig{Sites: n, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("e11 n=%d: %w", n, err)
+		}
+		budget := cfg.BudgetC * int(math.Ceil(math.Log2(float64(n))))
+
+		// Phase 1: converge, within budget or fail.
+		var convBytes int64
+		rounds := 0
+		for g.Converged() < n {
+			if rounds >= budget {
+				return nil, fmt.Errorf("e11 n=%d: convergence took more than the %d-round budget (%d/%d directories complete)",
+					n, budget, g.Converged(), n)
+			}
+			st := g.Step()
+			rounds++
+			convBytes += st.Bytes
+		}
+
+		// Phase 2: drain the rumor mill (retransmit budgets running out)
+		// so the steady window measures maintenance traffic, not the
+		// tail of the initial flood.
+		total := rounds
+		for g.PendingRumors() > 0 {
+			if total >= cfg.MaxRounds {
+				return nil, fmt.Errorf("e11 n=%d: rumor mill not drained after %d rounds", n, total)
+			}
+			g.Step()
+			total++
+		}
+
+		// Phase 3: steady state.
+		var steadyBytes, steadyMsgs int64
+		for r := 0; r < cfg.SteadyWindow; r++ {
+			st := g.Step()
+			steadyBytes += st.Bytes
+			steadyMsgs += st.Msgs
+		}
+		steady := steadyBytes / int64(cfg.SteadyWindow*n)
+		steadies = append(steadies, steady)
+
+		rows = append(rows, E11Row{
+			Scheme:      "gossip",
+			Sites:       n,
+			Rounds:      rounds,
+			Budget:      budget,
+			ConvBytes:   convBytes / int64(rounds*n),
+			SteadyBytes: steady,
+			SteadyMsgs:  float64(steadyMsgs) / float64(cfg.SteadyWindow*n),
+			Tunnels:     "cache-bounded",
+		})
+
+		// The baseline, from the same run's summaries.
+		apBytes, apMsgs := g.AllPairsRefresh()
+		baseline = append(baseline, E11Row{
+			Scheme:      "all-pairs",
+			Sites:       n,
+			Rounds:      1,
+			Budget:      1,
+			ConvBytes:   apBytes,
+			SteadyBytes: apBytes,
+			SteadyMsgs:  float64(apMsgs),
+			Tunnels:     itoa(n - 1),
+		})
+	}
+
+	// The flatness assertion: steady-state per-proxy traffic must not
+	// grow beyond FlatFactor× across the swept grid sizes.
+	for i, s := range steadies {
+		if float64(s) > cfg.FlatFactor*float64(steadies[0]) {
+			return nil, fmt.Errorf("e11: steady traffic %dB/proxy/round at N=%d exceeds %.1fx the N=%d figure (%dB)",
+				s, cfg.Ns[i], cfg.FlatFactor, cfg.Ns[0], steadies[0])
+		}
+	}
+	return append(rows, baseline...), nil
+}
+
+// E11Table renders E11 rows.
+func E11Table(rows []E11Row) Table {
+	t := Table{
+		Title:  "E11 — control-plane scaling: gossip directory vs all-pairs status fan-out",
+		Claim:  "single-bootstrap status convergence in O(log N) rounds with per-proxy bytes/round flat in N; the all-pairs baseline pays O(N) per proxy per refresh over N-1 tunnels",
+		Header: []string{"scheme", "sites", "rounds", "budget", "conv_B/proxy/rd", "steady_B/proxy/rd", "steady_msgs", "tunnels"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Scheme, itoa(r.Sites), itoa(r.Rounds), itoa(r.Budget),
+			i64(r.ConvBytes), i64(r.SteadyBytes), f2(r.SteadyMsgs), r.Tunnels,
+		})
+	}
+	return t
+}

@@ -14,6 +14,7 @@
 //	E8  §3             one multiplexed tunnel vs connection-per-stream
 //	E9  §3             job survival: rank rescheduling across site death
 //	E10 §3             data plane: striped cross-site staging, cold vs warm
+//	E11 §3             control-plane scaling: gossip directory vs all-pairs
 //
 // Every experiment returns typed rows; cmd/gridbench renders them as the
 // tables recorded in EXPERIMENTS.md, and bench_test.go exposes the same

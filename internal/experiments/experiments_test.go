@@ -220,6 +220,38 @@ func TestE8Shape(t *testing.T) {
 	}
 }
 
+func TestE11Shape(t *testing.T) {
+	cfg := DefaultE11()
+	cfg.Ns = []int{32, 64} // scaled down; the artifact run sweeps 100/1000
+	rows, err := E11(cfg)
+	// E11 enforces its own round budget and flatness bound: an error IS
+	// the assertion failing.
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]E11Row{}
+	for _, r := range rows {
+		byKey[r.Scheme+"/"+itoa(r.Sites)] = r
+	}
+	for _, n := range cfg.Ns {
+		g := byKey["gossip/"+itoa(n)]
+		ap := byKey["all-pairs/"+itoa(n)]
+		if g.Rounds == 0 || g.Rounds > g.Budget {
+			t.Errorf("n=%d: convergence rounds %d outside budget %d", n, g.Rounds, g.Budget)
+		}
+		// Steady-state gossip must be far below the baseline's recurring
+		// per-refresh cost.
+		if g.SteadyBytes*4 > ap.SteadyBytes {
+			t.Errorf("n=%d: gossip steady %dB not clearly below all-pairs %dB",
+				n, g.SteadyBytes, ap.SteadyBytes)
+		}
+		// The baseline's cost scales with N: one round trip per peer.
+		if ap.SteadyMsgs != float64(2*(n-1)) {
+			t.Errorf("n=%d: all-pairs msgs = %v, want %d", n, ap.SteadyMsgs, 2*(n-1))
+		}
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	table := Table{
 		Title:  "T",

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"gridproxy/internal/auth"
+	"gridproxy/internal/membership"
 	"gridproxy/internal/monitor"
 	"gridproxy/internal/proto"
 	"gridproxy/internal/registry"
@@ -291,6 +292,51 @@ func (c *Client) Status(ctx context.Context, sites ...string) ([]monitor.SiteSum
 	out := make([]monitor.SiteSummary, len(report.Sites))
 	for i, s := range report.Sites {
 		out[i] = monitor.SummaryFromStatus(s)
+	}
+	return out, nil
+}
+
+// Member is one row of the proxy's membership directory: a site the
+// proxy knows exists, its gossip liveness state, and whether the proxy
+// currently holds a live tunnel to it — the directory knows many more
+// sites than the proxy dials.
+type Member struct {
+	Site        string
+	Addr        string
+	State       string // alive | suspect | dead
+	Incarnation uint64
+	Version     uint64
+	// HasSummary is false while no status summary has arrived yet;
+	// SummaryAge is how old the summary is, gossip hops included.
+	HasSummary bool
+	SummaryAge time.Duration
+	Tunnel     bool
+}
+
+// Members returns the proxy's membership directory, sorted by site.
+func (c *Client) Members(ctx context.Context) ([]Member, error) {
+	reply, err := c.call(ctx, &proto.MemberList{})
+	if err != nil {
+		return nil, err
+	}
+	mr, ok := reply.(*proto.MemberListReply)
+	if !ok {
+		return nil, fmt.Errorf("grid: unexpected member list reply %T", reply)
+	}
+	out := make([]Member, len(mr.Members))
+	for i, m := range mr.Members {
+		out[i] = Member{
+			Site:        m.Site,
+			Addr:        m.Addr,
+			State:       membership.State(m.State).String(),
+			Incarnation: m.Incarnation,
+			Version:     m.Version,
+			Tunnel:      m.Tunnel,
+		}
+		if m.AgeMillis >= 0 {
+			out[i].HasSummary = true
+			out[i].SummaryAge = time.Duration(m.AgeMillis) * time.Millisecond
+		}
 	}
 	return out, nil
 }

@@ -106,6 +106,52 @@ func TestPasswordLoginAndStatus(t *testing.T) {
 	}
 }
 
+func TestMembers(t *testing.T) {
+	f := newFixture(t, 1, 1, 1)
+	c := f.dial(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Members(ctx); err == nil {
+		t.Fatal("unauthenticated members accepted")
+	}
+	if err := c.Login(ctx, "alice", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := c.Members(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 {
+		t.Fatalf("members = %+v", members)
+	}
+	byName := map[string]grid.Member{}
+	for _, m := range members {
+		byName[m.Site] = m
+		if m.State != "alive" {
+			t.Errorf("%s state = %s, want alive", m.Site, m.State)
+		}
+		if m.Incarnation == 0 {
+			t.Errorf("%s incarnation = 0", m.Site)
+		}
+		// Connect-time status queries seed the directory, so every row
+		// should carry a summary with a sane age.
+		if !m.HasSummary {
+			t.Errorf("%s has no summary", m.Site)
+		}
+	}
+	// The directory row for the proxy's own site reports a tunnel (to
+	// itself); the testbed's ConnectAll holds supervised links to the
+	// rest, so they count as tunnels held too.
+	for _, m := range members {
+		if !m.Tunnel {
+			t.Errorf("%s tunnel = n, want y under full testbed mesh", m.Site)
+		}
+	}
+	if _, ok := byName["sitea"]; !ok {
+		t.Errorf("own site missing from directory: %+v", members)
+	}
+}
+
 func TestSignatureLogin(t *testing.T) {
 	f := newFixture(t, 1)
 	// Issue alice a user certificate from the grid CA and register the

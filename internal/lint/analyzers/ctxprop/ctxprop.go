@@ -32,10 +32,11 @@ var Analyzer = &analysis.Analyzer{
 // long-lived server packages where a detached or blocked path outlives
 // requests.
 var GuardedPackages = map[string]bool{
-	"core":     true,
-	"peerlink": true,
-	"stage":    true,
-	"tunnel":   true,
+	"core":       true,
+	"membership": true,
+	"peerlink":   true,
+	"stage":      true,
+	"tunnel":     true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {

@@ -240,6 +240,46 @@ const (
 	// StatusCacheMisses counts Status reads that had to query a peer.
 	StatusCacheMisses = "status.cache_misses"
 
+	// Membership and gossip metrics (internal/membership): the directory
+	// every proxy keeps of all grid sites, disseminated epidemically.
+
+	// GossipRounds counts gossip rounds initiated by a proxy.
+	GossipRounds = "gossip.rounds"
+	// GossipSyncs counts GossipSync exchanges sent (push half).
+	GossipSyncs = "gossip.syncs"
+	// GossipAntiEntropy counts rounds that carried a full digest for
+	// push-pull anti-entropy reconciliation.
+	GossipAntiEntropy = "gossip.anti_entropy"
+	// GossipEntriesMerged counts directory entries accepted from peers
+	// (newer incarnation/version than the local copy).
+	GossipEntriesMerged = "gossip.entries_merged"
+	// MembersAlive, MembersSuspect and MembersDead gauge how many
+	// directory entries currently occupy each membership state.
+	MembersAlive   = "gauge.member.alive"
+	MembersSuspect = "gauge.member.suspect"
+	MembersDead    = "gauge.member.dead"
+	// MemberSuspicions counts alive→suspect transitions recorded locally.
+	MemberSuspicions = "member.suspicions"
+	// MemberRefutations counts suspicions refuted by fresher evidence
+	// (including a site refuting rumors about itself).
+	MemberRefutations = "member.refutations"
+	// MemberDeaths counts suspect→dead (or direct dead) transitions.
+	MemberDeaths = "member.deaths"
+	// MemberPrunes counts dead entries dropped after the retention period.
+	MemberPrunes = "member.prunes"
+
+	// Peer connection-cache metrics (internal/peerlink dial-on-demand).
+
+	// PeerDialsOnDemand counts tunnels dialed lazily because a caller
+	// needed a site the cache held no live session for.
+	PeerDialsOnDemand = "peer.dials_on_demand"
+	// PeerIdleCloses counts cached tunnels closed by the idle janitor.
+	PeerIdleCloses = "peer.idle_closes"
+	// PeerLRUEvictions counts tunnels evicted to respect the cache cap.
+	PeerLRUEvictions = "peer.lru_evictions"
+	// PeersCached gauges the number of live tunnels currently cached.
+	PeersCached = "gauge.peer.cached"
+
 	// Job-lifecycle metrics (fault-tolerant launch, cancellation,
 	// reaping, rescheduling).
 

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"gridproxy/internal/membership"
 	"gridproxy/internal/proto"
 )
 
@@ -73,6 +74,16 @@ type SiteSummary struct {
 	Load1        float64
 	RunningProcs int
 	Collected    time.Time
+	// Age is how long ago the summary was collected, as accounted by the
+	// proxy that served it (gossip hops included) — the staleness marker
+	// consumers check instead of trusting Collected across skewed
+	// clocks. Zero for a locally compiled summary.
+	Age time.Duration
+	// Incarnation and Member stamp the membership view under which the
+	// summary was served: the site's incarnation number and liveness
+	// state. Dead sites are never served, so Member is alive or suspect.
+	Incarnation uint64
+	Member      membership.State
 }
 
 // ToStatus converts the summary to its wire form.
@@ -87,6 +98,9 @@ func (s SiteSummary) ToStatus() proto.SiteStatus {
 		Load1:         s.Load1,
 		RunningProcs:  uint32(s.RunningProcs),
 		CollectedUnix: s.Collected.Unix(),
+		AgeMillis:     s.Age.Milliseconds(),
+		Incarnation:   s.Incarnation,
+		Member:        uint8(s.Member),
 	}
 }
 
@@ -102,6 +116,9 @@ func SummaryFromStatus(s proto.SiteStatus) SiteSummary {
 		Load1:        s.Load1,
 		RunningProcs: int(s.RunningProcs),
 		Collected:    time.Unix(s.CollectedUnix, 0),
+		Age:          time.Duration(s.AgeMillis) * time.Millisecond,
+		Incarnation:  s.Incarnation,
+		Member:       membership.State(s.Member),
 	}
 }
 

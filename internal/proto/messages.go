@@ -46,6 +46,12 @@ func init() {
 	registerCore(CodeStageGetReply, func() Body { return &StageGetReply{} })
 	registerCore(CodeStageStat, func() Body { return &StageStat{} })
 	registerCore(CodeStageStatReply, func() Body { return &StageStatReply{} })
+	registerCore(CodeGossipSync, func() Body { return &GossipSync{} })
+	registerCore(CodeGossipDelta, func() Body { return &GossipDelta{} })
+	registerCore(CodeMemberList, func() Body { return &MemberList{} })
+	registerCore(CodeMemberListReply, func() Body { return &MemberListReply{} })
+	registerCore(CodePeerBye, func() Body { return &PeerBye{} })
+	registerCore(CodePeerByeAck, func() Body { return &PeerByeAck{} })
 }
 
 // Hello opens a proxy-to-proxy session.
@@ -56,6 +62,10 @@ type Hello struct {
 	Version uint16
 	// Capabilities lists optional features ("mpi", "ticket", "webui").
 	Capabilities []string
+	// WANAddr is the announcing proxy's own inter-site listen address,
+	// so the accepting side learns a dialable address for the membership
+	// directory (the transport's remote address is an ephemeral port).
+	WANAddr string
 }
 
 // Code implements Body.
@@ -66,6 +76,7 @@ func (m *Hello) Encode(b []byte) []byte {
 	b = wire.AppendString(b, m.Site)
 	b = wire.AppendUint16(b, m.Version)
 	b = wire.AppendStringSlice(b, m.Capabilities)
+	b = wire.AppendString(b, m.WANAddr)
 	return b
 }
 
@@ -74,6 +85,7 @@ func (m *Hello) Decode(buf *wire.Buffer) error {
 	m.Site = buf.String()
 	m.Version = buf.Uint16()
 	m.Capabilities = buf.StringSlice()
+	m.WANAddr = buf.String()
 	return buf.Err()
 }
 
@@ -372,6 +384,10 @@ func (m *StatusQuery) Decode(buf *wire.Buffer) error {
 }
 
 // SiteStatus is the wire form of one site's compiled status summary.
+// AgeMillis, Incarnation and Member stamp how the answering proxy knows
+// the summary: how long ago its view received it, under which membership
+// incarnation, and in which membership state the site currently is —
+// so a consumer can tell a fresh answer from a stale cached one.
 type SiteStatus struct {
 	Site          string
 	Nodes         uint32
@@ -382,6 +398,9 @@ type SiteStatus struct {
 	Load1         float64
 	RunningProcs  uint32
 	CollectedUnix int64
+	AgeMillis     int64
+	Incarnation   uint64
+	Member        uint8
 }
 
 func (s *SiteStatus) encode(b []byte) []byte {
@@ -394,6 +413,9 @@ func (s *SiteStatus) encode(b []byte) []byte {
 	b = wire.AppendFloat64(b, s.Load1)
 	b = wire.AppendUint32(b, s.RunningProcs)
 	b = wire.AppendInt64(b, s.CollectedUnix)
+	b = wire.AppendInt64(b, s.AgeMillis)
+	b = wire.AppendUint64(b, s.Incarnation)
+	b = append(b, s.Member)
 	return b
 }
 
@@ -407,6 +429,9 @@ func (s *SiteStatus) decode(buf *wire.Buffer) {
 	s.Load1 = buf.Float64()
 	s.RunningProcs = buf.Uint32()
 	s.CollectedUnix = buf.Int64()
+	s.AgeMillis = buf.Int64()
+	s.Incarnation = buf.Uint64()
+	s.Member = buf.Uint8()
 }
 
 // StatusReport carries one or more site status summaries.
@@ -1383,3 +1408,299 @@ func (m *RegistryReply) Decode(buf *wire.Buffer) error {
 	}
 	return buf.Err()
 }
+
+// GossipEntry is the wire form of one membership directory entry: who a
+// site is (name, dialable address), how alive the sender believes it is
+// (state under an incarnation number), and the site's versioned status
+// summary. Ordering is (Incarnation, Version, State): last writer wins.
+type GossipEntry struct {
+	Site        string
+	Addr        string
+	State       uint8
+	Incarnation uint64
+	Version     uint64
+	HasSummary  bool
+	Summary     SiteStatus
+}
+
+func (e *GossipEntry) encode(b []byte) []byte {
+	b = wire.AppendString(b, e.Site)
+	b = wire.AppendString(b, e.Addr)
+	b = append(b, e.State)
+	b = wire.AppendUint64(b, e.Incarnation)
+	b = wire.AppendUint64(b, e.Version)
+	b = wire.AppendBool(b, e.HasSummary)
+	if e.HasSummary {
+		b = e.Summary.encode(b)
+	}
+	return b
+}
+
+func (e *GossipEntry) decode(buf *wire.Buffer) {
+	e.Site = buf.String()
+	e.Addr = buf.String()
+	e.State = buf.Uint8()
+	e.Incarnation = buf.Uint64()
+	e.Version = buf.Uint64()
+	e.HasSummary = buf.Bool()
+	if e.HasSummary {
+		e.Summary.decode(buf)
+	}
+}
+
+func appendGossipEntries(b []byte, entries []GossipEntry) []byte {
+	b = wire.AppendUint32(b, uint32(len(entries)))
+	for i := range entries {
+		b = entries[i].encode(b)
+	}
+	return b
+}
+
+func decodeGossipEntries(buf *wire.Buffer) ([]GossipEntry, error) {
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return nil, err
+	}
+	if n > buf.Remaining() {
+		return nil, wire.ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	entries := make([]GossipEntry, n)
+	for i := range entries {
+		entries[i].decode(buf)
+	}
+	return entries, buf.Err()
+}
+
+// GossipDigestItem summarizes what the sender knows about one site, so
+// the receiver can answer with only the entries it knows better.
+type GossipDigestItem struct {
+	Site        string
+	Incarnation uint64
+	Version     uint64
+	State       uint8
+}
+
+func (d *GossipDigestItem) encode(b []byte) []byte {
+	b = wire.AppendString(b, d.Site)
+	b = wire.AppendUint64(b, d.Incarnation)
+	b = wire.AppendUint64(b, d.Version)
+	b = append(b, d.State)
+	return b
+}
+
+func (d *GossipDigestItem) decode(buf *wire.Buffer) {
+	d.Site = buf.String()
+	d.Incarnation = buf.Uint64()
+	d.Version = buf.Uint64()
+	d.State = buf.Uint8()
+}
+
+// GossipSync is one membership gossip exchange: the sender pushes its hot
+// (recently changed, retransmission budget remaining) directory entries
+// and, on anti-entropy rounds, includes a digest of its whole directory
+// asking the receiver to reply with everything it knows better.
+type GossipSync struct {
+	// From and Addr identify the sender so the receiver learns a
+	// dialable address for it even on a first contact.
+	From string
+	Addr string
+	// Entries is the push half: the sender's hot entries.
+	Entries []GossipEntry
+	// HasDigest marks an anti-entropy round; Digest then summarizes the
+	// sender's whole directory (it may be empty for a cold bootstrap).
+	HasDigest bool
+	Digest    []GossipDigestItem
+}
+
+// Code implements Body.
+func (*GossipSync) Code() Code { return CodeGossipSync }
+
+// Encode implements Body.
+func (m *GossipSync) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.From)
+	b = wire.AppendString(b, m.Addr)
+	b = appendGossipEntries(b, m.Entries)
+	b = wire.AppendBool(b, m.HasDigest)
+	b = wire.AppendUint32(b, uint32(len(m.Digest)))
+	for i := range m.Digest {
+		b = m.Digest[i].encode(b)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *GossipSync) Decode(buf *wire.Buffer) error {
+	m.From = buf.String()
+	m.Addr = buf.String()
+	entries, err := decodeGossipEntries(buf)
+	if err != nil {
+		return err
+	}
+	m.Entries = entries
+	m.HasDigest = buf.Bool()
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	if n > 0 {
+		m.Digest = make([]GossipDigestItem, n)
+		for i := range m.Digest {
+			m.Digest[i].decode(buf)
+		}
+	}
+	return buf.Err()
+}
+
+// GossipDelta answers a GossipSync: the entries the receiver holds newer
+// versions of (judged against the digest on anti-entropy rounds, or its
+// own hot set otherwise).
+type GossipDelta struct {
+	From    string
+	Entries []GossipEntry
+}
+
+// Code implements Body.
+func (*GossipDelta) Code() Code { return CodeGossipDelta }
+
+// Encode implements Body.
+func (m *GossipDelta) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.From)
+	b = appendGossipEntries(b, m.Entries)
+	return b
+}
+
+// Decode implements Body.
+func (m *GossipDelta) Decode(buf *wire.Buffer) error {
+	m.From = buf.String()
+	entries, err := decodeGossipEntries(buf)
+	if err != nil {
+		return err
+	}
+	m.Entries = entries
+	return buf.Err()
+}
+
+// MemberList asks a proxy for its membership directory (client API).
+type MemberList struct{}
+
+// Code implements Body.
+func (*MemberList) Code() Code { return CodeMemberList }
+
+// Encode implements Body.
+func (m *MemberList) Encode(b []byte) []byte { return b }
+
+// Decode implements Body.
+func (m *MemberList) Decode(buf *wire.Buffer) error { return buf.Err() }
+
+// MemberInfo is one row of a MemberListReply.
+type MemberInfo struct {
+	Site        string
+	Addr        string
+	State       uint8
+	Incarnation uint64
+	Version     uint64
+	// AgeMillis is the local age of the site's status summary; -1 when
+	// no summary has been received yet.
+	AgeMillis int64
+	// Tunnel reports whether the answering proxy currently holds a live
+	// tunnel to the site.
+	Tunnel bool
+}
+
+func (mi *MemberInfo) encode(b []byte) []byte {
+	b = wire.AppendString(b, mi.Site)
+	b = wire.AppendString(b, mi.Addr)
+	b = append(b, mi.State)
+	b = wire.AppendUint64(b, mi.Incarnation)
+	b = wire.AppendUint64(b, mi.Version)
+	b = wire.AppendInt64(b, mi.AgeMillis)
+	b = wire.AppendBool(b, mi.Tunnel)
+	return b
+}
+
+func (mi *MemberInfo) decode(buf *wire.Buffer) {
+	mi.Site = buf.String()
+	mi.Addr = buf.String()
+	mi.State = buf.Uint8()
+	mi.Incarnation = buf.Uint64()
+	mi.Version = buf.Uint64()
+	mi.AgeMillis = buf.Int64()
+	mi.Tunnel = buf.Bool()
+}
+
+// MemberListReply answers a MemberList with the proxy's directory.
+type MemberListReply struct {
+	Members []MemberInfo
+}
+
+// Code implements Body.
+func (*MemberListReply) Code() Code { return CodeMemberListReply }
+
+// Encode implements Body.
+func (m *MemberListReply) Encode(b []byte) []byte {
+	b = wire.AppendUint32(b, uint32(len(m.Members)))
+	for i := range m.Members {
+		b = m.Members[i].encode(b)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *MemberListReply) Decode(buf *wire.Buffer) error {
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	if n > 0 {
+		m.Members = make([]MemberInfo, n)
+		for i := range m.Members {
+			m.Members[i].decode(buf)
+		}
+	}
+	return buf.Err()
+}
+
+// PeerBye announces an intentional teardown of the session it arrives on
+// — the sender is about to close it for reasons that say nothing about
+// site health (LRU eviction, idle close, orderly shutdown). The receiver
+// marks the session's close as expected; an unannounced close remains
+// direct failure evidence for the membership directory.
+type PeerBye struct {
+	// Reason labels the teardown for logs ("evicted", "idle",
+	// "shutdown").
+	Reason string
+}
+
+// Code implements Body.
+func (*PeerBye) Code() Code { return CodePeerBye }
+
+// Encode implements Body.
+func (m *PeerBye) Encode(b []byte) []byte { return wire.AppendString(b, m.Reason) }
+
+// Decode implements Body.
+func (m *PeerBye) Decode(buf *wire.Buffer) error {
+	m.Reason = buf.String()
+	return buf.Err()
+}
+
+// PeerByeAck answers a PeerBye so the evicting side can close knowing
+// the announcement was seen.
+type PeerByeAck struct{}
+
+// Code implements Body.
+func (*PeerByeAck) Code() Code { return CodePeerByeAck }
+
+// Encode implements Body.
+func (m *PeerByeAck) Encode(b []byte) []byte { return b }
+
+// Decode implements Body.
+func (m *PeerByeAck) Decode(buf *wire.Buffer) error { return buf.Err() }

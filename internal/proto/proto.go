@@ -129,6 +129,28 @@ const (
 	CodeStageStat
 	// CodeStageStatReply answers a StageStat.
 	CodeStageStatReply
+
+	// CodeGossipSync carries one membership gossip exchange: the sender's
+	// hot directory entries, optionally with a digest requesting an
+	// anti-entropy delta of everything the receiver knows better.
+	CodeGossipSync
+	// CodeGossipDelta answers a GossipSync with directory entries the
+	// receiver holds newer versions of.
+	CodeGossipDelta
+	// CodeMemberList asks a proxy for its membership directory (client
+	// API).
+	CodeMemberList
+	// CodeMemberListReply answers a MemberList.
+	CodeMemberListReply
+	// CodePeerBye announces an intentional teardown of the session it
+	// arrives on (cache eviction, idle close, shutdown), so the receiver
+	// does not read the imminent close as site failure. With on-demand
+	// dialing, tunnels are disposable and only the membership directory
+	// rules on liveness; an unannounced close stays direct death
+	// evidence.
+	CodePeerBye
+	// CodePeerByeAck answers a PeerBye.
+	CodePeerByeAck
 )
 
 // Version is the control-protocol version spoken by this build.

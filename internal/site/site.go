@@ -92,6 +92,12 @@ type TestbedConfig struct {
 	// Lifecycle carries the peer-link supervision knobs handed to every
 	// proxy (zero value: peerlink defaults).
 	Lifecycle peerlink.Config
+	// Gossip carries the membership-gossip knobs handed to every proxy
+	// (zero value: core.GossipConfig defaults).
+	Gossip core.GossipConfig
+	// PeerCache carries the connection-cache knobs handed to every proxy
+	// (zero value: peerlink.CacheConfig defaults).
+	PeerCache peerlink.CacheConfig
 	// Jobs carries the job-lifecycle fault-tolerance knobs handed to
 	// every proxy (zero value: core.JobConfig defaults).
 	Jobs core.JobConfig
@@ -120,6 +126,8 @@ type Testbed struct {
 	specs      map[string]SiteSpec
 	policyName string
 	lifecycle  peerlink.Config
+	gossip     core.GossipConfig
+	peerCache  peerlink.CacheConfig
 	jobs       core.JobConfig
 	stage      stage.Config
 	logger     *logging.Logger
@@ -181,6 +189,8 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		specs:      make(map[string]SiteSpec, len(cfg.Sites)),
 		policyName: policyName,
 		lifecycle:  cfg.Lifecycle,
+		gossip:     cfg.Gossip,
+		peerCache:  cfg.PeerCache,
 		jobs:       cfg.Jobs,
 		stage:      cfg.Stage,
 		logger:     cfg.Logger,
@@ -224,6 +234,8 @@ func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logg
 		TicketKey: ticketKey,
 		Policy:    policy,
 		Lifecycle: tb.lifecycle,
+		Gossip:    tb.gossip,
+		PeerCache: tb.peerCache,
 		Jobs:      tb.jobs,
 		Stage:     tb.stage,
 		Metrics:   tb.metrics,
