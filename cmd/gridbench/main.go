@@ -25,6 +25,12 @@ import (
 // table row.
 var e11Sites = flag.Int("e11n", 0, "run E11 at this single grid size instead of its default sweep")
 
+// e12Sites shrinks E12's grid for the CI smoke step (`-exp e12 -e12n
+// 16`): the partition/gray/flap script, all four acceptance bars, and
+// the determinism double-run still execute, at a fraction of the N=50
+// acceptance run's cost. The minority scales to N/5 (minimum 2).
+var e12Sites = flag.Int("e12n", 0, "run E12 at this grid size instead of the N=50 acceptance run")
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "gridbench:", err)
@@ -85,6 +91,18 @@ var runners = []struct {
 		}
 		rows, err := experiments.E11(cfg)
 		return experiments.E11Table(rows), err
+	}},
+	{"e12", "partition tolerance: false-dead, reconvergence, fencing", func() (experiments.Table, error) {
+		cfg := experiments.DefaultE12()
+		if *e12Sites > 0 {
+			cfg.Sites = *e12Sites
+			cfg.Minority = *e12Sites / 5
+			if cfg.Minority < 2 {
+				cfg.Minority = 2
+			}
+		}
+		rows, err := experiments.E12(cfg)
+		return experiments.E12Table(rows), err
 	}},
 }
 

@@ -114,19 +114,24 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-10s %-8s %5s %12s %7s  %s\n",
-			"SITE", "STATE", "INC", "SUMMARY AGE", "TUNNEL", "ADDR")
+		fmt.Printf("%-10s %-8s %5s %12s %11s %11s %7s  %s\n",
+			"SITE", "STATE", "INC", "SUMMARY AGE", "LAST HEARD", "SUSPECT FOR", "TUNNEL", "ADDR")
 		for _, m := range members {
 			age := "-"
 			if m.HasSummary {
 				age = m.SummaryAge.Round(time.Millisecond).String()
 			}
+			heard := m.LastHeard.Round(time.Millisecond).String()
+			suspect := "-"
+			if m.Suspected {
+				suspect = m.SuspectFor.Round(time.Millisecond).String()
+			}
 			tunnel := "n"
 			if m.Tunnel {
 				tunnel = "y"
 			}
-			fmt.Printf("%-10s %-8s %5d %12s %7s  %s\n",
-				m.Site, m.State, m.Incarnation, age, tunnel, m.Addr)
+			fmt.Printf("%-10s %-8s %5d %12s %11s %11s %7s  %s\n",
+				m.Site, m.State, m.Incarnation, age, heard, suspect, tunnel, m.Addr)
 		}
 		return nil
 

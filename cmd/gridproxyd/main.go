@@ -42,9 +42,19 @@
 //	suspect_after     = 60s         # silence before an entry turns suspect
 //	dead_after        = 30s         # unrefuted suspicion before dead
 //	dead_retention    = 5m          # how long dead entries keep gossiping
+//	probe_fanout      = 2           # confirmers asked before a failed
+//	                                 # contact escalates (negative: none)
+//	vouch_window      = 30s         # direct contact this fresh overrides
+//	                                 # a death rumor (negative disables)
+//	health_max        = 4           # Lifeguard local-health cap; timeouts
+//	                                 # stretch by (1 + score)
 //	max_tunnels       = 32          # live-tunnel LRU cap (negative unlimited)
 //	idle_close        = 2m          # close tunnels idle this long
 //	                                 # (negative disables)
+//	breaker_threshold = 3           # consecutive dial failures that open a
+//	                                 # peer's circuit (negative disables)
+//	breaker_min_open  = 500ms       # first open window, doubled per reopen
+//	breaker_max_open  = 30s         # open-window cap
 //
 // Job-lifecycle knobs (all optional; see internal/core defaults):
 //
@@ -54,6 +64,9 @@
 //	                                 # (negative disables)
 //	reschedule_budget = 2           # site deaths survived per job before
 //	                                 # the launch fails (negative disables)
+//	fence_retry       = 2s          # redelivery cadence for split-brain
+//	                                 # fences to sites still unreachable
+//	                                 # (negative disables the deliverer)
 //
 // Data-plane knobs (all optional; see internal/stage defaults):
 //
@@ -316,10 +329,28 @@ func gossipFromConfig(cfg *config.Config) (core.GossipConfig, peerlink.CacheConf
 	if gc.DeadRetention, err = cfg.Duration("dead_retention", 0); err != nil {
 		return gc, cc, err
 	}
+	if gc.ProbeFanout, err = cfg.Int("probe_fanout", 0); err != nil {
+		return gc, cc, err
+	}
+	if gc.VouchWindow, err = cfg.Duration("vouch_window", 0); err != nil {
+		return gc, cc, err
+	}
+	if gc.HealthMax, err = cfg.Int("health_max", 0); err != nil {
+		return gc, cc, err
+	}
 	if cc.MaxTunnels, err = cfg.Int("max_tunnels", 0); err != nil {
 		return gc, cc, err
 	}
 	if cc.IdleClose, err = cfg.Duration("idle_close", 0); err != nil {
+		return gc, cc, err
+	}
+	if cc.BreakerThreshold, err = cfg.Int("breaker_threshold", 0); err != nil {
+		return gc, cc, err
+	}
+	if cc.BreakerMinOpen, err = cfg.Duration("breaker_min_open", 0); err != nil {
+		return gc, cc, err
+	}
+	if cc.BreakerMaxOpen, err = cfg.Duration("breaker_max_open", 0); err != nil {
 		return gc, cc, err
 	}
 	return gc, cc, nil
@@ -356,6 +387,9 @@ func jobsFromConfig(cfg *config.Config) (core.JobConfig, error) {
 		return jc, err
 	}
 	if jc.RescheduleBudget, err = cfg.Int("reschedule_budget", 0); err != nil {
+		return jc, err
+	}
+	if jc.FenceRetry, err = cfg.Duration("fence_retry", 0); err != nil {
 		return jc, err
 	}
 	return jc, nil

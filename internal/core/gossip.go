@@ -35,9 +35,15 @@ type GossipConfig struct {
 	SummaryEvery time.Duration
 	// Fanout is how many peers each round gossips to. Default 3.
 	Fanout int
+	// ProbeFanout is how many confirmers an indirect probe asks before a
+	// failed direct contact escalates into suspicion (see probe.go).
+	// Default 2; negative escalates immediately (the pre-probe
+	// behaviour).
+	ProbeFanout int
 	// PushLimit, RetransmitFactor, AntiEntropyFactor, BootstrapDigests,
-	// SuspectAfter, DeadAfter, DeadRetention and Seed pass through to
-	// membership.Config; zero values take the membership defaults.
+	// SuspectAfter, DeadAfter, DeadRetention, VouchWindow, HealthMax and
+	// Seed pass through to membership.Config; zero values take the
+	// membership defaults.
 	PushLimit         int
 	RetransmitFactor  int
 	AntiEntropyFactor float64
@@ -45,6 +51,8 @@ type GossipConfig struct {
 	SuspectAfter      time.Duration
 	DeadAfter         time.Duration
 	DeadRetention     time.Duration
+	VouchWindow       time.Duration
+	HealthMax         int
 	Seed              int64
 }
 
@@ -58,6 +66,9 @@ func (c GossipConfig) WithDefaults() GossipConfig {
 	}
 	if c.Fanout <= 0 {
 		c.Fanout = 3
+	}
+	if c.ProbeFanout == 0 {
+		c.ProbeFanout = 2
 	}
 	return c
 }
@@ -102,9 +113,14 @@ func (p *Proxy) dialOnDemand(ctx context.Context, site string) (*peer, error) {
 	}
 	pr, err := p.connectOnce(ctx, site, e.Addr, false, false)
 	if err != nil {
-		p.members.ObserveSuspect(site)
+		// A failed dial is evidence against the site only if other
+		// members cannot reach it either; it is always evidence about
+		// our own connectivity (Lifeguard's local health).
+		p.members.NoteLocalProbe(false)
+		p.suspectSite(site)
 		return nil, err
 	}
+	p.members.NoteLocalProbe(true)
 	return pr, nil
 }
 
@@ -163,6 +179,38 @@ func (p *Proxy) gossipRound(ctx context.Context) {
 		}
 		p.gossipTo(ctx, target, sync)
 	}
+	// Resurrection probe: Sample excludes dead entries, so after a
+	// partition long enough for mutual death verdicts nobody would ever
+	// gossip across the healed boundary again. One direct probe per
+	// round at a retained dead entry (with a forced digest, so both
+	// sides reconcile their whole views) re-merges a healed split.
+	for _, target := range p.members.DeadProbeTargets(1) {
+		p.deadProbe(ctx, target, push)
+	}
+	p.syncGlobalFromMembers()
+}
+
+// deadProbe attempts one gossip exchange with a dead-marked site,
+// bypassing the directory's is-it-dialable filter. Success revives the
+// entry (connectOnce's ObserveAlive) and the forced digest exchange
+// repairs both directories; failure is the expected outcome and changes
+// nothing.
+func (p *Proxy) deadProbe(ctx context.Context, target membership.Entry, push []proto.GossipEntry) {
+	pr, err := p.connectOnce(ctx, target.Site, target.Addr, false, true)
+	if err != nil {
+		return
+	}
+	sync := &proto.GossipSync{From: p.site, Addr: p.wanAddr, Entries: push,
+		HasDigest: true, Digest: p.members.Digest()}
+	p.reg.Counter(metrics.GossipSyncs).Inc()
+	p.reg.Counter(metrics.GossipAntiEntropy).Inc()
+	reply, err := p.callPeer(ctx, pr, sync)
+	if err != nil {
+		return
+	}
+	if delta, ok := reply.(*proto.GossipDelta); ok && len(delta.Entries) > 0 {
+		p.members.Merge(delta.Entries)
+	}
 	p.syncGlobalFromMembers()
 }
 
@@ -171,14 +219,17 @@ func (p *Proxy) gossipRound(ctx context.Context) {
 func (p *Proxy) gossipTo(ctx context.Context, target membership.Entry, sync *proto.GossipSync) {
 	pr, err := p.peerFor(ctx, target.Site)
 	if err != nil {
-		p.members.ObserveSuspect(target.Site)
+		// dialOnDemand already escalated a genuine dial failure through
+		// the indirect-probe machinery; a breaker fast-fail changes no
+		// membership state (the failures that opened it already did).
 		return
 	}
 	defer p.releasePeer(pr)
 	p.reg.Counter(metrics.GossipSyncs).Inc()
 	reply, err := p.callPeer(ctx, pr, sync)
 	if err != nil {
-		p.members.ObserveSuspect(target.Site)
+		p.members.NoteLocalProbe(false)
+		p.suspectSite(target.Site)
 		return
 	}
 	delta, ok := reply.(*proto.GossipDelta)
@@ -206,6 +257,12 @@ func (p *Proxy) handleGossipSync(req *proto.GossipSync) *proto.GossipDelta {
 	}
 	delta := &proto.GossipDelta{From: p.site}
 	if req.HasDigest {
+		// Reconcile the digest's liveness claims BEFORE computing the
+		// delta: a conflict (their tuple newer than ours) would
+		// otherwise be dropped silently — DeltaFor sends nothing for it
+		// and Merge never sees it — which is exactly how a partition's
+		// death verdicts dodge refutation. See membership.ObserveDigest.
+		p.members.ObserveDigest(req.Digest)
 		delta.Entries = p.members.DeltaFor(req.Digest)
 	} else {
 		delta.Entries = p.members.HotPush()
@@ -222,13 +279,18 @@ func (p *Proxy) handleMemberList() *proto.MemberListReply {
 	reply := &proto.MemberListReply{}
 	for _, e := range p.members.Entries() {
 		mi := proto.MemberInfo{
-			Site:        e.Site,
-			Addr:        e.Addr,
-			State:       uint8(e.State),
-			Incarnation: e.Incarnation,
-			Version:     e.Version,
-			AgeMillis:   -1,
-			Tunnel:      e.Site == p.site || p.cache.Has(e.Site),
+			Site:          e.Site,
+			Addr:          e.Addr,
+			State:         uint8(e.State),
+			Incarnation:   e.Incarnation,
+			Version:       e.Version,
+			AgeMillis:     -1,
+			Tunnel:        e.Site == p.site || p.cache.Has(e.Site),
+			HeardMillis:   e.LastHeard.Milliseconds(),
+			SuspectMillis: -1,
+		}
+		if e.State == membership.Suspect {
+			mi.SuspectMillis = e.SuspectFor.Milliseconds()
 		}
 		if e.HasSummary {
 			mi.AgeMillis = e.SummaryAge.Milliseconds()

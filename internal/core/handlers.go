@@ -79,6 +79,10 @@ func (p *Proxy) handleControl(ctx context.Context, msg proto.Message) (proto.Bod
 		return nil, nil
 	case *proto.PermCheck:
 		return p.handlePermCheck(req), nil
+	case *proto.ProbeRequest:
+		return p.handleProbeRequest(ctx, req), nil
+	case *proto.FenceNotice:
+		return p.handleFenceNotice(req), nil
 	case *proto.Hello:
 		// A Hello on an established channel is a protocol error.
 		return nil, badRequest("unexpected Hello on established channel")

@@ -30,6 +30,11 @@ type JobConfig struct {
 	// disables rescheduling (a site death fails the job, the pre-existing
 	// behaviour).
 	RescheduleBudget int
+	// FenceRetry is how often undelivered split-brain fences are
+	// retried against sites that rejoined the directory (see probe.go).
+	// Negative disables fencing — a healed site's stale ranks then run
+	// until its own orphan reaper or the job's natural end.
+	FenceRetry time.Duration
 }
 
 // Job-lifecycle defaults.
@@ -37,6 +42,7 @@ const (
 	DefaultOrphanGrace      = 45 * time.Second
 	DefaultTerminalTTL      = 15 * time.Minute
 	DefaultRescheduleBudget = 2
+	DefaultFenceRetry       = 2 * time.Second
 )
 
 // WithDefaults fills zero fields with defaults.
@@ -49,6 +55,9 @@ func (c JobConfig) WithDefaults() JobConfig {
 	}
 	if c.RescheduleBudget == 0 {
 		c.RescheduleBudget = DefaultRescheduleBudget
+	}
+	if c.FenceRetry == 0 {
+		c.FenceRetry = DefaultFenceRetry
 	}
 	return c
 }
@@ -233,10 +242,20 @@ type hostedApp struct {
 	as        *addressSpace
 
 	mu      sync.Mutex
-	pending []int          // ranks prepared but not yet committed
-	running map[int]string // rank -> node, committed and not yet done
-	groups  int            // committed rank groups still being watched
+	pending []int           // ranks prepared but not yet committed
+	running map[int]rankRun // rank -> placement+epoch, committed and not yet done
+	groups  int             // committed rank groups still being watched
 	aborted bool
+	// epoch is the highest launch epoch accepted in a prepare; prepares
+	// and commits below it are stale leftovers of a reschedule this site
+	// missed (it was partitioned away) and are refused. pendingEpoch
+	// stamps the ranks of the current pending group.
+	epoch        uint64
+	pendingEpoch uint64
+	// commits caches commit outcomes by idempotency token, so a commit
+	// retried after a lost reply re-reports the first outcome instead of
+	// double-spawning the group.
+	commits map[string]*proto.SpawnReply
 	// stageIn and stageOut carry the launch's data-plane manifest; the
 	// blobs themselves were pulled into the site store during prepare.
 	stageIn  []proto.StageRef
@@ -248,6 +267,15 @@ type hostedApp struct {
 	// originLost is when the reaper first saw the origin's link down;
 	// touched only by the orphanReaper goroutine.
 	originLost time.Time
+}
+
+// rankRun is one committed, not-yet-done rank at a destination: where it
+// runs and under which launch epoch it was committed. The epoch is what
+// a fence compares against — ranks from epochs below the fence's were
+// rescheduled elsewhere while this site was unreachable and must die.
+type rankRun struct {
+	node  string
+	epoch uint64
 }
 
 // recordOutput registers one published output blob under the app's
@@ -307,6 +335,11 @@ func (p *Proxy) handlePrepareSpawn(ctx context.Context, req *proto.PrepareSpawn)
 	}
 	sort.Ints(ranks)
 
+	epoch := req.Epoch
+	if epoch == 0 {
+		epoch = 1 // pre-epoch origins: everything is the first epoch
+	}
+
 	if ha, ok := p.lookupHosted(req.AppID); ok {
 		ha.mu.Lock()
 		if ha.aborted {
@@ -317,11 +350,28 @@ func (p *Proxy) handlePrepareSpawn(ctx context.Context, req *proto.PrepareSpawn)
 			ha.mu.Unlock()
 			return refuse(fmt.Sprintf("application belongs to origin %q", ha.origin)), nil
 		}
+		if epoch < ha.epoch {
+			ha.mu.Unlock()
+			p.reg.Counter(metrics.JobStaleCommits).Inc()
+			return refuse(fmt.Sprintf("stale launch epoch %d (current %d)", epoch, ha.epoch)), nil
+		}
+		newEpoch := epoch > ha.epoch
+		if newEpoch {
+			ha.epoch = epoch
+		}
 		ha.pending = ranks
+		ha.pendingEpoch = epoch
 		ha.worldSize = int(req.WorldSize)
 		ha.program, ha.args = req.Program, req.Args
 		ha.stageIn, ha.stageOut = req.StageIn, req.StageOut
 		ha.mu.Unlock()
+		if newEpoch {
+			// A newer epoch assigning ranks this site still runs from an
+			// older one means those copies were rescheduled elsewhere and
+			// came BACK — the old copies are stale split-brain survivors
+			// and die now, before the new ones are committed.
+			p.fenceStaleRanks(ha, epoch, ranks)
+		}
 		ha.as.setLocations(locations)
 		p.reg.Counter(metrics.JobPrepares).Inc()
 		return &proto.PrepareSpawnReply{AppID: req.AppID, OK: true}, nil
@@ -332,17 +382,20 @@ func (p *Proxy) handlePrepareSpawn(ctx context.Context, req *proto.PrepareSpawn)
 		return refuse(err.Error()), nil
 	}
 	ha := &hostedApp{
-		appID:     req.AppID,
-		origin:    req.Origin,
-		owner:     req.Owner,
-		program:   req.Program,
-		args:      req.Args,
-		worldSize: int(req.WorldSize),
-		as:        as,
-		pending:   ranks,
-		running:   make(map[int]string),
-		stageIn:   req.StageIn,
-		stageOut:  req.StageOut,
+		appID:        req.AppID,
+		origin:       req.Origin,
+		owner:        req.Owner,
+		program:      req.Program,
+		args:         req.Args,
+		worldSize:    int(req.WorldSize),
+		as:           as,
+		pending:      ranks,
+		running:      make(map[int]rankRun),
+		epoch:        epoch,
+		pendingEpoch: epoch,
+		commits:      make(map[string]*proto.SpawnReply),
+		stageIn:      req.StageIn,
+		stageOut:     req.StageOut,
 	}
 	p.mu.Lock()
 	p.hosted[req.AppID] = ha
@@ -363,15 +416,30 @@ func (p *Proxy) handleCommitSpawn(ctx context.Context, req *proto.CommitSpawn) (
 		return refuse("no prepared application"), nil
 	}
 	ha.mu.Lock()
+	if req.Token != "" {
+		if cached, ok := ha.commits[req.Token]; ok {
+			// Idempotent retry: the first attempt's reply was lost in
+			// transit, not the spawn. Re-report it instead of spawning
+			// the group twice.
+			ha.mu.Unlock()
+			return cached, nil
+		}
+	}
 	if ha.aborted {
 		ha.mu.Unlock()
 		return refuse("application is being aborted"), nil
+	}
+	if req.Epoch != 0 && req.Epoch < ha.epoch {
+		ha.mu.Unlock()
+		p.reg.Counter(metrics.JobStaleCommits).Inc()
+		return refuse(fmt.Sprintf("stale launch epoch %d (current %d)", req.Epoch, ha.epoch)), nil
 	}
 	if len(ha.pending) == 0 {
 		ha.mu.Unlock()
 		return refuse("no pending ranks (commit without prepare)"), nil
 	}
 	ranks := ha.pending
+	epoch := ha.pendingEpoch
 	ha.pending = nil
 	ha.groups++
 	program, args, worldSize := ha.program, ha.args, ha.worldSize
@@ -393,7 +461,7 @@ func (p *Proxy) handleCommitSpawn(ctx context.Context, req *proto.CommitSpawn) (
 		return refuse("application is being aborted"), nil
 	}
 	for _, rank := range ranks {
-		ha.running[rank] = locations[rank].node
+		ha.running[rank] = rankRun{node: locations[rank].node, epoch: epoch}
 	}
 	ha.mu.Unlock()
 	p.reg.Counter(metrics.JobCommits).Inc()
@@ -412,7 +480,68 @@ func (p *Proxy) handleCommitSpawn(ctx context.Context, req *proto.CommitSpawn) (
 			Addr: p.vsAddr(req.AppID, rank),
 		})
 	}
+	if req.Token != "" {
+		ha.mu.Lock()
+		if ha.commits == nil {
+			ha.commits = make(map[string]*proto.SpawnReply)
+		}
+		ha.commits[req.Token] = reply
+		ha.mu.Unlock()
+	}
 	return reply, nil
+}
+
+// fenceStaleRanks kills this site's copies of the listed ranks (all
+// running ranks when the list is empty) committed under an epoch below
+// the fence's, returning how many died. The kills surface through the
+// normal group watchers — waitLocalRanks observes the deaths and
+// releases the groups — so no bookkeeping happens here. Idempotent.
+func (p *Proxy) fenceStaleRanks(ha *hostedApp, epoch uint64, ranks []int) int {
+	ha.mu.Lock()
+	victims := make(map[int]string)
+	if len(ranks) == 0 {
+		for rank, run := range ha.running {
+			if run.epoch < epoch {
+				victims[rank] = run.node
+			}
+		}
+	} else {
+		for _, rank := range ranks {
+			if run, ok := ha.running[rank]; ok && run.epoch < epoch {
+				victims[rank] = run.node
+			}
+		}
+	}
+	ha.mu.Unlock()
+	for rank, nodeName := range victims {
+		if h, err := p.nodeHandle(nodeName); err == nil {
+			_ = h.Kill(ha.appID, rank)
+		}
+	}
+	if n := len(victims); n > 0 {
+		p.reg.Counter(metrics.JobFencedRanks).Add(int64(n))
+		p.log.Info("fenced stale ranks", "app", ha.appID, "epoch", epoch, "killed", n)
+		return n
+	}
+	return 0
+}
+
+// handleFenceNotice serves a split-brain fence from an origin: every
+// listed rank still running from an epoch below the notice's was
+// rescheduled elsewhere while this site was unreachable, and dies here.
+// Idempotent: unknown applications and already-gone ranks fence to zero.
+func (p *Proxy) handleFenceNotice(req *proto.FenceNotice) *proto.FenceReply {
+	reply := &proto.FenceReply{AppID: req.AppID}
+	ha, ok := p.lookupHosted(req.AppID)
+	if !ok {
+		return reply
+	}
+	ranks := make([]int, 0, len(req.Ranks))
+	for _, r := range req.Ranks {
+		ranks = append(ranks, int(r))
+	}
+	reply.Killed = uint32(p.fenceStaleRanks(ha, req.Epoch, ranks))
+	return reply
 }
 
 // releaseHostedGroup undoes one group increment without a completion
@@ -510,8 +639,8 @@ func (p *Proxy) reapHosted(ha *hostedApp, reason string) bool {
 	ha.aborted = true
 	ha.pending = nil
 	victims := make(map[int]string, len(ha.running))
-	for rank, nodeName := range ha.running {
-		victims[rank] = nodeName
+	for rank, run := range ha.running {
+		victims[rank] = run.node
 	}
 	groups := ha.groups
 	ha.mu.Unlock()
@@ -614,6 +743,8 @@ func (p *Proxy) rescheduleSite(l *Launch, deadSite string) {
 		return
 	}
 	l.reschedules++
+	l.epoch++
+	epoch := l.epoch
 	var lost []int
 	for rank, loc := range l.locations {
 		if loc.site == deadSite {
@@ -629,7 +760,12 @@ func (p *Proxy) rescheduleSite(l *Launch, deadSite string) {
 
 	p.reg.Counter(metrics.JobReschedules).Inc()
 	p.log.Warn("rescheduling ranks of dead site",
-		"app", l.AppID, "site", deadSite, "ranks", len(lost))
+		"app", l.AppID, "site", deadSite, "ranks", len(lost), "epoch", epoch)
+	// The dead site may only be dead TO US (a partition): if its copies
+	// of the lost ranks are still running, the grid now double-runs them
+	// until the partition heals. Record a fence so the moment the site
+	// rejoins the directory, its stale-epoch copies are killed.
+	p.addFence(l.AppID, deadSite, epoch, lost)
 
 	var candidates []balance.NodeInfo
 	for _, n := range p.Candidates() {
@@ -690,7 +826,7 @@ func (p *Proxy) rescheduleSite(l *Launch, deadSite string) {
 	}
 	if len(remoteSites) > 0 {
 		results := peerlink.FanOut(p.ctx, remoteSites, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
-			return struct{}{}, p.spawnAtSite(ctx, l, site, newSites[site], locations)
+			return struct{}{}, p.spawnAtSite(ctx, l, site, newSites[site], locations, epoch)
 		})
 		for _, res := range results {
 			if res.Err != nil {
@@ -711,8 +847,8 @@ func (p *Proxy) rescheduleSite(l *Launch, deadSite string) {
 }
 
 // spawnAtSite runs the prepare+commit sequence against a single site
-// (reschedule path).
-func (p *Proxy) spawnAtSite(ctx context.Context, l *Launch, site string, ranks []int, locations map[int]rankLoc) error {
+// (reschedule path), stamped with the reschedule's launch epoch.
+func (p *Proxy) spawnAtSite(ctx context.Context, l *Launch, site string, ranks []int, locations map[int]rankLoc, epoch uint64) error {
 	spec := l.spec
 	if err := p.prepareAt(ctx, site, &proto.PrepareSpawn{
 		AppID:     l.AppID,
@@ -725,9 +861,10 @@ func (p *Proxy) spawnAtSite(ctx context.Context, l *Launch, site string, ranks [
 		Locations: locationsToWire(locations),
 		StageIn:   spec.StageIn,
 		StageOut:  spec.StageOut,
+		Epoch:     epoch,
 	}); err != nil {
 		return err
 	}
-	_, err := p.commitAt(ctx, site, l.AppID)
+	_, err := p.commitAt(ctx, site, l.AppID, epoch)
 	return err
 }

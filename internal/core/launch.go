@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"gridproxy/internal/balance"
 	"gridproxy/internal/metrics"
@@ -68,11 +69,16 @@ type Launch struct {
 	// more.
 	remote      map[string]int
 	reschedules int
-	committed   bool // two-phase launch completed; rescheduling may act
-	canceled    bool
-	done        chan struct{}
-	failed      error
-	finished    bool
+	// epoch is the launch's fencing clock: 1 for the initial spawn,
+	// incremented by every reschedule. Prepares and commits carry it;
+	// destinations refuse epochs older than the newest they accepted and
+	// kill ranks a fence names as rescheduled away (split-brain safety).
+	epoch     uint64
+	committed bool // two-phase launch completed; rescheduling may act
+	canceled  bool
+	done      chan struct{}
+	failed    error
+	finished  bool
 	// outputs accumulates the refs of published output blobs: local
 	// ranks record directly, remote sites report theirs via
 	// JobUpdate.Outputs (pulled into the origin store on arrival).
@@ -217,6 +223,7 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 		spec:      spec,
 		locations: locations,
 		remote:    make(map[string]int, len(remoteSites)),
+		epoch:     1,
 		done:      make(chan struct{}),
 	}
 	if len(localRanks) > 0 {
@@ -254,6 +261,7 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 				Locations: wireLocs,
 				StageIn:   spec.StageIn,
 				StageOut:  spec.StageOut,
+				Epoch:     1,
 			})
 		})
 		for _, res := range results {
@@ -275,7 +283,7 @@ func (p *Proxy) launchAt(ctx context.Context, spec LaunchSpec, locations map[int
 	// Phase 2: commit every prepared site.
 	if len(remoteSites) > 0 {
 		results := peerlink.FanOut(ctx, remoteSites, p.perPeerTimeout(), func(ctx context.Context, site string) (struct{}, error) {
-			_, err := p.commitAt(ctx, site, appID)
+			_, err := p.commitAt(ctx, site, appID, 1)
 			return struct{}{}, err
 		})
 		for _, res := range results {
@@ -588,26 +596,53 @@ func (p *Proxy) prepareAt(ctx context.Context, site string, req *proto.PrepareSp
 	return nil
 }
 
-// commitAt runs launch phase two at a remote site.
-func (p *Proxy) commitAt(ctx context.Context, site, appID string) (*proto.SpawnReply, error) {
-	pr, err := p.peerFor(ctx, site)
-	if err != nil {
-		return nil, err
+// commitAt runs launch phase two at a remote site. Transport failures
+// are retried with jittered backoff under ONE idempotency token: if the
+// first attempt spawned the group but its reply was lost, the retry
+// re-reports that outcome from the destination's token cache instead of
+// spawning a second copy of every rank. Refusals are terminal — the
+// destination answered; asking again changes nothing.
+func (p *Proxy) commitAt(ctx context.Context, site, appID string, epoch uint64) (*proto.SpawnReply, error) {
+	req := &proto.CommitSpawn{
+		AppID: appID,
+		Epoch: epoch,
+		Token: fmt.Sprintf("%s-%d", p.site, p.appSeq.Add(1)),
 	}
-	defer p.releasePeer(pr)
-	reply, err := p.callPeer(ctx, pr, &proto.CommitSpawn{AppID: appID})
-	if err != nil {
-		return nil, fmt.Errorf("core: commit at %s: %w", site, err)
-	}
-	sr, ok := reply.(*proto.SpawnReply)
-	if !ok || !sr.OK {
-		reason := "unexpected reply"
-		if ok {
-			reason = sr.Reason
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(retryDelay(20*time.Millisecond, attempt-1)):
+			case <-ctx.Done():
+				return nil, lastErr
+			}
 		}
-		return nil, fmt.Errorf("core: commit at %s refused: %s", site, reason)
+		pr, err := p.peerFor(ctx, site)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reply, err := p.callPeer(ctx, pr, req)
+		p.releasePeer(pr)
+		if err != nil {
+			var se *statusError
+			if errors.As(err, &se) {
+				return nil, fmt.Errorf("core: commit at %s: %w", site, err)
+			}
+			lastErr = fmt.Errorf("core: commit at %s: %w", site, err)
+			continue
+		}
+		sr, ok := reply.(*proto.SpawnReply)
+		if !ok || !sr.OK {
+			reason := "unexpected reply"
+			if ok {
+				reason = sr.Reason
+			}
+			return nil, fmt.Errorf("core: commit at %s refused: %s", site, reason)
+		}
+		return sr, nil
 	}
-	return sr, nil
+	return nil, lastErr
 }
 
 // abortRemote fans AbortSpawn out to the named sites (best effort:

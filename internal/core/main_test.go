@@ -1,0 +1,12 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"gridproxy/internal/testwatch"
+)
+
+// The core tests stand up whole grids under injected failures; a
+// regression that deadlocks one shows up as stacks, not a silent hang.
+func TestMain(m *testing.M) { testwatch.Main(m, 4*time.Minute) }

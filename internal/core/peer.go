@@ -196,9 +196,11 @@ func (p *Proxy) peerDialer(site, wanAddr string) peerlink.DialFunc {
 		}
 		pr, err := p.connectOnce(ctx, site, wanAddr, true, true)
 		if err != nil {
-			p.members.ObserveSuspect(site)
+			p.members.NoteLocalProbe(false)
+			p.suspectSite(site)
 			return nil, err
 		}
+		p.members.NoteLocalProbe(true)
 		return pr, nil
 	}
 }
@@ -703,7 +705,7 @@ func (p *Proxy) FreshStatus(ctx context.Context, sites []string) ([]monitor.Site
 				return monitor.SiteSummary{}, lastErr
 			}
 			select {
-			case <-time.After(5 * time.Millisecond):
+			case <-time.After(retryDelay(5*time.Millisecond, attempt)):
 			case <-ctx.Done():
 				return monitor.SiteSummary{}, lastErr
 			}
@@ -711,7 +713,7 @@ func (p *Proxy) FreshStatus(ctx context.Context, sites []string) ([]monitor.Site
 	})
 	for _, res := range results {
 		if res.Err != nil {
-			p.members.ObserveSuspect(res.Target)
+			p.suspectSite(res.Target)
 			p.log.Warn("status query failed", "peer", res.Target, "err", res.Err)
 			continue
 		}

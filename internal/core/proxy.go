@@ -165,6 +165,8 @@ type Proxy struct {
 	apps    map[string]*addressSpace
 	jobs    map[string]*jobState
 	hosted  map[string]*hostedApp
+	probing map[string]bool // sites with an indirect probe in flight
+	fences  []*pendingFence // undelivered split-brain fences
 	stopped bool
 
 	appSeq atomic.Uint64
@@ -217,6 +219,7 @@ func New(cfg Config) (*Proxy, error) {
 		apps:      make(map[string]*addressSpace),
 		jobs:      make(map[string]*jobState),
 		hosted:    make(map[string]*hostedApp),
+		probing:   make(map[string]bool),
 		ctx:       ctx,
 		cancel:    cancel,
 	}
@@ -231,6 +234,8 @@ func New(cfg Config) (*Proxy, error) {
 		SuspectAfter:      p.gossipcfg.SuspectAfter,
 		DeadAfter:         p.gossipcfg.DeadAfter,
 		DeadRetention:     p.gossipcfg.DeadRetention,
+		VouchWindow:       p.gossipcfg.VouchWindow,
+		HealthMax:         p.gossipcfg.HealthMax,
 		Seed:              p.gossipcfg.Seed,
 		Metrics:           cfg.Metrics,
 		Logger:            cfg.Logger.Named("member." + cfg.Site),
@@ -311,6 +316,10 @@ func (p *Proxy) Start() error {
 	if p.jobcfg.TerminalTTL > 0 {
 		p.wg.Add(1)
 		go p.jobsJanitor()
+	}
+	if p.jobcfg.FenceRetry > 0 {
+		p.wg.Add(1)
+		go p.fenceDeliverer()
 	}
 	p.log.Info("proxy started", "wan", p.wanAddr, "local", p.localAddr)
 	return nil

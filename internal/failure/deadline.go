@@ -1,0 +1,80 @@
+package failure
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// connDeadlines tracks the read/write deadlines a caller has set on a
+// gated connection wrapper. The injectors in this package block
+// operations on a channel while a fault is active; without this
+// bookkeeping a blocked operation would ignore a previously-set
+// deadline entirely — the caller's timeout machinery (per-RPC
+// deadlines, idle closes) would never fire under an injected hang,
+// which is exactly the situation those timeouts exist for. Wrappers
+// record deadlines here and gate waits honour them.
+type connDeadlines struct {
+	mu    sync.Mutex
+	read  time.Time
+	write time.Time
+}
+
+// set records a deadline exactly as net.Conn.Set{Read,Write,}Deadline
+// would: a zero time clears it.
+func (d *connDeadlines) set(read, write bool, t time.Time) {
+	d.mu.Lock()
+	if read {
+		d.read = t
+	}
+	if write {
+		d.write = t
+	}
+	d.mu.Unlock()
+}
+
+// get returns the deadline governing a read or a write.
+func (d *connDeadlines) get(read bool) time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if read {
+		return d.read
+	}
+	return d.write
+}
+
+// awaitGate blocks until the fault gate opens (nil gate = no fault),
+// the connection closes, or the operation's deadline expires. It
+// returns nil when the operation may proceed; the underlying conn then
+// enforces the same deadline on the real I/O.
+func awaitGate(gate <-chan struct{}, closed <-chan struct{}, deadline time.Time) error {
+	if gate == nil {
+		return nil
+	}
+	var timerC <-chan time.Time
+	if !deadline.IsZero() {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			// Deadline already passed: still let an already-healed gate
+			// through so heal-then-read races behave like real conns.
+			select {
+			case <-gate:
+				return nil
+			default:
+			}
+			return os.ErrDeadlineExceeded
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timerC = t.C
+	}
+	select {
+	case <-gate:
+		return nil
+	case <-closed:
+		return net.ErrClosed
+	case <-timerC:
+		return os.ErrDeadlineExceeded
+	}
+}

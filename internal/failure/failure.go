@@ -15,6 +15,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 
 	"gridproxy/internal/transport"
 )
@@ -167,37 +168,47 @@ type flakyConn struct {
 	net    *FlakyNetwork
 	once   sync.Once
 	closed chan struct{}
+	dl     connDeadlines
 }
 
 // gate blocks while the network is hung; it returns net.ErrClosed if the
-// connection is closed while waiting.
-func (c *flakyConn) gate() error {
+// connection is closed while waiting, or os.ErrDeadlineExceeded when a
+// previously-set deadline expires during the hang — a hung peer must
+// not defeat the caller's timeouts.
+func (c *flakyConn) gate(read bool) error {
 	c.net.mu.Lock()
 	hang := c.net.hang
 	c.net.mu.Unlock()
-	if hang == nil {
-		return nil
-	}
-	select {
-	case <-hang:
-		return nil
-	case <-c.closed:
-		return net.ErrClosed
-	}
+	return awaitGate(hang, c.closed, c.dl.get(read))
 }
 
 func (c *flakyConn) Read(p []byte) (int, error) {
-	if err := c.gate(); err != nil {
+	if err := c.gate(true); err != nil {
 		return 0, err
 	}
 	return c.Conn.Read(p)
 }
 
 func (c *flakyConn) Write(p []byte) (int, error) {
-	if err := c.gate(); err != nil {
+	if err := c.gate(false); err != nil {
 		return 0, err
 	}
 	return c.Conn.Write(p)
+}
+
+func (c *flakyConn) SetDeadline(t time.Time) error {
+	c.dl.set(true, true, t)
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *flakyConn) SetReadDeadline(t time.Time) error {
+	c.dl.set(true, false, t)
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *flakyConn) SetWriteDeadline(t time.Time) error {
+	c.dl.set(false, true, t)
+	return c.Conn.SetWriteDeadline(t)
 }
 
 func (c *flakyConn) Close() error {

@@ -3,6 +3,7 @@ package failure
 import (
 	"net"
 	"sync"
+	"time"
 )
 
 // Data-plane fault injection: wrappers for individual connections (in
@@ -50,35 +51,43 @@ type stalledConn struct {
 	st     *StallStream
 	once   sync.Once
 	closed chan struct{}
+	dl     connDeadlines
 }
 
-func (c *stalledConn) gate() error {
+func (c *stalledConn) gate(read bool) error {
 	c.st.mu.Lock()
 	ch := c.st.ch
 	c.st.mu.Unlock()
-	if ch == nil {
-		return nil
-	}
-	select {
-	case <-ch:
-		return nil
-	case <-c.closed:
-		return net.ErrClosed
-	}
+	return awaitGate(ch, c.closed, c.dl.get(read))
 }
 
 func (c *stalledConn) Read(p []byte) (int, error) {
-	if err := c.gate(); err != nil {
+	if err := c.gate(true); err != nil {
 		return 0, err
 	}
 	return c.Conn.Read(p)
 }
 
 func (c *stalledConn) Write(p []byte) (int, error) {
-	if err := c.gate(); err != nil {
+	if err := c.gate(false); err != nil {
 		return 0, err
 	}
 	return c.Conn.Write(p)
+}
+
+func (c *stalledConn) SetDeadline(t time.Time) error {
+	c.dl.set(true, true, t)
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *stalledConn) SetReadDeadline(t time.Time) error {
+	c.dl.set(true, false, t)
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *stalledConn) SetWriteDeadline(t time.Time) error {
+	c.dl.set(false, true, t)
+	return c.Conn.SetWriteDeadline(t)
 }
 
 func (c *stalledConn) Close() error {

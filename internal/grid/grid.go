@@ -310,6 +310,14 @@ type Member struct {
 	// SummaryAge is how old the summary is, gossip hops included.
 	HasSummary bool
 	SummaryAge time.Duration
+	// LastHeard is how long ago the answering proxy last received
+	// fresher information about the site (for the proxy itself: the
+	// time since it last stamped its own status summary).
+	// Suspected is true — and SuspectFor counts up — while the site sits
+	// in the suspicion pipeline awaiting refutation or conviction.
+	LastHeard  time.Duration
+	Suspected  bool
+	SuspectFor time.Duration
 	Tunnel     bool
 }
 
@@ -336,6 +344,13 @@ func (c *Client) Members(ctx context.Context) ([]Member, error) {
 		if m.AgeMillis >= 0 {
 			out[i].HasSummary = true
 			out[i].SummaryAge = time.Duration(m.AgeMillis) * time.Millisecond
+		}
+		if m.HeardMillis >= 0 {
+			out[i].LastHeard = time.Duration(m.HeardMillis) * time.Millisecond
+		}
+		if m.SuspectMillis >= 0 {
+			out[i].Suspected = true
+			out[i].SuspectFor = time.Duration(m.SuspectMillis) * time.Millisecond
 		}
 	}
 	return out, nil

@@ -138,6 +138,14 @@ func TestMembers(t *testing.T) {
 		if !m.HasSummary {
 			t.Errorf("%s has no summary", m.Site)
 		}
+		// Nobody is in the suspicion pipeline on a healthy mesh, and the
+		// last-heard age of an alive row is recent by construction.
+		if m.Suspected || m.SuspectFor != 0 {
+			t.Errorf("%s suspected (%v) on a healthy mesh", m.Site, m.SuspectFor)
+		}
+		if m.LastHeard > time.Minute {
+			t.Errorf("%s last heard %v ago, want recent", m.Site, m.LastHeard)
+		}
 	}
 	// The directory row for the proxy's own site reports a tunnel (to
 	// itself); the testbed's ConnectAll holds supervised links to the

@@ -1,0 +1,108 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gridproxy/internal/proto"
+)
+
+// TestAdversarialDeliveryConverges feeds one directory the same multiset
+// of rumors under adversarial delivery — shuffled, split into arbitrary
+// chunks, every rumor duplicated, and each chunk arriving either as a
+// full gossip delta (Merge) or as a bare anti-entropy digest
+// (ObserveDigest) — across many seeded permutations. Whatever the
+// order, the directory must converge on the maximal (incarnation,
+// version) tuple per site, with one designed exception: a Dead rumor
+// may land as Dead (first contact) or as demoted Suspect (known site,
+// see demoteLocked), and the local sweep clock resolves that to Dead.
+func TestAdversarialDeliveryConverges(t *testing.T) {
+	type rumor struct {
+		site     string
+		state    State
+		inc, ver uint64
+	}
+	// Per-site histories. The winning tuple of each is unambiguous:
+	//   sitea: suspected, refuted, then progressed → Alive (2,4)
+	//   siteb: suspicion is the freshest news      → Suspect (1,5)
+	//   sitec: refutation is the freshest news     → Alive (2,0)
+	//   sited: a death verdict at (1,6)            → Suspect or Dead
+	history := []rumor{
+		{"sitea", Alive, 1, 1}, {"sitea", Alive, 1, 3}, {"sitea", Alive, 1, 2},
+		{"sitea", Suspect, 1, 3}, {"sitea", Alive, 2, 0}, {"sitea", Alive, 2, 4},
+		{"siteb", Alive, 1, 1}, {"siteb", Suspect, 1, 5},
+		{"sitec", Alive, 1, 2}, {"sitec", Suspect, 1, 4}, {"sitec", Alive, 2, 0},
+		{"sited", Alive, 1, 1}, {"sited", Dead, 1, 6},
+	}
+	// Duplicate every rumor: redundant delivery must be harmless.
+	rumors := append(append([]rumor(nil), history...), history...)
+
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := newFakeClock()
+		d := newDir("obs", c)
+
+		shuffled := append([]rumor(nil), rumors...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		for len(shuffled) > 0 {
+			n := 1 + rng.Intn(4)
+			if n > len(shuffled) {
+				n = len(shuffled)
+			}
+			chunk := shuffled[:n]
+			shuffled = shuffled[n:]
+			if rng.Intn(2) == 0 {
+				ges := make([]proto.GossipEntry, 0, len(chunk))
+				for _, r := range chunk {
+					ges = append(ges, proto.GossipEntry{Site: r.site, Addr: "wan." + r.site,
+						State: uint8(r.state), Incarnation: r.inc, Version: r.ver})
+				}
+				d.Merge(ges)
+			} else {
+				items := make([]proto.GossipDigestItem, 0, len(chunk))
+				for _, r := range chunk {
+					items = append(items, proto.GossipDigestItem{Site: r.site,
+						State: uint8(r.state), Incarnation: r.inc, Version: r.ver})
+				}
+				d.ObserveDigest(items)
+			}
+			c.advance(time.Second)
+		}
+
+		check := func(site string, state State, inc, ver uint64) {
+			t.Helper()
+			e, ok := d.Lookup(site)
+			if !ok {
+				t.Fatalf("seed %d: %s never learned", seed, site)
+			}
+			if e.State != state || e.Incarnation != inc || e.Version != ver {
+				t.Fatalf("seed %d: %s = (%v,%d,%d), want (%v,%d,%d)",
+					seed, site, e.State, e.Incarnation, e.Version, state, inc, ver)
+			}
+		}
+		check("sitea", Alive, 2, 4)
+		check("siteb", Suspect, 1, 5)
+		check("sitec", Alive, 2, 0)
+
+		ed, ok := d.Lookup("sited")
+		if !ok || ed.Incarnation != 1 || ed.Version != 6 {
+			t.Fatalf("seed %d: sited = %+v ok=%v, want tuple (1,6)", seed, ed, ok)
+		}
+		if ed.State != Suspect && ed.State != Dead {
+			t.Fatalf("seed %d: sited state = %v, want Suspect (demoted) or Dead (adopted)", seed, ed.State)
+		}
+		// The demotion's local clock must still convict: past DeadAfter
+		// (stretched by the worst-case health score) the sweep turns the
+		// softened verdict back into Dead in every ordering. An ordering
+		// that adopted the verdict outright may already have pruned the
+		// entry past DeadRetention — convicted and retired also passes.
+		c.advance(10 * time.Minute)
+		d.Sweep()
+		if e, ok := d.Lookup("sited"); ok && e.State != Dead {
+			t.Fatalf("seed %d: sited = %v after sweep, want Dead or pruned", seed, e.State)
+		}
+	}
+}

@@ -84,6 +84,12 @@ type Entry struct {
 	HasSummary bool
 	Summary    proto.SiteStatus
 	SummaryAge time.Duration
+	// LastHeard is how long ago fresher information about the site last
+	// arrived; SuspectFor is how long the entry has been suspect (zero
+	// unless State == Suspect). Operators watch these to see a
+	// partition forming before the dead verdict lands.
+	LastHeard  time.Duration
+	SuspectFor time.Duration
 }
 
 // entry is the directory's internal row: the Entry fields plus rumor and
@@ -103,6 +109,11 @@ type entry struct {
 	// arrived (merge or direct observation); the suspicion sweep turns
 	// long silence into suspicion.
 	heardAt time.Time
+	// directAt is the last time the local proxy touched the site
+	// itself (a session, RPC, or gossip exchange with it succeeded) —
+	// unlike heardAt it is never refreshed by rumors, which is what
+	// makes it safe evidence for vouching against death rumors.
+	directAt time.Time
 	// suspectAt / deadAt record when the local view entered those
 	// states, for the sweep's grace periods.
 	suspectAt time.Time
@@ -146,6 +157,20 @@ type Config struct {
 	// O(N) digest until the random mesh saturates, and steady-state
 	// traffic would stop being flat in N. Default 3.
 	BootstrapDigests int
+	// VouchWindow is how recently the local proxy must have heard from a
+	// site to vouch for it against an incoming suspect/dead rumor:
+	// instead of adopting the rumor, the entry is revived past the
+	// rumor's incarnation (fresh direct contact outranks gossip). This
+	// is what keeps one partitioned observer's death verdicts from
+	// propagating through proxies that can still reach the victim.
+	// Default SuspectAfter/2; negative disables vouching.
+	VouchWindow time.Duration
+	// HealthMax caps the Lifeguard-style local-health score. Each failed
+	// local probe raises the score by one (capped here), each success
+	// lowers it; the sweep stretches SuspectAfter/DeadAfter by
+	// (1 + score), so a proxy whose own links are degraded accuses the
+	// world more slowly. Default 8.
+	HealthMax int
 	// Now supplies time; nil means time.Now. The simulator injects a
 	// logical clock here.
 	Now func() time.Time
@@ -184,6 +209,12 @@ func (c Config) withDefaults() Config {
 	if c.BootstrapDigests <= 0 {
 		c.BootstrapDigests = 3
 	}
+	if c.VouchWindow == 0 {
+		c.VouchWindow = c.SuspectAfter / 2
+	}
+	if c.HealthMax <= 0 {
+		c.HealthMax = 8
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -209,6 +240,9 @@ type Directory struct {
 	// introduced records peers already granted a bootstrap digest, so the
 	// budget is spent on distinct first contacts.
 	introduced map[string]bool
+	// health is the Lifeguard-style local-health score (see
+	// Config.HealthMax and NoteLocalProbe).
+	health int
 }
 
 // New builds a directory holding only the local site, alive at
@@ -324,6 +358,12 @@ func (d *Directory) export(e *entry, now time.Time) Entry {
 	}
 	if e.hasSummary {
 		out.SummaryAge = now.Sub(e.summaryAt)
+	}
+	if !e.heardAt.IsZero() {
+		out.LastHeard = now.Sub(e.heardAt)
+	}
+	if e.state == Suspect && !e.suspectAt.IsZero() {
+		out.SuspectFor = now.Sub(e.suspectAt)
 	}
 	return out
 }
@@ -569,6 +609,18 @@ func (d *Directory) Merge(entries []proto.GossipEntry) int {
 		if !newer(ge.Incarnation, ge.Version, ge.State, local.incarnation, local.version, uint8(local.state)) {
 			continue
 		}
+		if stickyDead(local, State(ge.State), ge.Incarnation) {
+			continue
+		}
+		if d.vouchLocked(local, State(ge.State), ge.Incarnation, now) {
+			merged++
+			continue
+		}
+		if State(ge.State) == Dead && local.state != Dead {
+			d.demoteLocked(local, ge, now)
+			merged++
+			continue
+		}
 		d.adopt(local, ge, now)
 		merged++
 	}
@@ -577,6 +629,24 @@ func (d *Directory) Merge(entries []proto.GossipEntry) int {
 		d.publishGauges()
 	}
 	return merged
+}
+
+// stickyDead reports whether an incoming rumor must be ignored because
+// the local Dead verdict outranks it despite the rumor being "newer" by
+// version. A Suspect rumor at the SAME incarnation as a local Dead
+// entry is just the demoted echo of somebody's death evidence — news
+// this directory already acted on — but it can still win the version
+// race: every independent conviction bumps the version (Sweep), every
+// demotion of that conviction re-gossips Suspect at the bumped version
+// (demoteLocked), and that higher-version Suspect would un-convict any
+// Dead verdict minted one bump earlier. At N sites convicting on
+// staggered clocks the grid never settles (E12's reconvergence bar
+// catches this as a perpetual Dead↔Suspect oscillation). So death is
+// sticky at its incarnation: only a genuine refutation or vouch — both
+// of which raise the incarnation — or direct contact revives the entry.
+// Callers hold d.mu.
+func stickyDead(local *entry, rumor State, rumorInc uint64) bool {
+	return local.state == Dead && rumor == Suspect && rumorInc == local.incarnation
 }
 
 // adopt copies a strictly-newer wire entry over the local row and marks
@@ -641,7 +711,7 @@ func (d *Directory) ObserveAlive(site, addr string) {
 	now := d.cfg.Now()
 	e, ok := d.entries[site]
 	if !ok {
-		e = &entry{site: site, state: Alive, incarnation: 1, heardAt: now}
+		e = &entry{site: site, state: Alive, incarnation: 1, heardAt: now, directAt: now}
 		d.entries[site] = e
 		d.stateCount[Alive]++
 		if addr != "" {
@@ -655,6 +725,7 @@ func (d *Directory) ObserveAlive(site, addr string) {
 		e.addr = addr
 	}
 	e.heardAt = now
+	e.directAt = now
 	if e.state != Alive {
 		e.incarnation++
 		e.version = 0
@@ -695,6 +766,7 @@ func (d *Directory) ObserveSummary(site, addr string, s proto.SiteStatus) {
 	e.summary = s
 	e.summaryAt = now
 	e.heardAt = now
+	e.directAt = now
 	d.markHot(e)
 }
 
@@ -745,6 +817,13 @@ func (d *Directory) Sweep() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	now := d.cfg.Now()
+	// A degraded local proxy (failed probes raised its health score) is
+	// the likeliest explanation for widespread silence; stretch the
+	// timeouts rather than declare the grid dying (Lifeguard's local
+	// health multiplier).
+	mult := time.Duration(1 + d.health)
+	suspectAfter := d.cfg.SuspectAfter * mult
+	deadAfter := d.cfg.DeadAfter * mult
 	changed := false
 	for site, e := range d.entries {
 		if site == d.cfg.Site {
@@ -752,14 +831,14 @@ func (d *Directory) Sweep() {
 		}
 		switch e.state {
 		case Alive:
-			if now.Sub(e.heardAt) > d.cfg.SuspectAfter {
+			if now.Sub(e.heardAt) > suspectAfter {
 				e.version++
 				d.setState(e, Suspect, now)
 				d.markHot(e)
 				changed = true
 			}
 		case Suspect:
-			if now.Sub(e.suspectAt) > d.cfg.DeadAfter {
+			if now.Sub(e.suspectAt) > deadAfter {
 				e.version++
 				d.setState(e, Dead, now)
 				d.markHot(e)

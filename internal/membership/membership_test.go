@@ -68,6 +68,55 @@ func TestMergeOrdering(t *testing.T) {
 	}
 }
 
+// TestDeadVerdictStickyAtIncarnation pins the stickyDead rule: a
+// Suspect rumor at the same incarnation as a local Dead verdict is the
+// demoted echo of death evidence this directory already acted on, and
+// must not un-convict the entry even when its version is higher (every
+// independent conviction bumps the version, every demotion re-gossips
+// at that bumped version — without stickiness a grid of staggered
+// convictions oscillates Dead↔Suspect forever). A refutation or a
+// vouch raises the incarnation and must still get through.
+func TestDeadVerdictStickyAtIncarnation(t *testing.T) {
+	c := newFakeClock()
+	d := newDir("obs", c)
+	// Unknown site + Dead rumor: adopted verbatim (first contact).
+	d.Merge([]proto.GossipEntry{{Site: "victim", Addr: "wan.victim",
+		State: uint8(Dead), Incarnation: 1, Version: 2}})
+	if e, _ := d.Lookup("victim"); e.State != Dead {
+		t.Fatalf("setup: state = %v, want dead", e.State)
+	}
+	// Higher-version Suspect at the SAME incarnation: ignored, both via
+	// gossip delta and via anti-entropy digest.
+	if n := d.Merge([]proto.GossipEntry{{Site: "victim",
+		State: uint8(Suspect), Incarnation: 1, Version: 7}}); n != 0 {
+		t.Fatalf("demoted echo merged (%d), want 0", n)
+	}
+	if n := d.ObserveDigest([]proto.GossipDigestItem{{Site: "victim",
+		State: uint8(Suspect), Incarnation: 1, Version: 7}}); n != 0 {
+		t.Fatalf("demoted echo observed via digest (%d), want 0", n)
+	}
+	if e, _ := d.Lookup("victim"); e.State != Dead || e.Version != 2 {
+		t.Fatalf("after echoes = %+v, want dead (1,2)", e)
+	}
+	// A Suspect at a HIGHER incarnation is fresh news (somebody vouched
+	// or the victim refuted, then went quiet again): adopted.
+	if n := d.Merge([]proto.GossipEntry{{Site: "victim",
+		State: uint8(Suspect), Incarnation: 2, Version: 0}}); n != 1 {
+		t.Fatalf("higher-incarnation suspicion not merged, want 1")
+	}
+	if e, _ := d.Lookup("victim"); e.State != Suspect || e.Incarnation != 2 {
+		t.Fatalf("after fresh suspicion = %+v, want suspect inc=2", e)
+	}
+	// And a refutation revives outright.
+	if n := d.Merge([]proto.GossipEntry{{Site: "victim",
+		State: uint8(Alive), Incarnation: 3, Version: 0}}); n != 1 {
+		t.Fatalf("refutation not merged, want 1")
+	}
+	if e, _ := d.Lookup("victim"); e.State != Alive || e.Incarnation != 3 {
+		t.Fatalf("after refutation = %+v, want alive inc=3", e)
+	}
+}
+
 func TestRefuteRumorAboutSelf(t *testing.T) {
 	c := newFakeClock()
 	d := newDir("sitea", c)

@@ -267,6 +267,37 @@ const (
 	MemberDeaths = "member.deaths"
 	// MemberPrunes counts dead entries dropped after the retention period.
 	MemberPrunes = "member.prunes"
+	// MemberProbes counts indirect probes sent: before escalating failed
+	// contact into suspicion, a proxy asks k peers to confirm the target
+	// is unreachable for them too.
+	MemberProbes = "member.probe.requests"
+	// MemberProbeConfirms counts indirect probes answered "reachable" —
+	// each one is a false suspicion averted (the path was broken, not
+	// the peer).
+	MemberProbeConfirms = "member.probe.confirms"
+	// MemberVouches counts death/suspect rumors overridden because the
+	// local proxy heard from the rumored site recently enough to vouch
+	// for it (fresh direct contact outranks any rumor).
+	MemberVouches = "member.vouches"
+	// MemberHealth gauges the Lifeguard-style local-health score: 0 is
+	// healthy; each failed local probe raises it and stretches the
+	// suspicion timeouts, so a degraded proxy suspects the world more
+	// slowly instead of poisoning the directory.
+	MemberHealth = "gauge.member.health"
+
+	// Chaos-injection metrics (internal/failure.Chaos): the deterministic
+	// partition/gray-failure controller behind E12.
+
+	// ChaosCuts counts directed links cut (partitions and one-way cuts).
+	ChaosCuts = "chaos.cuts"
+	// ChaosHeals counts directed links restored.
+	ChaosHeals = "chaos.heals"
+	// ChaosRefusedOps counts dials and simulated exchanges refused or
+	// lost by the reachability matrix and loss shaping.
+	ChaosRefusedOps = "chaos.refused_ops"
+	// ChaosDelayedOps counts operations that paid injected latency,
+	// loss-retransmit, or bandwidth delay.
+	ChaosDelayedOps = "chaos.delayed_ops"
 
 	// Peer connection-cache metrics (internal/peerlink dial-on-demand).
 
@@ -279,6 +310,13 @@ const (
 	PeerLRUEvictions = "peer.lru_evictions"
 	// PeersCached gauges the number of live tunnels currently cached.
 	PeersCached = "gauge.peer.cached"
+	// PeerBreakerOpens counts per-peer circuit breakers tripping open
+	// after consecutive dial failures.
+	PeerBreakerOpens = "peer.breaker.opens"
+	// PeerBreakerFastFails counts dials refused instantly because the
+	// peer's breaker was open — each one is a hammering dial not sent
+	// into a partition.
+	PeerBreakerFastFails = "peer.breaker.fast_fails"
 
 	// Job-lifecycle metrics (fault-tolerant launch, cancellation,
 	// reaping, rescheduling).
@@ -309,6 +347,17 @@ const (
 	JobsPruned = "job.pruned"
 	// JobsTracked gauges the origin proxy's current job-table size.
 	JobsTracked = "gauge.jobs.tracked"
+	// JobFencesSent counts FenceNotice deliveries acknowledged by a
+	// destination (origin side; retried until the site is reachable).
+	JobFencesSent = "job.fence.sent"
+	// JobFencedRanks counts ranks killed because their launch epoch was
+	// fenced off — the split-brain copies a heal would otherwise leave
+	// double-running.
+	JobFencedRanks = "job.fence.ranks_killed"
+	// JobStaleCommits counts CommitSpawn/PrepareSpawn requests refused
+	// for carrying an epoch older than one the destination has already
+	// accepted.
+	JobStaleCommits = "job.fence.stale_refused"
 
 	// Data-plane metrics (content-addressed staging, internal/stage).
 

@@ -21,6 +21,14 @@ type CacheConfig struct {
 	IdleClose time.Duration
 	// SweepEvery is the idle janitor's period (default IdleClose/4).
 	SweepEvery time.Duration
+	// BreakerThreshold is how many consecutive dial failures to a site
+	// open its circuit breaker (default 3; negative disables breakers).
+	BreakerThreshold int
+	// BreakerMinOpen is the first open window (default 500ms); it
+	// doubles per consecutive open, ±20% jitter.
+	BreakerMinOpen time.Duration
+	// BreakerMaxOpen caps the open window (default 30s).
+	BreakerMaxOpen time.Duration
 	// Now supplies time; nil means time.Now (tests inject clocks).
 	Now func() time.Time
 	// Metrics may be nil.
@@ -29,8 +37,11 @@ type CacheConfig struct {
 
 // Default cache knob values.
 const (
-	DefaultMaxTunnels = 32
-	DefaultIdleClose  = 2 * time.Minute
+	DefaultMaxTunnels       = 32
+	DefaultIdleClose        = 2 * time.Minute
+	DefaultBreakerThreshold = 3
+	DefaultBreakerMinOpen   = 500 * time.Millisecond
+	DefaultBreakerMaxOpen   = 30 * time.Second
 )
 
 // WithDefaults fills zero fields with defaults.
@@ -47,6 +58,15 @@ func (c CacheConfig) WithDefaults() CacheConfig {
 		} else {
 			c.SweepEvery = 30 * time.Second
 		}
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerMinOpen <= 0 {
+		c.BreakerMinOpen = DefaultBreakerMinOpen
+	}
+	if c.BreakerMaxOpen <= 0 {
+		c.BreakerMaxOpen = DefaultBreakerMaxOpen
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -98,6 +118,7 @@ type Cache[T Session] struct {
 	mu       sync.Mutex
 	live     map[string]*cacheEntry[T]
 	inflight map[string]*inflightDial[T]
+	breakers map[string]*breaker
 	closed   bool
 }
 
@@ -110,6 +131,7 @@ func NewCache[T Session](cfg CacheConfig, dial cacheDial[T], onEvict func(site s
 		onEvict:  onEvict,
 		live:     make(map[string]*cacheEntry[T]),
 		inflight: make(map[string]*inflightDial[T]),
+		breakers: make(map[string]*breaker),
 	}
 }
 
@@ -156,6 +178,10 @@ func (c *Cache[T]) Get(ctx context.Context, site string) (T, error) {
 			return zero, ctx.Err()
 		}
 	}
+	if err := c.breakerAllowLocked(site); err != nil {
+		c.mu.Unlock()
+		return zero, err
+	}
 	f := &inflightDial[T]{done: make(chan struct{})}
 	c.inflight[site] = f
 	c.mu.Unlock()
@@ -163,6 +189,13 @@ func (c *Cache[T]) Get(ctx context.Context, site string) (T, error) {
 	c.cfg.Metrics.Counter(metrics.PeerDialsOnDemand).Inc()
 	sess, err := c.dial(ctx, site)
 	f.sess, f.err = sess, err
+	if err == nil {
+		c.breakerRecord(site, true)
+	} else if ctx.Err() == nil {
+		// A canceled caller says nothing about the site; every other
+		// dial failure counts toward opening the breaker.
+		c.breakerRecord(site, false)
+	}
 
 	var victims []evicted[T]
 	c.mu.Lock()
@@ -276,6 +309,7 @@ func (c *Cache[T]) Put(site string, sess T, pinned bool) {
 		delete(c.live, site)
 	}
 	victims = append(victims, c.insertLocked(site, sess, pinned)...)
+	delete(c.breakers, site) // a session in hand proves reachability
 	c.mu.Unlock()
 	c.closeEvicted(victims)
 }
@@ -295,6 +329,7 @@ func (c *Cache[T]) Add(site string, sess T, pinned bool) bool {
 		return false
 	}
 	victims := c.insertLocked(site, sess, pinned)
+	delete(c.breakers, site) // an inbound session proves reachability
 	c.mu.Unlock()
 	c.closeEvicted(victims)
 	return true

@@ -52,6 +52,10 @@ func init() {
 	registerCore(CodeMemberListReply, func() Body { return &MemberListReply{} })
 	registerCore(CodePeerBye, func() Body { return &PeerBye{} })
 	registerCore(CodePeerByeAck, func() Body { return &PeerByeAck{} })
+	registerCore(CodeProbeRequest, func() Body { return &ProbeRequest{} })
+	registerCore(CodeProbeReply, func() Body { return &ProbeReply{} })
+	registerCore(CodeFenceNotice, func() Body { return &FenceNotice{} })
+	registerCore(CodeFenceReply, func() Body { return &FenceReply{} })
 }
 
 // Hello opens a proxy-to-proxy session.
@@ -830,6 +834,12 @@ type PrepareSpawn struct {
 	StageIn []StageRef
 	// StageOut restricts which published outputs are reported back.
 	StageOut []string
+	// Epoch is the launch epoch these ranks belong to. Reschedules
+	// re-prepare with an incremented epoch; a destination that has
+	// already accepted a newer epoch for the application refuses the
+	// stale prepare, and a newer prepare fences off (kills) any still-
+	// running ranks it overlaps from older epochs.
+	Epoch uint64
 }
 
 // Code implements Body.
@@ -856,6 +866,7 @@ func (m *PrepareSpawn) Encode(b []byte) []byte {
 	}
 	b = appendStageRefs(b, m.StageIn)
 	b = wire.AppendStringSlice(b, m.StageOut)
+	b = wire.AppendUint64(b, m.Epoch)
 	return b
 }
 
@@ -897,6 +908,7 @@ func (m *PrepareSpawn) Decode(buf *wire.Buffer) error {
 		return err
 	}
 	m.StageOut = buf.StringSlice()
+	m.Epoch = buf.Uint64()
 	return buf.Err()
 }
 
@@ -930,17 +942,33 @@ func (m *PrepareSpawnReply) Decode(buf *wire.Buffer) error {
 // a SpawnReply listing the spawned endpoints.
 type CommitSpawn struct {
 	AppID string
+	// Epoch must match the epoch of the prepare being committed; a
+	// destination that has accepted a newer epoch refuses the commit,
+	// so a delayed commit from the losing side of a partition cannot
+	// start ranks that were already rescheduled elsewhere.
+	Epoch uint64
+	// Token makes a retried commit idempotent: the destination caches
+	// the outcome per (application, token) and replays it instead of
+	// spawning the ranks a second time. Empty disables caching.
+	Token string
 }
 
 // Code implements Body.
 func (*CommitSpawn) Code() Code { return CodeCommitSpawn }
 
 // Encode implements Body.
-func (m *CommitSpawn) Encode(b []byte) []byte { return wire.AppendString(b, m.AppID) }
+func (m *CommitSpawn) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendUint64(b, m.Epoch)
+	b = wire.AppendString(b, m.Token)
+	return b
+}
 
 // Decode implements Body.
 func (m *CommitSpawn) Decode(buf *wire.Buffer) error {
 	m.AppID = buf.String()
+	m.Epoch = buf.Uint64()
+	m.Token = buf.String()
 	return buf.Err()
 }
 
@@ -1611,6 +1639,12 @@ type MemberInfo struct {
 	// Tunnel reports whether the answering proxy currently holds a live
 	// tunnel to the site.
 	Tunnel bool
+	// HeardMillis is how long ago the answering proxy last received
+	// fresher information about the site; SuspectMillis how long the
+	// entry has been suspect (-1 unless suspect). Operators watch these
+	// to see a partition forming before the dead verdict lands.
+	HeardMillis   int64
+	SuspectMillis int64
 }
 
 func (mi *MemberInfo) encode(b []byte) []byte {
@@ -1621,6 +1655,8 @@ func (mi *MemberInfo) encode(b []byte) []byte {
 	b = wire.AppendUint64(b, mi.Version)
 	b = wire.AppendInt64(b, mi.AgeMillis)
 	b = wire.AppendBool(b, mi.Tunnel)
+	b = wire.AppendInt64(b, mi.HeardMillis)
+	b = wire.AppendInt64(b, mi.SuspectMillis)
 	return b
 }
 
@@ -1632,6 +1668,8 @@ func (mi *MemberInfo) decode(buf *wire.Buffer) {
 	mi.Version = buf.Uint64()
 	mi.AgeMillis = buf.Int64()
 	mi.Tunnel = buf.Bool()
+	mi.HeardMillis = buf.Int64()
+	mi.SuspectMillis = buf.Int64()
 }
 
 // MemberListReply answers a MemberList with the proxy's directory.
@@ -1704,3 +1742,120 @@ func (m *PeerByeAck) Encode(b []byte) []byte { return b }
 
 // Decode implements Body.
 func (m *PeerByeAck) Decode(buf *wire.Buffer) error { return buf.Err() }
+
+// ProbeRequest asks the receiving proxy to confirm whether it can reach
+// Target right now. It is sent to k confirmers before a failed direct
+// contact escalates into membership suspicion: if any confirmer still
+// reaches the target, the failure was the path (or the prober itself),
+// not the target, and no suspicion is recorded.
+type ProbeRequest struct {
+	Target string
+}
+
+// Code implements Body.
+func (*ProbeRequest) Code() Code { return CodeProbeRequest }
+
+// Encode implements Body.
+func (m *ProbeRequest) Encode(b []byte) []byte { return wire.AppendString(b, m.Target) }
+
+// Decode implements Body.
+func (m *ProbeRequest) Decode(buf *wire.Buffer) error {
+	m.Target = buf.String()
+	return buf.Err()
+}
+
+// ProbeReply answers a ProbeRequest: OK reports whether the confirmer
+// reached the target.
+type ProbeReply struct {
+	Target string
+	OK     bool
+}
+
+// Code implements Body.
+func (*ProbeReply) Code() Code { return CodeProbeReply }
+
+// Encode implements Body.
+func (m *ProbeReply) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.Target)
+	b = wire.AppendBool(b, m.OK)
+	return b
+}
+
+// Decode implements Body.
+func (m *ProbeReply) Decode(buf *wire.Buffer) error {
+	m.Target = buf.String()
+	m.OK = buf.Bool()
+	return buf.Err()
+}
+
+// FenceNotice tells a destination that the listed ranks of an
+// application were rescheduled under a newer launch epoch: any copy of
+// those ranks still running from an epoch below Epoch must be killed.
+// The origin records a fence when it reschedules around an unreachable
+// site and retries delivery until the site answers — on heal, the fence
+// lands before the split-brain copies can double-run further.
+// Idempotent: fencing an unknown application, or ranks already gone,
+// succeeds.
+type FenceNotice struct {
+	AppID string
+	Epoch uint64
+	Ranks []uint32
+}
+
+// Code implements Body.
+func (*FenceNotice) Code() Code { return CodeFenceNotice }
+
+// Encode implements Body.
+func (m *FenceNotice) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendUint64(b, m.Epoch)
+	b = wire.AppendUint32(b, uint32(len(m.Ranks)))
+	for _, r := range m.Ranks {
+		b = wire.AppendUint32(b, r)
+	}
+	return b
+}
+
+// Decode implements Body.
+func (m *FenceNotice) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.Epoch = buf.Uint64()
+	n := int(buf.Uint32())
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	if n > buf.Remaining() {
+		return wire.ErrTruncated
+	}
+	if n > 0 {
+		m.Ranks = make([]uint32, n)
+		for i := range m.Ranks {
+			m.Ranks[i] = buf.Uint32()
+		}
+	}
+	return buf.Err()
+}
+
+// FenceReply answers a FenceNotice; Killed counts the stale ranks the
+// fence terminated.
+type FenceReply struct {
+	AppID  string
+	Killed uint32
+}
+
+// Code implements Body.
+func (*FenceReply) Code() Code { return CodeFenceReply }
+
+// Encode implements Body.
+func (m *FenceReply) Encode(b []byte) []byte {
+	b = wire.AppendString(b, m.AppID)
+	b = wire.AppendUint32(b, m.Killed)
+	return b
+}
+
+// Decode implements Body.
+func (m *FenceReply) Decode(buf *wire.Buffer) error {
+	m.AppID = buf.String()
+	m.Killed = buf.Uint32()
+	return buf.Err()
+}

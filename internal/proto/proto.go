@@ -151,6 +151,21 @@ const (
 	CodePeerBye
 	// CodePeerByeAck answers a PeerBye.
 	CodePeerByeAck
+
+	// CodeProbeRequest asks a peer to confirm whether it can reach a
+	// third site — the indirect probe that runs before a failed direct
+	// contact escalates into membership suspicion, so one broken path
+	// does not put a live site on trial.
+	CodeProbeRequest
+	// CodeProbeReply answers a ProbeRequest with the confirmer's verdict.
+	CodeProbeReply
+	// CodeFenceNotice tells a destination that every rank of an
+	// application below the carried launch epoch has been rescheduled
+	// elsewhere and must be killed — the split-brain fence that stops a
+	// healed partition from double-running ranks.
+	CodeFenceNotice
+	// CodeFenceReply answers a FenceNotice.
+	CodeFenceReply
 )
 
 // Version is the control-protocol version spoken by this build.

@@ -45,6 +45,21 @@ type GossipGridConfig struct {
 	// entries fresh is absent; membership's own tests exercise the
 	// suspicion state machine).
 	SuspectAfter time.Duration
+	// DeadAfter passes through to the sweep as well: since death rumors
+	// demote to locally-timed suspicion (membership §17 demotion), each
+	// directory convicts a rumored-dead site only after its own
+	// DeadAfter clock runs out. Defaults to the membership default.
+	DeadAfter time.Duration
+	// VouchWindow passes through to the vouching override (zero takes
+	// the membership default of SuspectAfter/2, negative disables). Note
+	// the interaction with this simulator's 1h SuspectAfter default: the
+	// derived window is 30 logical minutes, and every site here exchanges
+	// with a large fraction of the grid every few rounds, so essentially
+	// everyone holds recent direct contact with any given site and a
+	// death rumor is vouched back down grid-wide for the whole window.
+	// Dissemination tests disable vouching outright (membership's own
+	// tests exercise the vouch machinery).
+	VouchWindow time.Duration
 }
 
 func (c GossipGridConfig) withDefaults() GossipGridConfig {
@@ -128,6 +143,8 @@ func NewGossipGrid(cfg GossipGridConfig) (*GossipGrid, error) {
 			AntiEntropyFactor: cfg.AntiEntropyFactor,
 			BootstrapDigests:  cfg.BootstrapDigests,
 			SuspectAfter:      cfg.SuspectAfter,
+			DeadAfter:         cfg.DeadAfter,
+			VouchWindow:       cfg.VouchWindow,
 			Seed:              seed,
 			Now:               func() time.Time { return g.clock },
 		})

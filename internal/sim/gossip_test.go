@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"testing"
+	"time"
 
 	"gridproxy/internal/membership"
 )
@@ -91,11 +92,23 @@ func TestGossipGridSteadyStateQuiet(t *testing.T) {
 }
 
 // TestGossipGridSpreadsDeath injects conclusive death evidence at one
-// site and checks the rumor reaches every directory in O(log N) rounds
-// — status compiled anywhere in the grid stops showing the dead site.
+// site and checks the two-stage dissemination the demotion rule
+// (membership, DESIGN.md §17.2) prescribes: the rumor reaches every
+// directory as *suspicion* in O(log N) rounds — nobody adopts a
+// second-hand death verdict verbatim — and then every directory
+// convicts on its own DeadAfter clock, so status compiled anywhere in
+// the grid stops showing the dead site shortly after.
 func TestGossipGridSpreadsDeath(t *testing.T) {
 	const n = 32
-	g, err := NewGossipGrid(GossipGridConfig{Sites: n, Seed: 5})
+	const deadAfter = 5 * time.Second // 5 rounds at the default 1s/round
+	// VouchWindow is disabled: with the sim's 1h SuspectAfter the default
+	// window is 30 logical minutes, and in a 32-site mesh every directory
+	// has direct contact with s0001 that recent, so the whole grid would
+	// (correctly) vouch the rumor down for the entire test. This test
+	// studies dissemination; vouching has its own tests in membership.
+	g, err := NewGossipGrid(GossipGridConfig{
+		Sites: n, Seed: 5, DeadAfter: deadAfter, VouchWindow: -1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,21 +126,44 @@ func TestGossipGridSpreadsDeath(t *testing.T) {
 	g.Stop(1)
 	g.Dir(4).ObserveDead(dead)
 	budget := 4 * int(math.Ceil(math.Log2(n)))
-	for r := 0; r < budget; r++ {
-		g.Step()
+	count := func(want membership.State) int {
 		aware := 0
 		for i := 0; i < n; i++ {
 			if i == 1 {
 				continue // the dead site's own directory would refute
 			}
-			if e, ok := g.Dir(i).Lookup(dead); ok && e.State == membership.Dead {
+			if e, ok := g.Dir(i).Lookup(dead); ok && e.State >= want {
 				aware++
 			}
 		}
-		if aware == n-1 {
-			t.Logf("death rumor reached all %d directories in %d rounds", n-1, r+1)
+		return aware
+	}
+
+	// Stage 1: the rumor itself floods in O(log N) rounds, softened to
+	// suspicion everywhere (only the direct observer holds Dead).
+	spread := 0
+	for r := 0; r < budget; r++ {
+		g.Step()
+		if count(membership.Suspect) == n-1 {
+			spread = r + 1
+			break
+		}
+	}
+	if spread == 0 {
+		t.Fatalf("death rumor did not reach every directory within %d rounds", budget)
+	}
+	t.Logf("rumor reached all %d directories as suspicion in %d rounds", n-1, spread)
+
+	// Stage 2: with its own contact to the stopped site broken, each
+	// directory's sweep convicts once its DeadAfter clock runs out.
+	convictBudget := int(deadAfter/time.Second) + budget
+	for r := 0; r < convictBudget; r++ {
+		g.Step()
+		if count(membership.Dead) == n-1 {
+			t.Logf("all %d directories convicted within %d further rounds", n-1, r+1)
 			return
 		}
 	}
-	t.Fatalf("death rumor did not reach every directory within %d rounds", budget)
+	t.Fatalf("only %d/%d directories convicted within %d rounds of the rumor",
+		count(membership.Dead), n-1, convictBudget)
 }

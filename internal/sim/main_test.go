@@ -1,0 +1,12 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"gridproxy/internal/testwatch"
+)
+
+// The sim tests drive seeded chaos scenarios; if one wedges, dump the
+// stacks at the budget instead of hanging to the -timeout kill.
+func TestMain(m *testing.M) { testwatch.Main(m, 4*time.Minute) }

@@ -1,0 +1,67 @@
+// Package testwatch is a watchdog for test binaries that drive chaos
+// scenarios: a deadlock under injected partitions shows up in CI as a
+// silent hang until `go test`'s own -timeout kill, ten minutes late and
+// attributed to whatever test happened to be running. The watchdog
+// dumps every goroutine stack as soon as a package exceeds its budget,
+// while the processes involved are still wedged, then leaves the hard
+// kill to the test runner.
+package testwatch
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// EnvBudget overrides the per-package watchdog budget with a
+// time.Duration string (e.g. "90s"); an unparsable value is ignored.
+const EnvBudget = "GRID_TEST_WATCHDOG"
+
+// Main wraps testing.M.Run with the watchdog and exits with the run's
+// code. Call it from a package's TestMain:
+//
+//	func TestMain(m *testing.M) { testwatch.Main(m, 4*time.Minute) }
+//
+// If the package's tests are still running after budget, every
+// goroutine stack is dumped to stderr — once — and the tests keep
+// going, so the eventual -timeout failure carries a dump taken at the
+// moment the budget blew rather than minutes into the wedge.
+func Main(m *testing.M, budget time.Duration) {
+	if s := os.Getenv(EnvBudget); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			budget = d
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		timer := time.NewTimer(budget)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			dump(budget)
+		case <-done:
+		}
+	}()
+	code := m.Run()
+	close(done)
+	os.Exit(code)
+}
+
+// dump writes every goroutine's stack to stderr, growing the buffer
+// until the dump fits.
+func dump(budget time.Duration) {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	fmt.Fprintf(os.Stderr,
+		"\ntestwatch: tests still running after %v — goroutine dump (%d goroutines):\n%s\n",
+		budget, runtime.NumGoroutine(), buf)
+}

@@ -1,0 +1,70 @@
+package testwatch
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDumpContainsAllGoroutines exercises the dump path directly (Main
+// calls os.Exit, so the wrapper itself is covered by the packages that
+// use it).
+func TestDumpContainsAllGoroutines(t *testing.T) {
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		close(blocked)
+		<-release // parked here while the dump runs
+	}()
+	<-blocked
+	defer close(release)
+
+	out := captureStderr(t, func() { dump(time.Second) })
+	if !strings.Contains(out, "testwatch: tests still running after 1s") {
+		t.Fatalf("dump header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "goroutine") || !strings.Contains(out, "testwatch_test.go") {
+		t.Fatalf("dump does not include the parked goroutine:\n%s", out)
+	}
+}
+
+func TestEnvBudgetParses(t *testing.T) {
+	// Main honors EnvBudget; the parse rule it uses is ParseDuration
+	// with non-positive values ignored — pin that contract here.
+	for _, tc := range []struct {
+		in string
+		ok bool
+	}{{"90s", true}, {"2m", true}, {"0", false}, {"junk", false}, {"-5s", false}} {
+		d, err := time.ParseDuration(tc.in)
+		if got := err == nil && d > 0; got != tc.ok {
+			t.Errorf("budget %q accepted=%v, want %v", tc.in, got, tc.ok)
+		}
+	}
+}
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and returns
+// what it wrote.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = buf.ReadFrom(r)
+	}()
+	fn()
+	_ = w.Close()
+	<-done
+	os.Stderr = old
+	return buf.String()
+}
