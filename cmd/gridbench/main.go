@@ -31,6 +31,13 @@ var e11Sites = flag.Int("e11n", 0, "run E11 at this single grid size instead of 
 // acceptance run's cost. The minority scales to N/5 (minimum 2).
 var e12Sites = flag.Int("e12n", 0, "run E12 at this grid size instead of the N=50 acceptance run")
 
+// e13Clients shrinks E13's offered load for the CI smoke step (`-exp
+// e13 -e13c 5000`): the 1×/4×/16× sweep, the drain phase, and every
+// acceptance bar still run, at a fraction of the ≥100k-client
+// acceptance run's cost. The value is the total client count across the
+// sweep; it is split evenly over the multiplier phases.
+var e13Clients = flag.Int("e13c", 0, "run E13 with this many total simulated clients instead of the 102k acceptance run")
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "gridbench:", err)
@@ -103,6 +110,20 @@ var runners = []struct {
 		}
 		rows, err := experiments.E12(cfg)
 		return experiments.E12Table(rows), err
+	}},
+	{"e13", "gateway admission control: served/queued/shed under overload", func() (experiments.Table, error) {
+		cfg := experiments.DefaultE13()
+		if *e13Clients > 0 {
+			per := *e13Clients / len(cfg.Multipliers)
+			if per < len(cfg.Multipliers)*cfg.Capacity {
+				// Keep at least one request per driver at the highest
+				// multiplier so every phase exercises admission.
+				per = len(cfg.Multipliers) * cfg.Capacity
+			}
+			cfg.Clients = per
+		}
+		rows, err := experiments.E13(cfg)
+		return experiments.E13Table(rows), err
 	}},
 }
 

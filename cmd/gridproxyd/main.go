@@ -15,6 +15,14 @@
 //	peers       = siteb=10.0.0.2:7100,sitec=10.0.0.3:7100
 //	policy      = least-loaded      # round-robin|least-loaded|weighted-speed|random
 //	web_addr    = 127.0.0.1:7300    # web interface ("" disables)
+//	web_auth    = false             # require a service ticket on the web
+//	                                 # interface (needs ticket_secret); keep
+//	                                 # web_addr loopback-only when false
+//	ticket_secret = gate.secret     # shared-secret file: run the TGS with
+//	                                 # deterministic keys so a gridgate
+//	                                 # started from the same secret can
+//	                                 # grant tickets this proxy validates
+//	                                 # ("" keeps tickets disabled)
 //	nodes       = 4                 # hosted node agents on this proxy host
 //	node_speed  = 1.0
 //	announce    = 30s               # inventory re-announce interval
@@ -93,12 +101,14 @@ import (
 	"gridproxy/internal/ca"
 	"gridproxy/internal/config"
 	"gridproxy/internal/core"
+	"gridproxy/internal/gate"
 	"gridproxy/internal/logging"
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/node"
 	"gridproxy/internal/peerlink"
 	"gridproxy/internal/programs"
 	"gridproxy/internal/stage"
+	"gridproxy/internal/ticket"
 	"gridproxy/internal/transport"
 	"gridproxy/internal/webui"
 )
@@ -170,6 +180,26 @@ func run() error {
 	local := transport.NewLabelTCP()
 	wan := transport.NewTLS(transport.TCP{}, cred, authority.CertPool(), reg)
 
+	// With a shared ticket secret, this proxy runs the TGS with
+	// deterministically derived keys: a gridgate (or another proxy)
+	// started from the same secret grants tickets this proxy validates,
+	// with no key exchange beyond the secret file itself.
+	var tgs *ticket.GrantingService
+	var ticketKey []byte
+	if secretPath := cfg.Get("ticket_secret", ""); secretPath != "" {
+		secret, err := os.ReadFile(secretPath)
+		if err != nil {
+			return fmt.Errorf("read ticket secret: %w", err)
+		}
+		tgs, err = ticket.NewGrantingService(users, ticket.WithMasterKey(secret), ticket.WithMetrics(reg))
+		if err != nil {
+			return err
+		}
+		if ticketKey, err = tgs.RegisterService(core.ServiceName(siteName)); err != nil {
+			return err
+		}
+	}
+
 	proxy, err := core.New(core.Config{
 		Site:      siteName,
 		WANAddr:   cfg.Get("wan_addr", "0.0.0.0:7100"),
@@ -177,6 +207,8 @@ func run() error {
 		WAN:       wan,
 		Local:     local,
 		Users:     users,
+		TGS:       tgs,
+		TicketKey: ticketKey,
 		Policy:    policy,
 		Lifecycle: lifecycle,
 		Gossip:    gossip,
@@ -249,11 +281,25 @@ func run() error {
 		}
 	}()
 
-	// Web interface.
+	// Web interface. The handler itself is unauthenticated, so it either
+	// stays loopback-only behind a gridgate (which serves it under /ui/
+	// behind the session check) or gets gated here with the ticket
+	// validator when web_auth is on.
 	if webAddr := cfg.Get("web_addr", ""); webAddr != "" {
+		webAuth, err := cfg.Bool("web_auth", false)
+		if err != nil {
+			return err
+		}
+		var handler http.Handler = webui.New(proxy)
+		if webAuth {
+			if tgs == nil || ticketKey == nil {
+				return fmt.Errorf("config: web_auth requires ticket_secret")
+			}
+			handler = gate.TicketAuth(ticket.NewValidator(core.ServiceName(siteName), ticketKey, reg), handler)
+		}
 		server := &http.Server{
 			Addr:              webAddr,
-			Handler:           webui.New(proxy),
+			Handler:           handler,
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {

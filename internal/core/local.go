@@ -89,8 +89,26 @@ type clientSession struct {
 	rpc   *rpc
 	// user is set after successful authentication.
 	user string
+	// expiry bounds the session: after it passes, authenticated calls
+	// fail with StatusAuthExpired until the client re-authenticates.
+	// It is the session-token expiry, further capped by the ticket
+	// expiry when the session was opened with a ticket.
+	expiry time.Time
 	// challenge is the outstanding signature challenge, if any.
 	challenge []byte
+}
+
+// checkSession enforces that the connection is authenticated and its
+// session lifetime has not lapsed. Expiry is distinguished from plain
+// unauthorized so clients can renew transparently.
+func (cs *clientSession) checkSession() error {
+	if cs.user == "" {
+		return unauthorized("authenticate first")
+	}
+	if !cs.expiry.IsZero() && cs.proxy.clock().After(cs.expiry) {
+		return authExpired("session for %q expired; re-authenticate", cs.user)
+	}
+	return nil
 }
 
 // handle serves one client request.
@@ -190,6 +208,7 @@ func (cs *clientSession) handle(ctx context.Context, msg proto.Message) (proto.B
 // carries a session token.
 func (cs *clientSession) handleAuth(req *proto.AuthRequest) (proto.Body, error) {
 	p := cs.proxy
+	var ticketExpiry time.Time
 	switch req.Method {
 	case proto.AuthPassword:
 		if err := p.users.VerifyPassword(req.User, string(req.PasswordProof)); err != nil {
@@ -224,6 +243,7 @@ func (cs *clientSession) handleAuth(req *proto.AuthRequest) (proto.Body, error) 
 		if claims.User != req.User {
 			return &proto.AuthReply{OK: false, Reason: "ticket user mismatch"}, nil
 		}
+		ticketExpiry = claims.Expiry
 	default:
 		return nil, badRequest("unknown auth method %d", req.Method)
 	}
@@ -232,6 +252,11 @@ func (cs *clientSession) handleAuth(req *proto.AuthRequest) (proto.Body, error) 
 	if err != nil {
 		return nil, err
 	}
+	// A ticket-opened session cannot outlive the ticket it presented.
+	if !ticketExpiry.IsZero() && ticketExpiry.Before(expiry) {
+		expiry = ticketExpiry
+	}
+	cs.expiry = expiry
 	return &proto.AuthReply{OK: true, Token: token, ExpiresUnix: expiry.Unix()}, nil
 }
 
@@ -248,8 +273,8 @@ func (cs *clientSession) handleTicketRequest(req *proto.TicketRequest) (proto.Bo
 
 // requirePermission enforces session auth plus an ACL check.
 func (cs *clientSession) requirePermission(action, resource string) error {
-	if cs.user == "" {
-		return unauthorized("authenticate first")
+	if err := cs.checkSession(); err != nil {
+		return err
 	}
 	if err := cs.proxy.users.Allowed(cs.user, action, resource); err != nil {
 		return denied("%v", err)
@@ -259,8 +284,8 @@ func (cs *clientSession) requirePermission(action, resource string) error {
 
 // handleJobSubmit launches an MPI job for the session user.
 func (cs *clientSession) handleJobSubmit(ctx context.Context, req *proto.JobSubmit) (proto.Body, error) {
-	if cs.user == "" {
-		return nil, unauthorized("authenticate first")
+	if err := cs.checkSession(); err != nil {
+		return nil, err
 	}
 	if req.Owner != "" && req.Owner != cs.user {
 		return nil, denied("cannot submit as %q while authenticated as %q", req.Owner, cs.user)
@@ -288,8 +313,8 @@ func (cs *clientSession) handleJobSubmit(ctx context.Context, req *proto.JobSubm
 // cancellation took effect.
 func (cs *clientSession) handleJobCancel(ctx context.Context, req *proto.JobCancel) (proto.Body, error) {
 	p := cs.proxy
-	if cs.user == "" {
-		return nil, unauthorized("authenticate first")
+	if err := cs.checkSession(); err != nil {
+		return nil, err
 	}
 	p.mu.Lock()
 	js, ok := p.jobs[req.JobID]

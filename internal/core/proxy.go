@@ -122,6 +122,9 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Logger may be nil.
 	Logger *logging.Logger
+	// Clock overrides the time source for session-expiry checks and
+	// ticket validation (tests). Nil means time.Now.
+	Clock func() time.Time
 }
 
 // Proxy is one site's border server.
@@ -134,6 +137,7 @@ type Proxy struct {
 	users     *auth.Store
 	tgs       *ticket.GrantingService
 	validator *ticket.Validator
+	clock     func() time.Time
 	reg       *metrics.Registry
 	log       *logging.Logger
 
@@ -190,6 +194,10 @@ func New(cfg Config) (*Proxy, error) {
 	if policy == nil {
 		policy = balance.LeastLoaded{}
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	lifecycle := cfg.Lifecycle
 	lifecycle.Metrics = cfg.Metrics
 	lifecycle.Logger = cfg.Logger.Named("peerlink." + cfg.Site)
@@ -205,6 +213,7 @@ func New(cfg Config) (*Proxy, error) {
 		local:     cfg.Local,
 		users:     cfg.Users,
 		tgs:       cfg.TGS,
+		clock:     clock,
 		reg:       cfg.Metrics,
 		log:       cfg.Logger.Named("proxy." + cfg.Site),
 		collector: monitor.NewCollector(cfg.Site),
@@ -245,7 +254,8 @@ func New(cfg Config) (*Proxy, error) {
 	p.cache = peerlink.NewCache[*peer](cachecfg, p.dialOnDemand, p.evictPeer)
 	p.sched = scheduler.New(policy, scheduler.NodeSourceFunc(p.Candidates))
 	if cfg.TGS != nil && cfg.TicketKey != nil {
-		p.validator = ticket.NewValidator(ServiceName(cfg.Site), cfg.TicketKey, cfg.Metrics)
+		p.validator = ticket.NewValidator(ServiceName(cfg.Site), cfg.TicketKey, cfg.Metrics).
+			WithValidatorClock(clock)
 	}
 	store, err := stage.NewStore(p.stagecfg, cfg.Metrics)
 	if err != nil {

@@ -335,3 +335,9 @@ func notFound(format string, args ...any) error {
 func badRequest(format string, args ...any) error {
 	return &statusError{status: proto.StatusBadRequest, text: fmt.Sprintf(format, args...)}
 }
+
+// authExpired builds a StatusAuthExpired error: the session was valid
+// once but its ticket/token lifetime has lapsed; re-authenticate.
+func authExpired(format string, args ...any) error {
+	return &statusError{status: proto.StatusAuthExpired, text: fmt.Sprintf(format, args...)}
+}

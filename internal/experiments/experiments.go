@@ -15,6 +15,8 @@
 //	E9  §3             job survival: rank rescheduling across site death
 //	E10 §3             data plane: striped cross-site staging, cold vs warm
 //	E11 §3             control-plane scaling: gossip directory vs all-pairs
+//	E12 §3             partition tolerance: false-dead, fencing, reconvergence
+//	E13 L3             gateway admission control under 1x/4x/16x overload
 //
 // Every experiment returns typed rows; cmd/gridbench renders them as the
 // tables recorded in EXPERIMENTS.md, and bench_test.go exposes the same

@@ -1,0 +1,303 @@
+package gate
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"gridproxy/internal/metrics"
+)
+
+// errShed reports that admission control refused a request.
+var errShed = errors.New("gate: admission refused")
+
+// AdmissionConfig bounds how much concurrent work the gateway accepts.
+// The model is a semaphore of MaxInFlight slots fronted by a bounded
+// queue of MaxQueue waiters: a request takes a free slot immediately,
+// waits up to QueueWait if the queue has room, and is otherwise shed
+// with 429 + Retry-After. Zero fields take the defaults.
+type AdmissionConfig struct {
+	// MaxInFlight is the concurrent-request capacity. Default 256.
+	MaxInFlight int
+	// MaxQueue bounds waiters beyond MaxInFlight. Default MaxInFlight.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot
+	// before being shed. Default 1s.
+	QueueWait time.Duration
+	// RetryAfter is the hint sent with 429 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+// WithDefaults fills zero fields.
+func (c AdmissionConfig) WithDefaults() AdmissionConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// admission is the load-shedding gate. Both the slot semaphore and the
+// queue are channels so waiting composes with context cancellation.
+type admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+	queue chan struct{}
+	reg   *metrics.Registry
+}
+
+func newAdmission(cfg AdmissionConfig, reg *metrics.Registry) *admission {
+	cfg = cfg.WithDefaults()
+	return &admission{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.MaxQueue),
+		reg:   reg,
+	}
+}
+
+// admit tries to take an in-flight slot. It returns whether the request
+// had to queue, and a release function (non-nil iff err is nil). The
+// failure path never blocks on anything but the bounded queue wait:
+// refusal must be fast for shedding to shed anything.
+func (a *admission) admit(ctx context.Context) (queued bool, release func(), err error) {
+	rel := func() {
+		<-a.slots
+		a.reg.Gauge(metrics.GateInFlight).Add(-1)
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.reg.Gauge(metrics.GateInFlight).Add(1)
+		return false, rel, nil
+	default:
+	}
+	// Saturated: claim a queue position or shed immediately.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return false, nil, errShed
+	}
+	a.reg.Gauge(metrics.GateQueueDepth).Add(1)
+	defer func() {
+		<-a.queue
+		a.reg.Gauge(metrics.GateQueueDepth).Add(-1)
+	}()
+	timer := time.NewTimer(a.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.reg.Gauge(metrics.GateInFlight).Add(1)
+		return true, rel, nil
+	case <-timer.C:
+		return false, nil, errShed
+	case <-ctx.Done():
+		return false, nil, ctx.Err()
+	}
+}
+
+func (a *admission) retryAfterSeconds() int {
+	secs := int(a.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// LimitConfig carries the per-principal fairness knobs. Zero fields
+// take the defaults; negative rates disable that limiter.
+type LimitConfig struct {
+	// UserRate is the sustained requests/second each user may issue;
+	// UserBurst is the bucket depth. Defaults 50 and 2×rate.
+	UserRate  float64
+	UserBurst float64
+	// GroupRate bounds each group's aggregate. Defaults 200 and 2×rate.
+	GroupRate  float64
+	GroupBurst float64
+	// LoginRate bounds sign-on attempts per user name — the one
+	// password-hashing (CPU-expensive) route, and the brute-force
+	// surface. Defaults 1/s sustained, burst 5.
+	LoginRate  float64
+	LoginBurst float64
+	// MaxJobsPerUser caps concurrently active gateway-submitted jobs
+	// per user. Default 16; negative disables.
+	MaxJobsPerUser int
+}
+
+// WithDefaults fills zero fields.
+func (c LimitConfig) WithDefaults() LimitConfig {
+	if c.UserRate == 0 {
+		c.UserRate = 50
+	}
+	if c.UserBurst == 0 {
+		c.UserBurst = 2 * c.UserRate
+	}
+	if c.GroupRate == 0 {
+		c.GroupRate = 200
+	}
+	if c.GroupBurst == 0 {
+		c.GroupBurst = 2 * c.GroupRate
+	}
+	if c.LoginRate == 0 {
+		c.LoginRate = 1
+	}
+	if c.LoginBurst == 0 {
+		c.LoginBurst = 5
+	}
+	if c.MaxJobsPerUser == 0 {
+		c.MaxJobsPerUser = 16
+	}
+	return c
+}
+
+// limiter is a keyed token-bucket rate limiter with lazy refill.
+type limiter struct {
+	rate  float64 // tokens per second; <0 disables
+	burst float64
+	clock func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64, clock func() time.Time) *limiter {
+	return &limiter{rate: rate, burst: burst, clock: clock, buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token from key's bucket if available.
+func (l *limiter) allow(key string) bool {
+	if l.rate < 0 {
+		return true
+	}
+	now := l.clock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune drops buckets that have fully refilled (idle principals), so
+// the map tracks active users, not everyone ever seen.
+func (l *limiter) prune(now time.Time) {
+	if l.rate <= 0 {
+		return
+	}
+	l.mu.Lock()
+	for key, b := range l.buckets {
+		idle := now.Sub(b.last).Seconds()
+		if b.tokens+idle*l.rate >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// quota tracks concurrently active gateway-submitted jobs per user. A
+// submission reserves a slot before the backend call and the slot is
+// freed when the job is observed terminal (or the submission fails), so
+// concurrent submits cannot blow past the cap.
+type quota struct {
+	max int // <0 disables
+
+	mu sync.Mutex
+	// active maps user -> jobID -> true. Reservations hold the empty
+	// jobID placeholder "" counted via pending.
+	active  map[string]map[string]bool
+	pending map[string]int
+}
+
+func newQuota(max int) *quota {
+	return &quota{max: max, active: make(map[string]map[string]bool), pending: make(map[string]int)}
+}
+
+// tryReserve claims a job slot for user; it returns false when the
+// quota is exhausted. jobIDs lists the jobs currently charged to the
+// user so the caller can re-check their states (outside any lock) and
+// release the finished ones before retrying.
+func (q *quota) tryReserve(user string) (ok bool, jobIDs []string) {
+	if q.max < 0 {
+		return true, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	used := len(q.active[user]) + q.pending[user]
+	if used >= q.max {
+		for id := range q.active[user] {
+			jobIDs = append(jobIDs, id)
+		}
+		return false, jobIDs
+	}
+	q.pending[user]++
+	return true, nil
+}
+
+// commit converts a reservation into a tracked job.
+func (q *quota) commit(user, jobID string) {
+	if q.max < 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.pending[user] > 0 {
+		q.pending[user]--
+	}
+	if q.active[user] == nil {
+		q.active[user] = make(map[string]bool)
+	}
+	q.active[user][jobID] = true
+	q.mu.Unlock()
+}
+
+// abort releases a reservation whose submission failed.
+func (q *quota) abort(user string) {
+	if q.max < 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.pending[user] > 0 {
+		q.pending[user]--
+	}
+	q.mu.Unlock()
+}
+
+// observeTerminal releases a tracked job observed in a terminal state.
+func (q *quota) observeTerminal(user, jobID string) {
+	if q.max < 0 {
+		return
+	}
+	q.mu.Lock()
+	if jobs := q.active[user]; jobs != nil {
+		delete(jobs, jobID)
+		if len(jobs) == 0 {
+			delete(q.active, user)
+		}
+	}
+	q.mu.Unlock()
+}

@@ -1,0 +1,216 @@
+package gate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"gridproxy/internal/grid"
+	"gridproxy/internal/proto"
+)
+
+func TestHTTPStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{&grid.RemoteError{Status: proto.StatusAuthExpired}, http.StatusUnauthorized},
+		{&grid.RemoteError{Status: proto.StatusUnauthorized}, http.StatusUnauthorized},
+		{&grid.RemoteError{Status: proto.StatusDenied}, http.StatusForbidden},
+		{&grid.RemoteError{Status: proto.StatusNotFound}, http.StatusNotFound},
+		{&grid.RemoteError{Status: proto.StatusBadRequest}, http.StatusBadRequest},
+		{&grid.RemoteError{Status: proto.StatusUnavailable}, http.StatusServiceUnavailable},
+		{&grid.RemoteError{Status: proto.StatusInternal}, http.StatusBadGateway},
+		// errors.Is/As must see through wrapping.
+		{fmt.Errorf("call: %w", &grid.RemoteError{Status: proto.StatusAuthExpired}), http.StatusUnauthorized},
+		{fmt.Errorf("call: %w", grid.ErrTicketExpired), http.StatusUnauthorized},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{grid.ErrAuthFailed, http.StatusUnauthorized},
+		{errors.New("boom"), http.StatusBadGateway},
+	}
+	for _, c := range cases {
+		if got := httpStatusFor(c.err); got != c.want {
+			t.Errorf("httpStatusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestSessionStoreRoundtrip(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	s, err := newSessionStore([]byte("shared-secret"), time.Hour, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := []byte("opaque-service-ticket")
+	token, expiry := s.mint("alice", []string{"researchers"}, tick, now.Add(30*time.Minute))
+	if !expiry.Equal(now.Add(30 * time.Minute)) {
+		t.Errorf("expiry = %v (session must not outlive its ticket)", expiry)
+	}
+	sc, err := s.open(token)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if sc.User != "alice" || len(sc.Groups) != 1 || string(sc.Ticket) != string(tick) {
+		t.Errorf("claims = %+v", sc)
+	}
+
+	// A second store built from the same key opens the token: sessions
+	// survive a gateway restart given a configured key.
+	s2, err := newSessionStore([]byte("shared-secret"), time.Hour, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.open(token); err != nil {
+		t.Errorf("open with same key: %v", err)
+	}
+	// A different key does not.
+	s3, _ := newSessionStore([]byte("other-secret"), time.Hour, clock)
+	if _, err := s3.open(token); !errors.Is(err, ErrNoSession) {
+		t.Errorf("open with other key = %v", err)
+	}
+
+	// Revocation and expiry.
+	s.revoke(token, sc.Expiry)
+	if _, err := s.open(token); !errors.Is(err, ErrNoSession) {
+		t.Errorf("revoked open = %v", err)
+	}
+	s.prune(now.Add(31 * time.Minute))
+	s.mu.Lock()
+	left := len(s.revoked)
+	s.mu.Unlock()
+	if left != 0 {
+		t.Errorf("revocations after prune = %d", left)
+	}
+	now = now.Add(31 * time.Minute)
+	if _, err := s.open(token); !errors.Is(err, ErrNoSession) {
+		t.Errorf("expired open = %v", err)
+	}
+}
+
+func TestAdmissionQueueTimesOut(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, QueueWait: 20 * time.Millisecond}, nil)
+	ctx := context.Background()
+	_, release, err := a.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The queue slot times out waiting.
+	start := time.Now()
+	if _, _, err := a.admit(ctx); !errors.Is(err, errShed) {
+		t.Fatalf("queued admit = %v", err)
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Errorf("queue wait = %v, want ~20ms", waited)
+	}
+
+	// With the slot back, admission is immediate and unqueued.
+	release()
+	queued, release2, err := a.admit(ctx)
+	if err != nil || queued {
+		t.Fatalf("free admit = queued=%v err=%v", queued, err)
+	}
+	release2()
+}
+
+func TestAdmissionQueueRespectsContext(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, QueueWait: time.Minute}, nil)
+	_, release, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, err := a.admit(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled admit = %v", err)
+	}
+}
+
+func TestLimiterRefillAndPrune(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	l := newLimiter(2, 2, clock)
+	if !l.allow("u:a") || !l.allow("u:a") {
+		t.Fatal("burst refused")
+	}
+	if l.allow("u:a") {
+		t.Fatal("empty bucket allowed")
+	}
+	now = now.Add(time.Second) // +2 tokens
+	if !l.allow("u:a") || !l.allow("u:a") || l.allow("u:a") {
+		t.Error("refill arithmetic wrong")
+	}
+
+	// Disabled limiter always allows.
+	open := newLimiter(-1, 0, clock)
+	for i := 0; i < 100; i++ {
+		if !open.allow("u:a") {
+			t.Fatal("disabled limiter refused")
+		}
+	}
+
+	// Prune drops buckets once they are fully refilled.
+	l.prune(now.Add(time.Hour))
+	l.mu.Lock()
+	left := len(l.buckets)
+	l.mu.Unlock()
+	if left != 0 {
+		t.Errorf("buckets after prune = %d", left)
+	}
+}
+
+func TestQuotaLifecycle(t *testing.T) {
+	q := newQuota(2)
+	ok, _ := q.tryReserve("alice")
+	if !ok {
+		t.Fatal("first reserve refused")
+	}
+	q.commit("alice", "j1")
+	ok, _ = q.tryReserve("alice")
+	if !ok {
+		t.Fatal("second reserve refused")
+	}
+	q.commit("alice", "j2")
+
+	ok, charged := q.tryReserve("alice")
+	if ok || len(charged) != 2 {
+		t.Fatalf("over-quota reserve = %v, charged %v", ok, charged)
+	}
+	// Other users have their own budget.
+	if ok, _ := q.tryReserve("bob"); !ok {
+		t.Error("bob refused by alice's quota")
+	}
+	q.abort("bob")
+
+	// A terminal observation frees the slot; double observation is
+	// harmless.
+	q.observeTerminal("alice", "j1")
+	q.observeTerminal("alice", "j1")
+	ok, _ = q.tryReserve("alice")
+	if !ok {
+		t.Error("reserve after terminal refused")
+	}
+	q.abort("alice")
+
+	// A failed submission's reservation aborts cleanly.
+	ok, _ = q.tryReserve("alice")
+	if !ok {
+		t.Error("reserve after abort refused")
+	}
+	q.abort("alice")
+
+	disabled := newQuota(-1)
+	for i := 0; i < 100; i++ {
+		if ok, _ := disabled.tryReserve("alice"); !ok {
+			t.Fatal("disabled quota refused")
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package gate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridproxy/internal/grid"
+	"gridproxy/internal/logging"
+	"gridproxy/internal/metrics"
+	"gridproxy/internal/transport"
+)
+
+// PoolConfig bounds the pooled grid clients. Zero fields take defaults.
+type PoolConfig struct {
+	// MaxClients caps live proxy connections; beyond it, the least
+	// recently used idle client is evicted. Default 64.
+	MaxClients int
+	// IdleClose closes clients unused for this long. Default 2m.
+	IdleClose time.Duration
+}
+
+// WithDefaults fills zero fields.
+func (c PoolConfig) WithDefaults() PoolConfig {
+	if c.MaxClients <= 0 {
+		c.MaxClients = 64
+	}
+	if c.IdleClose <= 0 {
+		c.IdleClose = 2 * time.Minute
+	}
+	return c
+}
+
+// pool shares one ticket-authenticated grid.Client per user across all
+// of that user's HTTP requests — the mechanism that turns 100k HTTP
+// clients into at most MaxClients proxy dials. Dials are
+// single-flighted per user (the peerlink.Cache idiom: the dial happens
+// outside the lock, waiters block on a done channel), entries are
+// refcounted so eviction never closes a client mid-call, and an idle
+// sweep retires users who went away.
+type pool struct {
+	cfg     PoolConfig
+	network transport.Network
+	addr    string
+	reg     *metrics.Registry
+	log     *logging.Logger
+
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+	dials   map[string]*inflightDial
+	closed  bool
+}
+
+type poolEntry struct {
+	client *grid.Client
+	user   string
+	refs   int
+	last   time.Time
+	// ticket is the freshest service ticket any request presented for
+	// this user; the renewal hook re-authenticates with it when the
+	// proxy-side session expires mid-connection.
+	ticket []byte
+}
+
+type inflightDial struct {
+	done  chan struct{}
+	entry *poolEntry
+	err   error
+}
+
+func newPool(cfg PoolConfig, network transport.Network, addr string, reg *metrics.Registry, log *logging.Logger) *pool {
+	return &pool{
+		cfg:     cfg.WithDefaults(),
+		network: network,
+		addr:    addr,
+		reg:     reg,
+		log:     log,
+		entries: make(map[string]*poolEntry),
+		dials:   make(map[string]*inflightDial),
+	}
+}
+
+// checkout returns the user's pooled client, dialing on first use. The
+// release function must be called when the request finishes with it.
+func (p *pool) checkout(ctx context.Context, user string, tick []byte) (*grid.Client, func(), error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, nil, ErrDraining
+		}
+		if e, ok := p.entries[user]; ok {
+			if !e.client.Closed() {
+				e.refs++
+				e.ticket = tick
+				p.mu.Unlock()
+				return e.client, func() { p.release(e) }, nil
+			}
+			// The connection died underneath us; drop it and redial.
+			delete(p.entries, user)
+			p.reg.Gauge(metrics.GatePooledClients).Add(-1)
+		}
+		if d, ok := p.dials[user]; ok {
+			p.mu.Unlock()
+			select {
+			case <-d.done:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+			if d.err != nil {
+				return nil, nil, d.err
+			}
+			// Loop to check the entry out under the lock; it may have
+			// died or been evicted between dial completion and here.
+			continue
+		}
+		d := &inflightDial{done: make(chan struct{})}
+		p.dials[user] = d
+		p.mu.Unlock()
+
+		entry, err := p.dial(ctx, user, tick)
+		p.mu.Lock()
+		delete(p.dials, user)
+		d.entry, d.err = entry, err
+		if err == nil && !p.closed {
+			p.entries[user] = entry
+			p.reg.Gauge(metrics.GatePooledClients).Add(1)
+			p.evictLocked()
+		}
+		closed := p.closed
+		p.mu.Unlock()
+		close(d.done)
+		if err != nil {
+			return nil, nil, err
+		}
+		if closed {
+			_ = entry.client.Close()
+			return nil, nil, ErrDraining
+		}
+		continue
+	}
+}
+
+// dial connects and ticket-authenticates a fresh client for user, and
+// arms its renewal hook. Runs outside the pool lock.
+func (p *pool) dial(ctx context.Context, user string, tick []byte) (*poolEntry, error) {
+	client, err := grid.Dial(ctx, p.network, p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("gate: dial proxy for %q: %w", user, err)
+	}
+	if err := client.LoginWithTicket(ctx, user, tick); err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	p.reg.Counter(metrics.GatePoolDials).Inc()
+	e := &poolEntry{client: client, user: user, ticket: tick}
+	client.OnAuthExpired(func(ctx context.Context) error {
+		// The proxy-side session lapsed mid-connection: re-present the
+		// freshest ticket any HTTP request supplied for this user. If
+		// that ticket is itself expired the renewal fails and the
+		// caller sees 401 — time to log in again.
+		p.mu.Lock()
+		latest := e.ticket
+		p.mu.Unlock()
+		if err := client.LoginWithTicket(ctx, user, latest); err != nil {
+			return err
+		}
+		p.reg.Counter(metrics.GateRenewals).Inc()
+		return nil
+	})
+	return e, nil
+}
+
+func (p *pool) release(e *poolEntry) {
+	p.mu.Lock()
+	e.refs--
+	e.last = time.Now()
+	p.mu.Unlock()
+}
+
+// evictLocked enforces MaxClients by closing the least recently used
+// idle entries. Busy entries (refs > 0) are never evicted; the pool may
+// transiently exceed the cap when every user is mid-request.
+func (p *pool) evictLocked() {
+	for len(p.entries) > p.cfg.MaxClients {
+		var victim *poolEntry
+		for _, e := range p.entries {
+			if e.refs > 0 {
+				continue
+			}
+			if victim == nil || e.last.Before(victim.last) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(p.entries, victim.user)
+		p.reg.Counter(metrics.GatePoolEvictions).Inc()
+		p.reg.Gauge(metrics.GatePooledClients).Add(-1)
+		// Close on a supervised goroutine: Close waits for the reader
+		// to exit, and that wait must not run under the pool lock.
+		go func(c *grid.Client) { _ = c.Close() }(victim.client)
+	}
+}
+
+// sweep closes idle entries (refs == 0, unused past IdleClose).
+func (p *pool) sweep(now time.Time) {
+	var victims []*grid.Client
+	p.mu.Lock()
+	for user, e := range p.entries {
+		if e.refs == 0 && now.Sub(e.last) > p.cfg.IdleClose {
+			delete(p.entries, user)
+			p.reg.Counter(metrics.GatePoolEvictions).Inc()
+			p.reg.Gauge(metrics.GatePooledClients).Add(-1)
+			victims = append(victims, e.client)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range victims {
+		if err := c.Close(); err != nil && !errors.Is(err, grid.ErrClosed) {
+			p.log.Debug("pool sweep close", "err", err)
+		}
+	}
+}
+
+// closeAll closes every pooled client (drain). New checkouts fail with
+// ErrDraining afterwards.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	victims := make([]*grid.Client, 0, len(p.entries))
+	for user, e := range p.entries {
+		delete(p.entries, user)
+		p.reg.Gauge(metrics.GatePooledClients).Add(-1)
+		victims = append(victims, e.client)
+	}
+	p.mu.Unlock()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+}

@@ -48,7 +48,30 @@ var (
 	ErrJobCanceled = errors.New("grid: job canceled")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("grid: client closed")
+	// ErrTicketExpired is matched (via errors.Is) by remote errors whose
+	// status is StatusAuthExpired: the session's ticket or token lifetime
+	// lapsed mid-session. Callers can re-authenticate and retry; see
+	// OnAuthExpired for the transparent version.
+	ErrTicketExpired = errors.New("grid: session ticket expired")
 )
+
+// RemoteError is a proxy-side failure carried back over the wire, with
+// its machine-readable status class preserved so callers (the HTTP
+// gateway in particular) can map it faithfully instead of string-parsing.
+type RemoteError struct {
+	Status uint16
+	Text   string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("grid: remote error (status %d): %s", e.Status, e.Text)
+}
+
+// Is makes errors.Is(err, ErrTicketExpired) true for auth-expiry remote
+// errors.
+func (e *RemoteError) Is(target error) bool {
+	return target == ErrTicketExpired && e.Status == proto.StatusAuthExpired
+}
 
 // Client is a connection to a site proxy's client service.
 type Client struct {
@@ -66,6 +89,7 @@ type Client struct {
 
 	user  string
 	token []byte
+	renew func(ctx context.Context) error
 
 	readerDone chan struct{}
 }
@@ -116,8 +140,33 @@ func (c *Client) readLoop() {
 	}
 }
 
-// call sends a request and waits for its typed reply.
+// call sends a request and waits for its typed reply. When the session
+// has expired mid-connection and a renewal hook is registered, the hook
+// runs once and the request is retried once — transparent recovery for
+// long-lived pooled clients whose tickets outlive their usefulness.
 func (c *Client) call(ctx context.Context, body proto.Body) (proto.Body, error) {
+	reply, err := c.callOnce(ctx, body)
+	if err == nil || !errors.Is(err, ErrTicketExpired) {
+		return reply, err
+	}
+	c.mu.Lock()
+	renew := c.renew
+	c.mu.Unlock()
+	if renew == nil {
+		return reply, err
+	}
+	if _, isAuth := body.(*proto.AuthRequest); isAuth {
+		// Never re-enter renewal from the renewal's own auth exchange.
+		return reply, err
+	}
+	if rerr := renew(ctx); rerr != nil {
+		return nil, fmt.Errorf("grid: session expired and renewal failed: %w", rerr)
+	}
+	return c.callOnce(ctx, body)
+}
+
+// callOnce sends a request and waits for its typed reply.
+func (c *Client) callOnce(ctx context.Context, body proto.Body) (proto.Body, error) {
 	corr := c.nextCorr.Add(1)
 	ch := make(chan proto.Message, 1)
 	c.mu.Lock()
@@ -146,7 +195,7 @@ func (c *Client) call(ctx context.Context, body proto.Body) (proto.Body, error) 
 			return nil, err
 		}
 		if eb, ok := reply.(*proto.ErrorBody); ok {
-			return nil, fmt.Errorf("grid: remote error (status %d): %s", eb.Status, eb.Text)
+			return nil, &RemoteError{Status: eb.Status, Text: eb.Text}
 		}
 		return reply, nil
 	case <-ctx.Done():
@@ -166,6 +215,25 @@ func (c *Client) Close() error {
 	err := c.conn.Close()
 	<-c.readerDone
 	return err
+}
+
+// Closed reports whether the client's connection is gone (read-loop
+// death included). Connection pools use it to discard dead entries
+// before checkout instead of handing callers an ErrClosed.
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// OnAuthExpired registers a renewal hook: when a call fails with
+// ErrTicketExpired the hook runs (typically re-running LoginWithTicket
+// with a fresh ticket) and the call is retried once. A nil fn disables
+// renewal.
+func (c *Client) OnAuthExpired(fn func(ctx context.Context) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.renew = fn
 }
 
 // User returns the authenticated user name, or "".

@@ -33,6 +33,7 @@ var Analyzer = &analysis.Analyzer{
 // requests.
 var GuardedPackages = map[string]bool{
 	"core":       true,
+	"gate":       true,
 	"membership": true,
 	"peerlink":   true,
 	"stage":      true,

@@ -393,4 +393,59 @@ const (
 	StagePulls = "stage.pulls"
 	// StageOutputs counts job output blobs returned to their origin site.
 	StageOutputs = "stage.outputs"
+
+	// Gateway metrics (the HTTP front door, internal/gate).
+
+	// GateRequests counts HTTP requests the gateway accepted for
+	// processing (admitted past the session check and admission control).
+	GateRequests = "gate.requests"
+	// GateServed counts requests that completed with a success status.
+	GateServed = "gate.served"
+	// GateErrors counts requests that failed in the backend (5xx/4xx
+	// other than shedding and auth refusals).
+	GateErrors = "gate.errors"
+	// GateShed counts requests refused by admission control (429 +
+	// Retry-After): the in-flight semaphore and its bounded queue were
+	// both full, or the queue wait timed out.
+	GateShed = "gate.shed"
+	// GateQueued counts admitted requests that had to wait in the
+	// bounded accept queue before a slot freed (served, but not
+	// immediately).
+	GateQueued = "gate.queued"
+	// GateRateLimited counts requests refused by a per-user or
+	// per-group token bucket.
+	GateRateLimited = "gate.rate_limited"
+	// GateQuotaRefused counts job submissions refused by the
+	// concurrent-jobs-per-user quota.
+	GateQuotaRefused = "gate.quota_refused"
+	// GateAuthFailures counts requests carrying no session, a forged or
+	// expired session token, or a failed login.
+	GateAuthFailures = "gate.auth_failures"
+	// GateLogins counts successful sign-ons (TGT issued, session minted).
+	GateLogins = "gate.logins"
+	// GateSessionsRevoked counts sessions invalidated by logout before
+	// their natural expiry.
+	GateSessionsRevoked = "gate.sessions_revoked"
+	// GateDrainRefused counts requests turned away with 503 because the
+	// gateway was draining for shutdown.
+	GateDrainRefused = "gate.drain_refused"
+	// GateTimeouts counts requests cut off by their per-route timeout.
+	GateTimeouts = "gate.timeouts"
+	// GatePoolDials counts grid.Client connections dialed by the pool
+	// (the number that matters: 100k HTTP clients must not mean 100k of
+	// these).
+	GatePoolDials = "gate.pool_dials"
+	// GatePoolEvictions counts pooled clients closed by the LRU cap or
+	// the idle sweeper.
+	GatePoolEvictions = "gate.pool_evictions"
+	// GateRenewals counts transparent ticket renewals performed on
+	// pooled clients after a mid-session expiry.
+	GateRenewals = "gate.renewals"
+	// GateInFlight gauges requests currently holding an admission slot.
+	GateInFlight = "gauge.gate.inflight"
+	// GateQueueDepth gauges requests currently parked in the accept
+	// queue waiting for a slot.
+	GateQueueDepth = "gauge.gate.queue_depth"
+	// GatePooledClients gauges live grid.Client connections in the pool.
+	GatePooledClients = "gauge.gate.pooled_clients"
 )

@@ -132,6 +132,10 @@ const (
 	StatusNotFound
 	StatusBadRequest
 	StatusUnavailable
+	// StatusAuthExpired distinguishes "your ticket/session lapsed,
+	// re-authenticate and retry" from a hard StatusUnauthorized, so
+	// clients can recover transparently instead of failing the call.
+	StatusAuthExpired
 )
 
 // Code implements Body.

@@ -87,6 +87,11 @@ type TestbedConfig struct {
 	// means unshaped.
 	WANLatency   time.Duration
 	WANBandwidth int64
+	// LANLatency shapes each site's internal network with a one-way
+	// per-message delay; zero means unshaped. Load experiments set this
+	// so in-site RPCs have a realistic service time instead of the
+	// infinite speed of an unshaped in-memory pipe.
+	LANLatency time.Duration
 	// Policy is the placement policy name (default "least-loaded").
 	Policy string
 	// Lifecycle carries the peer-link supervision knobs handed to every
@@ -111,6 +116,10 @@ type TestbedConfig struct {
 	// Users, if nil, a store is created with a default admin user
 	// "admin"/"admin" holding "*"/"*".
 	Users *auth.Store
+	// Clock overrides the time source for the TGS and every proxy, so
+	// expiry tests can move the whole grid's clock at once. Nil means
+	// time.Now.
+	Clock func() time.Time
 }
 
 // Testbed is an assembled multi-site grid.
@@ -123,6 +132,8 @@ type Testbed struct {
 	WAN *transport.MemNetwork
 
 	metrics    *metrics.Registry
+	clock      func() time.Time
+	lanLatency time.Duration
 	specs      map[string]SiteSpec
 	policyName string
 	lifecycle  peerlink.Config
@@ -161,7 +172,11 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			return nil, err
 		}
 	}
-	tgs, err := ticket.NewGrantingService(users, ticket.WithMetrics(cfg.Metrics))
+	tgsOpts := []ticket.Option{ticket.WithMetrics(cfg.Metrics)}
+	if cfg.Clock != nil {
+		tgsOpts = append(tgsOpts, ticket.WithClock(cfg.Clock))
+	}
+	tgs, err := ticket.NewGrantingService(users, tgsOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +201,8 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		TGS:        tgs,
 		WAN:        wan,
 		metrics:    cfg.Metrics,
+		clock:      cfg.Clock,
+		lanLatency: cfg.LANLatency,
 		specs:      make(map[string]SiteSpec, len(cfg.Sites)),
 		policyName: policyName,
 		lifecycle:  cfg.Lifecycle,
@@ -216,7 +233,11 @@ func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logg
 	if err != nil {
 		return nil, err
 	}
-	local := transport.NewMemNetwork()
+	var lanOpts []transport.MemOption
+	if tb.lanLatency > 0 {
+		lanOpts = append(lanOpts, transport.WithLatency(tb.lanLatency))
+	}
+	local := transport.NewMemNetwork(lanOpts...)
 	wanTLS := transport.NewTLS(tb.WAN, cred, tb.CA.CertPool(), tb.metrics)
 
 	ticketKey, err := tb.TGS.RegisterService(core.ServiceName(spec.Name))
@@ -240,6 +261,7 @@ func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logg
 		Stage:     tb.stage,
 		Metrics:   tb.metrics,
 		Logger:    log,
+		Clock:     tb.clock,
 	})
 	if err != nil {
 		return nil, err

@@ -66,12 +66,14 @@ type Claims struct {
 type GrantingService struct {
 	mu          sync.RWMutex
 	masterKey   []byte
+	derive      bool
 	serviceKeys map[string][]byte
 	users       *auth.Store
 	clock       func() time.Time
 	reg         *metrics.Registry
 	tgtTTL      time.Duration
 	ticketTTL   time.Duration
+	skew        time.Duration
 }
 
 // Option configures a GrantingService.
@@ -92,6 +94,27 @@ func WithLifetimes(tgt, ticket time.Duration) Option {
 	return func(g *GrantingService) {
 		g.tgtTTL = tgt
 		g.ticketTTL = ticket
+	}
+}
+
+// WithSkew sets the clock-skew tolerance: a ticket whose expiry lies up
+// to d in the past is still accepted. Zero (the default) means exact
+// expiry. The same tolerance applies to TGT checks in GrantTicket.
+func WithSkew(d time.Duration) Option {
+	return func(g *GrantingService) { g.skew = d }
+}
+
+// WithMasterKey replaces the random master key with one derived from
+// secret, and switches RegisterService to deterministic per-service key
+// derivation (HMAC of the master key over the service name). Two
+// processes constructed from the same secret — e.g. a gridgate gateway
+// and the gridproxyd it fronts — then agree on every service key without
+// any out-of-band key exchange.
+func WithMasterKey(secret []byte) Option {
+	return func(g *GrantingService) {
+		sum := sha256.Sum256(secret)
+		g.masterKey = sum[:]
+		g.derive = true
 	}
 }
 
@@ -123,12 +146,37 @@ func (g *GrantingService) RegisterService(service string) ([]byte, error) {
 	if key, ok := g.serviceKeys[service]; ok {
 		return key, nil
 	}
-	key := make([]byte, keySize)
-	if _, err := rand.Read(key); err != nil {
-		return nil, fmt.Errorf("ticket: generate service key: %w", err)
+	var key []byte
+	if g.derive {
+		mac := hmac.New(sha256.New, g.masterKey)
+		mac.Write([]byte("service-key:" + service))
+		key = mac.Sum(nil)
+	} else {
+		key = make([]byte, keySize)
+		if _, err := rand.Read(key); err != nil {
+			return nil, fmt.Errorf("ticket: generate service key: %w", err)
+		}
 	}
 	g.serviceKeys[service] = key
 	return key, nil
+}
+
+// TicketLifetime reports the configured session-ticket lifetime, so a
+// gateway can cap its own session expiry at the carried ticket's.
+func (g *GrantingService) TicketLifetime() time.Duration { return g.ticketTTL }
+
+// TGTClaims opens a TGT issued by this TGS and returns its claims
+// without granting anything. A gateway uses it after sign-on to learn
+// the user's groups for quota and rate-limit bucketing.
+func (g *GrantingService) TGTClaims(tgt []byte) (Claims, error) {
+	claims, err := open(g.masterKey, tgt)
+	if err != nil {
+		return Claims{}, err
+	}
+	if claims.Service != "krbtgt" || g.clock().After(claims.Expiry.Add(g.skew)) {
+		return Claims{}, ErrInvalidTicket
+	}
+	return claims, nil
 }
 
 // SignOnPassword performs the single expensive authentication of a session
@@ -167,7 +215,7 @@ func (g *GrantingService) GrantTicket(tgt []byte, service string) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
-	if claims.Service != "krbtgt" || g.clock().After(claims.Expiry) {
+	if claims.Service != "krbtgt" || g.clock().After(claims.Expiry.Add(g.skew)) {
 		return nil, ErrInvalidTicket
 	}
 	g.mu.RLock()
@@ -191,6 +239,7 @@ type Validator struct {
 	key     []byte
 	clock   func() time.Time
 	reg     *metrics.Registry
+	skew    time.Duration
 }
 
 // NewValidator creates a validator for one service with its shared key.
@@ -205,6 +254,15 @@ func (v *Validator) WithValidatorClock(clock func() time.Time) *Validator {
 	return &clone
 }
 
+// WithValidatorSkew returns a copy of v accepting tickets whose expiry
+// lies up to d in the past, absorbing clock drift between the TGS host
+// and the validating service.
+func (v *Validator) WithValidatorSkew(d time.Duration) *Validator {
+	clone := *v
+	clone.skew = d
+	return &clone
+}
+
 // Validate opens a session ticket and returns its claims. One HMAC, no
 // user store involved — the property the paper wants from Kerberos.
 func (v *Validator) Validate(ticket []byte) (Claims, error) {
@@ -216,7 +274,7 @@ func (v *Validator) Validate(ticket []byte) (Claims, error) {
 	if claims.Service != v.service {
 		return Claims{}, ErrWrongService
 	}
-	if v.clock().After(claims.Expiry) {
+	if v.clock().After(claims.Expiry.Add(v.skew)) {
 		return Claims{}, ErrInvalidTicket
 	}
 	return claims, nil

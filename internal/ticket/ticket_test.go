@@ -272,3 +272,130 @@ func generateKey(t *testing.T) *ecdsa.PrivateKey {
 	}
 	return key
 }
+
+// TestClockSkewTolerance covers the WithSkew/WithValidatorSkew knobs: a
+// ticket just past its expiry is still accepted within the tolerance,
+// and still refused beyond it — absorbing drift between the TGS host
+// and a validating proxy without loosening exact-expiry deployments.
+func TestClockSkewTolerance(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	store, err := auth.NewStore(auth.WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddUser("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	tgs, err := NewGrantingService(store, WithClock(clock), WithSkew(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := tgs.RegisterService("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := tgs.SignOnPassword("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick, err := tgs.GrantTicket(tgt, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strict := NewValidator("svc", key, nil).WithValidatorClock(clock)
+	lenient := strict.WithValidatorSkew(time.Minute)
+
+	// 30s past expiry: within the minute of tolerated drift.
+	now = now.Add(DefaultTicketLifetime + 30*time.Second)
+	if _, err := strict.Validate(tick); !errors.Is(err, ErrInvalidTicket) {
+		t.Errorf("strict validator within skew = %v", err)
+	}
+	if _, err := lenient.Validate(tick); err != nil {
+		t.Errorf("lenient validator within skew = %v", err)
+	}
+
+	// 2m past expiry: beyond the tolerance for both.
+	now = now.Add(90 * time.Second)
+	if _, err := lenient.Validate(tick); !errors.Is(err, ErrInvalidTicket) {
+		t.Errorf("lenient validator beyond skew = %v", err)
+	}
+
+	// The TGS applies the same tolerance to TGT checks in GrantTicket.
+	now = time.Unix(1_700_000_000, 0).Add(DefaultTGTLifetime + 30*time.Second)
+	if _, err := tgs.GrantTicket(tgt, "svc"); err != nil {
+		t.Errorf("GrantTicket within TGT skew = %v", err)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := tgs.GrantTicket(tgt, "svc"); !errors.Is(err, ErrInvalidTicket) {
+		t.Errorf("GrantTicket beyond TGT skew = %v", err)
+	}
+}
+
+// TestMasterKeyDerivation covers WithMasterKey: two granting services
+// built from the same secret derive identical service keys, so a ticket
+// granted by one validates against a key registered with the other — the
+// gridgate/gridproxyd interop contract. A different secret does not.
+func TestMasterKeyDerivation(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	store, err := auth.NewStore(auth.WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddUser("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	newTGS := func(secret string) *GrantingService {
+		tgs, err := NewGrantingService(store, WithClock(clock), WithMasterKey([]byte(secret)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tgs
+	}
+	a, b := newTGS("shared"), newTGS("shared")
+
+	keyA, err := a.RegisterService("proxy:sitea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, err := b.RegisterService("proxy:sitea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(keyA) != string(keyB) {
+		t.Fatal("same secret derived different service keys")
+	}
+
+	// A grants; a validator keyed by b accepts. TGTs interop too: a TGT
+	// issued by a is honoured by b.
+	tgt, err := a.SignOnPassword("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick, err := a.GrantTicket(tgt, "proxy:sitea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator("proxy:sitea", keyB, nil).WithValidatorClock(clock)
+	if _, err := v.Validate(tick); err != nil {
+		t.Errorf("cross-process validate = %v", err)
+	}
+	if _, err := b.GrantTicket(tgt, "proxy:sitea"); err != nil {
+		t.Errorf("cross-process TGT = %v", err)
+	}
+
+	// Different secrets share nothing.
+	other, err := newTGS("different").RegisterService("proxy:sitea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(other) == string(keyA) {
+		t.Error("different secrets derived the same key")
+	}
+	vOther := NewValidator("proxy:sitea", other, nil).WithValidatorClock(clock)
+	if _, err := vOther.Validate(tick); !errors.Is(err, ErrInvalidTicket) {
+		t.Errorf("wrong-secret validate = %v", err)
+	}
+}
