@@ -23,6 +23,10 @@
 //	                                 # started from the same secret can
 //	                                 # grant tickets this proxy validates
 //	                                 # ("" keeps tickets disabled)
+//	ticket_skew = 0s                # clock-skew tolerance for ticket
+//	                                 # expiry checks; set it when the
+//	                                 # granting gridgate runs on another
+//	                                 # host (match its ticket_skew)
 //	nodes       = 4                 # hosted node agents on this proxy host
 //	node_speed  = 1.0
 //	announce    = 30s               # inventory re-announce interval
@@ -186,6 +190,10 @@ func run() error {
 	// with no key exchange beyond the secret file itself.
 	var tgs *ticket.GrantingService
 	var ticketKey []byte
+	ticketSkew, err := cfg.Duration("ticket_skew", 0)
+	if err != nil {
+		return err
+	}
 	if secretPath := cfg.Get("ticket_secret", ""); secretPath != "" {
 		secret, err := os.ReadFile(secretPath)
 		if err != nil {
@@ -201,22 +209,23 @@ func run() error {
 	}
 
 	proxy, err := core.New(core.Config{
-		Site:      siteName,
-		WANAddr:   cfg.Get("wan_addr", "0.0.0.0:7100"),
-		LocalAddr: cfg.Get("local_addr", "127.0.0.1:7200"),
-		WAN:       wan,
-		Local:     local,
-		Users:     users,
-		TGS:       tgs,
-		TicketKey: ticketKey,
-		Policy:    policy,
-		Lifecycle: lifecycle,
-		Gossip:    gossip,
-		PeerCache: peerCache,
-		Jobs:      jobs,
-		Stage:     stagecfg,
-		Metrics:   reg,
-		Logger:    log,
+		Site:       siteName,
+		WANAddr:    cfg.Get("wan_addr", "0.0.0.0:7100"),
+		LocalAddr:  cfg.Get("local_addr", "127.0.0.1:7200"),
+		WAN:        wan,
+		Local:      local,
+		Users:      users,
+		TGS:        tgs,
+		TicketKey:  ticketKey,
+		TicketSkew: ticketSkew,
+		Policy:     policy,
+		Lifecycle:  lifecycle,
+		Gossip:     gossip,
+		PeerCache:  peerCache,
+		Jobs:       jobs,
+		Stage:      stagecfg,
+		Metrics:    reg,
+		Logger:     log,
 	})
 	if err != nil {
 		return err
@@ -295,7 +304,7 @@ func run() error {
 			if tgs == nil || ticketKey == nil {
 				return fmt.Errorf("config: web_auth requires ticket_secret")
 			}
-			handler = gate.TicketAuth(ticket.NewValidator(core.ServiceName(siteName), ticketKey, reg), handler)
+			handler = gate.TicketAuth(ticket.NewValidator(core.ServiceName(siteName), ticketKey, reg).WithValidatorSkew(ticketSkew), handler)
 		}
 		server := &http.Server{
 			Addr:              webAddr,

@@ -98,6 +98,11 @@ type Config struct {
 	// TicketKey is this proxy's service key (from TGS.RegisterService);
 	// required when tickets are used for authentication.
 	TicketKey []byte
+	// TicketSkew is the clock-skew tolerance the ticket validator
+	// applies to expiry checks, absorbing drift between this host and
+	// the host that granted the ticket (e.g. a gridgate). Zero means
+	// strict expiry.
+	TicketSkew time.Duration
 	// Policy is the placement policy; nil means balance.LeastLoaded.
 	Policy balance.Policy
 	// Lifecycle carries the peer-link supervision knobs (backoff,
@@ -255,7 +260,8 @@ func New(cfg Config) (*Proxy, error) {
 	p.sched = scheduler.New(policy, scheduler.NodeSourceFunc(p.Candidates))
 	if cfg.TGS != nil && cfg.TicketKey != nil {
 		p.validator = ticket.NewValidator(ServiceName(cfg.Site), cfg.TicketKey, cfg.Metrics).
-			WithValidatorClock(clock)
+			WithValidatorClock(clock).
+			WithValidatorSkew(cfg.TicketSkew)
 	}
 	store, err := stage.NewStore(p.stagecfg, cfg.Metrics)
 	if err != nil {

@@ -204,6 +204,23 @@ func (l *limiter) allow(key string) bool {
 	return true
 }
 
+// refund returns a token consumed by allow, capped at the bucket's
+// burst. Used when a sibling bucket ultimately refuses the request, so
+// rejected requests do not drain budgets they never spent.
+func (l *limiter) refund(key string) {
+	if l.rate < 0 {
+		return
+	}
+	l.mu.Lock()
+	if b, ok := l.buckets[key]; ok {
+		b.tokens++
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	l.mu.Unlock()
+}
+
 // prune drops buckets that have fully refilled (idle principals), so
 // the map tracks active users, not everyone ever seen.
 func (l *limiter) prune(now time.Time) {

@@ -315,8 +315,15 @@ func (g *Gateway) requireSession(next http.Handler) http.Handler {
 			writeError(w, http.StatusTooManyRequests, "per-user rate limit exceeded")
 			return
 		}
-		for _, group := range sc.Groups {
+		for i, group := range sc.Groups {
 			if !g.groups.allow("g:" + group) {
+				// Refund the tokens sibling buckets already gave up: a
+				// refused request must not drain the user's budget or
+				// that of groups that would have allowed it.
+				g.users.refund("u:" + sc.User)
+				for _, earlier := range sc.Groups[:i] {
+					g.groups.refund("g:" + earlier)
+				}
 				g.reg.Counter(metrics.GateRateLimited).Inc()
 				w.Header().Set("Retry-After", strconv.Itoa(g.admit.retryAfterSeconds()))
 				writeError(w, http.StatusTooManyRequests, "group "+group+" rate limit exceeded")
@@ -443,6 +450,10 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(p)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer, so
+// flushing (SSE, the /ui/ reverse proxy) works through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (w *statusWriter) status() int {
 	if !w.wrote {

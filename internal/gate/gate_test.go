@@ -68,6 +68,12 @@ func newFixture(t *testing.T, mod func(*gate.Config)) *fixture {
 	if err := users.AddToGroup("alice", "researchers"); err != nil {
 		t.Fatal(err)
 	}
+	if err := users.AddUser("bob", "hunter2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := users.AddToGroup("bob", "researchers"); err != nil {
+		t.Fatal(err)
+	}
 	users.GrantGroup("researchers", auth.Permission{Action: "*", Resource: "*"})
 
 	clock := newFakeClock()
@@ -633,5 +639,59 @@ func TestTicketAuthGatesHandlers(t *testing.T) {
 	handler.ServeHTTP(rr, req)
 	if rr.Code != http.StatusUnauthorized {
 		t.Errorf("expired ticket = %d", rr.Code)
+	}
+}
+
+// TestPoolEvictionSparesFreshClients regresses the dial/evict livelock:
+// with the pool at capacity, a second user's freshly dialed client must
+// be claimed before eviction runs, not picked as the zero-timestamp LRU
+// victim and closed before first use (which redialed forever).
+func TestPoolEvictionSparesFreshClients(t *testing.T) {
+	f := newFixture(t, func(cfg *gate.Config) {
+		cfg.Pool.MaxClients = 1
+	})
+	aliceTok := f.login(t, "alice", "secret")
+	bobTok := f.login(t, "bob", "hunter2")
+
+	// alice fills the pool's only slot...
+	if rr := f.do(http.MethodGet, "/api/jobs", aliceTok, nil); rr.Code != http.StatusOK {
+		t.Fatalf("alice jobs = %d: %s", rr.Code, rr.Body)
+	}
+	// ...and bob's first request must dial once, use the client, and
+	// evict alice's idle entry — not loop until the route deadline.
+	if rr := f.do(http.MethodGet, "/api/jobs", bobTok, nil); rr.Code != http.StatusOK {
+		t.Fatalf("bob jobs = %d: %s", rr.Code, rr.Body)
+	}
+	if dials := f.reg.Counter(metrics.GatePoolDials).Value(); dials != 2 {
+		t.Errorf("pool dials = %d, want 2 (one per user)", dials)
+	}
+}
+
+// TestGroupDenialRefundsUserBucket: a request refused by a group bucket
+// must hand back the user-bucket token it consumed on the way in, so
+// throttling one group does not drain the user's own budget.
+func TestGroupDenialRefundsUserBucket(t *testing.T) {
+	f := newFixture(t, func(cfg *gate.Config) {
+		cfg.Limits.UserRate = 1 // burst defaults to 2
+		cfg.Limits.GroupRate = 1
+		cfg.Limits.GroupBurst = 1
+	})
+	token := f.login(t, "alice", "secret")
+
+	// First request spends the group's only token (user: 2 -> 1).
+	if rr := f.do(http.MethodGet, "/api/grid", token, nil); rr.Code != http.StatusOK {
+		t.Fatalf("first request = %d: %s", rr.Code, rr.Body)
+	}
+	// Every further request is refused by the GROUP bucket; the frozen
+	// clock never refills, so without the refund the second refusal
+	// would exhaust the user bucket and the third would blame the user.
+	for i := 0; i < 3; i++ {
+		rr := f.do(http.MethodGet, "/api/grid", token, nil)
+		if rr.Code != http.StatusTooManyRequests {
+			t.Fatalf("refusal %d = %d: %s", i, rr.Code, rr.Body)
+		}
+		if !strings.Contains(rr.Body.String(), "group") {
+			t.Fatalf("refusal %d blamed the wrong bucket: %s", i, rr.Body)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package gate
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strconv"
@@ -329,7 +330,18 @@ func (g *Gateway) handleFilePut(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody))
 	if err != nil {
-		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds size cap")
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds size cap")
+		case r.Context().Err() != nil:
+			// Deadline expiry or client disconnect mid-body (slow-loris,
+			// dropped uplink) — a timeout, not a size violation.
+			g.reg.Counter(metrics.GateTimeouts).Inc()
+			writeError(w, http.StatusRequestTimeout, "body read timed out")
+		default:
+			writeError(w, http.StatusBadRequest, "body read failed: "+err.Error())
+		}
 		return
 	}
 	g.withClient(w, r, func(sc sessionClaims, c *grid.Client) error {

@@ -167,6 +167,35 @@ func TestLimiterRefillAndPrune(t *testing.T) {
 	}
 }
 
+func TestLimiterRefund(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	l := newLimiter(1, 2, clock)
+	if !l.allow("u:a") || !l.allow("u:a") {
+		t.Fatal("burst refused")
+	}
+	if l.allow("u:a") {
+		t.Fatal("empty bucket allowed")
+	}
+	l.refund("u:a")
+	if !l.allow("u:a") || l.allow("u:a") {
+		t.Error("refund did not restore exactly one token")
+	}
+
+	// Refunds cap at the burst: over-refunding must not bank credit.
+	for i := 0; i < 10; i++ {
+		l.refund("u:a")
+	}
+	if !l.allow("u:a") || !l.allow("u:a") || l.allow("u:a") {
+		t.Error("refund exceeded burst cap")
+	}
+
+	// Refunding an unknown key or a disabled limiter is a no-op.
+	l.refund("u:never-seen")
+	open := newLimiter(-1, 0, clock)
+	open.refund("u:a")
+}
+
 func TestQuotaLifecycle(t *testing.T) {
 	q := newQuota(2)
 	ok, _ := q.tryReserve("alice")

@@ -124,22 +124,29 @@ func (p *pool) checkout(ctx context.Context, user string, tick []byte) (*grid.Cl
 		p.mu.Lock()
 		delete(p.dials, user)
 		d.entry, d.err = entry, err
-		if err == nil && !p.closed {
-			p.entries[user] = entry
-			p.reg.Gauge(metrics.GatePooledClients).Add(1)
-			p.evictLocked()
-		}
-		closed := p.closed
-		p.mu.Unlock()
-		close(d.done)
 		if err != nil {
+			p.mu.Unlock()
+			close(d.done)
 			return nil, nil, err
 		}
-		if closed {
+		if p.closed {
+			p.mu.Unlock()
+			close(d.done)
 			_ = entry.client.Close()
 			return nil, nil, ErrDraining
 		}
-		continue
+		// Claim the fresh entry for the dialing request under the same
+		// lock that inserts it: refs > 0 makes it immune to evictLocked
+		// and sweep, so a just-dialed client can never be the LRU victim
+		// before its first use.
+		entry.refs = 1
+		entry.last = time.Now()
+		p.entries[user] = entry
+		p.reg.Gauge(metrics.GatePooledClients).Add(1)
+		p.evictLocked()
+		p.mu.Unlock()
+		close(d.done)
+		return entry.client, func() { p.release(entry) }, nil
 	}
 }
 
@@ -155,7 +162,9 @@ func (p *pool) dial(ctx context.Context, user string, tick []byte) (*poolEntry, 
 		return nil, err
 	}
 	p.reg.Counter(metrics.GatePoolDials).Inc()
-	e := &poolEntry{client: client, user: user, ticket: tick}
+	// Stamp last here too: even before the entry is claimed under the
+	// pool lock, a zero timestamp must never make it look idle.
+	e := &poolEntry{client: client, user: user, ticket: tick, last: time.Now()}
 	client.OnAuthExpired(func(ctx context.Context) error {
 		// The proxy-side session lapsed mid-connection: re-present the
 		// freshest ticket any HTTP request supplied for this user. If
