@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,8 +42,9 @@ func main() {
 		os.Exit(unitchecker.Main("gridlint", version, analyzers.Suite(), args))
 	}
 
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array of {file,line,column,analyzer,message}")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: gridlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gridlint [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
 		for _, a := range analyzers.Suite() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
@@ -54,7 +56,25 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := driver.Run(os.Stdout, ".", patterns, analyzers.Suite())
+	var n int
+	var err error
+	if *jsonOut {
+		var found []driver.Finding
+		found, err = driver.Findings(".", patterns, analyzers.Suite())
+		if err == nil {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if found == nil {
+				found = []driver.Finding{} // `[]`, never `null`: CI pipes this to jq
+			}
+			if encErr := enc.Encode(found); encErr != nil {
+				err = encErr
+			}
+			n = len(found)
+		}
+	} else {
+		n, err = driver.Run(os.Stdout, ".", patterns, analyzers.Suite())
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gridlint: %v\n", err)
 		os.Exit(1)

@@ -142,6 +142,8 @@ func (p *Proxy) addressSpace(appID string) (*addressSpace, error) {
 const appRegistrationWindow = 15 * time.Second
 
 // waitAddressSpace is addressSpace with a registration grace period.
+//
+//lint:allow-wallclock waits on a real in-flight RPC; the injected clock cannot advance it
 func (p *Proxy) waitAddressSpace(appID string) (*addressSpace, error) {
 	deadline := time.Now().Add(appRegistrationWindow)
 	delay := 2 * time.Millisecond
@@ -358,6 +360,8 @@ const dialLocalStartupWindow = 15 * time.Second
 
 // dialLocal dials inside the site (with startup retry), counting the
 // bytes as local (clear) traffic.
+//
+//lint:allow-wallclock waits on a real process binding its listener; the injected clock cannot advance it
 func (p *Proxy) dialLocal(addr string) (net.Conn, error) {
 	deadline := time.Now().Add(dialLocalStartupWindow)
 	delay := 2 * time.Millisecond

@@ -100,7 +100,7 @@ func (p *Proxy) setJobRunning(appID string) {
 func (p *Proxy) setJobTerminal(appID string, state proto.JobState, detail string) {
 	p.mu.Lock()
 	if js, ok := p.jobs[appID]; ok && js.terminalAt.IsZero() {
-		js.state, js.detail, js.terminalAt = state, detail, time.Now()
+		js.state, js.detail, js.terminalAt = state, detail, p.clock()
 	}
 	p.mu.Unlock()
 }
@@ -134,7 +134,7 @@ func (p *Proxy) jobsJanitor() {
 			return
 		case <-ticker.C:
 		}
-		now := time.Now()
+		now := p.clock()
 		pruned := 0
 		p.mu.Lock()
 		for id, js := range p.jobs {
@@ -165,6 +165,7 @@ func (p *Proxy) Cancel(ctx context.Context, appID string) error {
 		return notFound("no job %q", appID)
 	}
 	l := js.launch
+	//lint:allow-wallclock monotonic cancel-latency measurement for metrics; injected clocks have no monotonic reading
 	start := time.Now()
 
 	l.mu.Lock()
@@ -206,6 +207,7 @@ func (p *Proxy) Cancel(ctx context.Context, appID string) error {
 	l.finish(ErrCanceled, true)
 
 	p.reg.Counter(metrics.JobCancels).Inc()
+	//lint:allow-wallclock monotonic cancel-latency measurement for metrics; injected clocks have no monotonic reading
 	p.reg.Counter(metrics.JobCancelMicros).Add(time.Since(start).Microseconds())
 	p.log.Info("job canceled", "app", appID, "sites_aborted", len(sites))
 	return nil
@@ -351,9 +353,10 @@ func (p *Proxy) handlePrepareSpawn(ctx context.Context, req *proto.PrepareSpawn)
 			return refuse(fmt.Sprintf("application belongs to origin %q", ha.origin)), nil
 		}
 		if epoch < ha.epoch {
+			cur := ha.epoch
 			ha.mu.Unlock()
 			p.reg.Counter(metrics.JobStaleCommits).Inc()
-			return refuse(fmt.Sprintf("stale launch epoch %d (current %d)", epoch, ha.epoch)), nil
+			return refuse(fmt.Sprintf("stale launch epoch %d (current %d)", epoch, cur)), nil
 		}
 		newEpoch := epoch > ha.epoch
 		if newEpoch {
@@ -430,9 +433,10 @@ func (p *Proxy) handleCommitSpawn(ctx context.Context, req *proto.CommitSpawn) (
 		return refuse("application is being aborted"), nil
 	}
 	if req.Epoch != 0 && req.Epoch < ha.epoch {
+		cur := ha.epoch
 		ha.mu.Unlock()
 		p.reg.Counter(metrics.JobStaleCommits).Inc()
-		return refuse(fmt.Sprintf("stale launch epoch %d (current %d)", req.Epoch, ha.epoch)), nil
+		return refuse(fmt.Sprintf("stale launch epoch %d (current %d)", req.Epoch, cur)), nil
 	}
 	if len(ha.pending) == 0 {
 		ha.mu.Unlock()
@@ -681,7 +685,7 @@ func (p *Proxy) orphanReaper() {
 			return
 		case <-ticker.C:
 		}
-		now := time.Now()
+		now := p.clock()
 		p.mu.Lock()
 		hosted := make([]*hostedApp, 0, len(p.hosted))
 		for _, ha := range p.hosted {

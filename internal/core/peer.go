@@ -293,6 +293,7 @@ func (p *Proxy) admitSession(session *tunnel.Session) {
 	pending.ctrl = ctrl
 	ctrl.start()
 
+	//lint:allow-wallclock bounds a real network handshake, not simulated time
 	timer := time.NewTimer(helloTimeout)
 	defer timer.Stop()
 	select {
@@ -505,9 +506,11 @@ func (p *Proxy) callPeer(ctx context.Context, pr *peer, body proto.Body) (proto.
 		ctx, cancel = context.WithTimeout(ctx, p.lifecycle.RPCTimeout)
 		defer cancel()
 	}
+	//lint:allow-wallclock monotonic latency measurement for metrics; injected clocks have no monotonic reading
 	start := time.Now()
 	reply, err := pr.ctrl.call(ctx, body)
 	p.reg.Counter(metrics.ControlRPCs).Inc()
+	//lint:allow-wallclock monotonic latency measurement for metrics; injected clocks have no monotonic reading
 	p.reg.Counter(metrics.ControlRPCMicros).Add(time.Since(start).Microseconds())
 	if errors.Is(err, context.DeadlineExceeded) {
 		p.reg.Counter(metrics.ControlRPCTimeouts).Inc()
@@ -579,6 +582,7 @@ func (p *Proxy) PingPeer(ctx context.Context, site string) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow-wallclock nonce entropy, not a timestamp; a frozen test clock would repeat nonces
 	nonce := uint64(time.Now().UnixNano())
 	reply, err := p.callPeer(ctx, pr, &proto.Ping{Nonce: nonce})
 	if err != nil {

@@ -110,6 +110,7 @@ func (p *Proxy) handleProbeRequest(ctx context.Context, req *proto.ProbeRequest)
 		return reply
 	}
 	defer p.releasePeer(pr)
+	//lint:allow-wallclock nonce entropy, not a timestamp; a frozen test clock would repeat nonces
 	nonce := uint64(time.Now().UnixNano())
 	ans, err := p.callPeer(ctx, pr, &proto.Ping{Nonce: nonce})
 	if err != nil {

@@ -127,8 +127,10 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Logger may be nil.
 	Logger *logging.Logger
-	// Clock overrides the time source for session-expiry checks and
-	// ticket validation (tests). Nil means time.Now.
+	// Clock overrides the time source for session-expiry checks,
+	// ticket validation, and job-table bookkeeping (terminal stamps,
+	// the janitor, the orphan reaper) so tests can drive them. Nil
+	// means time.Now.
 	Clock func() time.Time
 }
 
@@ -551,6 +553,7 @@ func (p *Proxy) AllResources(kind string) []registry.Resource {
 
 // newAppID mints a site-unique application id.
 func (p *Proxy) newAppID() string {
+	//lint:allow-wallclock uniqueness entropy across restarts, not a timestamp; a frozen test clock would collide ids
 	return fmt.Sprintf("%s-%d-%d", p.site, time.Now().UnixNano(), p.appSeq.Add(1))
 }
 

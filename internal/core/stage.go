@@ -42,12 +42,14 @@ func (p *Proxy) PullBlob(ctx context.Context, site, hash string) error {
 		return nil
 	}
 	p.reg.Counter(metrics.StageCacheMisses).Inc()
+	//lint:allow-wallclock monotonic transfer-duration measurement for the log; injected clocks have no monotonic reading
 	start := time.Now()
 	if err := stage.Pull(ctx, p.stageDialer(site), hash, p.store, p.stagecfg, p.reg); err != nil {
 		p.log.Warn("stage pull failed", "site", site, "hash", hash, "err", err)
 		return err
 	}
 	size, _ := p.store.Stat(hash)
+	//lint:allow-wallclock monotonic transfer-duration measurement for the log; injected clocks have no monotonic reading
 	p.log.Debug("stage pull complete", "site", site, "hash", hash, "bytes", size, "took", time.Since(start))
 	return nil
 }

@@ -91,6 +91,7 @@ func (a *admission) admit(ctx context.Context) (queued bool, release func(), err
 		<-a.queue
 		a.reg.Gauge(metrics.GateQueueDepth).Add(-1)
 	}()
+	//lint:allow-wallclock bounds how long a live HTTP request really queues; simulated time must not shed real clients
 	timer := time.NewTimer(a.cfg.QueueWait)
 	defer timer.Stop()
 	select {

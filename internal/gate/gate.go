@@ -187,7 +187,7 @@ func New(cfg Config) (*Gateway, error) {
 		groups:   newLimiter(limits.GroupRate, limits.GroupBurst, clock),
 		logins:   newLimiter(limits.LoginRate, limits.LoginBurst, clock),
 		quota:    newQuota(limits.MaxJobsPerUser),
-		pool:     newPool(cfg.Pool, cfg.Network, cfg.ProxyAddr, cfg.Metrics, cfg.Logger.Named("gate.pool")),
+		pool:     newPool(cfg.Pool, cfg.Network, cfg.ProxyAddr, cfg.Metrics, cfg.Logger.Named("gate.pool"), clock),
 		timeouts: cfg.Timeouts.WithDefaults(),
 		maxBody:  maxBody,
 		clock:    clock,

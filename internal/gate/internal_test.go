@@ -9,7 +9,10 @@ import (
 	"time"
 
 	"gridproxy/internal/grid"
+	"gridproxy/internal/logging"
+	"gridproxy/internal/metrics"
 	"gridproxy/internal/proto"
+	"gridproxy/internal/transport"
 )
 
 func TestHTTPStatusFor(t *testing.T) {
@@ -241,5 +244,79 @@ func TestQuotaLifecycle(t *testing.T) {
 		if ok, _ := disabled.tryReserve("alice"); !ok {
 			t.Fatal("disabled quota refused")
 		}
+	}
+}
+
+// TestPoolSweepUsesInjectedClock is a regression test for the pool
+// stamping entries with time.Now() while the sweeper compared against
+// the injected clock: with a fake clock far from wall time,
+// now.Sub(e.last) was hugely negative and idle clients leaked forever.
+// Both sides must read the same injected clock.
+func TestPoolSweepUsesInjectedClock(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0) // far from wall time on purpose
+	clock := func() time.Time { return now }
+	network := transport.NewMemNetwork()
+	ln, err := network.Listen("proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+
+	p := newPool(PoolConfig{MaxClients: 4, IdleClose: time.Minute},
+		network, "proxy", metrics.NewRegistry(), logging.Discard(), clock)
+	ctx := context.Background()
+	add := func(user string, refs int) *poolEntry {
+		t.Helper()
+		c, err := grid.Dial(ctx, network, "proxy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := &poolEntry{client: c, user: user, refs: refs, last: p.clock()}
+		p.mu.Lock()
+		p.entries[user] = e
+		p.mu.Unlock()
+		return e
+	}
+	idle := add("alice", 0)
+	busy := add("bob", 1)
+
+	// Nothing is idle yet; the sweep must not touch either entry.
+	p.sweep(clock())
+	if len(p.entries) != 2 {
+		t.Fatalf("premature sweep: %d entries", len(p.entries))
+	}
+
+	// Two fake minutes later the idle entry goes, the busy one stays.
+	now = now.Add(2 * time.Minute)
+	p.sweep(clock())
+	p.mu.Lock()
+	_, idleLeft := p.entries["alice"]
+	_, busyLeft := p.entries["bob"]
+	p.mu.Unlock()
+	if idleLeft || !busyLeft {
+		t.Fatalf("after idle sweep: alice=%v bob=%v, want swept/kept", idleLeft, busyLeft)
+	}
+	if !idle.client.Closed() {
+		t.Error("swept client not closed")
+	}
+
+	// Releasing restamps with the injected clock, so the released entry
+	// survives a sweep at the same instant and goes one IdleClose later.
+	p.release(busy)
+	p.sweep(clock())
+	if busy.client.Closed() {
+		t.Error("just-released client swept")
+	}
+	now = now.Add(2 * time.Minute)
+	p.sweep(clock())
+	if !busy.client.Closed() {
+		t.Error("idle released client survived the sweep")
 	}
 }

@@ -46,6 +46,7 @@ type pool struct {
 	addr    string
 	reg     *metrics.Registry
 	log     *logging.Logger
+	clock   func() time.Time
 
 	mu      sync.Mutex
 	entries map[string]*poolEntry
@@ -70,13 +71,14 @@ type inflightDial struct {
 	err   error
 }
 
-func newPool(cfg PoolConfig, network transport.Network, addr string, reg *metrics.Registry, log *logging.Logger) *pool {
+func newPool(cfg PoolConfig, network transport.Network, addr string, reg *metrics.Registry, log *logging.Logger, clock func() time.Time) *pool {
 	return &pool{
 		cfg:     cfg.WithDefaults(),
 		network: network,
 		addr:    addr,
 		reg:     reg,
 		log:     log,
+		clock:   clock,
 		entries: make(map[string]*poolEntry),
 		dials:   make(map[string]*inflightDial),
 	}
@@ -140,7 +142,7 @@ func (p *pool) checkout(ctx context.Context, user string, tick []byte) (*grid.Cl
 		// and sweep, so a just-dialed client can never be the LRU victim
 		// before its first use.
 		entry.refs = 1
-		entry.last = time.Now()
+		entry.last = p.clock()
 		p.entries[user] = entry
 		p.reg.Gauge(metrics.GatePooledClients).Add(1)
 		p.evictLocked()
@@ -164,7 +166,7 @@ func (p *pool) dial(ctx context.Context, user string, tick []byte) (*poolEntry, 
 	p.reg.Counter(metrics.GatePoolDials).Inc()
 	// Stamp last here too: even before the entry is claimed under the
 	// pool lock, a zero timestamp must never make it look idle.
-	e := &poolEntry{client: client, user: user, ticket: tick, last: time.Now()}
+	e := &poolEntry{client: client, user: user, ticket: tick, last: p.clock()}
 	client.OnAuthExpired(func(ctx context.Context) error {
 		// The proxy-side session lapsed mid-connection: re-present the
 		// freshest ticket any HTTP request supplied for this user. If
@@ -185,7 +187,7 @@ func (p *pool) dial(ctx context.Context, user string, tick []byte) (*poolEntry, 
 func (p *pool) release(e *poolEntry) {
 	p.mu.Lock()
 	e.refs--
-	e.last = time.Now()
+	e.last = p.clock()
 	p.mu.Unlock()
 }
 

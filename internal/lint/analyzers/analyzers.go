@@ -5,9 +5,13 @@ package analyzers
 
 import (
 	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/analyzers/atomicmix"
+	"gridproxy/internal/lint/analyzers/clockinject"
 	"gridproxy/internal/lint/analyzers/ctxprop"
 	"gridproxy/internal/lint/analyzers/goroleak"
+	"gridproxy/internal/lint/analyzers/guardedby"
 	"gridproxy/internal/lint/analyzers/lockhold"
+	"gridproxy/internal/lint/analyzers/lockorder"
 	"gridproxy/internal/lint/analyzers/metricnames"
 	"gridproxy/internal/lint/analyzers/protoreg"
 )
@@ -20,5 +24,9 @@ func Suite() []*analysis.Analyzer {
 		ctxprop.Analyzer,
 		lockhold.Analyzer,
 		goroleak.Analyzer,
+		lockorder.Analyzer,
+		guardedby.Analyzer,
+		clockinject.Analyzer,
+		atomicmix.Analyzer,
 	}
 }

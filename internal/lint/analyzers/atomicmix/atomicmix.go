@@ -1,0 +1,124 @@
+// Package atomicmix implements the gridlint analyzer that flags struct
+// fields accessed both through sync/atomic and with plain loads/stores.
+//
+// Mixing the two disciplines is how the tunnel session's PING nonce race
+// happened (fixed in PR 5): the atomic side establishes no
+// happens-before with the plain side, so the plain load can read a torn
+// or stale value and -race only notices when the schedule cooperates. A
+// field is atomic-accessed when its address is passed to a sync/atomic
+// function (`atomic.AddInt64(&s.n, 1)`); any other read or write of the
+// same field outside test files is then a mixed access and is reported
+// at the plain site. Typed atomics (atomic.Int64 and friends) make the
+// mix unrepresentable and are the preferred fix; a plain access that is
+// provably pre-concurrency (a constructor pattern the analyzer cannot
+// see) is suppressed with `//lint:allow-atomicmix <why>`.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/lintutil"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must not also be accessed with plain loads/stores",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// First pass: fields whose address reaches a sync/atomic call, and
+	// the exact selector nodes consumed that way (they are not plain
+	// accesses).
+	atomicFields := map[*types.Var]token.Pos{}
+	consumed := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		if lintutil.InTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.Callee(pass.TypesInfo, call)
+			if fn == nil || lintutil.PkgPath(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := fieldOf(pass, sel)
+				if obj == nil {
+					continue
+				}
+				consumed[sel] = true
+				if _, seen := atomicFields[obj]; !seen {
+					atomicFields[obj] = sel.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Second pass: plain accesses to those fields.
+	type plain struct {
+		pos token.Pos
+		obj *types.Var
+	}
+	var plains []plain
+	for _, file := range pass.Files {
+		if lintutil.InTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			obj := fieldOf(pass, sel)
+			if obj == nil {
+				return true
+			}
+			if _, ok := atomicFields[obj]; !ok {
+				return true
+			}
+			plains = append(plains, plain{pos: sel.Sel.Pos(), obj: obj})
+			return false
+		})
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+	for _, p := range plains {
+		if lintutil.Allowed(pass, p.pos, "allow-atomicmix") {
+			continue
+		}
+		pass.Reportf(p.pos,
+			"field %s is accessed via sync/atomic (first at %s) but read or written plainly here — pick one discipline, preferably a typed atomic",
+			p.obj.Name(), pass.Fset.Position(atomicFields[p.obj]))
+	}
+	return nil, nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	obj, _ := s.Obj().(*types.Var)
+	return obj
+}

@@ -1,0 +1,16 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/atomicmix"
+)
+
+// TestAtomicmix checks that a field reached both by &field-to-sync/atomic
+// and by plain loads/stores is flagged at the plain site, while
+// single-discipline fields, typed atomics and //lint:allow-atomicmix
+// stay silent.
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "mixed")
+}

@@ -1,0 +1,43 @@
+// Package mixed exercises the atomicmix analyzer: fields touched both
+// atomically and plainly are flagged at the plain site; purely-atomic
+// fields, purely-plain fields, typed atomics and suppressed accesses
+// stay silent.
+package mixed
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64 // atomic everywhere: fine
+	misses int64 // atomic in bump, plain in reset: mixed
+	errs   int64 // never atomic: fine
+	gauge  atomic.Int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+	s.gauge.Add(1)
+}
+
+func (s *stats) read() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) reset() {
+	s.misses = 0 // want `field misses is accessed via sync/atomic`
+	s.errs = 0
+}
+
+func (s *stats) sample() int64 {
+	return s.misses // want `field misses is accessed via sync/atomic`
+}
+
+// snapshot documents a deliberate plain read.
+func (s *stats) snapshot() int64 {
+	//lint:allow-atomicmix fixture: called after the writers have joined
+	return s.misses
+}
+
+func (s *stats) plainErrs() int64 {
+	return s.errs
+}

@@ -1,0 +1,16 @@
+package clockinject_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/clockinject"
+)
+
+// TestClockinject checks that direct time.Now/Since/NewTimer calls are
+// flagged inside clock-injected packages, while the default-wiring
+// function value, annotated wall-clock sites, unlisted time functions,
+// and unguarded packages stay silent.
+func TestClockinject(t *testing.T) {
+	analysistest.Run(t, "testdata", clockinject.Analyzer, "gate", "other")
+}

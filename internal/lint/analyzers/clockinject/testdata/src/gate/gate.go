@@ -1,0 +1,55 @@
+// Package gate exercises the clockinject analyzer inside a guarded
+// package name: direct wall-clock calls are flagged, the default-wiring
+// function value and annotated sites are not.
+package gate
+
+import "time"
+
+type sweeper struct {
+	clock func() time.Time
+	last  time.Time
+}
+
+// newSweeper shows the sanctioned default wiring: time.Now referenced as
+// a value, not called.
+func newSweeper(clock func() time.Time) *sweeper {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &sweeper{clock: clock}
+}
+
+func (s *sweeper) touch() {
+	s.last = time.Now() // want `time\.Now in clock-injected package gate`
+}
+
+func (s *sweeper) idleFor() time.Duration {
+	return time.Since(s.last) // want `time\.Since in clock-injected package gate`
+}
+
+func (s *sweeper) wait() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer in clock-injected package gate`
+}
+
+func (s *sweeper) touchInjected() {
+	s.last = s.clock()
+}
+
+// elapsed documents a genuine wall-clock use.
+func (s *sweeper) elapsed() time.Duration {
+	//lint:allow-wallclock fixture: monotonic elapsed measurement
+	start := time.Now()
+	//lint:allow-wallclock fixture: monotonic elapsed measurement
+	return time.Since(start)
+}
+
+//lint:allow-wallclock fixture: whole function is a wall-clock boundary
+func (s *sweeper) boundary() time.Time {
+	return time.Now()
+}
+
+// Sleeping and tickers are not in scope: only Now/Since/NewTimer split
+// logical time.
+func (s *sweeper) tick() *time.Ticker {
+	return time.NewTicker(time.Second)
+}

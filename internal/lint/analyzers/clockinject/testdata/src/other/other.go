@@ -1,0 +1,9 @@
+// Package other is not clock-injected: wall-clock calls are its own
+// business.
+package other
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -36,18 +36,10 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil
 	}
 
-	// Index local function/method declarations so `go r.loop()` can be
-	// resolved to its body.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, file := range pass.Files {
-		for _, d := range file.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok {
-				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					decls[fn] = fd
-				}
-			}
-		}
-	}
+	// The shared per-package index resolves `go r.loop()` to its body;
+	// lockorder, guardedby and atomicmix reuse the same table, so the
+	// package's declarations are walked once for the whole suite.
+	decls := lintutil.FuncIndex(pass).Decls
 
 	for _, file := range pass.Files {
 		if lintutil.InTestFile(pass, file.Pos()) {

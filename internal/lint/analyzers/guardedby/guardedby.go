@@ -1,0 +1,401 @@
+// Package guardedby implements the gridlint analyzer that flags reads
+// and writes of mutex-guarded struct fields made without the lock — a
+// static complement to -race, which only sees interleavings that execute.
+//
+// For every struct declaring a sync.Mutex/RWMutex field, the analyzer
+// classifies each access to the sibling fields as locked (the struct's
+// mutex is held at that point, per the shared lock walker, including the
+// *Locked naming convention) or unlocked. A field is considered guarded
+// when either
+//
+//   - its declaration carries a `// guarded by <mu>` comment, or
+//   - the lock discipline is inferred: at least one locked write, at
+//     least two locked accesses, and more locked than unlocked accesses
+//     — the field is manipulated under the lock as a rule, so the
+//     stragglers are the bug, not the rule.
+//
+// Unlocked accesses to a guarded field are reported. Constructors
+// (functions whose results include the struct type) are exempt — the
+// value has not escaped yet — as are test files and composite literals.
+// The inference deliberately stays conservative: a field with no locked
+// writes (immutable after construction) or mostly-unlocked traffic
+// (externally synchronized) is silent unless annotated. Deliberate
+// unlocked access — a happens-before edge the analyzer cannot see — is
+// suppressed with `//lint:allow-guardedby <why>`.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/lintutil"
+)
+
+// Analyzer is the guardedby analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields of mutex-bearing structs that are guarded (annotated or inferred) must not be read or written without the lock",
+	Run:  run,
+}
+
+// A mutexField is one lock declared in a struct: a named sync.Mutex/
+// RWMutex field, or an embedded one (held key is then the base
+// expression itself: x.Lock()).
+type mutexField struct {
+	name     string
+	embedded bool
+}
+
+// A structInfo describes one lock-bearing struct of the package.
+type structInfo struct {
+	obj     *types.TypeName
+	mutexes []mutexField
+}
+
+// An access is one read or write of a guarded-candidate field.
+type access struct {
+	pos    token.Pos
+	write  bool
+	locked bool
+}
+
+// A fieldState accumulates accesses to one field across the package.
+type fieldState struct {
+	owner     *structInfo
+	name      string
+	annotated bool
+	accesses  []access
+	// guard is the mutex actually held at the field's locked accesses
+	// (first one observed), so the diagnostic names the right lock on
+	// structs with more than one.
+	guard    mutexField
+	guardSet bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil // daemons wire things up single-threaded
+	}
+	idx := lintutil.FuncIndex(pass)
+
+	structs, fields := collectStructs(pass)
+	if len(fields) == 0 {
+		return nil, nil
+	}
+
+	for _, file := range pass.Files {
+		if lintutil.InTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := idx.Funcs[fd]
+			if fn == nil || isConstructor(fn, structs) {
+				continue
+			}
+			writes := writeTargets(fd.Body)
+			held0 := lockedOnEntry(pass, fd, fn, structs)
+			w := &lintutil.LockWalker{
+				Info: pass.TypesInfo,
+				OnExpr: func(n ast.Node, held map[string]token.Pos) {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return
+					}
+					s, ok := pass.TypesInfo.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal {
+						return
+					}
+					obj, ok := s.Obj().(*types.Var)
+					if !ok {
+						return
+					}
+					fs, ok := fields[obj]
+					if !ok {
+						return
+					}
+					base := types.ExprString(sel.X)
+					locked := false
+					for _, mf := range fs.owner.mutexes {
+						key := base + "." + mf.name
+						if mf.embedded {
+							key = base
+						}
+						if _, ok := held[key]; ok {
+							locked = true
+							if !fs.guardSet {
+								fs.guard, fs.guardSet = mf, true
+							}
+							break
+						}
+					}
+					fs.accesses = append(fs.accesses, access{
+						pos:    sel.Sel.Pos(),
+						write:  writes[sel],
+						locked: locked,
+					})
+				},
+			}
+			w.Walk(fd.Body, held0)
+		}
+	}
+
+	report(pass, fields)
+	return nil, nil
+}
+
+// collectStructs finds the package's lock-bearing structs and maps each
+// non-mutex field object to its accumulator.
+func collectStructs(pass *analysis.Pass) (map[*types.TypeName]*structInfo, map[*types.Var]*fieldState) {
+	structs := map[*types.TypeName]*structInfo{}
+	fields := map[*types.Var]*fieldState{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				info := &structInfo{obj: tn}
+				type candidate struct {
+					obj       *types.Var
+					name      string
+					annotated bool
+				}
+				var candidates []candidate
+				for _, f := range st.Fields.List {
+					annotated := hasGuardComment(f)
+					if len(f.Names) == 0 {
+						// Embedded field: a mutex makes the struct
+						// lockable; anything else is not a guard target
+						// (its own fields belong to its own type).
+						if tv, ok := pass.TypesInfo.Types[f.Type]; ok && isMutex(tv.Type) {
+							info.mutexes = append(info.mutexes, mutexField{embedded: true})
+						}
+						continue
+					}
+					for _, name := range f.Names {
+						obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if isMutex(obj.Type()) {
+							info.mutexes = append(info.mutexes, mutexField{name: name.Name})
+							continue
+						}
+						candidates = append(candidates, candidate{obj: obj, name: name.Name, annotated: annotated})
+					}
+				}
+				if len(info.mutexes) == 0 {
+					continue
+				}
+				structs[tn] = info
+				for _, c := range candidates {
+					fields[c.obj] = &fieldState{owner: info, name: c.name, annotated: c.annotated}
+				}
+			}
+		}
+	}
+	return structs, fields
+}
+
+// hasGuardComment reports whether the field declaration carries a
+// `guarded by <mu>` annotation in its doc or line comment.
+func hasGuardComment(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "guarded by ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	return lintutil.IsNamedType(t, "sync", "Mutex") || lintutil.IsNamedType(t, "sync", "RWMutex")
+}
+
+// isConstructor reports whether fn returns one of the lock-bearing
+// structs (by value or pointer): inside it the value has not escaped, so
+// unguarded initialization is fine.
+func isConstructor(fn *types.Func, structs map[*types.TypeName]*structInfo) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if _, ok := structs[named.Obj()]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockedOnEntry seeds the held set for *Locked methods: by repo
+// convention the caller holds the receiver's lock for their whole extent.
+func lockedOnEntry(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func, structs map[*types.TypeName]*structInfo) map[string]token.Pos {
+	if !strings.HasSuffix(fd.Name.Name, "Locked") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	info, ok := structs[named.Obj()]
+	if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	held := map[string]token.Pos{}
+	for _, mf := range info.mutexes {
+		key := recv + "." + mf.name
+		if mf.embedded {
+			key = recv
+		}
+		held[key] = fd.Pos()
+	}
+	return held
+}
+
+// writeTargets collects the selector expressions written in body:
+// assignment targets, inc/dec operands, and address-taken fields (the
+// pointer may be written through; treating it as a write keeps inference
+// honest).
+func writeTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		// An element or pointee write (m[k] = v, *p = v) mutates what
+		// the field holds: count it as a write of the field itself, so
+		// the map-under-mutex idiom infers correctly.
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = ast.Unparen(x.X)
+			case *ast.StarExpr:
+				e = ast.Unparen(x.X)
+			default:
+				if sel, ok := e.(*ast.SelectorExpr); ok {
+					writes[sel] = true
+				}
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// report applies the guard rule to each field and flags unlocked
+// accesses.
+func report(pass *analysis.Pass, fields map[*types.Var]*fieldState) {
+	ordered := make([]*fieldState, 0, len(fields))
+	for _, fs := range fields {
+		ordered = append(ordered, fs)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].owner.obj.Name() != ordered[j].owner.obj.Name() {
+			return ordered[i].owner.obj.Name() < ordered[j].owner.obj.Name()
+		}
+		return ordered[i].name < ordered[j].name
+	})
+	for _, fs := range ordered {
+		var lockedN, lockedWrites, unlockedN int
+		for _, a := range fs.accesses {
+			if a.locked {
+				lockedN++
+				if a.write {
+					lockedWrites++
+				}
+			} else {
+				unlockedN++
+			}
+		}
+		guarded := fs.annotated ||
+			(lockedWrites >= 1 && lockedN >= 2 && lockedN > unlockedN)
+		if !guarded || unlockedN == 0 {
+			continue
+		}
+		how := "annotated `guarded by`"
+		if !fs.annotated {
+			how = "inferred from its locked accesses"
+		}
+		guard := fs.guard
+		if !fs.guardSet && len(fs.owner.mutexes) > 0 {
+			guard = fs.owner.mutexes[0]
+		}
+		mu := guard.name
+		if guard.embedded {
+			mu = "the embedded mutex"
+		} else if mu == "" {
+			mu = "its mutex"
+		}
+		for _, a := range fs.accesses {
+			if a.locked {
+				continue
+			}
+			if lintutil.Allowed(pass, a.pos, "allow-guardedby") {
+				continue
+			}
+			verb := "read"
+			if a.write {
+				verb = "written"
+			}
+			pass.Reportf(a.pos,
+				"%s.%s is guarded by %s (%s) but %s here without holding it — a data race -race only catches if the schedule cooperates",
+				fs.owner.obj.Name(), fs.name, mu, how, verb)
+		}
+	}
+}

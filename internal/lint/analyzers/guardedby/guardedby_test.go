@@ -1,0 +1,17 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/guardedby"
+)
+
+// TestGuardedby checks inferred and annotated guard disciplines —
+// including the map-index-write idiom, embedded mutexes, RWMutex read
+// sides and the *Locked convention — against the silent shapes:
+// constructors, immutable-after-construct fields, externally-synchronized
+// fields, and //lint:allow-guardedby.
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "guarded")
+}

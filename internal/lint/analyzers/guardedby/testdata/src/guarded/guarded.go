@@ -1,0 +1,159 @@
+// Package guarded exercises the guardedby analyzer: inferred and
+// annotated guard disciplines with stray unlocked accesses, and the
+// shapes that must stay silent — constructors, immutable-after-construct
+// fields, externally-synchronized fields, embedded mutexes, *Locked
+// helpers, and suppressions.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	name string
+}
+
+// newCounter is a constructor (returns the struct): initialization
+// before the value escapes needs no lock.
+func newCounter(name string) *counter {
+	c := &counter{}
+	c.name = name
+	return c
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bumpLocked runs with c.mu held by convention: its access is a locked
+// write.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// peek reads n without the lock: the inferred discipline flags it.
+func (c *counter) peek() int {
+	return c.n // want `counter\.n is guarded by mu`
+}
+
+// snapshot documents a deliberate unlocked read.
+func (c *counter) snapshot() int {
+	//lint:allow-guardedby fixture: only called before the goroutines start
+	return c.n
+}
+
+// label reads name, which has no locked writes (immutable after
+// construction): inference stays silent.
+func (c *counter) label() string {
+	return c.name
+}
+
+type table struct {
+	mu   sync.Mutex
+	rows map[string]int
+}
+
+// set writes through an index expression: that counts as a locked write
+// of rows, the map-under-mutex idiom.
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	t.rows[k] = v
+	t.mu.Unlock()
+}
+
+func (t *table) get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rows[k]
+}
+
+// raw leaks the map without the lock.
+func (t *table) raw() map[string]int {
+	return t.rows // want `table\.rows is guarded by mu`
+}
+
+type config struct {
+	mu sync.Mutex
+	// limit is guarded by mu.
+	limit int
+}
+
+func (c *config) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit
+}
+
+// bump would be silent under inference (no locked writes), but the
+// annotation forces the discipline.
+func (c *config) bump() {
+	c.limit++ // want `config\.limit is guarded by mu`
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// All gauge accesses hold the lock (write or read side): silent.
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+type box struct {
+	sync.Mutex
+	val int
+}
+
+func (b *box) put(v int) {
+	b.Lock()
+	b.val = v
+	b.Unlock()
+}
+
+func (b *box) take() int {
+	b.Lock()
+	defer b.Unlock()
+	return b.val
+}
+
+// steal skips the embedded mutex.
+func (b *box) steal() int {
+	return b.val // want `box\.val is guarded by the embedded mutex`
+}
+
+type journal struct {
+	mu  sync.Mutex
+	seq int
+}
+
+// journal.seq is mostly accessed without the lock (externally
+// synchronized by its single-writer owner): one locked write is not
+// enough evidence, so inference stays silent.
+func (j *journal) flush() {
+	j.mu.Lock()
+	j.seq++
+	j.mu.Unlock()
+}
+
+func (j *journal) a() int { return j.seq }
+
+func (j *journal) b() int { return j.seq }
+
+func (j *journal) c() int { return j.seq }

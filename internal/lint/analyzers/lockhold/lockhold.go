@@ -196,22 +196,10 @@ func copyHeld(held map[string]token.Pos) map[string]token.Pos {
 }
 
 // lockOp classifies call as a lock acquisition (true,true), release
-// (key,false,true), or neither. The method must resolve to sync.Mutex or
-// sync.RWMutex (including via embedding).
+// (key,false,true), or neither (shared with the lock walker that
+// lockorder and guardedby drive).
 func (c *checker) lockOp(call *ast.CallExpr) (key string, acquire, isLock bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", false, false
-	}
-	name := sel.Sel.Name
-	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
-		return "", false, false
-	}
-	fn := lintutil.Callee(c.pass.TypesInfo, call)
-	if fn == nil || lintutil.PkgPath(fn) != "sync" {
-		return "", false, false
-	}
-	return types.ExprString(sel.X), name == "Lock" || name == "RLock", true
+	return lintutil.LockOp(c.pass.TypesInfo, call)
 }
 
 // checkBlocking inspects an expression tree for blocking operations,
@@ -257,6 +245,12 @@ func (c *checker) blockingCall(call *ast.CallExpr) string {
 	case pkg == "net" && (name == "Dial" || name == "DialTimeout" || name == "Listen"):
 		return "net." + name
 	case pkg == "sync" && name == "Wait":
+		// Cond.Wait is the one sync.Wait that must run with the lock
+		// held — it releases the mutex while parked, so contenders are
+		// not stalled and flagging it would outlaw the pattern itself.
+		if recvTypeName(sig) == "Cond" {
+			return ""
+		}
 		return "sync." + recvTypeName(sig) + ".Wait"
 	}
 	if sig == nil || sig.Recv() == nil {

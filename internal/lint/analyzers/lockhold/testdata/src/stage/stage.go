@@ -101,3 +101,18 @@ func (s *store) goodAllowed() {
 	//lint:allow-lockhold the file lives on a ramdisk; provably instant
 	os.Remove("x")
 }
+
+// goodCondWait: Cond.Wait must be called with its mutex held and parks
+// with the lock released, so it is not a blocking call under the lock.
+// WaitGroup.Wait stays flagged.
+func (s *store) goodCondWait(cond *sync.Cond) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cond.Wait()
+}
+
+func (s *store) badWaitGroup(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `s\.mu is held across sync\.WaitGroup\.Wait`
+}

@@ -1,0 +1,478 @@
+// Package lockorder implements the gridlint analyzer that detects
+// lock-acquisition cycles — the static deadlock check.
+//
+// Every sync.Mutex/RWMutex acquisition is abstracted to a type-level
+// lock: `s.mu.Lock()` on a *tunnel.Session is the lock
+// `internal/tunnel.Session.mu`, a package-level mutex is
+// `internal/foo.reglock`. The per-package pass walks each function with
+// the shared lock walker, recording (a) which locks it acquires, with the
+// set held at that moment, and (b) which functions it calls, with the set
+// held at the call site. ProgramRun assembles those summaries into the
+// whole-program picture: the locks each function may transitively
+// acquire, then the directed graph "lock A is held while lock B is
+// acquired" — directly, or anywhere down the call chain. A cycle in that
+// graph is a deadlock waiting for the right interleaving: goroutine one
+// holds A wanting B, goroutine two holds B wanting A, and -race sees
+// nothing because the schedule never bit in a test.
+//
+// Two abstractions keep the check sound but finite. RLock counts as Lock:
+// a pending writer blocks new readers, so read-lock cycles deadlock too.
+// Self-edges (T.mu held while another T.mu is taken) are dropped — the
+// analysis cannot tell two instances apart, and the repo's per-instance
+// locks (session shards, pool entries) would otherwise all be false
+// cycles; instance-order deadlocks need a runtime detector.
+//
+// The check needs the whole program, so it reports only under the
+// standalone driver, like the other whole-program checks. A cycle that is
+// provably unreachable (the two orders are mutually exclusive by
+// construction) is broken by annotating one acquisition with
+// `//lint:allow-lockorder <why>`, which removes that acquisition's edges.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/lintutil"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "no cycles in the cross-package lock-acquisition order (static deadlock detection; whole-program, standalone driver only)",
+	Run:        run,
+	ProgramRun: programRun,
+}
+
+// An acquireEvent is one lock acquisition: the canonical lock taken, the
+// canonical locks already held, and where.
+type acquireEvent struct {
+	lock string
+	held []string
+	pos  token.Pos
+}
+
+// A callEvent is one static call: who, with which canonical locks held,
+// and where. Calls with nothing held still matter — they carry transitive
+// acquisitions up to callers that do hold locks.
+type callEvent struct {
+	callee string
+	held   []string
+	pos    token.Pos
+}
+
+// A funcSummary is one function's lock behavior, keyed by the function's
+// full name so summaries compose across packages.
+type funcSummary struct {
+	name     string
+	acquires []acquireEvent
+	calls    []callEvent
+}
+
+// result is the per-package Run result consumed by ProgramRun.
+type result struct {
+	funcs []*funcSummary
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	idx := lintutil.FuncIndex(pass)
+	res := &result{}
+	for _, file := range pass.Files {
+		if lintutil.InTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := idx.Funcs[fd]
+			if fn == nil {
+				continue
+			}
+			sum := &funcSummary{name: fn.FullName()}
+			canon := map[string]string{} // held-key (source text) -> canonical lock
+			w := &lintutil.LockWalker{
+				Info: pass.TypesInfo,
+				OnAcquire: func(call *ast.CallExpr, key string, held map[string]token.Pos) {
+					lock := canonicalLock(pass, fn, call)
+					canon[key] = lock
+					if lintutil.Allowed(pass, call.Pos(), "allow-lockorder") {
+						return // annotated: this acquisition contributes no edges
+					}
+					sum.acquires = append(sum.acquires, acquireEvent{
+						lock: lock,
+						held: canonicalHeld(canon, held),
+						pos:  call.Pos(),
+					})
+				},
+				OnExpr: func(n ast.Node, held map[string]token.Pos) {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return
+					}
+					callee := lintutil.Callee(pass.TypesInfo, call)
+					if callee == nil || callee.Pkg() == nil || lintutil.PkgPath(callee) == "sync" {
+						return
+					}
+					sum.calls = append(sum.calls, callEvent{
+						callee: callee.FullName(),
+						held:   canonicalHeld(canon, held),
+						pos:    call.Pos(),
+					})
+				},
+			}
+			w.Walk(fd.Body, nil)
+			res.funcs = append(res.funcs, sum)
+		}
+	}
+	return res, nil
+}
+
+// canonicalHeld translates the walker's source-text held set into sorted
+// canonical lock names. Keys acquired outside this function's view (none,
+// by construction) are dropped.
+func canonicalHeld(canon map[string]string, held map[string]token.Pos) []string {
+	var out []string
+	for k := range held {
+		if c, ok := canon[k]; ok {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// canonicalLock names the lock a Lock/RLock call acquires at the type
+// level: "<pkg>.<Type>.<field>" for a struct's mutex field (all instances
+// of the type share the name), "<pkg>.<var>" for a package-level mutex,
+// and a function-scoped name for locals.
+func canonicalLock(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr) string {
+	sel := call.Fun.(*ast.SelectorExpr) // guaranteed by LockOp
+	mutex := ast.Unparen(sel.X)
+
+	switch m := mutex.(type) {
+	case *ast.SelectorExpr:
+		// base.field — the common shape. Resolve the field selection to
+		// its receiver type.
+		if s, ok := pass.TypesInfo.Selections[m]; ok && s.Kind() == types.FieldVal {
+			if named := namedOf(s.Recv()); named != nil {
+				return typeName(named) + "." + m.Sel.Name
+			}
+		}
+		// Package-qualified var: otherpkg.mu.
+		if obj, ok := pass.TypesInfo.Uses[m.Sel].(*types.Var); ok && isPackageLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		// Bare identifier: either `mu.Lock()` on a var, or `x.Lock()`
+		// through an embedded mutex (the method selection sees through
+		// the embedding; the receiver type names the lock).
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if named := namedOf(s.Recv()); named != nil {
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					return typeName(named) + ".(embedded)"
+				}
+			}
+		}
+		if obj, ok := pass.TypesInfo.Uses[m].(*types.Var); ok {
+			if isPackageLevel(obj) {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+			if named := namedOf(obj.Type()); named != nil {
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					// A local of a lock-bearing struct type: name it by type.
+					return typeName(named) + ".(embedded)"
+				}
+			}
+			return fn.FullName() + ":" + obj.Name()
+		}
+	}
+	return fn.FullName() + ":" + types.ExprString(mutex)
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func typeName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// edge is one "from held while to acquired" observation, kept with the
+// earliest witness position and, for indirect edges, the callee whose
+// transitive acquisition closed it.
+type edge struct {
+	from, to string
+	pos      token.Pos
+	via      string
+}
+
+func programRun(prog *analysis.Program, report func(analysis.Diagnostic)) {
+	funcs := map[string]*funcSummary{}
+	for _, u := range prog.Units {
+		r, ok := u.Result.(*result)
+		if !ok || r == nil {
+			continue
+		}
+		for _, f := range r.funcs {
+			funcs[f.name] = f
+		}
+	}
+	if len(funcs) == 0 {
+		return
+	}
+
+	// Transitive acquisitions: the locks a call to f may take, directly
+	// or through anything it calls. Plain fixpoint iteration; the graph
+	// is small (one node per function) and cycles converge.
+	trans := map[string]map[string]bool{}
+	for name, f := range funcs {
+		set := map[string]bool{}
+		for _, a := range f.acquires {
+			set[a.lock] = true
+		}
+		trans[name] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, f := range funcs {
+			set := trans[name]
+			for _, c := range f.calls {
+				for lock := range trans[c.callee] {
+					if !set[lock] {
+						set[lock] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// The lock graph: from-lock held while to-lock acquired.
+	edges := map[[2]string]*edge{}
+	add := func(from, to string, pos token.Pos, via string) {
+		if from == to {
+			return // same type-level lock: instances are indistinguishable
+		}
+		key := [2]string{from, to}
+		if e, ok := edges[key]; !ok || pos < e.pos {
+			edges[key] = &edge{from: from, to: to, pos: pos, via: via}
+		}
+	}
+	for _, f := range funcs {
+		for _, a := range f.acquires {
+			for _, h := range a.held {
+				add(h, a.lock, a.pos, "")
+			}
+		}
+		for _, c := range f.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for lock := range trans[c.callee] {
+				for _, h := range c.held {
+					add(h, lock, c.pos, c.callee)
+				}
+			}
+		}
+	}
+
+	adj := map[string][]string{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, ns := range adj {
+		sort.Strings(ns)
+	}
+
+	for _, cycle := range findCycles(adj) {
+		// Describe the cycle edge by edge, witnessing each hop.
+		var hops []string
+		var pos token.Pos
+		for i := range cycle {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			e := edges[[2]string{from, to}]
+			if pos == token.NoPos || e.pos < pos {
+				pos = e.pos
+			}
+			hop := fmt.Sprintf("%s taken at %s while %s held", short(to), position(prog.Fset, e.pos), short(from))
+			if e.via != "" {
+				hop += " (via " + e.via + ")"
+			}
+			hops = append(hops, hop)
+		}
+		report(analysis.Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("lock-order cycle %s → %s: %s — impose one acquisition order or annotate an unreachable order //lint:allow-lockorder <why>",
+				strings.Join(shortAll(cycle), " → "), short(cycle[0]), strings.Join(hops, "; ")),
+		})
+	}
+}
+
+// findCycles returns every elementary cycle's node list, one per strongly
+// connected component of two or more locks, deterministically ordered.
+// One representative cycle per SCC keeps a tangled component from
+// producing a diagnostic explosion: fix the order, re-run, repeat.
+func findCycles(adj map[string][]string) [][]string {
+	sccs := tarjan(adj)
+	var cycles [][]string
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		in := map[string]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		sort.Strings(scc)
+		start := scc[0]
+		// A cycle through start exists inside the SCC by definition;
+		// recover one by DFS restricted to SCC members.
+		path := []string{start}
+		seen := map[string]bool{start: true}
+		var dfs func(n string) []string
+		dfs = func(n string) []string {
+			for _, next := range adj[n] {
+				if !in[next] {
+					continue
+				}
+				if next == start {
+					out := make([]string, len(path))
+					copy(out, path)
+					return out
+				}
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				path = append(path, next)
+				if c := dfs(next); c != nil {
+					return c
+				}
+				path = path[:len(path)-1]
+			}
+			return nil
+		}
+		if c := dfs(start); c != nil {
+			cycles = append(cycles, c)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i][0] < cycles[j][0] })
+	return cycles
+}
+
+// tarjan computes strongly connected components of the lock graph.
+func tarjan(adj map[string][]string) [][]string {
+	var nodes []string
+	seen := map[string]bool{}
+	for n, outs := range adj {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		for _, m := range outs {
+			if !seen[m] {
+				seen[m] = true
+				nodes = append(nodes, m)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// short trims the module prefix from a lock name for readable messages.
+func short(lock string) string {
+	if i := strings.LastIndex(lock, "/"); i >= 0 {
+		return lock[i+1:]
+	}
+	return lock
+}
+
+func shortAll(locks []string) []string {
+	out := make([]string, len(locks))
+	for i, l := range locks {
+		out[i] = short(l)
+	}
+	return out
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	if !pos.IsValid() {
+		return "-"
+	}
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", trimPath(p.Filename), p.Line)
+}
+
+// trimPath keeps the last two path elements — package dir and file — so
+// messages stay readable and fixture-stable.
+func trimPath(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

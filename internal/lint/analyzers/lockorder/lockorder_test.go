@@ -1,0 +1,23 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"gridproxy/internal/lint/analysistest"
+	"gridproxy/internal/lint/analyzers/lockorder"
+)
+
+// TestLockorder checks direct, call-transitive and read-lock cycles, and
+// the silent shapes: consistent orders, two instances of one type (the
+// dropped self-edge), sequential locking, and //lint:allow-lockorder.
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "deadlock")
+}
+
+// TestLockorderCrossPackage checks that summaries compose across the
+// import graph: a cycle between a user package's mutex and an imported
+// type's embedded mutex, plus a transitive edge through an exported
+// method that must not double-report.
+func TestLockorderCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockxuser")
+}

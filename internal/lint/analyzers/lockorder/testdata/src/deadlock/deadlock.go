@@ -1,0 +1,154 @@
+// Package deadlock exercises the lockorder analyzer: direct and
+// call-transitive acquisition cycles, and the shapes that must stay
+// silent — consistent orders, two instances of one type, sequential
+// lock/unlock, and suppressed unreachable orders.
+package deadlock
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+var a A
+var b B
+
+// ab acquires A.mu then B.mu; with ba below that is a cycle.
+func ab() {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle`
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var c C
+var d D
+
+// cd closes a cycle transitively: D.mu is acquired by the callee while
+// C.mu is held here.
+func cd() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockD() // want `lock-order cycle`
+}
+
+func lockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func dc() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockC()
+}
+
+func lockC() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+type R struct{ mu sync.RWMutex }
+
+type S struct{ mu sync.Mutex }
+
+var r R
+var s S
+
+// rs holds only a read lock, but RLock counts: a writer queued on R.mu
+// blocks new readers, so the read-side cycle still deadlocks.
+func rs() {
+	r.mu.RLock()
+	s.mu.Lock() // want `lock-order cycle`
+	s.mu.Unlock()
+	r.mu.RUnlock()
+}
+
+func sr() {
+	s.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+var e E
+var f F
+
+// ef1/ef2 take E.mu before F.mu everywhere: a consistent order is not a
+// cycle.
+func ef1() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func ef2() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+// transfer locks two instances of one type: the type-level abstraction
+// cannot tell them apart, so the self-edge is deliberately dropped.
+func transfer(src, dst *A) {
+	src.mu.Lock()
+	dst.mu.Lock()
+	dst.n, src.n = src.n, dst.n
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}
+
+// seq releases before acquiring: the locks never overlap.
+func seq() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+type G struct{ mu sync.Mutex }
+
+type H struct{ mu sync.Mutex }
+
+var g G
+var h H
+
+func gh() {
+	g.mu.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func hg() {
+	h.mu.Lock()
+	//lint:allow-lockorder fixture: this order is provably unreachable
+	g.mu.Lock()
+	g.mu.Unlock()
+	h.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+// Package lockx is the imported half of the cross-package lockorder
+// fixture: it exports a type with an embedded (and therefore lockable
+// from outside) mutex.
+package lockx
+
+import "sync"
+
+type X struct {
+	sync.Mutex
+	N int
+}
+
+// Bump is a well-behaved exported method: lock, mutate, unlock.
+func (x *X) Bump() {
+	x.Lock()
+	x.N++
+	x.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package lockxuser closes a lock cycle across a package boundary: its
+// own mutex orders against lockx.X's embedded mutex both ways.
+package lockxuser
+
+import (
+	"sync"
+
+	"lockx"
+)
+
+type U struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (u *U) UnderBoth(x *lockx.X) {
+	u.mu.Lock()
+	x.Lock() // want `lock-order cycle`
+	x.N++
+	x.Unlock()
+	u.mu.Unlock()
+}
+
+func (u *U) Reverse(x *lockx.X) {
+	x.Lock()
+	u.mu.Lock()
+	u.n++
+	u.mu.Unlock()
+	x.Unlock()
+}
+
+// Transitive is order-consistent with UnderBoth (U.mu before X's mutex,
+// here through Bump): it adds no reverse edge and no second cycle.
+func (u *U) Transitive(x *lockx.X) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	x.Bump()
+}

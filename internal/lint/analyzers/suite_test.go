@@ -1,0 +1,107 @@
+package analyzers_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/analyzers/goroleak"
+	"gridproxy/internal/lint/analyzers/guardedby"
+	"gridproxy/internal/lint/analyzers/lockhold"
+	"gridproxy/internal/lint/lintutil"
+)
+
+// interplaySrc trips lockhold and goroleak in the same function. The
+// allow-goroleak directive sits directly above the lockhold finding: a
+// suppression must only silence its own analyzer.
+const interplaySrc = `package stage
+
+import (
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+}
+
+func work() {}
+
+func (b *box) both() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:allow-goroleak wrong directive on purpose; must not reach lockhold
+	os.Remove("x")
+	go b.spin()
+}
+
+func (b *box) spin() {
+	for {
+		work()
+	}
+}
+`
+
+// TestLockholdGoroleakInterplay runs both walkers over one package and
+// checks they neither miss their own finding nor eat each other's
+// suppressions, and that the shared function index is built once.
+func TestLockholdGoroleakInterplay(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stage.go", interplaySrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("stage", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []analysis.Diagnostic
+	before := lintutil.IndexBuilds()
+	for _, a := range []*analysis.Analyzer{lockhold.Analyzer, goroleak.Analyzer, guardedby.Analyzer} {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     []*ast.File{f},
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	if builds := lintutil.IndexBuilds() - before; builds != 1 {
+		t.Errorf("suite built the function index %d times for one package, want 1", builds)
+	}
+
+	var lockholdHits, goroleakHits int
+	for _, d := range got {
+		switch {
+		case strings.Contains(d.Message, "held across file I/O"):
+			lockholdHits++
+		case strings.Contains(d.Message, "no stop signal"):
+			goroleakHits++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d.Message)
+		}
+	}
+	if lockholdHits != 1 {
+		t.Errorf("lockhold findings = %d, want 1 (an allow-goroleak directive must not silence lockhold)", lockholdHits)
+	}
+	if goroleakHits != 1 {
+		t.Errorf("goroleak findings = %d, want 1", goroleakHits)
+	}
+}

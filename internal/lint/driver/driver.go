@@ -11,7 +11,6 @@ package driver
 
 import (
 	"fmt"
-	"go/token"
 	"go/types"
 	"io"
 	"reflect"
@@ -20,6 +19,16 @@ import (
 	"gridproxy/internal/lint/analysis"
 	"gridproxy/internal/lint/load"
 )
+
+// A Finding is one diagnostic with its source position resolved, ready
+// for rendering (plain text or JSON).
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 // A finding pairs a diagnostic with the analyzer that produced it.
 type finding struct {
@@ -41,9 +50,28 @@ type factKey struct {
 // error means the analysis itself could not run (load failure, analyzer
 // crash), not that findings exist.
 func Run(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
-	fset, pkgs, err := load.Packages(dir, patterns)
+	found, err := Findings(dir, patterns, analyzers)
 	if err != nil {
 		return 0, err
+	}
+	for _, f := range found {
+		if f.File == "" {
+			fmt.Fprintf(w, "-: %s (%s)\n", f.Message, f.Analyzer)
+			continue
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+	}
+	return len(found), nil
+}
+
+// Findings loads the packages matched by patterns under dir, applies
+// every analyzer, and returns the resolved diagnostics sorted by file,
+// line, then analyzer. A non-nil error means the analysis itself could
+// not run, not that findings exist.
+func Findings(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fset, pkgs, err := load.Packages(dir, patterns)
+	if err != nil {
+		return nil, err
 	}
 
 	facts := make(map[factKey]analysis.Fact)
@@ -82,7 +110,7 @@ func Run(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analy
 			)
 			result, err := a.Run(pass)
 			if err != nil {
-				return 0, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 			units[a.Name] = append(units[a.Name], analysis.ProgramUnit{
 				Pkg:    pkg.Types,
@@ -103,25 +131,23 @@ func Run(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analy
 		})
 	}
 
-	sort.Slice(findings, func(i, j int) bool {
-		pi, pj := fset.Position(findings[i].diag.Pos), fset.Position(findings[j].diag.Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return findings[i].analyzer < findings[j].analyzer
-	})
+	out := make([]Finding, 0, len(findings))
 	for _, f := range findings {
-		fmt.Fprintf(w, "%s: %s (%s)\n", position(fset, f.diag.Pos), f.diag.Message, f.analyzer)
+		rf := Finding{Analyzer: f.analyzer, Message: f.diag.Message}
+		if f.diag.Pos.IsValid() {
+			p := fset.Position(f.diag.Pos)
+			rf.File, rf.Line, rf.Column = p.Filename, p.Line, p.Column
+		}
+		out = append(out, rf)
 	}
-	return len(findings), nil
-}
-
-func position(fset *token.FileSet, pos token.Pos) string {
-	if !pos.IsValid() {
-		return "-"
-	}
-	return fset.Position(pos).String()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
 }

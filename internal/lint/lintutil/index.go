@@ -1,0 +1,65 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+	"sync/atomic"
+
+	"gridproxy/internal/lint/analysis"
+)
+
+// An Index is the per-package function-declaration table shared by the
+// call-graph-walking analyzers (goroleak, lockorder, guardedby,
+// atomicmix). Building it means walking every declaration of the
+// package; with four analyzers needing the same table, the suite would
+// pay that walk four times per package — FuncIndex memoizes it so the
+// program is walked once no matter how many analyzers ask.
+type Index struct {
+	// Decls maps each function or method object declared in the package
+	// to its declaration, so `go r.loop()` and call-graph edges resolve
+	// to bodies.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Funcs is the inverse: declaration to object. Iterate pass.Files
+	// for deterministic order and use Funcs to get the object.
+	Funcs map[*ast.FuncDecl]*types.Func
+}
+
+var (
+	indexes     sync.Map // *types.Package -> *Index
+	indexBuilds atomic.Int64
+)
+
+// FuncIndex returns the function index for the package under analysis,
+// building it at most once per package across the whole analyzer suite.
+func FuncIndex(pass *analysis.Pass) *Index {
+	if v, ok := indexes.Load(pass.Pkg); ok {
+		return v.(*Index)
+	}
+	idx := &Index{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		Funcs: make(map[*ast.FuncDecl]*types.Func),
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				idx.Decls[fn] = fd
+				idx.Funcs[fd] = fn
+			}
+		}
+	}
+	actual, loaded := indexes.LoadOrStore(pass.Pkg, idx)
+	if !loaded {
+		indexBuilds.Add(1)
+	}
+	return actual.(*Index)
+}
+
+// IndexBuilds reports how many package indexes have been built in this
+// process. Tests assert that running the full suite over a package
+// increments it by exactly one — the single-walk guarantee.
+func IndexBuilds() int64 { return indexBuilds.Load() }

@@ -1,0 +1,100 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"gridproxy/internal/lint/analysis"
+	"gridproxy/internal/lint/lintutil"
+)
+
+const indexSrc = `package sample
+
+type T struct{ n int }
+
+func (t *T) Bump() { t.n++ }
+
+func Free() int { return 1 }
+`
+
+func checkedPass(t *testing.T, src string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sample.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("sample", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+}
+
+// TestFuncIndexSingleWalk is the single-walk guarantee: four analyzers
+// asking for the same package's index must trigger exactly one
+// declaration walk, and all must see the same table.
+func TestFuncIndexSingleWalk(t *testing.T) {
+	pass := checkedPass(t, indexSrc)
+	before := lintutil.IndexBuilds()
+	first := lintutil.FuncIndex(pass)
+	if got := lintutil.IndexBuilds() - before; got != 1 {
+		t.Fatalf("first FuncIndex built %d indexes, want 1", got)
+	}
+	// Same *types.Package through a different Pass (a second analyzer's
+	// view): cached, not rebuilt.
+	other := &analysis.Pass{
+		Fset:      pass.Fset,
+		Files:     pass.Files,
+		Pkg:       pass.Pkg,
+		TypesInfo: pass.TypesInfo,
+	}
+	for i := 0; i < 3; i++ {
+		if lintutil.FuncIndex(other) != first {
+			t.Fatal("FuncIndex returned a different index for the same package")
+		}
+	}
+	if got := lintutil.IndexBuilds() - before; got != 1 {
+		t.Fatalf("suite of 4 lookups built %d indexes, want 1", got)
+	}
+
+	// A different package builds its own index.
+	pass2 := checkedPass(t, "package sample\n\nfunc Other() {}\n")
+	if lintutil.FuncIndex(pass2) == first {
+		t.Fatal("distinct packages share an index")
+	}
+	if got := lintutil.IndexBuilds() - before; got != 2 {
+		t.Fatalf("two packages built %d indexes, want 2", got)
+	}
+}
+
+// TestFuncIndexContents checks the table maps both directions for
+// methods and plain functions.
+func TestFuncIndexContents(t *testing.T) {
+	pass := checkedPass(t, indexSrc)
+	idx := lintutil.FuncIndex(pass)
+	if len(idx.Decls) != 2 || len(idx.Funcs) != 2 {
+		t.Fatalf("index sizes = %d/%d, want 2/2", len(idx.Decls), len(idx.Funcs))
+	}
+	for fn, fd := range idx.Decls {
+		if idx.Funcs[fd] != fn {
+			t.Errorf("Funcs is not the inverse of Decls for %s", fn.Name())
+		}
+	}
+}

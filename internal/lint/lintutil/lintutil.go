@@ -22,14 +22,21 @@ import (
 // directive should carry a justification; the analyzer does not parse
 // it, reviewers do.
 func Allowed(pass *analysis.Pass, pos token.Pos, directive string) bool {
-	file := FileOf(pass, pos)
+	return AllowedIn(pass.Fset, pass.Files, pos, directive)
+}
+
+// AllowedIn is Allowed for callers that hold raw files rather than a
+// Pass — ProgramRun hooks, which see the whole program after per-package
+// passes finish.
+func AllowedIn(fset *token.FileSet, files []*ast.File, pos token.Pos, directive string) bool {
+	file := fileAmong(files, pos)
 	if file == nil {
 		return false
 	}
 	marker := "lint:" + directive
-	line := pass.Fset.Position(pos).Line
+	line := fset.Position(pos).Line
 	for _, cg := range file.Comments {
-		end := pass.Fset.Position(cg.End()).Line
+		end := fset.Position(cg.End()).Line
 		if end != line && end != line-1 {
 			continue
 		}
@@ -53,7 +60,11 @@ func Allowed(pass *analysis.Pass, pos token.Pos, directive string) bool {
 
 // FileOf returns the syntax file containing pos.
 func FileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
-	for _, f := range pass.Files {
+	return fileAmong(pass.Files, pos)
+}
+
+func fileAmong(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
 		if f.FileStart <= pos && pos <= f.FileEnd {
 			return f
 		}

@@ -1,0 +1,194 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A LockWalker scans one function body in statement order, tracking the
+// set of held sync.Mutex/RWMutex locks the way lockhold does: Lock/RLock
+// adds the receiver expression (by source text), Unlock/RUnlock removes
+// it, a deferred unlock holds the lock to function end, branch bodies see
+// a private copy of the set (conservative for the fall-through path), and
+// function literals and `go` bodies are not descended — they run later,
+// on their own stack. lockorder and guardedby drive their analyses off
+// this one walk instead of each re-implementing hold tracking.
+type LockWalker struct {
+	Info *types.Info
+
+	// OnExpr, if set, is called for every expression node reached
+	// outside lock operations, with the held set live at that point.
+	// Callbacks must not retain or mutate the map.
+	OnExpr func(n ast.Node, held map[string]token.Pos)
+
+	// OnAcquire, if set, is called when a lock operation acquires key,
+	// with the set held *before* the acquisition.
+	OnAcquire func(call *ast.CallExpr, key string, held map[string]token.Pos)
+}
+
+// Walk scans body with the given initially-held set (nil for none). The
+// caller seeds held for *Locked functions, whose receiver lock is held on
+// entry by convention.
+func (w *LockWalker) Walk(body *ast.BlockStmt, held map[string]token.Pos) {
+	if held == nil {
+		held = map[string]token.Pos{}
+	}
+	w.block(body.List, held)
+}
+
+func (w *LockWalker) block(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		w.stmt(stmt, held)
+	}
+}
+
+func (w *LockWalker) stmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, acquire, isLock := LockOp(w.Info, call); isLock {
+				if acquire {
+					if w.OnAcquire != nil {
+						w.OnAcquire(call, key, held)
+					}
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end (no
+		// delete); the deferred call itself runs after the last
+		// statement and is not scanned.
+		return
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.block(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		inner := copyHeld(held)
+		w.block(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.block(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Tag, held)
+		for _, cc := range s.Body.List {
+			w.block(cc.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		for _, cc := range s.Body.List {
+			w.block(cc.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			inner := copyHeld(held)
+			if comm.Comm != nil {
+				w.stmt(comm.Comm, inner)
+			}
+			w.block(comm.Body, inner)
+		}
+	case *ast.BlockStmt:
+		w.block(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.GoStmt:
+		// The new goroutine does not inherit the holder.
+		return
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr delivers every node of the expression tree to OnExpr, skipping
+// function literals (they run later, possibly without the lock).
+func (w *LockWalker) expr(root ast.Expr, held map[string]token.Pos) {
+	if root == nil || w.OnExpr == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			w.OnExpr(n, held)
+		}
+		return true
+	})
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// LockOp classifies call as a lock acquisition (key, true, true), a
+// release (key, false, true), or neither. The method must resolve to
+// sync.Mutex or sync.RWMutex (including via embedding); key is the source
+// text of the receiver expression, so matched Lock/Unlock pairs share it.
+func LockOp(info *types.Info, call *ast.CallExpr) (key string, acquire, isLock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", false, false
+	}
+	fn := Callee(info, call)
+	if fn == nil || PkgPath(fn) != "sync" {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), name == "Lock" || name == "RLock", true
+}

@@ -18,7 +18,7 @@ import (
 //   - anti-entropy drops conflicts silently: a digest claiming "Y dead
 //     at (i, v+1)" against a local "Y alive at (i, v)" makes DeltaFor
 //     send nothing and Merge learn nothing. ObserveDigest resolves the
-//     conflict (refute, vouch, or adopt) before DeltaFor runs.
+//     conflict (refuteLocked, vouch, or adopt) before DeltaFor runs.
 //   - a healed split never re-merges: Sample excludes dead entries, so
 //     two sides that declared each other dead stop gossiping at each
 //     other forever. DeadProbeTargets nominates retained dead entries
@@ -46,7 +46,7 @@ func (d *Directory) vouchLocked(local *entry, rumor State, rumorInc uint64, now 
 	}
 	local.version = 0
 	local.heardAt = now
-	d.markHot(local)
+	d.markHotLocked(local)
 	d.cfg.Metrics.Counter(metrics.MemberVouches).Inc()
 	if d.cfg.Logger != nil {
 		d.cfg.Logger.Info("membership vouching against rumor", "site", local.site,
@@ -65,7 +65,7 @@ func (d *Directory) vouchLocked(local *entry, rumor State, rumorInc uint64, now 
 // only a refutation, direct contact, or genuine unreachability can
 // resolve.
 //
-// The demoted entry re-gossips (markHot) so the *suspicion* spreads
+// The demoted entry re-gossips (markHotLocked) so the *suspicion* spreads
 // epidemically — a directory that never contacts the dead site itself
 // must still learn something is wrong — but at the rumor's own version,
 // never version+1. That version discipline is load-bearing: a demotion
@@ -86,7 +86,7 @@ func (d *Directory) demoteLocked(local *entry, ge *proto.GossipEntry, now time.T
 		local.addr = ge.Addr
 	}
 	local.heardAt = now
-	d.markHot(local)
+	d.markHotLocked(local)
 	if d.cfg.Logger != nil {
 		d.cfg.Logger.Info("membership demoting death rumor to suspicion",
 			"site", local.site, "incarnation", local.incarnation)
@@ -122,7 +122,7 @@ func (d *Directory) ObserveDigest(items []proto.GossipDigestItem) int {
 		if item.Site == d.cfg.Site {
 			ge := proto.GossipEntry{Site: item.Site, State: item.State,
 				Incarnation: item.Incarnation, Version: item.Version}
-			d.refute(&ge, now)
+			d.refuteLocked(&ge, now)
 			continue
 		}
 		local, ok := d.entries[item.Site]

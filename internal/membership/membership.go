@@ -10,7 +10,7 @@
 //     a higher incarnation always wins; at equal incarnations a higher
 //     version wins; at equal versions the "worse" state (alive < suspect
 //     < dead) wins so a rumor of failure is not lost to reordering.
-//   - Only a site itself increments its incarnation. It does so to refute
+//   - Only a site itself increments its incarnation. It does so to refuteLocked
 //     rumors: on hearing itself called suspect or dead at incarnation i,
 //     it re-announces as alive at incarnation i+1.
 //   - Changed entries become "hot" and are pushed to sampled peers for a
@@ -266,14 +266,14 @@ func New(cfg Config) *Directory {
 	}
 	d.entries[cfg.Site] = self
 	d.stateCount[Alive]++
-	d.markHot(self)
+	d.markHotLocked(self)
 	d.publishGauges()
 	return d
 }
 
-// markHot gives e a fresh retransmit budget of RetransmitFactor·⌈log₂N⌉.
+// markHotLocked gives e a fresh retransmit budget of RetransmitFactor·⌈log₂N⌉.
 // Callers hold d.mu.
-func (d *Directory) markHot(e *entry) {
+func (d *Directory) markHotLocked(e *entry) {
 	n := len(d.entries)
 	if n < 2 {
 		n = 2
@@ -382,13 +382,13 @@ func (d *Directory) SetLocalSummary(s proto.SiteStatus) {
 	self.summary = s
 	self.summaryAt = now
 	self.heardAt = now
-	d.markHot(self)
+	d.markHotLocked(self)
 }
 
 // Sample returns up to k distinct gossip targets: non-local entries with
 // a known address that are not dead, uniformly at random. Suspect sites
 // stay in the pool — gossiping at them is how they get the chance to
-// refute.
+// refuteLocked.
 func (d *Directory) Sample(k int) []Entry {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -593,7 +593,7 @@ func (d *Directory) Merge(entries []proto.GossipEntry) int {
 			continue
 		}
 		if ge.Site == d.cfg.Site {
-			d.refute(ge, now)
+			d.refuteLocked(ge, now)
 			continue
 		}
 		local, ok := d.entries[ge.Site]
@@ -672,16 +672,16 @@ func (d *Directory) adopt(local *entry, ge *proto.GossipEntry, now time.Time) {
 		local.summaryAt = now.Add(-age)
 	}
 	local.heardAt = now
-	d.markHot(local)
+	d.markHotLocked(local)
 	if d.cfg.Logger != nil && state != Alive {
 		d.cfg.Logger.Info("membership state change", "site", local.site,
 			"state", state.String(), "incarnation", local.incarnation)
 	}
 }
 
-// refute handles a gossiped rumor about the local site. Callers hold
+// refuteLocked handles a gossiped rumor about the local site. Callers hold
 // d.mu.
-func (d *Directory) refute(ge *proto.GossipEntry, now time.Time) {
+func (d *Directory) refuteLocked(ge *proto.GossipEntry, now time.Time) {
 	self := d.entries[d.cfg.Site]
 	if State(ge.State) == Alive || ge.Incarnation < self.incarnation {
 		return
@@ -691,7 +691,7 @@ func (d *Directory) refute(ge *proto.GossipEntry, now time.Time) {
 	self.incarnation = ge.Incarnation + 1
 	self.version++
 	self.heardAt = now
-	d.markHot(self)
+	d.markHotLocked(self)
 	d.cfg.Metrics.Counter(metrics.MemberRefutations).Inc()
 	if d.cfg.Logger != nil {
 		d.cfg.Logger.Info("membership refuting rumor about self",
@@ -717,7 +717,7 @@ func (d *Directory) ObserveAlive(site, addr string) {
 		if addr != "" {
 			e.addr = addr
 		}
-		d.markHot(e)
+		d.markHotLocked(e)
 		d.publishGauges()
 		return
 	}
@@ -730,7 +730,7 @@ func (d *Directory) ObserveAlive(site, addr string) {
 		e.incarnation++
 		e.version = 0
 		d.setState(e, Alive, now)
-		d.markHot(e)
+		d.markHotLocked(e)
 		d.publishGauges()
 	}
 }
@@ -767,12 +767,12 @@ func (d *Directory) ObserveSummary(site, addr string, s proto.SiteStatus) {
 	e.summaryAt = now
 	e.heardAt = now
 	e.directAt = now
-	d.markHot(e)
+	d.markHotLocked(e)
 }
 
 // ObserveSuspect records direct evidence against a site (a dial or RPC to
 // it just failed). An alive entry becomes suspect at its current
-// incarnation; the site can refute by re-announcing at a higher one.
+// incarnation; the site can refuteLocked by re-announcing at a higher one.
 func (d *Directory) ObserveSuspect(site string) {
 	if site == "" || site == d.cfg.Site {
 		return
@@ -785,7 +785,7 @@ func (d *Directory) ObserveSuspect(site string) {
 	}
 	e.version++
 	d.setState(e, Suspect, d.cfg.Now())
-	d.markHot(e)
+	d.markHotLocked(e)
 	d.publishGauges()
 }
 
@@ -805,7 +805,7 @@ func (d *Directory) ObserveDead(site string) {
 	}
 	e.version++
 	d.setState(e, Dead, d.cfg.Now())
-	d.markHot(e)
+	d.markHotLocked(e)
 	d.publishGauges()
 }
 
@@ -834,14 +834,14 @@ func (d *Directory) Sweep() {
 			if now.Sub(e.heardAt) > suspectAfter {
 				e.version++
 				d.setState(e, Suspect, now)
-				d.markHot(e)
+				d.markHotLocked(e)
 				changed = true
 			}
 		case Suspect:
 			if now.Sub(e.suspectAt) > deadAfter {
 				e.version++
 				d.setState(e, Dead, now)
-				d.markHot(e)
+				d.markHotLocked(e)
 				changed = true
 			}
 		case Dead:

@@ -166,9 +166,9 @@ func (s *Scheduler) Submit(job Job) error {
 	return nil
 }
 
-// eligible filters candidates by the job's requirements and overlays the
-// scheduler's own running counts.
-func (s *Scheduler) eligible(req Requirements) []balance.NodeInfo {
+// eligibleLocked filters candidates by the job's requirements and overlays the
+// scheduler's own running counts. Callers hold s.mu.
+func (s *Scheduler) eligibleLocked(req Requirements) []balance.NodeInfo {
 	candidates := s.source.Candidates()
 	out := make([]balance.NodeInfo, 0, len(candidates))
 	for _, n := range candidates {
@@ -196,7 +196,7 @@ func (s *Scheduler) Place(jobID string) ([]Placement, error) {
 	if rec.state != proto.JobQueued {
 		return nil, fmt.Errorf("%w: job %q is %v", ErrBadState, jobID, rec.state)
 	}
-	nodes := s.eligible(rec.job.Requirements)
+	nodes := s.eligibleLocked(rec.job.Requirements)
 	if len(nodes) == 0 {
 		return nil, ErrNoEligibleNodes
 	}

@@ -150,6 +150,8 @@ func NewStore(cfg Config, reg *metrics.Registry) (*Store, error) {
 
 // load restores persisted blobs. Runs only from NewStore, before the
 // store is shared.
+//
+//lint:allow-guardedby load runs single-goroutine from NewStore before any reference escapes
 func (s *Store) load() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {

@@ -209,6 +209,7 @@ func (c *memConn) Read(p []byte) (int, error) {
 		c.read.pending = c.read.pending[n:]
 		return n, nil
 	}
+	//lint:allow-guardedby only the field's address is taken here; getDeadline dereferences it under mu
 	timer, expired := c.deadlineTimer(c.getDeadline(&c.readDeadline))
 	if expired {
 		return 0, os.ErrDeadlineExceeded
@@ -259,6 +260,7 @@ func (c *memConn) Write(p []byte) (int, error) {
 	}
 	chunk := make([]byte, len(p))
 	copy(chunk, p)
+	//lint:allow-guardedby only the field's address is taken here; getDeadline dereferences it under mu
 	timer, expired := c.deadlineTimer(c.getDeadline(&c.writeDeadline))
 	if expired {
 		return 0, os.ErrDeadlineExceeded

@@ -129,15 +129,15 @@ func (st *Stream) closeWithError(err error) {
 func (st *Stream) Read(p []byte) (int, error) {
 	st.recvMu.Lock()
 	for st.recvBuf.Len() == 0 {
-		if st.recvErr != nil {
+		if err := st.recvErr; err != nil {
 			st.recvMu.Unlock()
-			return 0, st.recvErr
+			return 0, err
 		}
 		if st.recvEOF {
 			st.recvMu.Unlock()
 			return 0, io.EOF
 		}
-		if !st.waitRecv() {
+		if !st.waitRecvLocked() {
 			st.recvMu.Unlock()
 			return 0, os.ErrDeadlineExceeded
 		}
@@ -174,9 +174,9 @@ func (st *Stream) sendPendingGrant() {
 	st.recvMu.Unlock()
 }
 
-// waitRecv blocks until recvCond is signaled or the read deadline passes.
+// waitRecvLocked blocks until recvCond is signaled or the read deadline passes.
 // It reports false on deadline expiry. Caller holds recvMu.
-func (st *Stream) waitRecv() bool {
+func (st *Stream) waitRecvLocked() bool {
 	deadline := st.readDeadline
 	if deadline.IsZero() {
 		st.recvCond.Wait()
@@ -270,7 +270,7 @@ func (st *Stream) WriteBuffers(segs ...[]byte) (int64, error) {
 func (st *Stream) reserveSend(want int) (int, error) {
 	st.sendMu.Lock()
 	for st.sendWindow == 0 && !st.sendClosed {
-		if !st.waitSend() {
+		if !st.waitSendLocked() {
 			st.sendMu.Unlock()
 			return 0, os.ErrDeadlineExceeded
 		}
@@ -295,9 +295,9 @@ func (st *Stream) reserveSend(want int) (int, error) {
 	return n, nil
 }
 
-// waitSend blocks until window credit arrives or the write deadline passes.
+// waitSendLocked blocks until window credit arrives or the write deadline passes.
 // Caller holds sendMu.
-func (st *Stream) waitSend() bool {
+func (st *Stream) waitSendLocked() bool {
 	deadline := st.writeDeadline
 	if deadline.IsZero() {
 		st.sendCond.Wait()

@@ -34,6 +34,7 @@ type tableShard struct {
 func newStreamTable() *streamTable {
 	t := &streamTable{}
 	for i := range t.shards {
+		//lint:allow-guardedby shard init inside the table's own constructor, before it is shared
 		t.shards[i].m = make(map[uint32]*Stream)
 	}
 	return t
