@@ -120,6 +120,10 @@ func BenchmarkTunnelThroughput(b *testing.B) {
 	experiments.BenchTunnelThroughput(b)
 }
 
+func BenchmarkTunnelThroughputBonded4(b *testing.B) {
+	experiments.BenchTunnelThroughputBonded4(b)
+}
+
 func BenchmarkWireRoundTrip(b *testing.B) {
 	experiments.BenchWireRoundTrip(b)
 }

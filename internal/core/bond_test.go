@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gridproxy/internal/site"
+	"gridproxy/internal/tunnel"
+)
+
+func bondGrid(t *testing.T, tunnels ...*tunnel.Config) *site.Testbed {
+	t.Helper()
+	cfg := site.TestbedConfig{GridName: "bondtest"}
+	for i, tc := range tunnels {
+		cfg.Sites = append(cfg.Sites, site.SiteSpec{
+			Name:   fmt.Sprintf("site%c", 'a'+i),
+			Nodes:  site.UniformNodes(1, 1),
+			Tunnel: tc,
+		})
+	}
+	tb, err := site.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tb.ConnectAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func waitBondWidth(t *testing.T, tb *site.Testbed, from, to string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conns, _, ok := tb.Site(from).Proxy.PeerBondWidth(to)
+		if ok && conns == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s→%s bond width = %d (ok=%v), want %d", from, to, conns, ok, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBondHandshakeMixedVersions is the cross-version contract at the
+// grid level: a bond-configured proxy peering with a default-configured
+// one must negotiate down to a single connection (today's exact wire
+// behavior), while two bond-configured proxies negotiate the smaller of
+// the two widths.
+func TestBondHandshakeMixedVersions(t *testing.T) {
+	tb := bondGrid(t,
+		&tunnel.Config{BondConns: 4}, // sitea: wants to bond
+		nil,                          // siteb: defaults, no bonding
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Mixed versions: the tunnel still works, over exactly one conn.
+	waitBondWidth(t, tb, "sitea", "siteb", 1)
+	a := tb.Sites[0].Proxy
+	if err := a.PingPeer(ctx, "siteb"); err != nil {
+		t.Fatal(err)
+	}
+	summaries, err := a.Status(ctx, []string{"siteb"})
+	if err != nil || len(summaries) != 1 {
+		t.Fatalf("status over unbonded tunnel: %v (%d summaries)", err, len(summaries))
+	}
+}
+
+func TestBondHandshakeBothSidesBond(t *testing.T) {
+	tb := bondGrid(t,
+		&tunnel.Config{BondConns: 3},
+		&tunnel.Config{BondConns: 2},
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// min(3, 2) = 2 connections, on whichever side dialed; the acceptor
+	// adopts the extra member asynchronously, so poll both directions
+	// and require at least one to report the bonded width.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		wAB, _, okAB := tb.Site("sitea").Proxy.PeerBondWidth("siteb")
+		wBA, _, okBA := tb.Site("siteb").Proxy.PeerBondWidth("sitea")
+		if (okAB && wAB == 2) || (okBA && wBA == 2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no direction reached bond width 2: a→b=%d(%v) b→a=%d(%v)", wAB, okAB, wBA, okBA)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The bonded tunnel must carry control traffic like any other.
+	if err := tb.Sites[0].Proxy.PingPeer(ctx, "siteb"); err != nil {
+		t.Fatal(err)
+	}
+	summaries, err := tb.Sites[0].Proxy.Status(ctx, nil)
+	if err != nil || len(summaries) != 2 {
+		t.Fatalf("status over bonded tunnel: %v (%d summaries)", err, len(summaries))
+	}
+}

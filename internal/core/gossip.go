@@ -295,6 +295,13 @@ func (p *Proxy) handleMemberList() *proto.MemberListReply {
 		if e.HasSummary {
 			mi.AgeMillis = e.SummaryAge.Milliseconds()
 		}
+		// Bond width and smoothed RTT come from the live session, not
+		// the directory: they describe this proxy's tunnel, and vanish
+		// with it.
+		if pr, ok := p.cache.Peek(e.Site); ok {
+			mi.BondConns = uint8(min(pr.session.BondWidth(), 255))
+			mi.RTTMicros = pr.session.SmoothedRTT().Microseconds()
+		}
 		reply.Members = append(reply.Members, mi)
 	}
 	return reply

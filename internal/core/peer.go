@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"net"
@@ -97,12 +98,27 @@ func (p *Proxy) connectOnce(ctx context.Context, site, wanAddr string, pinned, r
 	ctrl := newRPC(p.ctx, ctrlStream, roleDialer, handler, p.log.Named("ctrl."+site), p.reg)
 	ctrl.start()
 
-	reply, err := ctrl.call(ctx, &proto.Hello{
+	// Offer connection bonding when configured for more than one
+	// connection: the ack's BondConns (0 from peers predating the BOND
+	// extension) caps how many member connections actually get dialed.
+	var bondID tunnel.BondID
+	offered := p.tunnelcfg.BondConns
+	if offered > 1 {
+		if _, err := rand.Read(bondID[:]); err != nil {
+			offered = 1
+		}
+	}
+	hello := &proto.Hello{
 		Site:         p.site,
 		Version:      proto.Version,
 		Capabilities: defaultCapabilities,
 		WANAddr:      p.wanAddr,
-	})
+	}
+	if offered > 1 {
+		hello.BondConns = uint8(min(offered, 255))
+		hello.BondID = bondID[:]
+	}
+	reply, err := ctrl.call(ctx, hello)
 	if err != nil {
 		ctrl.close()
 		_ = session.Close()
@@ -122,6 +138,24 @@ func (p *Proxy) connectOnce(ctx context.Context, site, wanAddr string, pinned, r
 	if ack.Site != site {
 		p.log.Warn("peer announced unexpected site name", "expected", site, "got", ack.Site)
 		site = ack.Site
+	}
+	// Widen the link to the granted bond width. Extra-connection dial
+	// failures degrade the bond rather than the session: whatever joined
+	// carries traffic, and a lone primary is exactly the pre-bond wire.
+	if granted := min(offered, int(ack.BondConns)); granted > 1 {
+		for i := 1; i < granted; i++ {
+			bc, err := p.wan.Dial(ctx, wanAddr)
+			if err != nil {
+				p.log.Warn("bond member dial failed", "site", site, "index", i, "err", err)
+				break
+			}
+			if err := session.AddBondConn(bondID, i, bc); err != nil {
+				p.log.Warn("bond member join failed", "site", site, "index", i, "err", err)
+				_ = bc.Close()
+				break
+			}
+		}
+		p.log.Info("bonded tunnel established", "site", site, "conns", session.BondWidth())
 	}
 
 	pr := &peer{site: site, session: session, ctrl: ctrl}
@@ -224,6 +258,16 @@ func (p *Proxy) PeerLinkState(site string) (peerlink.State, bool) {
 	return link.State(), true
 }
 
+// PeerBondWidth reports the connection fan-out and smoothed RTT of the
+// live tunnel session to site. ok is false when no session is cached.
+func (p *Proxy) PeerBondWidth(site string) (conns int, rtt time.Duration, ok bool) {
+	pr, ok := p.cache.Peek(site)
+	if !ok {
+		return 0, 0, false
+	}
+	return pr.session.BondWidth(), pr.session.SmoothedRTT(), true
+}
+
 // KickPeer asks the supervisor to retry a site's link now instead of
 // waiting out the current backoff.
 func (p *Proxy) KickPeer(site string) {
@@ -260,9 +304,23 @@ func (p *Proxy) acceptWAN(ln net.Listener) {
 		if cn := transport.PeerCommonName(conn); cn != "" {
 			p.log.Debug("inbound proxy connection", "peer_cn", cn)
 		}
-		session := tunnel.Server(conn, p.tunnelConfig())
+		// An inbound connection is either a fresh session or a member
+		// joining an expected bond; ServerConn peeks the first frame to
+		// tell them apart, so accept must not block on it.
 		p.wg.Add(1)
-		go p.admitSession(session)
+		go func(conn net.Conn) {
+			defer p.wg.Done()
+			session, err := tunnel.ServerConn(conn, p.bondReg, p.tunnelConfig(), p.lifecycle.HelloTimeout)
+			if err != nil {
+				p.log.Debug("inbound session preface failed", "err", err)
+				return
+			}
+			if session == nil {
+				return // bond member adopted into its session
+			}
+			p.wg.Add(1)
+			p.admitSession(session)
+		}(conn)
 	}
 }
 
@@ -390,9 +448,20 @@ func (pp *pendingPeer) handle(ctx context.Context, msg proto.Message) (proto.Bod
 		}
 	}()
 	pp.proxy.log.Info("accepted peer", "site", hello.Site, "capabilities", hello.Capabilities)
+	ack := &proto.HelloAck{Site: pp.proxy.site, Version: proto.Version}
+	// Grant bonding up to the local width. Expect must precede the ack:
+	// the dialer's extra connections race our reply, and a join with no
+	// registry entry would be refused.
+	if local := pp.proxy.tunnelcfg.BondConns; local > 1 && hello.BondConns > 1 && len(hello.BondID) == len(tunnel.BondID{}) {
+		granted := min(int(hello.BondConns), local, 255)
+		var id tunnel.BondID
+		copy(id[:], hello.BondID)
+		pp.proxy.bondReg.Expect(id, pp.session, granted-1)
+		ack.BondConns = uint8(granted)
+	}
 	// The dialer follows its Hello with an inventory exchange, which
 	// gives both sides each other's node lists; nothing more to do here.
-	return &proto.HelloAck{Site: pp.proxy.site, Version: proto.Version}, nil
+	return ack, nil
 }
 
 // watchPeer reacts to the peer's session ending. A teardown the

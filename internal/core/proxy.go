@@ -123,6 +123,13 @@ type Config struct {
 	// Stage carries the data-plane knobs (store dir and size cap, chunk
 	// size, stripes, idle timeout). The zero value uses stage defaults.
 	Stage stage.Config
+	// Tunnel carries the inter-site session knobs: bond width
+	// (BondConns), adaptive-window clamps (WindowMin/WindowMax/BDPGain/
+	// MemBudget), and the probe interval. The zero value enables
+	// RTT-adaptive flow control with the tunnel defaults; setting an
+	// explicit static Window disables adaptation unless Adaptive is also
+	// set. Metrics is overridden with the proxy's registry.
+	Tunnel tunnel.Config
 	// Metrics receives instrument counters; may be nil.
 	Metrics *metrics.Registry
 	// Logger may be nil.
@@ -156,6 +163,8 @@ type Proxy struct {
 	gossipcfg GossipConfig
 	jobcfg    JobConfig
 	stagecfg  stage.Config
+	tunnelcfg tunnel.Config
+	bondReg   *tunnel.BondRegistry
 	store     *stage.Store
 
 	// members is the gossip-maintained directory of every site in the
@@ -208,6 +217,13 @@ func New(cfg Config) (*Proxy, error) {
 	lifecycle := cfg.Lifecycle
 	lifecycle.Metrics = cfg.Metrics
 	lifecycle.Logger = cfg.Logger.Named("peerlink." + cfg.Site)
+	tunnelcfg := cfg.Tunnel
+	if tunnelcfg.Window == 0 && !tunnelcfg.Adaptive {
+		// No explicit static window configured: proxies default to the
+		// RTT-adaptive window (a fixed window is wrong on any WAN whose
+		// bandwidth-delay product it doesn't happen to match).
+		tunnelcfg.Adaptive = true
+	}
 	//lint:allow-background the proxy IS the lifecycle root: every peer
 	// link, job, and handler context in the process derives from this one,
 	// and Close cancels it.
@@ -230,6 +246,8 @@ func New(cfg Config) (*Proxy, error) {
 		gossipcfg: cfg.Gossip.WithDefaults(),
 		jobcfg:    cfg.Jobs.WithDefaults(),
 		stagecfg:  cfg.Stage.WithDefaults(),
+		tunnelcfg: tunnelcfg,
+		bondReg:   tunnel.NewBondRegistry(),
 		links:     make(map[string]*peerlink.Link),
 		nodes:     make(map[string]NodeHandle),
 		apps:      make(map[string]*addressSpace),
@@ -559,5 +577,7 @@ func (p *Proxy) newAppID() string {
 
 // tunnelConfig is the session config proxies use between sites.
 func (p *Proxy) tunnelConfig() tunnel.Config {
-	return tunnel.Config{Metrics: p.reg}
+	cfg := p.tunnelcfg
+	cfg.Metrics = p.reg
+	return cfg
 }

@@ -9,6 +9,7 @@ import (
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/site"
 	"gridproxy/internal/stage"
+	"gridproxy/internal/tunnel"
 )
 
 // E10Row is one data-plane staging measurement: a blob pulled cold
@@ -16,6 +17,9 @@ import (
 // again warm.
 type E10Row struct {
 	Stripes int
+	// Bond is the tunnel connection fan-out between the two proxies (1 =
+	// the classic single connection).
+	Bond    int
 	BlobMB  float64
 	ChunkKB int
 	// Cold transfer: the destination store is empty, every byte moves.
@@ -37,6 +41,10 @@ type E10Config struct {
 	ChunkSize int
 	// StripeCounts lists the parallel-stream counts to sweep.
 	StripeCounts []int
+	// BondConns lists the tunnel connection fan-outs to sweep; each
+	// member connection charges its WAN latency independently, so bonding
+	// multiplies the flush parallelism stripes already exploit.
+	BondConns []int
 	// WANLatency shapes the inter-site links. On the in-memory transport
 	// the latency is charged per underlying write on the sender; with the
 	// batched wire.Writer, concurrent stripes coalesce their frames into
@@ -51,6 +59,7 @@ func DefaultE10() E10Config {
 		BlobBytes:    8 << 20,
 		ChunkSize:    128 << 10,
 		StripeCounts: []int{1, 2, 4, 8},
+		BondConns:    []int{1, 4},
 		WANLatency:   2 * time.Millisecond,
 	}
 }
@@ -64,23 +73,30 @@ func DefaultE10() E10Config {
 // is a pure cache hit and moves zero payload bytes: the dedupe the job
 // launch path relies on for fast relaunches.
 func E10(cfg E10Config) ([]E10Row, error) {
+	bonds := cfg.BondConns
+	if len(bonds) == 0 {
+		bonds = []int{1}
+	}
 	var rows []E10Row
-	for _, stripes := range cfg.StripeCounts {
-		row, err := runE10Stripes(cfg, stripes)
-		if err != nil {
-			return nil, fmt.Errorf("e10 stripes=%d: %w", stripes, err)
+	for _, bond := range bonds {
+		for _, stripes := range cfg.StripeCounts {
+			row, err := runE10Stripes(cfg, stripes, bond)
+			if err != nil {
+				return nil, fmt.Errorf("e10 stripes=%d bond=%d: %w", stripes, bond, err)
+			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func runE10Stripes(cfg E10Config, stripes int) (E10Row, error) {
+func runE10Stripes(cfg E10Config, stripes, bond int) (E10Row, error) {
 	reg := metrics.NewRegistry()
 	tb, err := site.NewTestbed(site.TestbedConfig{
 		GridName:   "e10",
 		Metrics:    reg,
 		WANLatency: cfg.WANLatency,
+		Tunnel:     tunnel.Config{BondConns: bond},
 		Stage: stage.Config{
 			ChunkSize: cfg.ChunkSize,
 			Stripes:   stripes,
@@ -107,6 +123,7 @@ func runE10Stripes(cfg E10Config, stripes int) (E10Row, error) {
 
 	row := E10Row{
 		Stripes: stripes,
+		Bond:    bond,
 		BlobMB:  float64(cfg.BlobBytes) / (1 << 20),
 		ChunkKB: cfg.ChunkSize >> 10,
 	}
@@ -134,11 +151,11 @@ func E10Table(rows []E10Row) Table {
 	t := Table{
 		Title:  "E10 — data plane: striped cross-site staging, cold vs warm",
 		Claim:  "a warm (content-addressed) restage moves zero payload bytes; cold stripes coalesce into shared flushes on the WAN link",
-		Header: []string{"stripes", "blob_mb", "chunk_kb", "cold_time", "cold_MB/s", "cold_bytes", "warm_time", "warm_bytes", "cache_hits"},
+		Header: []string{"stripes", "bond", "blob_mb", "chunk_kb", "cold_time", "cold_MB/s", "cold_bytes", "warm_time", "warm_bytes", "cache_hits"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
-			itoa(r.Stripes), f1(r.BlobMB), itoa(r.ChunkKB),
+			itoa(r.Stripes), itoa(r.Bond), f1(r.BlobMB), itoa(r.ChunkKB),
 			dur(r.ColdTime), f1(r.ColdMBps), i64(r.ColdBytes),
 			dur(r.WarmTime), i64(r.WarmBytes), i64(r.CacheHits),
 		})

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -18,8 +19,9 @@ import (
 )
 
 // BenchSchema identifies the layout of BENCH_tunnel.json. Bump it if the
-// field set changes shape.
-const BenchSchema = "gridproxy/tunnel-bench/v1"
+// field set changes shape. v2 added per-run bond_conns: captures are now
+// parameterized by tunnel connection fan-out (the "bonded-k4" label).
+const BenchSchema = "gridproxy/tunnel-bench/v2"
 
 // BenchFile is the committed benchmark artifact: one run per capture
 // (before/after a change), each holding every tunnel micro-benchmark.
@@ -29,9 +31,12 @@ type BenchFile struct {
 }
 
 // BenchRun is one labeled capture of the tunnel micro-benchmarks.
+// BondConns records the tunnel fan-out the throughput benchmark ran at
+// (0 in pre-v2 captures means the implicit single connection).
 type BenchRun struct {
-	Label   string        `json:"label"`
-	Results []BenchResult `json:"results"`
+	Label     string        `json:"label"`
+	BondConns int           `json:"bond_conns,omitempty"`
+	Results   []BenchResult `json:"results"`
 }
 
 // BenchResult is one benchmark's numbers in benchstat-equivalent units.
@@ -52,35 +57,80 @@ type BenchResult struct {
 // Writers are explicit goroutines sharing an op budget rather than
 // b.RunParallel, which spawns only GOMAXPROCS workers and exercises no
 // concurrency on a single-core machine.
-func BenchTunnelThroughput(b *testing.B) {
+func BenchTunnelThroughput(b *testing.B) { benchTunnelThroughputK(b, 1) }
+
+// BenchTunnelThroughputBonded4 is the same workload sprayed over a
+// 4-connection bonded session: each member connection charges its WAN
+// latency independently, so bonding buys parallel flushes on a
+// latency-dominated path.
+func BenchTunnelThroughputBonded4(b *testing.B) { benchTunnelThroughputK(b, 4) }
+
+func benchTunnelThroughputK(b *testing.B, bond int) {
 	const (
 		streams = 4
 		frame   = 64 << 10
 		wanLat  = 100 * time.Microsecond
+		// Per-connection-direction bandwidth: each bond member is its
+		// own shaped flow, the regime bonding exists for (a single
+		// conn's per-flow cap — TCP windows, per-flow policers — caps
+		// the whole peer pair; k conns aggregate k caps).
+		wanBW = 256 << 20
 	)
-	mem := transport.NewMemNetwork(transport.WithLatency(wanLat))
+	mem := transport.NewMemNetwork(transport.WithLatency(wanLat), transport.WithBandwidth(wanBW))
 	defer mem.Close()
 	ln, err := mem.Listen("peer")
 	if err != nil {
 		b.Fatal(err)
 	}
 	ctx := context.Background()
+	// Both captures run the same static default window so the bonded
+	// delta isolates the transport change, not a flow-control retune.
+	cfg := tunnel.Config{}
+	reg := tunnel.NewBondRegistry()
 	sessCh := make(chan *tunnel.Session, 1)
 	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				s, err := tunnel.ServerConn(conn, reg, cfg, 5*time.Second)
+				if err == nil && s != nil {
+					sessCh <- s
+				}
+			}(conn)
 		}
-		sessCh <- tunnel.Server(conn, tunnel.Config{})
 	}()
 	conn, err := mem.Dial(ctx, "peer")
 	if err != nil {
 		b.Fatal(err)
 	}
-	client := tunnel.Client(conn, tunnel.Config{})
+	client := tunnel.Client(conn, cfg)
 	defer client.Close()
+	// The server session materializes on the client's first frame.
+	if err := client.Ping(ctx); err != nil {
+		b.Fatal(err)
+	}
 	server := <-sessCh
 	defer server.Close()
+	if bond > 1 {
+		var id tunnel.BondID
+		copy(id[:], "bench-bond-id-16")
+		reg.Expect(id, server, bond-1)
+		for i := 1; i < bond; i++ {
+			bc, err := mem.Dial(ctx, "peer")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := client.AddBondConn(id, i, bc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for client.BondWidth() < bond || server.BondWidth() < bond {
+			time.Sleep(time.Millisecond)
+		}
+	}
 	go func() {
 		for {
 			st, err := server.Accept(ctx)
@@ -144,20 +194,29 @@ func BenchWireRoundTrip(b *testing.B) {
 }
 
 // tunnelBenchmarks names every benchmark captured into BENCH_tunnel.json.
+// Each body is parameterized by the bond width of the capture; benchmarks
+// without a tunnel in them ignore it.
 var tunnelBenchmarks = []struct {
 	name string
-	fn   func(*testing.B)
+	fn   func(b *testing.B, bond int)
 }{
-	{"TunnelThroughput", BenchTunnelThroughput},
-	{"WireRoundTrip", BenchWireRoundTrip},
+	{"TunnelThroughput", benchTunnelThroughputK},
+	{"WireRoundTrip", func(b *testing.B, _ int) { BenchWireRoundTrip(b) }},
 }
 
 // TunnelBench runs the tunnel micro-benchmarks via testing.Benchmark and
-// returns them as one labeled run.
-func TunnelBench(label string) (BenchRun, error) {
-	run := BenchRun{Label: label}
+// returns them as one labeled run at bond width 1.
+func TunnelBench(label string) (BenchRun, error) { return TunnelBenchK(label, 1) }
+
+// TunnelBenchK runs the tunnel micro-benchmarks at the given bond width.
+func TunnelBenchK(label string, bond int) (BenchRun, error) {
+	if bond < 1 {
+		bond = 1
+	}
+	run := BenchRun{Label: label, BondConns: bond}
 	for _, bench := range tunnelBenchmarks {
-		r := testing.Benchmark(bench.fn)
+		fn := bench.fn
+		r := testing.Benchmark(func(b *testing.B) { fn(b, bond) })
 		if r.N == 0 {
 			return BenchRun{}, fmt.Errorf("benchmark %s failed", bench.name)
 		}
@@ -177,7 +236,13 @@ func TunnelBench(label string) (BenchRun, error) {
 // "before" capture survives the "after" one) and replacing any run with
 // the same label.
 func WriteBenchFile(path, label string) (BenchRun, error) {
-	run, err := TunnelBench(label)
+	return WriteBenchFileK(path, label, 1)
+}
+
+// WriteBenchFileK is WriteBenchFile at an explicit bond width (the
+// "bonded-k4" capture).
+func WriteBenchFileK(path, label string, bond int) (BenchRun, error) {
+	run, err := TunnelBenchK(label, bond)
 	if err != nil {
 		return BenchRun{}, err
 	}

@@ -8,9 +8,11 @@ import (
 )
 
 // TestBenchFileArtifact schema-checks the committed BENCH_tunnel.json:
-// both labeled runs present, every benchmark in each, values sane, and
-// the recorded "after" run actually clearing the data-path acceptance
-// bars (>=2x throughput, >=75% fewer allocations) relative to "before".
+// all three labeled runs present, every benchmark in each, values sane,
+// and the recorded runs actually clearing the data-path acceptance bars —
+// "after" at >=2x throughput and >=75% fewer allocations than "before",
+// and the v2 "bonded-k4" capture at >=1.5x "after" with zero allocations
+// per frame.
 func TestBenchFileArtifact(t *testing.T) {
 	path := filepath.Join("..", "..", "BENCH_tunnel.json")
 	data, err := os.ReadFile(path)
@@ -29,7 +31,7 @@ func TestBenchFileArtifact(t *testing.T) {
 	for _, run := range file.Runs {
 		runs[run.Label] = run
 	}
-	for _, label := range []string{"before", "after"} {
+	for _, label := range []string{"before", "after", "bonded-k4"} {
 		run, ok := runs[label]
 		if !ok {
 			t.Fatalf("missing run %q", label)
@@ -72,6 +74,21 @@ func TestBenchFileArtifact(t *testing.T) {
 	if after.AllocsPerOp > before.AllocsPerOp/4 {
 		t.Errorf("TunnelThroughput after = %d allocs/op, want <= 25%% of before (%d)",
 			after.AllocsPerOp, before.AllocsPerOp)
+	}
+
+	// The bonding bar: k=4 on the same shaped WAN must beat the k=1
+	// capture by >=1.5x without giving back the zero-allocation frame
+	// path. BondConns is what makes the capture self-describing.
+	bonded := find("bonded-k4", "TunnelThroughput")
+	if got := runs["bonded-k4"].BondConns; got != 4 {
+		t.Errorf("bonded-k4 run records bond_conns = %d, want 4", got)
+	}
+	if bonded.MBPerS < 1.5*after.MBPerS {
+		t.Errorf("TunnelThroughput bonded-k4 = %.2f MB/s, want >= 1.5x after (%.2f MB/s)",
+			bonded.MBPerS, after.MBPerS)
+	}
+	if bonded.AllocsPerOp != 0 {
+		t.Errorf("TunnelThroughput bonded-k4 = %d allocs/op, want 0", bonded.AllocsPerOp)
 	}
 }
 

@@ -62,6 +62,15 @@ func (s Shape) zero() bool {
 
 type linkKey struct{ from, to string }
 
+// connKey identifies one dialed connection on a directed link by dial
+// order: index 0 is the first connection dialed from→to, 1 the second,
+// and so on. Bonded tunnels dial their member connections in index
+// order, so connKey index i addresses bond member i.
+type connKey struct {
+	linkKey
+	index int
+}
+
 // chaosEvent is one scripted action, applied when the logical step
 // counter reaches At.
 type chaosEvent struct {
@@ -76,12 +85,14 @@ type Chaos struct {
 	seed int64
 	reg  *metrics.Registry
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	owner map[string]string // listen addr -> site
-	cut   map[linkKey]chan struct{}
-	shape map[linkKey]Shape
-	conns map[*chaosConn]struct{}
+	mu        sync.Mutex
+	rng       *rand.Rand
+	owner     map[string]string // listen addr -> site
+	cut       map[linkKey]chan struct{}
+	shape     map[linkKey]Shape
+	connShape map[connKey]Shape
+	dialSeq   map[linkKey]int
+	conns     map[*chaosConn]struct{}
 
 	script  []chaosEvent
 	applied int
@@ -98,14 +109,16 @@ func NewChaos(seed int64, reg *metrics.Registry) *Chaos {
 		seed = 1
 	}
 	return &Chaos{
-		seed:  seed,
-		reg:   reg,
-		rng:   rand.New(rand.NewSource(seed)),
-		owner: make(map[string]string),
-		cut:   make(map[linkKey]chan struct{}),
-		shape: make(map[linkKey]Shape),
-		conns: make(map[*chaosConn]struct{}),
-		sleep: time.Sleep,
+		seed:      seed,
+		reg:       reg,
+		rng:       rand.New(rand.NewSource(seed)),
+		owner:     make(map[string]string),
+		cut:       make(map[linkKey]chan struct{}),
+		shape:     make(map[linkKey]Shape),
+		connShape: make(map[connKey]Shape),
+		dialSeq:   make(map[linkKey]int),
+		conns:     make(map[*chaosConn]struct{}),
+		sleep:     time.Sleep,
 	}
 }
 
@@ -224,6 +237,24 @@ func (c *Chaos) SetShape(from, to string, s Shape) {
 	c.mu.Unlock()
 }
 
+// SetConnShape installs (or, with a zero Shape, removes) shaping for a
+// single connection on the directed link from→to, addressed by dial
+// order: the index-th connection dialed after the call picks it up (and
+// any already-established connection with that index switches to it).
+// The per-connection shape overrides the link shape entirely, which is
+// how a test degrades one member of a bonded tunnel — loss on member 2
+// — while its siblings stay clean.
+func (c *Chaos) SetConnShape(from, to string, index int, s Shape) {
+	k := connKey{linkKey{from, to}, index}
+	c.mu.Lock()
+	if s.zero() {
+		delete(c.connShape, k)
+	} else {
+		c.connShape[k] = s
+	}
+	c.mu.Unlock()
+}
+
 // Reachable reports whether traffic from→to is currently routed (cuts
 // only; a lossy link is still reachable).
 func (c *Chaos) Reachable(from, to string) bool {
@@ -297,11 +328,17 @@ func (c *Chaos) Step() int {
 }
 
 // delayFor draws the shaping delay for one operation of n bytes on the
-// directed link, and reports whether the op was "lost" (pays the
-// retransmit penalty).
-func (c *Chaos) delayFor(from, to string, n int) time.Duration {
+// directed link. idx < 0 means the operation is not attributable to a
+// single connection (a dial), so only the link shape applies; otherwise
+// a per-connection shape for that index overrides the link shape.
+func (c *Chaos) delayFor(from, to string, idx, n int) time.Duration {
 	c.mu.Lock()
 	s, ok := c.shape[linkKey{from, to}]
+	if idx >= 0 {
+		if cs, cok := c.connShape[connKey{linkKey{from, to}, idx}]; cok {
+			s, ok = cs, true
+		}
+	}
 	if !ok {
 		c.mu.Unlock()
 		return 0
@@ -382,14 +419,19 @@ func (n *chaosNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) 
 		c.reg.Counter(metrics.ChaosRefusedOps).Inc()
 		return nil, fmt.Errorf("%w: %s cannot reach %s", ErrInjected, n.site, target)
 	}
-	if d := c.delayFor(n.site, target, 0); d > 0 {
+	if d := c.delayFor(n.site, target, -1, 0); d > 0 {
 		c.sleep(d)
 	}
 	conn, err := n.inner.Dial(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	cc := &chaosConn{Conn: conn, chaos: c, from: n.site, to: target, closed: make(chan struct{})}
+	k := linkKey{n.site, target}
+	c.mu.Lock()
+	idx := c.dialSeq[k]
+	c.dialSeq[k] = idx + 1
+	c.mu.Unlock()
+	cc := &chaosConn{Conn: conn, chaos: c, from: n.site, to: target, idx: idx, closed: make(chan struct{})}
 	c.track(cc)
 	return cc, nil
 }
@@ -408,6 +450,7 @@ type chaosConn struct {
 	chaos  *Chaos
 	from   string
 	to     string
+	idx    int // dial order on the from→to link, for SetConnShape
 	once   sync.Once
 	closed chan struct{}
 	dl     connDeadlines
@@ -426,7 +469,7 @@ func (c *chaosConn) Write(p []byte) (int, error) {
 	if err := awaitGate(c.chaos.gateFor(c.from, c.to), c.closed, c.dl.get(false)); err != nil {
 		return 0, err
 	}
-	if d := c.chaos.delayFor(c.from, c.to, len(p)); d > 0 {
+	if d := c.chaos.delayFor(c.from, c.to, c.idx, len(p)); d > 0 {
 		c.chaos.sleep(d)
 	}
 	return c.Conn.Write(p)

@@ -1,0 +1,55 @@
+package failure
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ShapedConn wraps a single connection with seeded traffic shaping —
+// the per-connection analogue of the Chaos link shaping, for tests that
+// want one degraded pipe without standing up a controller (e.g. handing
+// a bonded tunnel one lossy member). Latency, jitter, loss penalty, and
+// bandwidth apply to writes, mirroring chaosConn: on a reliable
+// transport, loss manifests as retransmit delay, not as an error. All
+// randomness derives from seed, so a failing run replays.
+func ShapedConn(conn net.Conn, s Shape, seed int64) net.Conn {
+	if seed == 0 {
+		seed = 1
+	}
+	return &shapedConn{Conn: conn, shape: s, rng: rand.New(rand.NewSource(seed))}
+}
+
+type shapedConn struct {
+	net.Conn
+	shape Shape
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (c *shapedConn) Write(p []byte) (int, error) {
+	s := c.shape
+	d := s.Latency
+	c.mu.Lock()
+	if s.Jitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(2*s.Jitter))) - s.Jitter
+	}
+	lost := s.Loss > 0 && c.rng.Float64() < s.Loss
+	c.mu.Unlock()
+	if lost {
+		penalty := 3 * s.Latency
+		if penalty < time.Millisecond {
+			penalty = time.Millisecond
+		}
+		d += penalty
+	}
+	if s.BandwidthBps > 0 && len(p) > 0 {
+		d += time.Duration(int64(len(p)) * int64(time.Second) / s.BandwidthBps)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}

@@ -387,6 +387,10 @@ type Member struct {
 	Suspected  bool
 	SuspectFor time.Duration
 	Tunnel     bool
+	// BondConns is the live tunnel's bond width (0 without a tunnel);
+	// RTT its smoothed round-trip time (0 until a probe completes).
+	BondConns int
+	RTT       time.Duration
 }
 
 // Members returns the proxy's membership directory, sorted by site.
@@ -408,6 +412,8 @@ func (c *Client) Members(ctx context.Context) ([]Member, error) {
 			Incarnation: m.Incarnation,
 			Version:     m.Version,
 			Tunnel:      m.Tunnel,
+			BondConns:   int(m.BondConns),
+			RTT:         time.Duration(m.RTTMicros) * time.Microsecond,
 		}
 		if m.AgeMillis >= 0 {
 			out[i].HasSummary = true

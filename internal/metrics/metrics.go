@@ -208,6 +208,18 @@ const (
 	// TunnelBatchFrames counts frames coalesced into tunnel flushes;
 	// divide by TunnelFlushes for the achieved batching factor.
 	TunnelBatchFrames = "tunnel.batch.frames"
+	// TunnelBondConns gauges the live member connections of this proxy's
+	// bonded tunnel sessions (1 per unbonded session).
+	TunnelBondConns = "gauge.tunnel.bond.conns"
+	// TunnelRTTMicros gauges the smoothed tunnel round-trip time in
+	// microseconds, the minimum across a session's member connections.
+	TunnelRTTMicros = "gauge.tunnel.rtt_us"
+	// TunnelBondFailovers counts bond member connections declared dead
+	// and removed, with their in-flight frames resprayed.
+	TunnelBondFailovers = "tunnel.bond.failovers"
+	// TunnelBondRetransmits counts frames resprayed over surviving bond
+	// members after a member death.
+	TunnelBondRetransmits = "tunnel.bond.retransmits"
 	// TunnelBatchControl counts the subset of batched frames that rode
 	// the control (priority) lane.
 	TunnelBatchControl = "tunnel.batch.control"

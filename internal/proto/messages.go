@@ -70,6 +70,13 @@ type Hello struct {
 	// so the accepting side learns a dialable address for the membership
 	// directory (the transport's remote address is an ephemeral port).
 	WANAddr string
+	// BondConns and BondID form the BOND extension: a dialer that wants
+	// a k-connection bonded tunnel offers its k (>1) and the 16-byte
+	// bond id its extra connections will join under. Both ride as
+	// trailing optional fields, so a peer running older code simply
+	// never sees the offer and the link degrades to one connection.
+	BondConns uint8
+	BondID    []byte
 }
 
 // Code implements Body.
@@ -81,6 +88,8 @@ func (m *Hello) Encode(b []byte) []byte {
 	b = wire.AppendUint16(b, m.Version)
 	b = wire.AppendStringSlice(b, m.Capabilities)
 	b = wire.AppendString(b, m.WANAddr)
+	b = append(b, m.BondConns)
+	b = wire.AppendBytes(b, m.BondID)
 	return b
 }
 
@@ -90,6 +99,11 @@ func (m *Hello) Decode(buf *wire.Buffer) error {
 	m.Version = buf.Uint16()
 	m.Capabilities = buf.StringSlice()
 	m.WANAddr = buf.String()
+	// Trailing BOND extension: absent from peers predating bonding.
+	if buf.Err() == nil && buf.Remaining() > 0 {
+		m.BondConns = buf.Uint8()
+		m.BondID = buf.Bytes()
+	}
 	return buf.Err()
 }
 
@@ -97,6 +111,11 @@ func (m *Hello) Decode(buf *wire.Buffer) error {
 type HelloAck struct {
 	Site    string
 	Version uint16
+	// BondConns is the bond width the acceptor granted: min(offered,
+	// locally configured), 0 from peers predating bonding — either way
+	// the dialer opens max(BondConns, 1) - 1 extra connections, so a
+	// mixed-version pair falls back to exactly one connection.
+	BondConns uint8
 }
 
 // Code implements Body.
@@ -106,6 +125,7 @@ func (*HelloAck) Code() Code { return CodeHelloAck }
 func (m *HelloAck) Encode(b []byte) []byte {
 	b = wire.AppendString(b, m.Site)
 	b = wire.AppendUint16(b, m.Version)
+	b = append(b, m.BondConns)
 	return b
 }
 
@@ -113,6 +133,9 @@ func (m *HelloAck) Encode(b []byte) []byte {
 func (m *HelloAck) Decode(buf *wire.Buffer) error {
 	m.Site = buf.String()
 	m.Version = buf.Uint16()
+	if buf.Err() == nil && buf.Remaining() > 0 {
+		m.BondConns = buf.Uint8()
+	}
 	return buf.Err()
 }
 
@@ -1649,6 +1672,11 @@ type MemberInfo struct {
 	// to see a partition forming before the dead verdict lands.
 	HeardMillis   int64
 	SuspectMillis int64
+	// BondConns is the width of the live bonded tunnel to the site (0
+	// when no tunnel); RTTMicros the smoothed round-trip time across its
+	// member connections in microseconds (0 until a probe completes).
+	BondConns uint8
+	RTTMicros int64
 }
 
 func (mi *MemberInfo) encode(b []byte) []byte {
@@ -1661,6 +1689,8 @@ func (mi *MemberInfo) encode(b []byte) []byte {
 	b = wire.AppendBool(b, mi.Tunnel)
 	b = wire.AppendInt64(b, mi.HeardMillis)
 	b = wire.AppendInt64(b, mi.SuspectMillis)
+	b = append(b, mi.BondConns)
+	b = wire.AppendInt64(b, mi.RTTMicros)
 	return b
 }
 
@@ -1674,6 +1704,8 @@ func (mi *MemberInfo) decode(buf *wire.Buffer) {
 	mi.Tunnel = buf.Bool()
 	mi.HeardMillis = buf.Int64()
 	mi.SuspectMillis = buf.Int64()
+	mi.BondConns = buf.Uint8()
+	mi.RTTMicros = buf.Int64()
 }
 
 // MemberListReply answers a MemberList with the proxy's directory.

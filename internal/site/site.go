@@ -25,6 +25,7 @@ import (
 	"gridproxy/internal/stage"
 	"gridproxy/internal/ticket"
 	"gridproxy/internal/transport"
+	"gridproxy/internal/tunnel"
 )
 
 // Site is one assembled grid site.
@@ -61,6 +62,10 @@ type SiteSpec struct {
 	// Nodes lists the hardware profile of each node; len(Nodes) nodes
 	// are created, named <site>-n<i>.
 	Nodes []node.HWProfile
+	// Tunnel, if non-nil, overrides the testbed-wide tunnel config for
+	// this site — how mixed-version grids (one site bonding, another
+	// not) are simulated.
+	Tunnel *tunnel.Config
 }
 
 // UniformNodes builds n identical node profiles with the given speed.
@@ -109,6 +114,10 @@ type TestbedConfig struct {
 	// Stage carries the data-plane knobs (blob store size, chunking,
 	// striping) handed to every proxy (zero value: stage defaults).
 	Stage stage.Config
+	// Tunnel carries the WAN tunnel knobs (bonding width, adaptive
+	// window clamps) handed to every proxy unless a SiteSpec overrides
+	// them (zero value: adaptive flow control, single connection).
+	Tunnel tunnel.Config
 	// Metrics may be nil.
 	Metrics *metrics.Registry
 	// Logger may be nil.
@@ -141,6 +150,7 @@ type Testbed struct {
 	peerCache  peerlink.CacheConfig
 	jobs       core.JobConfig
 	stage      stage.Config
+	tunnel     tunnel.Config
 	logger     *logging.Logger
 }
 
@@ -210,6 +220,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		peerCache:  cfg.PeerCache,
 		jobs:       cfg.Jobs,
 		stage:      cfg.Stage,
+		tunnel:     cfg.Tunnel,
 		logger:     cfg.Logger,
 	}
 	for _, spec := range cfg.Sites {
@@ -244,6 +255,10 @@ func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logg
 	if err != nil {
 		return nil, err
 	}
+	tunnelcfg := tb.tunnel
+	if spec.Tunnel != nil {
+		tunnelcfg = *spec.Tunnel
+	}
 	proxy, err := core.New(core.Config{
 		Site:      spec.Name,
 		WANAddr:   "wan." + spec.Name,
@@ -259,6 +274,7 @@ func (tb *Testbed) buildSite(spec SiteSpec, policyName string, log *logging.Logg
 		PeerCache: tb.peerCache,
 		Jobs:      tb.jobs,
 		Stage:     tb.stage,
+		Tunnel:    tunnelcfg,
 		Metrics:   tb.metrics,
 		Logger:    log,
 		Clock:     tb.clock,

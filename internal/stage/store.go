@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"gridproxy/internal/metrics"
+	"gridproxy/internal/wire"
 )
 
 // Defaults for Config fields left zero.
@@ -67,6 +68,12 @@ type Config struct {
 	// serving and pulling side. Fault-injection hook for tests; nil in
 	// production.
 	WrapConn func(net.Conn) net.Conn
+	// DiskSpill (requires Dir) keeps evicted blobs' files on disk and
+	// serves their chunks through pooled buffers, so the memory cap
+	// bounds the working set rather than what the site can serve. Off by
+	// default: without it eviction deletes the disk file and the store
+	// behaves exactly as before.
+	DiskSpill bool
 }
 
 // WithDefaults fills zero fields with package defaults and clamps the
@@ -113,6 +120,7 @@ type Store struct {
 	mu    sync.Mutex
 	dir   string
 	max   int64 // <0 means unlimited
+	spill bool
 	cur   int64
 	blobs map[string]*blob
 	lru   *list.List // front = most recently used; values are *blob
@@ -133,6 +141,7 @@ func NewStore(cfg Config, reg *metrics.Registry) (*Store, error) {
 	s := &Store{
 		dir:   cfg.Dir,
 		max:   cfg.MaxBytes,
+		spill: cfg.DiskSpill && cfg.Dir != "",
 		blobs: make(map[string]*blob),
 		lru:   list.New(),
 		reg:   reg,
@@ -263,8 +272,12 @@ func (s *Store) evictLocked(keep *blob) []string {
 }
 
 // removeFiles deletes the disk files of evicted blobs. Callers must not
-// hold s.mu.
+// hold s.mu. With DiskSpill the files are the spill tier, so eviction
+// keeps them.
 func (s *Store) removeFiles(hashes []string) {
+	if s.spill {
+		return
+	}
 	for _, hash := range hashes {
 		os.Remove(filepath.Join(s.dir, hash))
 	}
@@ -289,15 +302,22 @@ func (s *Store) Get(hash string) ([]byte, bool) {
 }
 
 // Stat reports whether hash is stored and its size, without touching
-// the LRU order.
+// the LRU order. With DiskSpill a blob whose bytes live only in the
+// spill tier still stats (the disk file's size is its size: the
+// name-is-hash contract was verified when it was written).
 func (s *Store) Stat(hash string) (int64, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	b, ok := s.blobs[hash]
-	if !ok {
-		return 0, false
+	s.mu.Unlock()
+	if ok {
+		return int64(len(b.data)), true
 	}
-	return int64(len(b.data)), true
+	if s.spill && len(hash) == sha256.Size*2 {
+		if fi, err := os.Stat(filepath.Join(s.dir, hash)); err == nil && !fi.IsDir() {
+			return fi.Size(), true
+		}
+	}
+	return 0, false
 }
 
 // Has reports whether hash is stored.
@@ -318,4 +338,59 @@ func (s *Store) Blobs() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lru.Len()
+}
+
+// ChunkLoan is a leased read-only view of one chunk of a stored blob.
+// For a memory-resident blob Data aliases the blob itself — no copy
+// anywhere between the store and the wire; for a spilled blob it is a
+// pooled buffer filled from disk. Either way the caller must Release
+// exactly once, after the bytes have been written out.
+type ChunkLoan struct {
+	Data   []byte
+	pooled bool
+}
+
+// Release returns a pooled loan's buffer; for memory-backed loans it is
+// a no-op. Callers release unconditionally.
+func (l ChunkLoan) Release() {
+	if l.pooled {
+		wire.PutPayload(l.Data)
+	}
+}
+
+// LoanChunk leases bytes [off, off+n) of the blob stored under hash.
+// The memory path is zero-copy: the loan aliases the blob's backing
+// array, which stays valid even across a concurrent eviction (the loan
+// keeps it reachable). The spill path opens the blob's file per chunk —
+// one open per 256 KiB is noise next to the disk read itself — and
+// fills a pooled buffer the loan's Release returns.
+func (s *Store) LoanChunk(hash string, off, n int64) (ChunkLoan, bool) {
+	if off < 0 || n < 0 {
+		return ChunkLoan{}, false
+	}
+	s.mu.Lock()
+	if b, ok := s.blobs[hash]; ok {
+		s.lru.MoveToFront(b.elem)
+		data := b.data
+		s.mu.Unlock()
+		if off+n > int64(len(data)) {
+			return ChunkLoan{}, false
+		}
+		return ChunkLoan{Data: data[off : off+n]}, true
+	}
+	s.mu.Unlock()
+	if !s.spill || len(hash) != sha256.Size*2 {
+		return ChunkLoan{}, false
+	}
+	f, err := os.Open(filepath.Join(s.dir, hash))
+	if err != nil {
+		return ChunkLoan{}, false
+	}
+	defer f.Close()
+	buf := wire.GetPayload(int(n))
+	if _, err := f.ReadAt(buf, off); err != nil {
+		wire.PutPayload(buf)
+		return ChunkLoan{}, false
+	}
+	return ChunkLoan{Data: buf, pooled: true}, true
 }

@@ -146,18 +146,19 @@ type bufferWriter interface {
 	WriteBuffers(segs ...[]byte) (int64, error)
 }
 
-// serveGet streams the requested range as checksummed chunks. When the
-// connection supports vectored writes (a bare tunnel stream), the chunk
-// header and payload are gathered straight from the store's blob with no
-// assembly copy. Otherwise each chunk is assembled and sent as a single
-// Write so fault-injection wrappers (which see the conn interface only)
+// serveGet streams the requested range as checksummed chunks, leased
+// one at a time from the store. A memory-resident blob's loans alias
+// its backing array, so on the vectored-write path (a bare tunnel
+// stream) the bytes travel disk→store→wire with no intermediate copy:
+// the chunk header and payload are gathered straight into the tunnel's
+// pooled frame buffers. The assembled-frame fallback exists for
+// fault-injection wrappers (which see the conn interface only) so they
 // can corrupt a chunk without desynchronizing the framing.
 func serveGet(conn net.Conn, store *Store, cfg Config, reg *metrics.Registry, hash string, offset, length int64, chunk int) error {
-	data, ok := store.Get(hash)
+	size, ok := store.Stat(hash)
 	if !ok {
 		return writeFrame(conn, cfg.IdleTimeout, statusFrame(statusNotFound, 0))
 	}
-	size := int64(len(data))
 	if chunk <= 0 || chunk > maxChunkSize {
 		chunk = cfg.ChunkSize
 	}
@@ -182,23 +183,32 @@ func serveGet(conn net.Conn, store *Store, cfg Config, reg *metrics.Registry, ha
 		if pos+n > end {
 			n = end - pos
 		}
-		payload := data[pos : pos+n]
+		loan, ok := store.LoanChunk(hash, pos, n)
+		if !ok {
+			// The blob vanished between the stat and this chunk (evicted
+			// with no spill tier). Breaking the connection mid-response
+			// is the honest signal: the puller's framing would desync on
+			// anything else, and its retry path re-stats.
+			return fmt.Errorf("stage: blob %s evicted mid-transfer", short(hash))
+		}
+		payload := loan.Data
 		sum := sha256.Sum256(payload)
 		armWrite(conn, cfg.IdleTimeout)
+		var err error
 		if bw != nil {
 			binary.BigEndian.PutUint32(chdr[:4], uint32(n))
 			copy(chdr[4:], sum[:])
-			if _, err := bw.WriteBuffers(chdr[:], payload); err != nil {
-				return err
-			}
+			_, err = bw.WriteBuffers(chdr[:], payload)
 		} else {
 			frame = frame[:0]
 			frame = binary.BigEndian.AppendUint32(frame, uint32(n))
 			frame = append(frame, sum[:]...)
 			frame = append(frame, payload...)
-			if _, err := conn.Write(frame); err != nil {
-				return err
-			}
+			_, err = conn.Write(frame)
+		}
+		loan.Release()
+		if err != nil {
+			return err
 		}
 		reg.Counter(metrics.StageBytesSent).Add(n)
 		pos += n

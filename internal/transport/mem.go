@@ -165,13 +165,39 @@ func (l *memListener) closeLocked() {
 
 func (l *memListener) Addr() net.Addr { return l.addr }
 
+// chunk is one Write's worth of bytes in flight on a halfPipe. Chunks
+// are pooled: the reader recycles each one once fully consumed, so a
+// steady-state connection stops allocating per write. The data-path
+// benchmarks assert zero allocations per frame end to end, and the
+// transport simulator must not be the layer that breaks that.
+type chunk struct{ b []byte }
+
+var chunkPool = sync.Pool{New: func() any { return new(chunk) }}
+
+// newChunk copies p into a pooled chunk (the caller's buffer is reused
+// the moment Write returns, so the pipe needs its own copy).
+func newChunk(p []byte) *chunk {
+	ck := chunkPool.Get().(*chunk)
+	if cap(ck.b) < len(p) {
+		ck.b = make([]byte, len(p))
+	}
+	ck.b = ck.b[:len(p)]
+	copy(ck.b, p)
+	return ck
+}
+
+func (ck *chunk) release() { chunkPool.Put(ck) }
+
 // halfPipe is one direction of a memConn: a bounded queue of byte chunks
-// with close semantics and traffic shaping.
+// with close semantics and traffic shaping. pending/poff track the
+// partially consumed head chunk; they are only touched by the reading
+// side, which is single-goroutine like any net.Conn read half.
 type halfPipe struct {
-	ch      chan []byte
+	ch      chan *chunk
 	closed  chan struct{}
 	close1  sync.Once
-	pending []byte
+	pending *chunk
+	poff    int
 
 	latency   time.Duration
 	bandwidth int64
@@ -179,11 +205,23 @@ type halfPipe struct {
 
 func newHalfPipe(latency time.Duration, bandwidth int64) *halfPipe {
 	return &halfPipe{
-		ch:        make(chan []byte, 64),
+		ch:        make(chan *chunk, 64),
 		closed:    make(chan struct{}),
 		latency:   latency,
 		bandwidth: bandwidth,
 	}
+}
+
+// consume copies from the pending head chunk into p, recycling the chunk
+// once drained.
+func (h *halfPipe) consume(p []byte) int {
+	n := copy(p, h.pending.b[h.poff:])
+	h.poff += n
+	if h.poff >= len(h.pending.b) {
+		h.pending.release()
+		h.pending, h.poff = nil, 0
+	}
+	return n
 }
 
 func (h *halfPipe) closePipe() {
@@ -204,10 +242,8 @@ var _ net.Conn = (*memConn)(nil)
 
 func (c *memConn) Read(p []byte) (int, error) {
 	// Serve buffered bytes first.
-	if len(c.read.pending) > 0 {
-		n := copy(p, c.read.pending)
-		c.read.pending = c.read.pending[n:]
-		return n, nil
+	if c.read.pending != nil {
+		return c.read.consume(p), nil
 	}
 	//lint:allow-guardedby only the field's address is taken here; getDeadline dereferences it under mu
 	timer, expired := c.deadlineTimer(c.getDeadline(&c.readDeadline))
@@ -222,21 +258,19 @@ func (c *memConn) Read(p []byte) (int, error) {
 		timeout = timer.C
 	}
 	select {
-	case chunk, ok := <-c.read.ch:
+	case ck, ok := <-c.read.ch:
 		if !ok {
 			return 0, io.EOF
 		}
-		n := copy(p, chunk)
-		c.read.pending = chunk[n:]
-		return n, nil
+		c.read.pending, c.read.poff = ck, 0
+		return c.read.consume(p), nil
 	case <-c.read.closed:
 		// Drain anything enqueued before close.
 		select {
-		case chunk, ok := <-c.read.ch:
+		case ck, ok := <-c.read.ch:
 			if ok {
-				n := copy(p, chunk)
-				c.read.pending = chunk[n:]
-				return n, nil
+				c.read.pending, c.read.poff = ck, 0
+				return c.read.consume(p), nil
 			}
 		default:
 		}
@@ -258,11 +292,11 @@ func (c *memConn) Write(p []byte) (int, error) {
 	if bw := c.write.bandwidth; bw > 0 {
 		time.Sleep(time.Duration(int64(len(p)) * int64(time.Second) / bw))
 	}
-	chunk := make([]byte, len(p))
-	copy(chunk, p)
+	ck := newChunk(p)
 	//lint:allow-guardedby only the field's address is taken here; getDeadline dereferences it under mu
 	timer, expired := c.deadlineTimer(c.getDeadline(&c.writeDeadline))
 	if expired {
+		ck.release()
 		return 0, os.ErrDeadlineExceeded
 	}
 	if timer != nil {
@@ -273,11 +307,13 @@ func (c *memConn) Write(p []byte) (int, error) {
 		timeout = timer.C
 	}
 	select {
-	case c.write.ch <- chunk:
+	case c.write.ch <- ck:
 		return len(p), nil
 	case <-c.write.closed:
+		ck.release()
 		return 0, io.ErrClosedPipe
 	case <-timeout:
+		ck.release()
 		return 0, os.ErrDeadlineExceeded
 	}
 }

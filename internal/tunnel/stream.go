@@ -7,10 +7,20 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridproxy/internal/wire"
 )
+
+// oooFrame is one out-of-order sequenced frame parked for reassembly: the
+// payload was copied into its own pooled lease (buf), released when the
+// frame drains in order. fin entries carry no payload.
+type oooFrame struct {
+	seq uint64
+	buf []byte
+	fin bool
+}
 
 // Stream is one logical byte stream within a Session. It implements
 // net.Conn so spliced application connections and MPI rank channels can use
@@ -21,23 +31,48 @@ type Stream struct {
 	meta    []byte
 	// accepted marks streams created by the peer's SYN.
 	accepted bool
+	// bonded is latched at creation: streams born after the bond
+	// activated send sequenced DATAQ frames sprayed across members;
+	// streams born before (notably the handshake control stream) keep
+	// the legacy DATA framing pinned to the primary connection, so no
+	// stream ever switches framing mid-flight. Receivers handle both
+	// framings on any stream regardless.
+	bonded bool
 	// openResult delivers the peer's SYNACK/RST verdict to Open.
 	openResult chan bool
 	openOnce   sync.Once
 
-	// Receive side.
-	recvMu   sync.Mutex
-	recvCond *sync.Cond
-	recvBuf  bytes.Buffer
-	recvEOF  bool
-	recvErr  error
-	// pendingCredit accumulates consumed bytes until a WINDOW grant is
-	// worth sending (half the window). grantInFlight marks the single
-	// reader currently out of the lock sending a grant; others keep
-	// accumulating instead of double-granting the same credit.
-	pendingCredit int
+	// sendSeq numbers this stream's outbound sequenced frames.
+	sendSeq atomic.Uint64
+
+	// Receive side. Window accounting is kept as three monotonic totals:
+	// extended is all credit ever granted to the peer (seeded with the
+	// initial window), delivered is in-order bytes buffered for reading,
+	// consumed is bytes the application has read. The peer violates the
+	// protocol iff delivered (plus out-of-order bytes parked in ooo)
+	// would exceed extended; grants top extended back up to
+	// consumed + target, which for a static target is exactly the classic
+	// "replenish what was read" behavior and for an adaptive target lets
+	// the window grow or shrink as the estimators move.
+	recvMu    sync.Mutex
+	recvCond  *sync.Cond
+	recvBuf   bytes.Buffer
+	recvEOF   bool
+	recvErr   error
+	extended  int64
+	delivered int64
+	consumed  int64
+	// grantInFlight marks the single reader currently out of the lock
+	// sending a WINDOW grant; others keep accumulating instead of
+	// double-granting the same credit.
 	grantInFlight bool
 	readDeadline  time.Time
+	// Reassembly of sequenced frames: nextSeq is the next in-order
+	// sequence, ooo a min-heap (by seq) of frames that arrived early,
+	// oooBytes their payload total (counted against the window).
+	nextSeq  uint64
+	ooo      []oooFrame
+	oooBytes int
 
 	// Send side.
 	sendMu        sync.Mutex
@@ -54,8 +89,10 @@ func newStream(s *Session, id uint32) *Stream {
 	st := &Stream{
 		session:    s,
 		id:         id,
+		bonded:     s.bondActive.Load(),
 		openResult: make(chan bool, 1),
 		sendWindow: s.cfg.Window,
+		extended:   int64(s.cfg.Window),
 	}
 	st.recvCond = sync.NewCond(&st.recvMu)
 	st.sendCond = sync.NewCond(&st.sendMu)
@@ -80,15 +117,125 @@ func (st *Stream) deliver(p []byte) error {
 	if st.recvErr != nil || st.recvEOF {
 		return nil // late data after close; drop
 	}
-	// An honest peer never has more than the window outstanding: credit
-	// is only granted as the application consumes bytes, so unread
-	// buffered data can never legitimately exceed the window.
-	if st.recvBuf.Len()+len(p) > st.session.cfg.Window {
+	// An honest peer never has more than the granted credit outstanding,
+	// so buffered-but-unread data can never legitimately exceed it.
+	if st.delivered+int64(st.oooBytes)+int64(len(p)) > st.extended {
 		return fmt.Errorf("tunnel: stream %d receive window overrun", st.id)
 	}
 	st.recvBuf.Write(p)
+	st.delivered += int64(len(p))
 	st.recvCond.Broadcast()
 	return nil
+}
+
+// deliverSeq accepts one sequenced frame (bonded framing): in-order data
+// is buffered immediately and the reorder heap drained behind it;
+// early frames are copied into their own pooled lease and parked; frames
+// at an already-delivered sequence are retransmit duplicates and dropped.
+// fin frames occupy a sequence slot so EOF cannot overtake data still in
+// flight on another member connection.
+func (st *Stream) deliverSeq(seq uint64, p []byte, fin bool) error {
+	st.recvMu.Lock()
+	defer st.recvMu.Unlock()
+	if st.recvErr != nil || st.recvEOF {
+		return nil
+	}
+	if seq < st.nextSeq {
+		return nil // duplicate of a frame already delivered
+	}
+	if seq == st.nextSeq {
+		if st.delivered+int64(st.oooBytes)+int64(len(p)) > st.extended {
+			return fmt.Errorf("tunnel: stream %d receive window overrun", st.id)
+		}
+		if fin {
+			st.recvEOF = true
+		} else {
+			st.recvBuf.Write(p)
+			st.delivered += int64(len(p))
+		}
+		st.nextSeq++
+		// Drain every parked frame that is now in order.
+		for len(st.ooo) > 0 && st.ooo[0].seq == st.nextSeq {
+			f := oooPop(&st.ooo)
+			if f.fin {
+				st.recvEOF = true
+			} else {
+				st.recvBuf.Write(f.buf)
+				st.delivered += int64(len(f.buf))
+				st.oooBytes -= len(f.buf)
+			}
+			if f.buf != nil {
+				wire.PutPayload(f.buf)
+			}
+			st.nextSeq++
+		}
+		st.recvCond.Broadcast()
+		return nil
+	}
+	// Early. Duplicate of a parked frame? The heap is small (bounded by
+	// window / segment size), so a linear scan beats a map's allocation.
+	for i := range st.ooo {
+		if st.ooo[i].seq == seq {
+			return nil
+		}
+	}
+	if st.delivered+int64(st.oooBytes)+int64(len(p)) > st.extended {
+		return fmt.Errorf("tunnel: stream %d receive window overrun", st.id)
+	}
+	f := oooFrame{seq: seq, fin: fin}
+	if !fin {
+		// Copy into our own lease: the dispatch loop releases its read
+		// buffer the moment dispatch returns.
+		f.buf = wire.GetPayload(len(p))
+		copy(f.buf, p)
+		st.oooBytes += len(p)
+	}
+	oooPush(&st.ooo, f)
+	return nil
+}
+
+// oooPush / oooPop maintain a min-heap by seq in place (hand-rolled so
+// the hot path stays free of interface dispatch and allocation; the
+// backing array is reused across the stream's life).
+func oooPush(h *[]oooFrame, f oooFrame) {
+	*h = append(*h, f)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].seq <= s[i].seq {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func oooPop(h *[]oooFrame) oooFrame {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = oooFrame{}
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && s[l].seq < s[small].seq {
+			small = l
+		}
+		if r < len(s) && s[r].seq < s[small].seq {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	*h = s
+	return top
 }
 
 func (st *Stream) deliverEOF() {
@@ -113,6 +260,7 @@ func (st *Stream) closeWithError(err error) {
 	if st.recvErr == nil {
 		st.recvErr = err
 	}
+	st.releaseOOOLocked()
 	st.recvCond.Broadcast()
 	st.recvMu.Unlock()
 	st.sendMu.Lock()
@@ -124,6 +272,19 @@ func (st *Stream) closeWithError(err error) {
 	st.sendMu.Unlock()
 }
 
+// releaseOOOLocked returns parked reassembly buffers to the pool. Caller
+// holds recvMu.
+func (st *Stream) releaseOOOLocked() {
+	for i := range st.ooo {
+		if st.ooo[i].buf != nil {
+			wire.PutPayload(st.ooo[i].buf)
+		}
+		st.ooo[i] = oooFrame{}
+	}
+	st.ooo = st.ooo[:0]
+	st.oooBytes = 0
+}
+
 // Read implements net.Conn. It returns io.EOF after the peer half-closes
 // and all buffered data is consumed.
 func (st *Stream) Read(p []byte) (int, error) {
@@ -133,7 +294,7 @@ func (st *Stream) Read(p []byte) (int, error) {
 			st.recvMu.Unlock()
 			return 0, err
 		}
-		if st.recvEOF {
+		if st.recvEOF && len(st.ooo) == 0 {
 			st.recvMu.Unlock()
 			return 0, io.EOF
 		}
@@ -143,30 +304,36 @@ func (st *Stream) Read(p []byte) (int, error) {
 		}
 	}
 	n, _ := st.recvBuf.Read(p)
-	st.pendingCredit += n
+	st.consumed += int64(n)
 	st.recvMu.Unlock()
 	st.sendPendingGrant()
 	return n, nil
 }
 
-// sendPendingGrant replenishes the peer's window once half of it has been
-// consumed (granting per-read would double frame volume). Credit
-// accounting has a single owner: whichever reader flips grantInFlight
-// sends the accumulated credit outside the lock; concurrent readers keep
-// accumulating rather than banking the same credit twice, and the loop
-// re-checks after each send so credit accumulated meanwhile is never
-// stranded.
+// sendPendingGrant tops the peer's credit back up to the current window
+// target once at least half a target's worth is owed (granting per-read
+// would double frame volume). Credit accounting has a single owner:
+// whichever reader flips grantInFlight sends the owed credit outside the
+// lock; concurrent readers keep accumulating rather than banking the same
+// credit twice, and the loop re-checks after each send so credit owed
+// meanwhile is never stranded. With a static target the owed amount is
+// exactly the bytes consumed since the last grant — the classic behavior;
+// with an adaptive target the same arithmetic also grows (or starves)
+// the window as the estimator moves.
 func (st *Stream) sendPendingGrant() {
 	st.recvMu.Lock()
-	for st.recvErr == nil && !st.grantInFlight &&
-		st.pendingCredit >= st.session.cfg.Window/2 {
-		credit := st.pendingCredit
-		st.pendingCredit = 0
+	for st.recvErr == nil && !st.grantInFlight {
+		target := st.session.windowTarget()
+		delta := st.consumed + target - st.extended
+		if delta < target/2 || delta <= 0 {
+			break
+		}
 		st.grantInFlight = true
+		st.extended += delta
 		st.recvMu.Unlock()
 		var buf [8]byte
 		payload := wire.AppendUint32(buf[:0], st.id)
-		payload = wire.AppendUint32(payload, uint32(credit))
+		payload = wire.AppendUint32(payload, uint32(delta))
 		_ = st.session.w.WriteControl(frameWINDOW, payload)
 		st.recvMu.Lock()
 		st.grantInFlight = false
@@ -197,8 +364,11 @@ func (st *Stream) waitRecvLocked() bool {
 }
 
 // Write implements net.Conn. Data is segmented into DATA frames and paced
-// by the peer's receive window. Each segment is gathered straight from p
-// into the writer's coalescing buffer — no intermediate payload slice.
+// by the peer's receive window. On an unbonded stream each segment is
+// gathered straight from p into the primary writer's coalescing buffer —
+// no intermediate payload slice; on a bonded stream each segment is
+// copied into a pooled buffer (it must survive for retransmit) and
+// sprayed across member connections.
 func (st *Stream) Write(p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
@@ -206,10 +376,16 @@ func (st *Stream) Write(p []byte) (int, error) {
 		if err != nil {
 			return total, err
 		}
-		var hdr [4]byte
-		if err := st.session.w.WriteFramev(frameDATA,
-			wire.AppendUint32(hdr[:0], st.id), p[:n]); err != nil {
-			return total, st.session.fail(fmt.Errorf("tunnel: send DATA: %w", err))
+		if st.bonded {
+			if err := st.session.sendSeqData(st, p[:n]); err != nil {
+				return total, err
+			}
+		} else {
+			var hdr [4]byte
+			if err := st.session.w.WriteFramev(frameDATA,
+				wire.AppendUint32(hdr[:0], st.id), p[:n]); err != nil {
+				return total, st.session.fail(fmt.Errorf("tunnel: send DATA: %w", err))
+			}
 		}
 		total += n
 		p = p[n:]
@@ -222,7 +398,9 @@ func (st *Stream) Write(p []byte) (int, error) {
 // each DATA frame gathers directly from as many segments as fit, so small
 // prefixes (length fields, checksums) ride in the same frame as the bulk
 // payload that follows them. Frame boundaries fall exactly as if the
-// segments had been written back-to-back with Write.
+// segments had been written back-to-back with Write. On a bonded stream
+// the gather target is the retransmit buffer rather than the primary
+// writer's lane, preserving the single-copy property.
 func (st *Stream) WriteBuffers(segs ...[]byte) (int64, error) {
 	remaining := 0
 	for _, seg := range segs {
@@ -236,6 +414,29 @@ func (st *Stream) WriteBuffers(segs ...[]byte) (int64, error) {
 		n, err := st.reserveSend(remaining)
 		if err != nil {
 			return total, err
+		}
+		if st.bonded {
+			// Gather the segments straight into the pooled retransmit
+			// buffer and spray it.
+			buf := wire.GetPayload(n)
+			w := 0
+			for w < n {
+				seg := segs[i][off:]
+				if len(seg) == 0 {
+					i, off = i+1, 0
+					continue
+				}
+				take := copy(buf[w:], seg)
+				off += take
+				w += take
+			}
+			seq := st.sendSeq.Add(1) - 1
+			if err := st.session.sprayFrame(st.id, seq, false, buf); err != nil {
+				return total, err
+			}
+			total += int64(n)
+			remaining -= n
+			continue
 		}
 		// The writer copies every part into its coalescing buffer before
 		// returning, so hdr and parts can be reused per frame.
@@ -326,6 +527,12 @@ func (st *Stream) CloseWrite() error {
 	st.sendClosed = true
 	st.sendCond.Broadcast()
 	st.sendMu.Unlock()
+	if st.bonded {
+		// FIN takes a sequence slot so it cannot overtake data in flight
+		// on another member connection.
+		seq := st.sendSeq.Add(1) - 1
+		return st.session.sprayFrame(st.id, seq, true, nil)
+	}
 	return st.session.w.WriteFrame(frameFIN, wire.AppendUint32(nil, st.id))
 }
 
@@ -336,6 +543,7 @@ func (st *Stream) Close() error {
 	if st.recvErr == nil {
 		st.recvErr = ErrStreamClosed
 	}
+	st.releaseOOOLocked()
 	st.recvCond.Broadcast()
 	st.recvMu.Unlock()
 	st.session.removeStream(st.id)

@@ -1,5 +1,7 @@
 // Package tunnel implements a stream multiplexer: many logical byte
-// streams carried over one underlying connection.
+// streams carried over one underlying connection — or, when a bond is
+// negotiated, over several parallel connections joined into one logical
+// session.
 //
 // The paper's proxy keeps a single secure (TLS) connection per remote site
 // and multiplexes all grid traffic over it — control messages, spliced
@@ -7,10 +9,15 @@
 // by the proxy ... can be seen as a multiplexion of the communication
 // between the source and the destination"). This package provides that
 // multiplexer with per-stream flow control so one bulk stream cannot starve
-// the control channel.
+// the control channel. Because that one connection is the global bottleneck
+// between two sites, a session may bond k connections: sequenced data
+// frames are sprayed across members by least-outstanding-bytes and
+// reassembled in order per stream on the far side (see bond.go), and the
+// per-stream window can be sized adaptively from measured RTT and delivery
+// rate instead of a fixed constant (see flow.go).
 //
 // Wire format: every tunnel frame is a wire.Frame whose payload begins with
-// a 4-byte big-endian stream id.
+// a 4-byte big-endian stream id (bond join/ack frames excepted; see below).
 package tunnel
 
 import (
@@ -21,6 +28,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gridproxy/internal/metrics"
 	"gridproxy/internal/wire"
@@ -38,6 +46,17 @@ const (
 	framePING   byte = 0x16 // liveness probe (8-byte nonce)
 	framePONG   byte = 0x17 // probe reply
 	frameGOAWAY byte = 0x18 // session shutdown
+
+	// Bonding frames. BONDJOIN is the first (and only raw) frame on a
+	// joining member connection: [bond id 16B][conn index u8]. BONDACK
+	// carries cumulative per-connection delivery counts back to the
+	// sender: [count u8] then count × ([conn index u8][received u64]).
+	// DATAQ/FINQ are the sequenced forms of DATA/FIN used by bonded
+	// streams: [stream id u32][stream seq u64][payload...].
+	frameBONDJOIN byte = 0x19
+	frameBONDACK  byte = 0x1A
+	frameDATAQ    byte = 0x1B
+	frameFINQ     byte = 0x1C
 )
 
 // Flow-control and segmentation defaults.
@@ -46,6 +65,28 @@ const (
 	DefaultWindow = 256 << 10
 	// maxSegment is the largest DATA payload per frame.
 	maxSegment = 64 << 10
+
+	// DefaultWindowMin / DefaultWindowMax clamp the adaptive per-stream
+	// window (Config.Adaptive): it never shrinks below Min even when the
+	// estimators read a tiny BDP, and never grows beyond Max no matter
+	// how fat the pipe looks.
+	DefaultWindowMin = 64 << 10
+	DefaultWindowMax = 4 << 20
+	// DefaultBDPGain multiplies the measured bandwidth-delay product
+	// when sizing the adaptive window, leaving headroom for delivery-rate
+	// growth the way BBR's cwnd_gain does.
+	DefaultBDPGain = 2.0
+	// DefaultMemBudget caps the sum of adaptive per-stream windows for
+	// one session, so a session with many streams cannot buffer
+	// unboundedly at the receiver.
+	DefaultMemBudget = 32 << 20
+	// DefaultProbeInterval is the cadence of the RTT/bandwidth prober.
+	DefaultProbeInterval = 25 * time.Millisecond
+
+	// bondAckEvery is how many sequenced frames a receiver lets
+	// accumulate on one member connection before pushing a BONDACK;
+	// stragglers are swept by the prober tick.
+	bondAckEvery = 16
 )
 
 // Package errors.
@@ -64,7 +105,8 @@ var (
 // Config parameterizes a Session.
 type Config struct {
 	// Window is the initial receive window per stream. Zero means
-	// DefaultWindow.
+	// DefaultWindow. With Adaptive set, this is only the starting point;
+	// the window then tracks the measured bandwidth-delay product.
 	Window int
 	// MaxStreams bounds concurrently open streams. Zero means 1024.
 	MaxStreams int
@@ -72,6 +114,35 @@ type Config struct {
 	// Accept()ed. Zero means 256 (an MPI launch can open a stream per
 	// rank nearly simultaneously).
 	AcceptBacklog int
+
+	// Adaptive enables RTT-adaptive flow control: a background prober
+	// measures per-connection RTT (PING) and delivery rate, and WINDOW
+	// grants are sized to BDPGain × bandwidth × min-RTT, gain-cycled and
+	// clamped to [WindowMin, WindowMax] and by MemBudget across the
+	// session's streams. Off, grants replenish a fixed Window exactly as
+	// before.
+	Adaptive bool
+	// WindowMin / WindowMax clamp the adaptive window. Zero means
+	// DefaultWindowMin / DefaultWindowMax.
+	WindowMin int
+	WindowMax int
+	// BDPGain scales the measured BDP when sizing the window. Zero means
+	// DefaultBDPGain.
+	BDPGain float64
+	// MemBudget caps the sum of adaptive windows across the session's
+	// live streams. Zero means DefaultMemBudget; negative disables the
+	// clamp.
+	MemBudget int64
+	// ProbeInterval is the estimator cadence. Zero means
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+
+	// BondConns is how many parallel connections a bonded peer link
+	// uses. The session itself never dials: the value is carried here so
+	// the dialing/accepting layers negotiate from one config (0 or 1
+	// means a single connection, i.e. no bond).
+	BondConns int
+
 	// Metrics receives tunnel counters; may be nil.
 	Metrics *metrics.Registry
 }
@@ -86,24 +157,84 @@ func (c Config) withDefaults() Config {
 	if c.AcceptBacklog <= 0 {
 		c.AcceptBacklog = 256
 	}
+	if c.WindowMin <= 0 {
+		c.WindowMin = DefaultWindowMin
+	}
+	if c.WindowMax <= 0 {
+		c.WindowMax = DefaultWindowMax
+	}
+	// The WINDOW frame carries a uint32 delta and grants never exceed
+	// one target, so the target itself must fit comfortably.
+	if c.WindowMax > 1<<30 {
+		c.WindowMax = 1 << 30
+	}
+	if c.WindowMax < c.WindowMin {
+		c.WindowMax = c.WindowMin
+	}
+	if c.BDPGain <= 0 {
+		c.BDPGain = DefaultBDPGain
+	}
+	if c.MemBudget == 0 {
+		c.MemBudget = DefaultMemBudget
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
 	return c
 }
 
-// Session multiplexes streams over conn. Create one with Client or Server;
-// the two sides allocate odd and even stream ids respectively so ids never
-// collide.
+// pongWaiter tracks one outstanding PING. Callers of Ping wait on ch;
+// prober probes (ch nil) exist only so the PONG handler can attribute the
+// RTT sample to the member connection it arrives on.
+type pongWaiter struct {
+	ch     chan struct{}
+	sentAt time.Time
+}
+
+// Session multiplexes streams over one or more member connections. Create
+// one with Client, Server, or ServerConn; the two sides allocate odd and
+// even stream ids respectively so ids never collide.
 type Session struct {
 	conn net.Conn
 	cfg  Config
-	w    *wire.Writer
+	// w is the primary member's writer; all non-sequenced frames (the
+	// whole control plane, plus legacy DATA/FIN) ride it, so a session
+	// that never bonds behaves exactly as a single-connection session
+	// always has.
+	w *wire.Writer
+
+	// members is the immutable snapshot of live member connections,
+	// members[0] being the primary. Replaced wholesale (under bondMu) on
+	// join and failover so the spray path reads it with one atomic load
+	// and never holds a lock across conn I/O.
+	members atomic.Pointer[[]*member]
+	// bondMu serializes membership changes only; it is never held across
+	// I/O.
+	bondMu     sync.Mutex
+	bondActive atomic.Bool
 
 	// table holds live streams; frame dispatch looks streams up through
 	// it without touching s.mu (which guards only the cold state below).
 	table *streamTable
 	// Hot-path counters resolved once at session setup; the registry map
 	// lookup is too expensive per DATA frame.
-	bytesTunneled *metrics.Counter
-	streamsOpened *metrics.Counter
+	bytesTunneled  *metrics.Counter
+	streamsOpened  *metrics.Counter
+	bondFailovers  *metrics.Counter
+	bondRetransmit *metrics.Counter
+	bondConnsGauge *metrics.Gauge
+	rttGauge       *metrics.Gauge
+	// flushObserver feeds every member writer's FlushStats into the same
+	// counters.
+	flushObserver func(wire.FlushStats)
+
+	// flow is the adaptive window estimator state (flow.go). delivered
+	// counts all in-order stream bytes handed to receive buffers; the
+	// prober differentiates it into a delivery rate.
+	flow      flowState
+	delivered atomic.Int64
+	proberOn  atomic.Bool
+
 	// pingSeq generates unique probe nonces.
 	pingSeq atomic.Uint64
 
@@ -111,49 +242,88 @@ type Session struct {
 	nextID uint32
 	err    error
 	closed bool
+	pongs  map[uint64]*pongWaiter
 
 	acceptCh chan *Stream
 	done     chan struct{}
-	pongs    map[uint64]chan struct{}
 	closeOne sync.Once
 }
 
 // Client starts a session on the dialing side of conn.
-func Client(conn net.Conn, cfg Config) *Session { return newSession(conn, cfg, 1) }
+func Client(conn net.Conn, cfg Config) *Session { return newSession(conn, cfg, 1, nil, nil) }
 
 // Server starts a session on the accepting side of conn.
-func Server(conn net.Conn, cfg Config) *Session { return newSession(conn, cfg, 2) }
+func Server(conn net.Conn, cfg Config) *Session { return newSession(conn, cfg, 2, nil, nil) }
 
-func newSession(conn net.Conn, cfg Config, firstID uint32) *Session {
+// newSession builds a session whose primary member wraps conn. A non-nil
+// reader (with an optional already-read first frame) hands off a
+// connection whose initial bytes were consumed by ServerConn's preface
+// classification.
+func newSession(conn net.Conn, cfg Config, firstID uint32, r *wire.Reader, first *wire.Frame) *Session {
 	cfg = cfg.withDefaults()
 	s := &Session{
-		conn:          conn,
-		cfg:           cfg,
-		table:         newStreamTable(),
-		bytesTunneled: cfg.Metrics.Counter(metrics.BytesTunneled),
-		streamsOpened: cfg.Metrics.Counter(metrics.StreamsOpened),
-		nextID:        firstID,
-		acceptCh:      make(chan *Stream, cfg.AcceptBacklog),
-		done:          make(chan struct{}),
-		pongs:         make(map[uint64]chan struct{}),
+		conn:           conn,
+		cfg:            cfg,
+		table:          newStreamTable(),
+		bytesTunneled:  cfg.Metrics.Counter(metrics.BytesTunneled),
+		streamsOpened:  cfg.Metrics.Counter(metrics.StreamsOpened),
+		bondFailovers:  cfg.Metrics.Counter(metrics.TunnelBondFailovers),
+		bondRetransmit: cfg.Metrics.Counter(metrics.TunnelBondRetransmits),
+		bondConnsGauge: cfg.Metrics.Gauge(metrics.TunnelBondConns),
+		rttGauge:       cfg.Metrics.Gauge(metrics.TunnelRTTMicros),
+		nextID:         firstID,
+		acceptCh:       make(chan *Stream, cfg.AcceptBacklog),
+		done:           make(chan struct{}),
+		pongs:          make(map[uint64]*pongWaiter),
 	}
+	s.flow.init(cfg)
 	flushes := cfg.Metrics.Counter(metrics.TunnelFlushes)
 	flushBytes := cfg.Metrics.Counter(metrics.TunnelFlushBytes)
 	batchFrames := cfg.Metrics.Counter(metrics.TunnelBatchFrames)
 	batchControl := cfg.Metrics.Counter(metrics.TunnelBatchControl)
-	s.w = wire.NewWriterOpts(conn, wire.Options{
-		Observer: func(fs wire.FlushStats) {
-			flushes.Add(int64(fs.Writes))
-			flushBytes.Add(int64(fs.Bytes))
-			batchFrames.Add(int64(fs.Frames))
-			batchControl.Add(int64(fs.Control))
-		},
-	})
+	s.flushObserver = func(fs wire.FlushStats) {
+		flushes.Add(int64(fs.Writes))
+		flushBytes.Add(int64(fs.Bytes))
+		batchFrames.Add(int64(fs.Frames))
+		batchControl.Add(int64(fs.Control))
+	}
+	s.w = wire.NewWriterOpts(conn, wire.Options{Observer: s.flushObserver})
+	primary := newMember(s, 0, conn, s.w)
+	ms := []*member{primary}
+	s.members.Store(&ms)
+	s.bondConnsGauge.Set(1)
+	if r == nil {
+		r = wire.NewReader(conn)
+	}
 	//lint:allow-leak readLoop is supervised by the connection, not a
 	// context: Close (and any peer disconnect) closes conn, the blocked
 	// ReadFrame fails, and the loop exits.
-	go s.readLoop()
+	go s.readLoop(primary, r, first)
+	if cfg.Adaptive {
+		s.startProber()
+	}
 	return s
+}
+
+// liveMembers returns the current membership snapshot (never empty; the
+// primary stays listed even while failing, since its death kills the
+// session).
+func (s *Session) liveMembers() []*member { return *s.members.Load() }
+
+// BondWidth reports the number of live member connections (1 for an
+// unbonded session).
+func (s *Session) BondWidth() int { return len(s.liveMembers()) }
+
+// SmoothedRTT returns the smallest smoothed RTT measured across live
+// member connections, or 0 before any probe completed.
+func (s *Session) SmoothedRTT() time.Duration {
+	best := int64(0)
+	for _, m := range s.liveMembers() {
+		if v := m.srttMicros.Load(); v > 0 && (best == 0 || v < best) {
+			best = v
+		}
+	}
+	return time.Duration(best) * time.Microsecond
 }
 
 // Open creates a new stream to the peer, passing opaque metadata the
@@ -235,13 +405,13 @@ func (s *Session) Ping(ctx context.Context) error {
 	// nonces collided for concurrent pings within one clock tick, leaving
 	// one caller waiting for a pong that was consumed by the other.
 	nonce := s.pingSeq.Add(1)
-	ch := make(chan struct{}, 1)
+	waiter := &pongWaiter{ch: make(chan struct{}, 1), sentAt: time.Now()}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return s.closeErr()
 	}
-	s.pongs[nonce] = ch
+	s.pongs[nonce] = waiter
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -252,7 +422,7 @@ func (s *Session) Ping(ctx context.Context) error {
 		return s.fail(fmt.Errorf("tunnel: send PING: %w", err))
 	}
 	select {
-	case <-ch:
+	case <-waiter.ch:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -265,7 +435,7 @@ func (s *Session) Ping(ctx context.Context) error {
 func (s *Session) NumStreams() int { return s.table.len() }
 
 // Close shuts the session down: all streams fail, the underlying
-// connection is closed.
+// connections are closed.
 func (s *Session) Close() error {
 	return s.shutdown(ErrSessionClosed, true)
 }
@@ -292,6 +462,12 @@ func (s *Session) closeErr() error {
 	return ErrSessionClosed
 }
 
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // fail records err (if the session isn't already down) and tears down.
 func (s *Session) fail(err error) error {
 	_ = s.shutdown(err, false)
@@ -314,32 +490,59 @@ func (s *Session) shutdown(err error, sendGoaway bool) error {
 			st.closeWithError(err)
 		}
 		close(s.done)
-		_ = s.conn.Close()
+		// The membership snapshot is likewise taken after closed is set:
+		// addMember re-checks under bondMu and refuses, so every member
+		// either appears here or was never admitted.
+		s.bondMu.Lock()
+		ms := s.liveMembers()
+		s.bondMu.Unlock()
+		for _, m := range ms {
+			// Mark dead and wake the sendLoop so it drains its queue; with
+			// every member dead the drain resprays into pickMember == nil,
+			// which releases the stranded pooled buffers.
+			m.dead.Store(true)
+			m.qcond.Broadcast()
+			_ = m.conn.Close()
+			m.releaseAll()
+		}
 	})
 	return nil
 }
 
 func (s *Session) removeStream(id uint32) { s.table.remove(id) }
 
-// readLoop dispatches inbound frames until the connection dies. It reads
-// through the wire payload pool: the loop is the single owner of each
-// leased payload — every dispatch path that keeps bytes copies them before
-// returning (deliver copies into the recv buffer, handleSYN copies meta,
-// the PONG echo is coalesced into the writer before WriteControl returns)
-// — so the lease is released here, unconditionally, after dispatch.
-func (s *Session) readLoop() {
-	r := wire.NewReader(s.conn)
+// readLoop dispatches frames inbound on one member connection until it
+// dies. It reads through the wire payload pool: the loop is the single
+// owner of each leased payload — every dispatch path that keeps bytes
+// copies them before returning (deliver copies into the recv buffer,
+// deliverSeq copies out-of-order segments into their own leases,
+// handleSYN copies meta, the PONG echo is coalesced into the writer
+// before WriteControl returns) — so the lease is released here,
+// unconditionally, after dispatch. A secondary member's death fails over;
+// the primary's death (or any protocol error) kills the session.
+func (s *Session) readLoop(m *member, r *wire.Reader, first *wire.Frame) {
+	if first != nil {
+		derr := s.dispatch(m, *first)
+		wire.PutPayload(first.Payload)
+		if derr != nil {
+			_ = s.shutdown(derr, false)
+			return
+		}
+	}
 	for {
 		frame, err := r.ReadFramePooled()
 		if err != nil {
-			if errors.Is(err, io.EOF) {
+			switch {
+			case m.index != 0 && !s.isClosed():
+				s.memberFailed(m, err)
+			case errors.Is(err, io.EOF):
 				_ = s.shutdown(ErrSessionClosed, false)
-			} else {
+			default:
 				_ = s.shutdown(fmt.Errorf("tunnel: read: %w", err), false)
 			}
 			return
 		}
-		derr := s.dispatch(frame)
+		derr := s.dispatch(m, frame)
 		wire.PutPayload(frame.Payload)
 		if derr != nil {
 			_ = s.shutdown(derr, false)
@@ -348,20 +551,31 @@ func (s *Session) readLoop() {
 	}
 }
 
-func (s *Session) dispatch(frame wire.Frame) error {
+func (s *Session) dispatch(m *member, frame wire.Frame) error {
 	switch frame.Type {
 	case framePING:
-		return s.w.WriteControl(framePONG, frame.Payload)
+		// Echo on the member the probe arrived on, so the round trip
+		// measures that specific connection.
+		return m.w.WriteControl(framePONG, frame.Payload)
 	case framePONG:
 		if len(frame.Payload) >= 8 {
 			nonce := wire.NewBuffer(frame.Payload).Uint64()
 			s.mu.Lock()
-			ch := s.pongs[nonce]
+			waiter := s.pongs[nonce]
+			if waiter != nil && waiter.ch == nil {
+				// Prober probes are one-shot; callers of Ping delete
+				// their own entries.
+				delete(s.pongs, nonce)
+			}
 			s.mu.Unlock()
-			if ch != nil {
-				select {
-				case ch <- struct{}{}:
-				default:
+			if waiter != nil {
+				m.recordRTT(time.Since(waiter.sentAt))
+				s.flow.observeRTT(time.Since(waiter.sentAt))
+				if waiter.ch != nil {
+					select {
+					case waiter.ch <- struct{}{}:
+					default:
+					}
 				}
 			}
 		}
@@ -369,6 +583,12 @@ func (s *Session) dispatch(frame wire.Frame) error {
 	case frameGOAWAY:
 		_ = s.shutdown(ErrSessionClosed, false)
 		return nil
+	case frameBONDJOIN:
+		// Joins are consumed by ServerConn before a session exists;
+		// inside an established session the type is a violation.
+		return fmt.Errorf("tunnel: unexpected BONDJOIN mid-session")
+	case frameBONDACK:
+		return s.handleBondAck(frame.Payload)
 	}
 
 	if len(frame.Payload) < 4 {
@@ -400,6 +620,7 @@ func (s *Session) dispatch(frame wire.Frame) error {
 			return nil
 		}
 		s.bytesTunneled.Add(int64(len(rest)))
+		s.delivered.Add(int64(len(rest)))
 		return st.deliver(rest)
 	case frameFIN:
 		if st := s.table.get(id); st != nil {
@@ -410,6 +631,33 @@ func (s *Session) dispatch(frame wire.Frame) error {
 		if st := s.table.get(id); st != nil && len(rest) >= 4 {
 			delta := wire.NewBuffer(rest).Uint32()
 			st.grantSendWindow(int(delta))
+		}
+		return nil
+	case frameDATAQ:
+		if len(rest) < 8 {
+			return fmt.Errorf("tunnel: short DATAQ for stream %d", id)
+		}
+		// Count the arrival before the stream lookup: the sender's
+		// retention drains on these acks even when the local stream is
+		// already gone.
+		m.countSeqArrival(s)
+		seq := wire.NewBuffer(rest).Uint64()
+		data := rest[8:]
+		st := s.table.get(id)
+		if st == nil {
+			return nil
+		}
+		s.bytesTunneled.Add(int64(len(data)))
+		s.delivered.Add(int64(len(data)))
+		return st.deliverSeq(seq, data, false)
+	case frameFINQ:
+		if len(rest) < 8 {
+			return fmt.Errorf("tunnel: short FINQ for stream %d", id)
+		}
+		m.countSeqArrival(s)
+		seq := wire.NewBuffer(rest).Uint64()
+		if st := s.table.get(id); st != nil {
+			return st.deliverSeq(seq, nil, true)
 		}
 		return nil
 	default:

@@ -127,6 +127,12 @@ type Writer struct {
 	flushedBatch uint64
 	flushing     bool
 
+	// seq numbers frames written through WriteFramevSeq, assigned in
+	// lane-append order under mu — which is exactly their wire order,
+	// since the bulk lane is flushed front-to-back and a failed flush
+	// poisons the writer before any later batch can pass it.
+	seq uint64
+
 	lingerTimer *time.Timer
 }
 
@@ -162,14 +168,96 @@ func NewWriterOpts(w io.Writer, opts Options) *Writer {
 // WriteFrame writes one bulk-lane frame and returns once it has reached
 // the underlying writer.
 func (w *Writer) WriteFrame(frameType byte, payload []byte) error {
-	return w.write(false, frameType, payload)
+	_, err := w.write(false, false, frameType, payload)
+	return err
 }
 
 // WriteFramev writes one bulk-lane frame whose payload is the
 // concatenation of segs, gathered directly into the coalescing buffer —
 // callers need not assemble a contiguous payload slice first.
 func (w *Writer) WriteFramev(frameType byte, segs ...[]byte) error {
-	return w.write(false, frameType, segs...)
+	_, err := w.write(false, false, frameType, segs...)
+	return err
+}
+
+// WriteFramevSeq is WriteFramev for callers that track in-flight frames:
+// on success it returns this frame's position (1-based) in the writer's
+// wire order among all Seq-writes. A receiver counting such frames as
+// they arrive and reporting the count back therefore acknowledges an
+// exact prefix of the sequence, which is what the tunnel's bonded
+// retransmit bookkeeping relies on.
+func (w *Writer) WriteFramevSeq(frameType byte, segs ...[]byte) (uint64, error) {
+	return w.write(false, true, frameType, segs...)
+}
+
+// SeqFrame is one frame of a WriteSeqFrames batch: a frame type, an
+// optional header segment, and an optional payload segment (either may
+// be nil; they are concatenated on the wire).
+type SeqFrame struct {
+	Type    byte
+	Hdr     []byte
+	Payload []byte
+}
+
+// WriteSeqFrames appends a batch of Seq-frames in one writer-lock
+// acquisition and returns the wire position of the first (the batch
+// occupies consecutive positions first..first+len(frames)-1). The whole
+// batch shares one flush wait, so a sender draining a queue of frames
+// pays one underlying write for the lot instead of one per frame —
+// which is what makes bonded member connections worth their latency.
+// Like every Write* call it returns only after the batch has reached
+// the underlying writer, and a flush failure poisons the writer before
+// any later batch can pass it, preserving the exact-prefix property
+// WriteFramevSeq documents.
+func (w *Writer) WriteSeqFrames(frames []SeqFrame) (uint64, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	for i := range frames {
+		if len(frames[i].Hdr)+len(frames[i].Payload) > MaxPayload {
+			return 0, ErrFrameTooLarge
+		}
+	}
+	w.arrivals.Add(1)
+	w.mu.Lock()
+	for w.err == nil && len(w.bulk.buf) >= w.maxPend {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		w.arrivals.Add(-1)
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	var segs [2][]byte
+	for i := range frames {
+		f := &frames[i]
+		segs[0], segs[1] = f.Hdr, f.Payload
+		w.bulk.appendFrame(f.Type, segs[:], len(f.Hdr)+len(f.Payload))
+		w.seq++
+	}
+	first := w.seq - uint64(len(frames)) + 1
+	mine := w.batch
+	w.arrivals.Add(-1)
+	if w.flushing {
+		w.cond.Broadcast()
+	}
+	for w.err == nil && w.flushedBatch <= mine {
+		if w.flushing {
+			w.cond.Wait()
+			continue
+		}
+		w.flushing = true
+		w.flushBatchLocked()
+		w.flushing = false
+		w.cond.Broadcast()
+	}
+	var err error
+	if w.flushedBatch <= mine {
+		err = w.err
+	}
+	w.mu.Unlock()
+	return first, err
 }
 
 // WriteControl writes one control-lane frame. Control frames skip the bulk
@@ -178,16 +266,17 @@ func (w *Writer) WriteFramev(frameType byte, segs ...[]byte) error {
 // setup) is never starved by saturating bulk traffic. Use only for frame
 // types that may safely overtake previously written bulk frames.
 func (w *Writer) WriteControl(frameType byte, payload []byte) error {
-	return w.write(true, frameType, payload)
+	_, err := w.write(true, false, frameType, payload)
+	return err
 }
 
-func (w *Writer) write(control bool, frameType byte, segs ...[]byte) error {
+func (w *Writer) write(control, seq bool, frameType byte, segs ...[]byte) (uint64, error) {
 	total := 0
 	for _, s := range segs {
 		total += len(s)
 	}
 	if total > MaxPayload {
-		return ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
 
 	w.arrivals.Add(1)
@@ -201,13 +290,18 @@ func (w *Writer) write(control bool, frameType byte, segs ...[]byte) error {
 		w.arrivals.Add(-1)
 		err := w.err
 		w.mu.Unlock()
-		return err
+		return 0, err
 	}
 	ln := &w.bulk
 	if control {
 		ln = &w.ctrl
 	}
 	ln.appendFrame(frameType, segs, total)
+	var sq uint64
+	if seq {
+		w.seq++
+		sq = w.seq
+	}
 	mine := w.batch
 	w.arrivals.Add(-1)
 	if w.flushing {
@@ -232,7 +326,7 @@ func (w *Writer) write(control bool, frameType byte, segs ...[]byte) error {
 		err = w.err
 	}
 	w.mu.Unlock()
-	return err
+	return sq, err
 }
 
 // flushBatchLocked writes everything pending as one batch: an optional
